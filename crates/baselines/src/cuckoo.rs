@@ -1,0 +1,310 @@
+//! Bulk-built cuckoo hash table (Alcantara et al. [5], as packaged in CUDPP
+//! and used by the paper as its hash-table baseline).
+//!
+//! The table stores each occupied slot as a packed 64-bit word
+//! (`key << 32 | value`) so that the GPU build's atomic-exchange eviction
+//! chains can be reproduced exactly with `AtomicU64::swap`: every element is
+//! inserted by a thread that repeatedly swaps itself into one of its `H`
+//! candidate slots and re-inserts whatever it evicted, bouncing between hash
+//! functions until it lands in an empty slot or the chain exceeds the
+//! iteration limit (in which case the whole build restarts with new hash
+//! seeds, exactly like the original).
+//!
+//! As in the paper, the table supports **bulk build and lookup only** — no
+//! deletion, no growth, no count/range — which is the trade-off Table I
+//! summarises.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gpu_sim::{AccessPattern, Device};
+use rayon::prelude::*;
+
+/// Sentinel for an empty slot (no valid key can be `u32::MAX`, keys are
+/// 31-bit as in the LSM).
+const EMPTY: u64 = u64::MAX;
+
+/// Number of hash functions, as in the CUDPP implementation.
+const NUM_HASHES: usize = 4;
+
+/// Maximum eviction-chain length before the build is declared failed and
+/// restarted with fresh hash seeds.
+const MAX_CHAIN: usize = 200;
+
+/// Build-time configuration for the cuckoo table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CuckooConfig {
+    /// Target load factor (occupied fraction); the paper uses 0.8.
+    pub load_factor: f64,
+    /// Maximum number of whole-table rebuild attempts.
+    pub max_rebuilds: usize,
+    /// Seed for the hash-function constants.
+    pub seed: u64,
+}
+
+impl Default for CuckooConfig {
+    fn default() -> Self {
+        CuckooConfig {
+            load_factor: 0.8,
+            max_rebuilds: 16,
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+/// A bulk-built cuckoo hash table mapping 31-bit keys to 32-bit values.
+#[derive(Debug)]
+pub struct CuckooHashTable {
+    device: Arc<Device>,
+    slots: Vec<u64>,
+    hash_consts: [(u32, u32); NUM_HASHES],
+    num_elements: usize,
+}
+
+#[inline]
+fn pack(key: u32, value: u32) -> u64 {
+    ((key as u64) << 32) | value as u64
+}
+
+#[inline]
+fn unpack(slot: u64) -> (u32, u32) {
+    ((slot >> 32) as u32, slot as u32)
+}
+
+#[inline]
+fn hash(consts: (u32, u32), key: u32, table_size: usize) -> usize {
+    // Multiply-shift universal hashing (the CUDPP constants are random odd
+    // multipliers); 64-bit arithmetic avoids overflow.
+    let (a, b) = consts;
+    let h = (a as u64).wrapping_mul(key as u64).wrapping_add(b as u64);
+    ((h >> 16) % table_size as u64) as usize
+}
+
+impl CuckooHashTable {
+    /// Bulk-build a table from key–value pairs with the default 80 % load
+    /// factor.  Keys must be distinct (the paper's build workloads are).
+    pub fn bulk_build(device: Arc<Device>, pairs: &[(u32, u32)]) -> Self {
+        Self::bulk_build_with(device, pairs, CuckooConfig::default())
+    }
+
+    /// Bulk-build with an explicit configuration.
+    pub fn bulk_build_with(device: Arc<Device>, pairs: &[(u32, u32)], config: CuckooConfig) -> Self {
+        assert!(
+            config.load_factor > 0.0 && config.load_factor < 1.0,
+            "load factor must be in (0, 1)"
+        );
+        let table_size = ((pairs.len() as f64 / config.load_factor).ceil() as usize).max(NUM_HASHES * 2);
+        let kernel = "cuckoo_build";
+        device.metrics().record_launch(kernel);
+        device
+            .metrics()
+            .record_read(kernel, (pairs.len() * 8) as u64, AccessPattern::Coalesced);
+
+        let seed = config.seed;
+        for attempt in 0..config.max_rebuilds {
+            let hash_consts = Self::derive_hash_consts(seed.wrapping_add(attempt as u64));
+            let slots: Vec<AtomicU64> = (0..table_size).map(|_| AtomicU64::new(EMPTY)).collect();
+            let failed = AtomicBool::new(false);
+
+            // Parallel build: each element follows its own eviction chain.
+            // Every swap is a scattered global-memory transaction.
+            device.metrics().record_scattered_probes(
+                kernel,
+                pairs.len() as u64 * 2,
+                std::mem::size_of::<u64>() as u64,
+            );
+            device.timer().time("cuckoo::build_attempt", || {
+                pairs.par_iter().for_each(|&(key, value)| {
+                    if failed.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let mut current = pack(key, value);
+                    let mut h_index = 0usize;
+                    for _ in 0..MAX_CHAIN {
+                        let (k, _) = unpack(current);
+                        let slot = hash(hash_consts[h_index], k, table_size);
+                        let prev = slots[slot].swap(current, Ordering::Relaxed);
+                        if prev == EMPTY {
+                            return;
+                        }
+                        // We evicted `prev`: re-insert it with its next hash
+                        // function (cycle through all of them).
+                        let (pk, _) = unpack(prev);
+                        let came_from = (0..NUM_HASHES)
+                            .position(|i| hash(hash_consts[i], pk, table_size) == slot)
+                            .unwrap_or(0);
+                        h_index = (came_from + 1) % NUM_HASHES;
+                        current = prev;
+                    }
+                    failed.store(true, Ordering::Relaxed);
+                });
+            });
+
+            if !failed.load(Ordering::Relaxed) {
+                return CuckooHashTable {
+                    device,
+                    slots: slots.into_iter().map(|s| s.into_inner()).collect(),
+                    hash_consts,
+                    num_elements: pairs.len(),
+                };
+            }
+        }
+        panic!(
+            "cuckoo build failed after {} rebuild attempts (n = {}, table = {})",
+            config.max_rebuilds,
+            pairs.len(),
+            table_size
+        );
+    }
+
+    fn derive_hash_consts(seed: u64) -> [(u32, u32); NUM_HASHES] {
+        // SplitMix64-style constant derivation; multipliers forced odd.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut consts = [(0u32, 0u32); NUM_HASHES];
+        for c in consts.iter_mut() {
+            *c = ((next() as u32) | 1, next() as u32);
+        }
+        consts
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        self.num_elements
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_elements == 0
+    }
+
+    /// Number of slots (capacity).
+    pub fn table_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Achieved load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.num_elements as f64 / self.slots.len() as f64
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Bulk lookup: each query probes at most [`NUM_HASHES`] slots.
+    pub fn lookup(&self, queries: &[u32]) -> Vec<Option<u32>> {
+        let kernel = "cuckoo_lookup";
+        self.device.metrics().record_launch(kernel);
+        self.device.metrics().record_read(
+            kernel,
+            (queries.len() * 4) as u64,
+            AccessPattern::Coalesced,
+        );
+        self.device.metrics().record_scattered_probes(
+            kernel,
+            queries.len() as u64 * NUM_HASHES as u64 / 2,
+            std::mem::size_of::<u64>() as u64,
+        );
+        self.device.timer().time("cuckoo::lookup", || {
+            queries.par_iter().map(|&q| self.lookup_one(q)).collect()
+        })
+    }
+
+    /// Look up a single key.
+    pub fn lookup_one(&self, key: u32) -> Option<u32> {
+        for consts in &self.hash_consts {
+            let slot = self.slots[hash(*consts, key, self.slots.len())];
+            if slot != EMPTY {
+                let (k, v) = unpack(slot);
+                if k == key {
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::small()))
+    }
+
+    #[test]
+    fn builds_and_finds_all_keys() {
+        let pairs: Vec<(u32, u32)> = (0..10_000u32).map(|k| (k * 3, k)).collect();
+        let table = CuckooHashTable::bulk_build(device(), &pairs);
+        assert_eq!(table.len(), pairs.len());
+        let queries: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+        let results = table.lookup(&queries);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, Some(pairs[i].1), "key {}", pairs[i].0);
+        }
+    }
+
+    #[test]
+    fn misses_absent_keys() {
+        let pairs: Vec<(u32, u32)> = (0..1000u32).map(|k| (k * 2, k)).collect();
+        let table = CuckooHashTable::bulk_build(device(), &pairs);
+        let absent: Vec<u32> = (0..1000u32).map(|k| k * 2 + 1).collect();
+        assert!(table.lookup(&absent).iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    fn respects_load_factor() {
+        let pairs: Vec<(u32, u32)> = (0..8000u32).map(|k| (k, k)).collect();
+        let table = CuckooHashTable::bulk_build_with(
+            device(),
+            &pairs,
+            CuckooConfig {
+                load_factor: 0.5,
+                ..CuckooConfig::default()
+            },
+        );
+        assert!(table.table_size() >= 16_000);
+        assert!(table.load_factor() <= 0.5 + 1e-9);
+        assert!(table.memory_bytes() >= 16_000 * 8);
+    }
+
+    #[test]
+    fn empty_build_and_lookup() {
+        let table = CuckooHashTable::bulk_build(device(), &[]);
+        assert!(table.is_empty());
+        assert_eq!(table.lookup(&[1, 2, 3]), vec![None, None, None]);
+    }
+
+    #[test]
+    fn high_load_factor_still_builds() {
+        // 0.8 load factor with 4 hash functions should always succeed.
+        let pairs: Vec<(u32, u32)> = (0..50_000u32).map(|k| (k * 7 + 1, k)).collect();
+        let table = CuckooHashTable::bulk_build(device(), &pairs);
+        assert_eq!(table.lookup_one(8), Some(1));
+        assert_eq!(table.lookup_one(9), None);
+        assert!((table.load_factor() - 0.8).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "load factor")]
+    fn invalid_load_factor_panics() {
+        let _ = CuckooHashTable::bulk_build_with(
+            device(),
+            &[(1, 1)],
+            CuckooConfig {
+                load_factor: 1.5,
+                ..CuckooConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! # gpu-baselines — the comparison data structures from the paper's
+//! evaluation
+//!
+//! The GPU LSM paper compares against two immutable GPU data structures
+//! (§V-A, Table I):
+//!
+//! * the **GPU sorted array (GPU SA)** — a single sorted level; insertion
+//!   sorts the new batch and merges it with the *entire* array (O(n) work
+//!   per batch), deletions remove elements and compact, and all queries are
+//!   binary searches over one level ([`SortedArray`]);
+//! * a **cuckoo hash table** — bulk build and O(1) lookups, but no deletion,
+//!   no growth, and no ordered queries ([`CuckooHashTable`]).
+//!
+//! Both are implemented on the same [`gpu_sim`]/[`gpu_primitives`] substrate
+//! as the LSM so that throughput comparisons measure the algorithms, not the
+//! plumbing.
+
+#![warn(missing_docs)]
+
+pub mod cuckoo;
+pub mod sorted_array;
+
+pub use cuckoo::{CuckooConfig, CuckooHashTable};
+pub use sorted_array::SortedArray;

@@ -1,0 +1,330 @@
+//! The GPU sorted array (GPU SA) baseline.
+//!
+//! A single sorted level holding every element.  Bulk build is one radix
+//! sort; inserting a batch sorts the batch and merges it with the whole
+//! array (so the per-batch cost grows linearly with `n`, the behaviour
+//! Table II and Fig. 4b contrast with the LSM); deleting removes every
+//! matching element with a flagged compaction.  Queries are the LSM's
+//! queries restricted to one level, which is why they are somewhat faster
+//! (Table III/IV): a single `O(log n)` search instead of one per occupied
+//! level.
+//!
+//! Like the LSM, replaced keys are shadowed rather than overwritten on
+//! insert (the newer element sorts first among equal keys), so lookups
+//! return the newest value; count and range queries skip older duplicates
+//! while scanning their candidate ranges.
+
+use std::sync::Arc;
+
+use gpu_primitives::compact::compact_pairs_by_flag;
+use gpu_primitives::merge::merge_pairs_by;
+use gpu_primitives::radix_sort::sort_pairs;
+use gpu_primitives::search::{lower_bound_by, upper_bound_by};
+use gpu_sim::{AccessPattern, Device};
+use rayon::prelude::*;
+
+/// Maximum representable key (31 bits, matching the LSM's key domain).
+pub const MAX_KEY: u32 = (1 << 31) - 1;
+
+/// A GPU-maintained sorted array of key–value pairs.
+#[derive(Debug, Clone)]
+pub struct SortedArray {
+    device: Arc<Device>,
+    /// Original keys, ascending; equal keys ordered newest-first.
+    keys: Vec<u32>,
+    values: Vec<u32>,
+}
+
+impl SortedArray {
+    /// Create an empty sorted array.
+    pub fn new(device: Arc<Device>) -> Self {
+        SortedArray {
+            device,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Bulk-build from arbitrary pairs with one radix sort (§V-B).
+    pub fn bulk_build(device: Arc<Device>, pairs: &[(u32, u32)]) -> Self {
+        let mut keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+        let mut values: Vec<u32> = pairs.iter().map(|&(_, v)| v).collect();
+        sort_pairs(&device, &mut keys, &mut values);
+        SortedArray {
+            device,
+            keys,
+            values,
+        }
+    }
+
+    /// Number of resident elements (including shadowed duplicates).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The modelled device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        (self.keys.len() + self.values.len()) * std::mem::size_of::<u32>()
+    }
+
+    /// Insert a batch: sort it, then merge it with the entire array.  The
+    /// new batch wins ties so its elements shadow older instances of the
+    /// same key.
+    pub fn insert_batch(&mut self, pairs: &[(u32, u32)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        let mut batch_keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+        let mut batch_values: Vec<u32> = pairs.iter().map(|&(_, v)| v).collect();
+        self.device.timer().time("sa::sort_batch", || {
+            sort_pairs(&self.device, &mut batch_keys, &mut batch_values);
+        });
+        let (keys, values) = self.device.timer().time("sa::merge_all", || {
+            merge_pairs_by(
+                &self.device,
+                &batch_keys,
+                &batch_values,
+                &self.keys,
+                &self.values,
+                |a, b| a < b,
+            )
+        });
+        self.keys = keys;
+        self.values = values;
+    }
+
+    /// Insert a batch by fully re-sorting the array instead of merging —
+    /// the "resort the whole data structure" alternative the paper mentions;
+    /// used by the ablation benchmarks.
+    pub fn insert_batch_resort(&mut self, pairs: &[(u32, u32)]) {
+        self.keys.extend(pairs.iter().map(|&(k, _)| k));
+        self.values.extend(pairs.iter().map(|&(_, v)| v));
+        self.device.timer().time("sa::resort_all", || {
+            sort_pairs(&self.device, &mut self.keys, &mut self.values);
+        });
+    }
+
+    /// Delete every element whose key appears in `keys_to_delete`
+    /// (flag + compact over the whole array).
+    pub fn delete_batch(&mut self, keys_to_delete: &[u32]) {
+        if keys_to_delete.is_empty() || self.is_empty() {
+            return;
+        }
+        let mut sorted_deletes = keys_to_delete.to_vec();
+        gpu_primitives::radix_sort::sort_keys(&self.device, &mut sorted_deletes);
+        let keep_flags: Vec<bool> = self
+            .keys
+            .par_iter()
+            .map(|k| {
+                let idx = lower_bound_by(&sorted_deletes, k, |a, b| a < b);
+                !(idx < sorted_deletes.len() && sorted_deletes[idx] == *k)
+            })
+            .collect();
+        self.device.metrics().record_scattered_probes(
+            "sa::delete_search",
+            self.keys.len() as u64 * (usize::BITS - sorted_deletes.len().leading_zeros()) as u64,
+            4,
+        );
+        let (keys, values) =
+            compact_pairs_by_flag(&self.device, &self.keys, &self.values, &keep_flags);
+        self.keys = keys;
+        self.values = values;
+    }
+
+    /// Point lookups: one binary search per query, in parallel.
+    pub fn lookup(&self, queries: &[u32]) -> Vec<Option<u32>> {
+        let kernel = "sa_lookup";
+        self.device.metrics().record_launch(kernel);
+        self.device.metrics().record_read(
+            kernel,
+            (queries.len() * 4) as u64,
+            AccessPattern::Coalesced,
+        );
+        self.device.metrics().record_scattered_probes(
+            kernel,
+            queries.len() as u64 * (usize::BITS - self.keys.len().leading_zeros()) as u64,
+            4,
+        );
+        self.device.timer().time("sa::lookup", || {
+            queries
+                .par_iter()
+                .map(|&q| {
+                    let idx = lower_bound_by(&self.keys, &q, |a, b| a < b);
+                    if idx < self.keys.len() && self.keys[idx] == q {
+                        Some(self.values[idx])
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+    }
+
+    /// Count queries: distinct keys in `[k1, k2]` per query.
+    pub fn count(&self, queries: &[(u32, u32)]) -> Vec<u32> {
+        let kernel = "sa_count";
+        self.device.metrics().record_launch(kernel);
+        self.device.metrics().record_scattered_probes(
+            kernel,
+            queries.len() as u64 * 2 * (usize::BITS - self.keys.len().leading_zeros()) as u64,
+            4,
+        );
+        self.device.timer().time("sa::count", || {
+            queries
+                .par_iter()
+                .map(|&(k1, k2)| {
+                    let lo = lower_bound_by(&self.keys, &k1, |a, b| a < b);
+                    let hi = upper_bound_by(&self.keys, &k2, |a, b| a < b);
+                    // Count distinct keys in the candidate range (duplicates
+                    // from shadowed insertions are skipped).
+                    let mut count = 0u32;
+                    let mut i = lo;
+                    while i < hi {
+                        count += 1;
+                        let key = self.keys[i];
+                        i += 1;
+                        while i < hi && self.keys[i] == key {
+                            i += 1;
+                        }
+                    }
+                    count
+                })
+                .collect()
+        })
+    }
+
+    /// Range queries: all distinct keys in `[k1, k2]` with their newest
+    /// values, per query.  Returns per-query offsets plus flat key/value
+    /// arrays (the same layout as the LSM's `RangeResult`).
+    pub fn range(&self, queries: &[(u32, u32)]) -> (Vec<usize>, Vec<u32>, Vec<u32>) {
+        let kernel = "sa_range";
+        self.device.metrics().record_launch(kernel);
+        self.device.metrics().record_scattered_probes(
+            kernel,
+            queries.len() as u64 * 2 * (usize::BITS - self.keys.len().leading_zeros()) as u64,
+            4,
+        );
+        let per_query: Vec<(Vec<u32>, Vec<u32>)> = self.device.timer().time("sa::range", || {
+            queries
+                .par_iter()
+                .map(|&(k1, k2)| {
+                    let lo = lower_bound_by(&self.keys, &k1, |a, b| a < b);
+                    let hi = upper_bound_by(&self.keys, &k2, |a, b| a < b);
+                    let mut keys = Vec::new();
+                    let mut values = Vec::new();
+                    let mut i = lo;
+                    while i < hi {
+                        let key = self.keys[i];
+                        keys.push(key);
+                        values.push(self.values[i]);
+                        i += 1;
+                        while i < hi && self.keys[i] == key {
+                            i += 1;
+                        }
+                    }
+                    (keys, values)
+                })
+                .collect()
+        });
+        let total: usize = per_query.iter().map(|(k, _)| k.len()).sum();
+        self.device
+            .metrics()
+            .record_write(kernel, (total * 8) as u64, AccessPattern::Coalesced);
+        let mut offsets = Vec::with_capacity(queries.len() + 1);
+        let mut keys = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
+        offsets.push(0);
+        for (k, v) in per_query {
+            keys.extend_from_slice(&k);
+            values.extend_from_slice(&v);
+            offsets.push(keys.len());
+        }
+        (offsets, keys, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::small()))
+    }
+
+    #[test]
+    fn bulk_build_sorts_pairs() {
+        let sa = SortedArray::bulk_build(device(), &[(5, 50), (1, 10), (3, 30)]);
+        assert_eq!(sa.len(), 3);
+        assert_eq!(sa.lookup(&[1, 3, 5, 7]), vec![Some(10), Some(30), Some(50), None]);
+        assert!(sa.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn insert_batch_merges_and_newest_wins() {
+        let mut sa = SortedArray::bulk_build(device(), &[(1, 10), (2, 20), (3, 30)]);
+        sa.insert_batch(&[(2, 21), (4, 40)]);
+        assert_eq!(sa.len(), 5); // duplicate 2 is shadowed, not removed
+        assert_eq!(sa.lookup(&[2, 4]), vec![Some(21), Some(40)]);
+        assert_eq!(sa.count(&[(1, 4)]), vec![4]);
+    }
+
+    #[test]
+    fn insert_batch_resort_matches_merge_semantics() {
+        let mut a = SortedArray::bulk_build(device(), &[(1, 10), (5, 50)]);
+        let mut b = a.clone();
+        a.insert_batch(&[(3, 30)]);
+        b.insert_batch_resort(&[(3, 30)]);
+        assert_eq!(a.lookup(&[1, 3, 5]), b.lookup(&[1, 3, 5]));
+    }
+
+    #[test]
+    fn delete_batch_removes_all_instances() {
+        let mut sa = SortedArray::bulk_build(device(), &[(1, 10), (2, 20), (3, 30)]);
+        sa.insert_batch(&[(2, 21)]);
+        sa.delete_batch(&[2, 3]);
+        assert_eq!(sa.len(), 1);
+        assert_eq!(sa.lookup(&[1, 2, 3]), vec![Some(10), None, None]);
+        assert_eq!(sa.count(&[(0, 10)]), vec![1]);
+    }
+
+    #[test]
+    fn empty_array_queries() {
+        let sa = SortedArray::new(device());
+        assert!(sa.is_empty());
+        assert_eq!(sa.lookup(&[1]), vec![None]);
+        assert_eq!(sa.count(&[(0, 10)]), vec![0]);
+        let (offsets, keys, _) = sa.range(&[(0, 10)]);
+        assert_eq!(offsets, vec![0, 0]);
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn range_returns_sorted_distinct_pairs() {
+        let mut sa = SortedArray::bulk_build(device(), &(0..100u32).map(|k| (k, k)).collect::<Vec<_>>());
+        sa.insert_batch(&[(50, 999)]);
+        let (offsets, keys, values) = sa.range(&[(45, 55), (90, 200)]);
+        assert_eq!(offsets, vec![0, 11, 21]);
+        assert_eq!(keys[..11].to_vec(), (45..=55).collect::<Vec<u32>>());
+        assert_eq!(values[5], 999); // newest value for key 50
+        assert_eq!(keys[11..].to_vec(), (90..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn large_build_and_query_roundtrip() {
+        let pairs: Vec<(u32, u32)> = (0..50_000u32).map(|k| (k * 2, k)).collect();
+        let sa = SortedArray::bulk_build(device(), &pairs);
+        assert_eq!(sa.lookup(&[0, 2, 99_998]), vec![Some(0), Some(1), Some(49_999)]);
+        assert_eq!(sa.count(&[(0, 99_998)]), vec![50_000]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks for the cleanup operation (§V-D): cleanup at
+//! different stale fractions, compared with rebuilding from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_lsm::GpuLsm;
+use lsm_bench::experiments::experiment_device;
+use lsm_workloads::mixed_batches;
+
+const BATCH: usize = 1 << 12;
+const NUM_BATCHES: usize = 31;
+
+fn dirty_lsm(delete_fraction: f64) -> GpuLsm {
+    let seq = mixed_batches(BATCH, NUM_BATCHES, delete_fraction, 77);
+    let mut lsm = GpuLsm::new(experiment_device(), BATCH).unwrap();
+    for b in &seq.batches {
+        lsm.update(b).unwrap();
+    }
+    lsm
+}
+
+fn bench_cleanup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cleanup");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements((BATCH * NUM_BATCHES) as u64));
+    for delete_fraction in [0.1f64, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::new("cleanup", format!("{:.0}pct", delete_fraction * 100.0)),
+            &delete_fraction,
+            |bencher, &df| {
+                bencher.iter_batched(
+                    || dirty_lsm(df),
+                    |mut lsm| lsm.cleanup(),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    // Rebuild-from-scratch comparison at the same size.
+    let pairs = lsm_workloads::unique_random_pairs(BATCH * NUM_BATCHES, 78);
+    group.bench_function("rebuild_from_scratch", |bencher| {
+        bencher.iter(|| GpuLsm::bulk_build(experiment_device(), BATCH, &pairs).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_queries_dirty_vs_clean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_dirty_vs_clean");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let queries: Vec<u32> = (0..1u32 << 14).map(|i| i * 31).collect();
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    let dirty = dirty_lsm(0.4);
+    let mut clean = dirty.clone();
+    clean.cleanup();
+    group.bench_function("dirty", |b| b.iter(|| dirty.lookup(&queries)));
+    group.bench_function("clean", |b| b.iter(|| clean.lookup(&queries)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_cleanup, bench_queries_dirty_vs_clean);
+criterion_main!(benches);

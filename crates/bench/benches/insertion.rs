@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks for the update path (Table II / Fig. 4
+//! building blocks): batch insertion into the GPU LSM at several resident
+//! sizes, the sorted-array merge insert, mixed insert/delete batches, and
+//! bulk builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_baselines::SortedArray;
+use gpu_lsm::GpuLsm;
+use lsm_bench::experiments::experiment_device;
+use lsm_workloads::{mixed_batches, unique_random_pairs};
+
+const BATCH: usize = 1 << 13;
+
+fn bench_lsm_batch_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_batch_insert");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for resident_batches in [1usize, 7, 31] {
+        let pairs = unique_random_pairs(BATCH * (resident_batches + 1), 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(resident_batches),
+            &resident_batches,
+            |bencher, &r| {
+                bencher.iter_batched(
+                    || {
+                        let device = experiment_device();
+                        let lsm = GpuLsm::bulk_build(device, BATCH, &pairs[..r * BATCH]).unwrap();
+                        (lsm, pairs[r * BATCH..(r + 1) * BATCH].to_vec())
+                    },
+                    |(mut lsm, batch)| lsm.insert(&batch).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sa_batch_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sa_batch_insert");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for resident_batches in [1usize, 7, 31] {
+        let pairs = unique_random_pairs(BATCH * (resident_batches + 1), 8);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(resident_batches),
+            &resident_batches,
+            |bencher, &r| {
+                bencher.iter_batched(
+                    || {
+                        let device = experiment_device();
+                        let sa = SortedArray::bulk_build(device, &pairs[..r * BATCH]);
+                        (sa, pairs[r * BATCH..(r + 1) * BATCH].to_vec())
+                    },
+                    |(mut sa, batch)| sa.insert_batch(&batch),
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mixed_update_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_mixed_update");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    let seq = mixed_batches(BATCH, 8, 0.3, 9);
+    group.bench_function("30pct_deletes", |bencher| {
+        bencher.iter_batched(
+            || {
+                let device = experiment_device();
+                let mut lsm = GpuLsm::new(device, BATCH).unwrap();
+                for b in &seq.batches[..7] {
+                    lsm.update(b).unwrap();
+                }
+                lsm
+            },
+            |mut lsm| lsm.update(&seq.batches[7]).unwrap(),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_bulk_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bulk_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 1 << 17;
+    group.throughput(Throughput::Elements(n as u64));
+    let pairs = unique_random_pairs(n, 10);
+    group.bench_function("gpu_lsm", |bencher| {
+        bencher.iter(|| GpuLsm::bulk_build(experiment_device(), BATCH, &pairs).unwrap());
+    });
+    group.bench_function("sorted_array", |bencher| {
+        bencher.iter(|| SortedArray::bulk_build(experiment_device(), &pairs));
+    });
+    group.bench_function("cuckoo_hash", |bencher| {
+        bencher.iter(|| gpu_baselines::CuckooHashTable::bulk_build(experiment_device(), &pairs));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lsm_batch_insert,
+    bench_sa_batch_insert,
+    bench_mixed_update_batch,
+    bench_bulk_build
+);
+criterion_main!(benches);

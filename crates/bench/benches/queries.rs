@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the retrieval operations (Tables III and
+//! IV building blocks): lookups, counts and range queries on the GPU LSM,
+//! the sorted array and the cuckoo hash table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_baselines::{CuckooHashTable, SortedArray};
+use gpu_lsm::GpuLsm;
+use lsm_bench::experiments::experiment_device;
+use lsm_workloads::{
+    existing_lookups, missing_lookups, range_queries_with_expected_width, unique_random_pairs,
+};
+
+const N: usize = 1 << 17;
+const BATCH: usize = 1 << 13;
+const QUERIES: usize = 1 << 14;
+
+struct Fixtures {
+    lsm: GpuLsm,
+    sa: SortedArray,
+    cuckoo: CuckooHashTable,
+    existing: Vec<u32>,
+    missing: Vec<u32>,
+}
+
+fn fixtures() -> Fixtures {
+    let pairs = unique_random_pairs(N, 42);
+    let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    let device = experiment_device();
+    Fixtures {
+        lsm: GpuLsm::bulk_build(device.clone(), BATCH, &pairs[..N - BATCH / 2]).unwrap(),
+        sa: SortedArray::bulk_build(device.clone(), &pairs[..N - BATCH / 2]),
+        cuckoo: CuckooHashTable::bulk_build(device, &pairs[..N - BATCH / 2]),
+        existing: existing_lookups(&keys[..N - BATCH / 2], QUERIES, 1),
+        missing: missing_lookups(&keys, QUERIES, 2),
+    }
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let f = fixtures();
+    let mut group = c.benchmark_group("lookup");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    group.bench_function("lsm_all_exist", |b| b.iter(|| f.lsm.lookup(&f.existing)));
+    group.bench_function("lsm_none_exist", |b| b.iter(|| f.lsm.lookup(&f.missing)));
+    group.bench_function("sa_all_exist", |b| b.iter(|| f.sa.lookup(&f.existing)));
+    group.bench_function("sa_none_exist", |b| b.iter(|| f.sa.lookup(&f.missing)));
+    group.bench_function("cuckoo_all_exist", |b| b.iter(|| f.cuckoo.lookup(&f.existing)));
+    group.bench_function("cuckoo_none_exist", |b| b.iter(|| f.cuckoo.lookup(&f.missing)));
+    group.finish();
+}
+
+fn bench_count_and_range(c: &mut Criterion) {
+    let f = fixtures();
+    let num_queries = 1 << 11;
+    let mut group = c.benchmark_group("count_range");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(num_queries as u64));
+    for l in [8usize, 1024] {
+        let queries =
+            range_queries_with_expected_width(N - BATCH / 2, l, num_queries, l as u64);
+        group.bench_with_input(BenchmarkId::new("lsm_count", l), &queries, |b, q| {
+            b.iter(|| f.lsm.count(q))
+        });
+        group.bench_with_input(BenchmarkId::new("lsm_range", l), &queries, |b, q| {
+            b.iter(|| f.lsm.range(q))
+        });
+        group.bench_with_input(BenchmarkId::new("sa_count", l), &queries, |b, q| {
+            b.iter(|| f.sa.count(q))
+        });
+        group.bench_with_input(BenchmarkId::new("sa_range", l), &queries, |b, q| {
+            b.iter(|| f.sa.range(q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_count_and_range);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerate the §V-B bulk-build comparison: GPU LSM vs. sorted array vs.
+//! cuckoo hash table build rates.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin bulk_build -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::bulk_build;
+use lsm_bench::{report, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let n_exp = 24u32.saturating_sub(opts.scale).max(12);
+    let sizes: Vec<usize> = [n_exp.saturating_sub(2), n_exp.saturating_sub(1), n_exp]
+        .iter()
+        .map(|&p| 1usize << p)
+        .collect();
+    let batch_size = 1usize << 16u32.saturating_sub(opts.scale).max(8);
+
+    let results: Vec<_> = sizes
+        .iter()
+        .map(|&n| {
+            eprintln!("bulk build: n = {n}");
+            bulk_build::run(n, batch_size, opts.seed)
+        })
+        .collect();
+    let table = bulk_build::render(&results);
+    println!("{}", table.render());
+    for r in &results {
+        println!(
+            "n = {:>10}: LSM/cuckoo build ratio = {:.2}x (paper reports ~2x)",
+            r.num_elements,
+            r.lsm_rate / r.cuckoo_rate
+        );
+    }
+    if let Some(path) = &opts.csv {
+        report::write_csv(&table, path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerate the §V-D cleanup experiments: cleanup rate versus the stale
+//! fraction (10 % and 50 % removals), cleanup versus rebuild, and the query
+//! speed-up obtained by cleaning before a large query workload.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin cleanup_experiment -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::cleanup;
+use lsm_bench::{report, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    // Paper: n = (2^6 - 1)·b with b = 2^20, and (2^7 - 1)·b with b = 2^19.
+    let b_exp_large = 20u32.saturating_sub(opts.scale).max(8);
+    let b_exp_small = 19u32.saturating_sub(opts.scale).max(7);
+
+    let mut rate_results = Vec::new();
+    for (b_exp, num_batches) in [(b_exp_large, 63usize), (b_exp_small, 127usize)] {
+        for delete_fraction in [0.1, 0.5] {
+            let b = 1usize << b_exp;
+            eprintln!(
+                "cleanup rate: b = {b}, {num_batches} batches, {:.0}% deletions",
+                delete_fraction * 100.0
+            );
+            rate_results.push(cleanup::run_cleanup_rate(
+                b,
+                num_batches,
+                delete_fraction,
+                opts.seed,
+            ));
+        }
+    }
+    let rates_table = cleanup::render_rates(&rate_results);
+    println!("{}", rates_table.render());
+
+    // Query speed-up experiment (paper: b = 2^18, n = (2^7 - 1)·b, 10 %
+    // removals, 32 M lookups).
+    let b = 1usize << 18u32.saturating_sub(opts.scale).max(7);
+    let num_queries = (32usize << 20) >> opts.scale.min(20);
+    eprintln!("cleanup query speed-up: b = {b}, 127 batches, {num_queries} lookups");
+    let q = cleanup::run_cleanup_query_speedup(b, 127, 0.1, num_queries.max(1024), opts.seed);
+    let q_table = cleanup::render_query_speedup(&q);
+    println!("{}", q_table.render());
+
+    if let Some(path) = &opts.csv {
+        report::write_csv(&rates_table, path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

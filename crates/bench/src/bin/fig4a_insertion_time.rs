@@ -1,0 +1,21 @@
+//! Regenerate Fig. 4a: batch insertion time versus the number of resident
+//! batches (the binary-counter sawtooth), b = 2^19 in the paper.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin fig4a_insertion_time -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::fig4;
+use lsm_bench::{report, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let batch_size = 1usize << 19u32.saturating_sub(opts.scale).max(7);
+    let num_batches = 64;
+    eprintln!("Fig. 4a: b = {batch_size}, {num_batches} batch insertions");
+    let points = fig4::run_fig4a(batch_size, num_batches, opts.seed);
+    let table = fig4::render_fig4a(batch_size, &points);
+    println!("{}", table.render());
+    if let Some(path) = &opts.csv {
+        report::write_csv(&table, path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerate Fig. 4b: effective insertion rate versus the total number of
+//! inserted elements, for batch sizes 128K, 256K, 512K and 1M (scaled), GPU
+//! LSM and sorted array.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin fig4b_effective_rate -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::fig4;
+use lsm_bench::{report, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    // Paper: b in {2^17, 2^18, 2^19, 2^20}, inserting up to 2^27 elements.
+    let total_exp = 27u32.saturating_sub(opts.scale).max(12);
+    let total = 1usize << total_exp;
+    let batch_exps: Vec<u32> = (17..=20)
+        .map(|p: u32| p.saturating_sub(opts.scale).max(7))
+        .collect();
+
+    let mut series = Vec::new();
+    for &be in &batch_exps {
+        let b = 1usize << be;
+        let num_batches = (total / b).max(1);
+        eprintln!("Fig. 4b: GPU LSM b = {b}, {num_batches} batches");
+        series.push(fig4::run_fig4b_lsm(b, num_batches, opts.seed));
+    }
+    for &be in &batch_exps {
+        let b = 1usize << be;
+        let num_batches = (total / b).max(1);
+        eprintln!("Fig. 4b: Sorted Array b = {b}, {num_batches} batches");
+        series.push(fig4::run_fig4b_sa(b, num_batches, opts.seed));
+    }
+
+    let table = fig4::render_fig4b(&series);
+    println!("{}", table.render());
+    if let Some(path) = &opts.csv {
+        report::write_csv(&table, path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

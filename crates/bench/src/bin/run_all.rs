@@ -1,0 +1,87 @@
+//! Run every experiment at a reduced scale and print all tables — a single
+//! command that regenerates the whole evaluation section.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin run_all -- [--scale N]`
+
+use lsm_bench::experiments::{bulk_build, cleanup, fig4, table1, table2, table3, table4};
+use lsm_bench::HarnessOptions;
+use lsm_workloads::{scaled_batch_sizes, SweepConfig};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let scale = opts.scale.max(8); // run_all always uses a reduced scale
+
+    println!("# GPU LSM reproduction — full experiment sweep (scale 2^-{scale})\n");
+
+    // Table I.
+    let sizes: Vec<usize> = (14..=18).map(|p| 1usize << p).collect();
+    let t1 = table1::run(&sizes, 1 << 9, 1 << 14, opts.seed);
+    println!("{}", table1::render(&t1).render());
+
+    // Table II.
+    let mut cfg = scaled_batch_sizes(scale);
+    cfg.seed = opts.seed;
+    let t2 = table2::run(&cfg, 16);
+    println!("{}", table2::render(&t2).render());
+    println!(
+        "Cuckoo bulk build: {:.1} M elements/s; LSM vs SA overall mean: {:.1}x\n",
+        t2.cuckoo_build_rate,
+        t2.lsm_overall_mean / t2.sa_overall_mean
+    );
+
+    // Fig. 4a and 4b.
+    let b_fig4a = 1usize << 19u32.saturating_sub(scale).max(7);
+    let fig4a = fig4::run_fig4a(b_fig4a, 64, opts.seed);
+    println!("{}", fig4::render_fig4a(b_fig4a, &fig4a).render());
+    let total = 1usize << 27u32.saturating_sub(scale).max(12);
+    let mut series = Vec::new();
+    for p in [17u32, 18, 19, 20] {
+        let b = 1usize << p.saturating_sub(scale).max(7);
+        series.push(fig4::run_fig4b_lsm(b, (total / b).max(1), opts.seed));
+        series.push(fig4::run_fig4b_sa(b, (total / b).max(1), opts.seed));
+    }
+    println!("{}", fig4::render_fig4b(&series).render());
+
+    // Table III.
+    let n3 = 1usize << 24u32.saturating_sub(scale).max(10);
+    let cfg3 = SweepConfig {
+        total_elements: n3,
+        batch_sizes: (16u32.saturating_sub(scale).max(7)..=24u32.saturating_sub(scale).max(10))
+            .map(|p| 1usize << p)
+            .collect(),
+        seed: opts.seed,
+    };
+    let t3 = table3::run(&cfg3, 6, n3.min(1 << 18));
+    println!("{}", table3::render(&t3).render());
+
+    // Table IV.
+    let cfg4 = SweepConfig {
+        total_elements: n3,
+        batch_sizes: (16u32.saturating_sub(scale).max(7)..=20u32.saturating_sub(scale).max(8))
+            .map(|p| 1usize << p)
+            .collect(),
+        seed: opts.seed,
+    };
+    let t4 = table4::run(&cfg4, &[8, 1024], 3, 1 << 12);
+    println!("{}", table4::render(&t4).render());
+
+    // Bulk build.
+    let bb = bulk_build::run(1usize << 24u32.saturating_sub(scale).max(12), 1 << 10, opts.seed);
+    println!("{}", bulk_build::render(&[bb]).render());
+
+    // Cleanup.
+    let b_cl = 1usize << 20u32.saturating_sub(scale).max(8);
+    let rates = vec![
+        cleanup::run_cleanup_rate(b_cl, 63, 0.1, opts.seed),
+        cleanup::run_cleanup_rate(b_cl, 63, 0.5, opts.seed),
+    ];
+    println!("{}", cleanup::render_rates(&rates).render());
+    let q = cleanup::run_cleanup_query_speedup(
+        1usize << 18u32.saturating_sub(scale).max(7),
+        127,
+        0.1,
+        1 << 15,
+        opts.seed,
+    );
+    println!("{}", cleanup::render_query_speedup(&q).render());
+}

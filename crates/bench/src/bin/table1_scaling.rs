@@ -1,0 +1,28 @@
+//! Regenerate Table I empirically: per-item update and per-query lookup
+//! costs as the structure size doubles, with fitted growth exponents
+//! (≈ 0 for polylogarithmic costs, ≈ 1 for linear costs).
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin table1_scaling -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::table1;
+use lsm_bench::{report, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let max_exp = 22u32.saturating_sub(opts.scale).max(14);
+    let sizes: Vec<usize> = (max_exp - 4..=max_exp).map(|p| 1usize << p).collect();
+    let batch_size = 1usize << 12u32.saturating_sub(opts.scale / 2).max(8);
+    let num_queries = 1usize << 15;
+    eprintln!(
+        "Table I scaling study: n in {:?}, b = {batch_size}, {num_queries} queries per point",
+        sizes
+    );
+    let result = table1::run(&sizes, batch_size, num_queries, opts.seed);
+    let table = table1::render(&result);
+    println!("{}", table.render());
+    println!("Expected shapes: SA insert exponent ~1 (linear), LSM insert/lookup exponents near 0 (polylog), cuckoo lookup ~0 (constant).");
+    if let Some(path) = &opts.csv {
+        report::write_csv(&table, path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerate Table II: insertion rates vs. batch size for the GPU LSM and
+//! the sorted array, plus the cuckoo bulk-build rate.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin table2_insertion -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::table2;
+use lsm_bench::{report, HarnessOptions};
+use lsm_workloads::scaled_batch_sizes;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    let mut config = scaled_batch_sizes(opts.scale);
+    config.seed = opts.seed;
+    eprintln!(
+        "Table II sweep: n = {} elements, {} batch sizes, scale 2^-{}",
+        config.total_elements,
+        config.batch_sizes.len(),
+        opts.scale
+    );
+    let result = table2::run(&config, 24);
+    let table = table2::render(&result);
+    println!("{}", table.render());
+    println!(
+        "Cuckoo hash bulk build (80% load factor): {:.1} M elements/s",
+        result.cuckoo_build_rate
+    );
+    println!(
+        "Overall harmonic means - GPU LSM: {:.1} M elements/s, GPU SA: {:.1} M elements/s ({:.1}x)",
+        result.lsm_overall_mean,
+        result.sa_overall_mean,
+        result.lsm_overall_mean / result.sa_overall_mean
+    );
+    println!(
+        "(Sorted-array rates sampled at {} resident sizes per batch size.)",
+        result.sa_samples
+    );
+    if let Some(path) = &opts.csv {
+        report::write_csv(&table, path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerate Table III: lookup rates for the "none exist" and "all exist"
+//! scenarios, GPU LSM vs. sorted array vs. cuckoo hash.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin table3_lookup -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::table3;
+use lsm_bench::{report, HarnessOptions};
+use lsm_workloads::SweepConfig;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    // Paper: n = 2^24, b = 2^16 .. 2^24.
+    let hi = 24u32.saturating_sub(opts.scale).max(10);
+    let lo = 16u32.saturating_sub(opts.scale).max(7);
+    let config = SweepConfig {
+        total_elements: 1 << hi,
+        batch_sizes: (lo..=hi).map(|p| 1usize << p).collect(),
+        seed: opts.seed,
+    };
+    let max_queries = (config.total_elements).min(1 << 20);
+    eprintln!(
+        "Table III sweep: n = {} elements, {} batch sizes, up to {} queries per state",
+        config.total_elements,
+        config.batch_sizes.len(),
+        max_queries
+    );
+    let result = table3::run(&config, 8, max_queries);
+    let table = table3::render(&result);
+    println!("{}", table.render());
+    println!(
+        "(LSM/SA states sampled at {} resident-batch counts per batch size.)",
+        result.r_samples
+    );
+    if let Some(path) = &opts.csv {
+        report::write_csv(&table, path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerate Table IV: count and range query rates for expected result
+//! widths L = 8 and L = 1024, GPU LSM vs. sorted array.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin table4_count_range -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::table4;
+use lsm_bench::{report, HarnessOptions};
+use lsm_workloads::SweepConfig;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    // Paper: n = 2^24, b = 2^16 .. 2^20, L in {8, 1024}.
+    let n_exp = 24u32.saturating_sub(opts.scale).max(10);
+    let lo = 16u32.saturating_sub(opts.scale).max(7);
+    let hi = 20u32.saturating_sub(opts.scale).max(lo);
+    let config = SweepConfig {
+        total_elements: 1 << n_exp,
+        batch_sizes: (lo..=hi).map(|p| 1usize << p).collect(),
+        seed: opts.seed,
+    };
+    let max_queries = 1 << 13;
+    eprintln!(
+        "Table IV sweep: n = {} elements, b in 2^{lo}..2^{hi}, L in {{8, 1024}}, {} queries per state",
+        config.total_elements, max_queries
+    );
+    let result = table4::run(&config, &[8, 1024], 4, max_queries);
+    let table = table4::render(&result);
+    println!("{}", table.render());
+    if let Some(path) = &opts.csv {
+        report::write_csv(&table, path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+//!
+//! Every binary accepts the same options:
+//!
+//! * `--scale <shift>` — shift the paper's problem sizes down by `shift`
+//!   powers of two (default 8, i.e. n = 2^19 instead of 2^27 for Table II);
+//!   `--scale 0` runs paper-sized inputs.
+//! * `--seed <u64>` — workload seed (default 0xC0FFEE).
+//! * `--csv <path>` — also write the result table as CSV.
+//! * `--quick` — an aggressive scale for smoke tests (scale 12).
+
+use std::path::PathBuf;
+
+/// Parsed harness options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessOptions {
+    /// Power-of-two scale shift applied to the paper's problem sizes.
+    pub scale: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Optional CSV output path.
+    pub csv: Option<PathBuf>,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions {
+            scale: 8,
+            seed: 0xC0FFEE,
+            csv: None,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parse options from an iterator of argument strings (excluding the
+    /// program name).  Unknown options cause an error string suitable for
+    /// printing.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut opts = HarnessOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = iter.next().ok_or("--scale needs a value")?;
+                    opts.scale = v.parse().map_err(|_| format!("bad --scale value: {v}"))?;
+                }
+                "--seed" => {
+                    let v = iter.next().ok_or("--seed needs a value")?;
+                    opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+                }
+                "--csv" => {
+                    let v = iter.next().ok_or("--csv needs a path")?;
+                    opts.csv = Some(PathBuf::from(v));
+                }
+                "--quick" => opts.scale = 12,
+                "--help" | "-h" => {
+                    return Err(concat!(
+                        "usage: <bin> [--scale N] [--seed S] [--csv PATH] [--quick]\n",
+                        "  --scale N   shift paper problem sizes down by N powers of two (default 8)\n",
+                        "  --seed S    workload seed\n",
+                        "  --csv PATH  also write results as CSV\n",
+                        "  --quick     smoke-test scale (equivalent to --scale 12)",
+                    )
+                    .to_string())
+                }
+                other => return Err(format!("unknown option: {other}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parse from the process arguments, printing usage and exiting on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessOptions, String> {
+        HarnessOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts, HarnessOptions::default());
+        assert_eq!(opts.scale, 8);
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let opts = parse(&["--scale", "4", "--seed", "99", "--csv", "/tmp/x.csv"]).unwrap();
+        assert_eq!(opts.scale, 4);
+        assert_eq!(opts.seed, 99);
+        assert_eq!(opts.csv, Some(PathBuf::from("/tmp/x.csv")));
+    }
+
+    #[test]
+    fn quick_sets_scale_12() {
+        assert_eq!(parse(&["--quick"]).unwrap().scale, 12);
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! §V-D — the cleanup experiments: cleanup throughput as a function of the
+//! stale fraction, cleanup versus rebuilding from scratch, and the effect of
+//! cleanup on subsequent query performance.
+//!
+//! The paper's headline observations:
+//! * cleanup runs at ~1.8–1.9 G elements/s, largely independent of how much
+//!   is removed, and is up to ~2.5× faster than rebuilding from scratch;
+//! * after many deletions, *cleanup + queries* can be several times faster
+//!   than querying the dirty structure (≈4.8× in their example), because the
+//!   number of occupied levels drops.
+
+use gpu_lsm::GpuLsm;
+use lsm_workloads::{existing_lookups, mixed_batches, unique_random_pairs};
+
+use super::experiment_device;
+use crate::measure::{elements_per_sec_m, time_once};
+use crate::report::{fmt_rate, Table};
+
+/// Result of one cleanup-rate measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct CleanupRateResult {
+    /// Resident elements before cleanup.
+    pub elements_before: usize,
+    /// Fraction of resident elements that were stale.
+    pub stale_fraction: f64,
+    /// Cleanup throughput in M elements/s (resident elements / cleanup time).
+    pub cleanup_rate: f64,
+    /// Bulk-rebuild throughput on the surviving valid data, normalised by
+    /// the rebuild's own input size, for comparison.
+    pub rebuild_rate: f64,
+    /// Occupied levels before and after.
+    pub levels_before: usize,
+    /// Occupied levels after cleanup.
+    pub levels_after: usize,
+}
+
+/// Build an LSM with roughly the requested stale fraction and measure the
+/// cleanup rate against rebuilding from scratch.
+pub fn run_cleanup_rate(
+    batch_size: usize,
+    num_batches: usize,
+    delete_fraction: f64,
+    seed: u64,
+) -> CleanupRateResult {
+    let device = experiment_device();
+    let seq = mixed_batches(batch_size, num_batches, delete_fraction, seed);
+    let mut lsm = GpuLsm::new(device.clone(), batch_size).expect("valid batch size");
+    for batch in &seq.batches {
+        lsm.update(batch).expect("update");
+    }
+    let stats = lsm.stats();
+    let elements_before = stats.total_elements;
+    let stale_fraction = stats.stale_fraction();
+    let levels_before = stats.occupied_levels;
+
+    let (report, t_cleanup) = time_once(|| lsm.cleanup());
+
+    // Rebuild comparison: bulk-build a fresh LSM from the surviving pairs.
+    let valid_pairs: Vec<(u32, u32)> = seq
+        .live_keys
+        .iter()
+        .map(|&k| (k, 0u32))
+        .collect();
+    let (_, t_rebuild) = time_once(|| {
+        GpuLsm::bulk_build(device, batch_size, &valid_pairs).expect("bulk build")
+    });
+
+    CleanupRateResult {
+        elements_before,
+        stale_fraction,
+        cleanup_rate: elements_per_sec_m(elements_before, t_cleanup),
+        rebuild_rate: elements_per_sec_m(valid_pairs.len().max(1), t_rebuild),
+        levels_before,
+        levels_after: report.levels_after,
+    }
+}
+
+/// Result of the "queries before vs. after cleanup" experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct CleanupQueryResult {
+    /// Time for the query workload on the dirty structure (ms).
+    pub dirty_query_ms: f64,
+    /// Cleanup time (ms).
+    pub cleanup_ms: f64,
+    /// Time for the same workload after cleanup (ms).
+    pub clean_query_ms: f64,
+    /// Speed-up of (cleanup + clean queries) over dirty queries.
+    pub speedup_including_cleanup: f64,
+    /// Occupied levels before and after cleanup.
+    pub levels_before: usize,
+    /// Occupied levels after cleanup.
+    pub levels_after: usize,
+}
+
+/// Measure lookup throughput before and after a cleanup on a structure with
+/// many deletions (the paper's 32 M-lookup example, scaled).
+pub fn run_cleanup_query_speedup(
+    batch_size: usize,
+    num_batches: usize,
+    delete_fraction: f64,
+    num_queries: usize,
+    seed: u64,
+) -> CleanupQueryResult {
+    let device = experiment_device();
+    let seq = mixed_batches(batch_size, num_batches, delete_fraction, seed);
+    let mut lsm = GpuLsm::new(device, batch_size).expect("valid batch size");
+    for batch in &seq.batches {
+        lsm.update(batch).expect("update");
+    }
+    let query_keys = if seq.live_keys.is_empty() {
+        unique_random_pairs(num_queries, seed).iter().map(|&(k, _)| k).collect()
+    } else {
+        existing_lookups(&seq.live_keys, num_queries, seed ^ 0x51)
+    };
+
+    let levels_before = lsm.num_occupied_levels();
+    let (dirty_results, t_dirty) = time_once(|| lsm.lookup(&query_keys));
+    let (_, t_cleanup) = time_once(|| lsm.cleanup());
+    let (clean_results, t_clean) = time_once(|| lsm.lookup(&query_keys));
+    assert_eq!(dirty_results, clean_results, "cleanup changed query answers");
+
+    let dirty_query_ms = t_dirty.as_secs_f64() * 1e3;
+    let cleanup_ms = t_cleanup.as_secs_f64() * 1e3;
+    let clean_query_ms = t_clean.as_secs_f64() * 1e3;
+    CleanupQueryResult {
+        dirty_query_ms,
+        cleanup_ms,
+        clean_query_ms,
+        speedup_including_cleanup: dirty_query_ms / (cleanup_ms + clean_query_ms),
+        levels_before,
+        levels_after: lsm.num_occupied_levels(),
+    }
+}
+
+/// Render cleanup-rate measurements.
+pub fn render_rates(results: &[CleanupRateResult]) -> Table {
+    let mut table = Table::new(
+        "Cleanup rate vs. stale fraction",
+        &[
+            "elements",
+            "stale %",
+            "cleanup (M el/s)",
+            "rebuild (M el/s)",
+            "levels before",
+            "levels after",
+        ],
+    );
+    for r in results {
+        table.add_row(vec![
+            r.elements_before.to_string(),
+            format!("{:.1}", r.stale_fraction * 100.0),
+            fmt_rate(r.cleanup_rate),
+            fmt_rate(r.rebuild_rate),
+            r.levels_before.to_string(),
+            r.levels_after.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Render the query-speed-up measurement.
+pub fn render_query_speedup(r: &CleanupQueryResult) -> Table {
+    let mut table = Table::new(
+        "Queries before vs. after cleanup",
+        &["phase", "time (ms)"],
+    );
+    table.add_row(vec!["queries on dirty LSM".into(), format!("{:.3}", r.dirty_query_ms)]);
+    table.add_row(vec!["cleanup".into(), format!("{:.3}", r.cleanup_ms)]);
+    table.add_row(vec!["queries after cleanup".into(), format!("{:.3}", r.clean_query_ms)]);
+    table.add_row(vec![
+        "speedup incl. cleanup".into(),
+        format!("{:.2}x", r.speedup_including_cleanup),
+    ]);
+    table.add_row(vec![
+        "occupied levels".into(),
+        format!("{} -> {}", r.levels_before, r.levels_after),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleanup_rate_measurement_is_positive_and_reduces_levels() {
+        let r = run_cleanup_rate(256, 15, 0.3, 21);
+        assert!(r.cleanup_rate > 0.0);
+        assert!(r.rebuild_rate > 0.0);
+        assert!(r.stale_fraction > 0.0);
+        assert!(r.levels_after <= r.levels_before);
+    }
+
+    #[test]
+    fn query_speedup_preserves_answers_and_reduces_levels() {
+        let r = run_cleanup_query_speedup(256, 15, 0.4, 2048, 22);
+        assert!(r.dirty_query_ms > 0.0);
+        assert!(r.clean_query_ms > 0.0);
+        assert!(r.levels_after <= r.levels_before);
+        assert!(r.speedup_including_cleanup > 0.0);
+    }
+
+    #[test]
+    fn renderers_cover_all_rows() {
+        let rates = vec![run_cleanup_rate(128, 7, 0.1, 1)];
+        assert_eq!(render_rates(&rates).num_rows(), 1);
+        let q = run_cleanup_query_speedup(128, 7, 0.1, 512, 2);
+        assert_eq!(render_query_speedup(&q).num_rows(), 5);
+    }
+}

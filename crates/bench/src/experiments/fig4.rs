@@ -1,0 +1,201 @@
+//! Figure 4 — (a) per-batch insertion time as a function of the number of
+//! resident batches (the binary-counter sawtooth), and (b) the effective
+//! insertion rate (resident elements divided by cumulative insertion time)
+//! as batches accumulate, for the GPU LSM and the sorted array.
+
+use gpu_baselines::SortedArray;
+use gpu_lsm::GpuLsm;
+use lsm_workloads::unique_random_pairs;
+
+use super::experiment_device;
+use crate::measure::{elements_per_sec_m, time_once};
+use crate::report::{fmt_rate, Table};
+
+/// One point of Fig. 4a: the time to insert the `r`-th batch.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4aPoint {
+    /// Number of resident batches *after* this insertion.
+    pub resident_batches: usize,
+    /// Time to insert this batch, in milliseconds.
+    pub insertion_ms: f64,
+}
+
+/// Run Fig. 4a: insert `num_batches` batches of `batch_size` and record each
+/// insertion time.
+pub fn run_fig4a(batch_size: usize, num_batches: usize, seed: u64) -> Vec<Fig4aPoint> {
+    let device = experiment_device();
+    let pairs = unique_random_pairs(batch_size * num_batches, seed);
+    let mut lsm = GpuLsm::new(device, batch_size).expect("valid batch size");
+    pairs
+        .chunks(batch_size)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
+            Fig4aPoint {
+                resident_batches: i + 1,
+                insertion_ms: elapsed.as_secs_f64() * 1e3,
+            }
+        })
+        .collect()
+}
+
+/// One series point of Fig. 4b.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4bPoint {
+    /// Total elements inserted so far.
+    pub total_elements: usize,
+    /// Effective insertion rate so far (M elements/s).
+    pub effective_rate: f64,
+}
+
+/// One Fig. 4b series (a data structure at one batch size).
+#[derive(Debug, Clone)]
+pub struct Fig4bSeries {
+    /// Label, e.g. "GPU LSM b=128K".
+    pub label: String,
+    /// The measured points, in insertion order.
+    pub points: Vec<Fig4bPoint>,
+}
+
+/// Run one Fig. 4b series for the GPU LSM.
+pub fn run_fig4b_lsm(batch_size: usize, num_batches: usize, seed: u64) -> Fig4bSeries {
+    let device = experiment_device();
+    let pairs = unique_random_pairs(batch_size * num_batches, seed);
+    let mut lsm = GpuLsm::new(device, batch_size).expect("valid batch size");
+    let mut cumulative = std::time::Duration::ZERO;
+    let points = pairs
+        .chunks(batch_size)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
+            cumulative += elapsed;
+            Fig4bPoint {
+                total_elements: (i + 1) * batch_size,
+                effective_rate: elements_per_sec_m((i + 1) * batch_size, cumulative),
+            }
+        })
+        .collect();
+    Fig4bSeries {
+        label: format!("GPU LSM b={batch_size}"),
+        points,
+    }
+}
+
+/// Run one Fig. 4b series for the sorted array.
+pub fn run_fig4b_sa(batch_size: usize, num_batches: usize, seed: u64) -> Fig4bSeries {
+    let device = experiment_device();
+    let pairs = unique_random_pairs(batch_size * num_batches, seed);
+    let mut sa = SortedArray::new(device);
+    let mut cumulative = std::time::Duration::ZERO;
+    let points = pairs
+        .chunks(batch_size)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let (_, elapsed) = time_once(|| sa.insert_batch(chunk));
+            cumulative += elapsed;
+            Fig4bPoint {
+                total_elements: (i + 1) * batch_size,
+                effective_rate: elements_per_sec_m((i + 1) * batch_size, cumulative),
+            }
+        })
+        .collect();
+    Fig4bSeries {
+        label: format!("Sorted Array b={batch_size}"),
+        points,
+    }
+}
+
+/// Render Fig. 4a as a table of (r, ms) pairs.
+pub fn render_fig4a(batch_size: usize, points: &[Fig4aPoint]) -> Table {
+    let mut table = Table::new(
+        &format!("Fig. 4a: batch insertion time, b = {batch_size}"),
+        &["resident batches", "insertion time (ms)"],
+    );
+    for p in points {
+        table.add_row(vec![
+            p.resident_batches.to_string(),
+            format!("{:.3}", p.insertion_ms),
+        ]);
+    }
+    table
+}
+
+/// Render a set of Fig. 4b series as one table (series are columns).
+pub fn render_fig4b(series: &[Fig4bSeries]) -> Table {
+    let mut header: Vec<String> = vec!["total elements".to_string()];
+    header.extend(series.iter().map(|s| s.label.clone()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new("Fig. 4b: effective insertion rate (M elements/s)", &header_refs);
+
+    // Use the union of x positions of the longest series; shorter series
+    // leave blanks past their end.
+    let longest = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    let reference = series
+        .iter()
+        .max_by_key(|s| s.points.len())
+        .map(|s| s.points.as_slice())
+        .unwrap_or(&[]);
+    for i in 0..longest {
+        let mut row = vec![reference[i].total_elements.to_string()];
+        for s in series {
+            row.push(
+                s.points
+                    .iter()
+                    .find(|p| p.total_elements == reference[i].total_elements)
+                    .map(|p| fmt_rate(p.effective_rate))
+                    .unwrap_or_default(),
+            );
+        }
+        table.add_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_shows_the_carry_chain_sawtooth() {
+        let points = run_fig4a(256, 16, 1);
+        assert_eq!(points.len(), 16);
+        // Batch 16 (r: 15 -> 16) merges every level; batch 2 merges one.
+        // The worst case should be clearly slower than the best case.
+        let max = points.iter().map(|p| p.insertion_ms).fold(0.0, f64::max);
+        let min = points.iter().map(|p| p.insertion_ms).fold(f64::MAX, f64::min);
+        assert!(max > min);
+        // The most expensive insertions are those with the longest carry
+        // chains: r = 8 and r = 16 (all lower levels full before them).
+        let worst = points
+            .iter()
+            .max_by(|a, b| a.insertion_ms.total_cmp(&b.insertion_ms))
+            .unwrap();
+        assert_eq!(
+            worst.resident_batches % 4,
+            0,
+            "worst insertion should have a carry chain of at least two merges, got r = {}",
+            worst.resident_batches
+        );
+    }
+
+    #[test]
+    fn fig4b_lsm_rate_degrades_slower_than_sa() {
+        let lsm = run_fig4b_lsm(256, 24, 2);
+        let sa = run_fig4b_sa(256, 24, 2);
+        // Compare the final effective rates: the LSM should be higher.
+        let lsm_final = lsm.points.last().unwrap().effective_rate;
+        let sa_final = sa.points.last().unwrap().effective_rate;
+        assert!(
+            lsm_final > sa_final,
+            "LSM effective rate {lsm_final} should exceed SA {sa_final}"
+        );
+    }
+
+    #[test]
+    fn renderers_produce_full_tables() {
+        let points = run_fig4a(128, 8, 3);
+        assert_eq!(render_fig4a(128, &points).num_rows(), 8);
+        let series = vec![run_fig4b_lsm(128, 8, 3), run_fig4b_sa(128, 8, 3)];
+        assert_eq!(render_fig4b(&series).num_rows(), 8);
+    }
+}

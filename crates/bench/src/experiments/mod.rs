@@ -1,0 +1,66 @@
+//! Experiment runners, one module per table or figure of the paper.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`table1`] | Table I — asymptotic work per item (measured scaling) |
+//! | [`table2`] | Table II — insertion rates vs. batch size |
+//! | [`table3`] | Table III — lookup rates (none exist / all exist) |
+//! | [`table4`] | Table IV — count and range query rates (L = 8, 1024) |
+//! | [`fig4`] | Fig. 4a — batch insertion time; Fig. 4b — effective rate |
+//! | [`bulk_build`] | §V-B — bulk build rates (LSM / SA / cuckoo) |
+//! | [`cleanup`] | §V-D — cleanup rate and post-cleanup query speed-up |
+
+pub mod bulk_build;
+pub mod cleanup;
+pub mod fig4;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use std::sync::Arc;
+
+use gpu_sim::Device;
+
+/// Create the device every experiment runs on (the modelled K40c).
+pub fn experiment_device() -> Arc<Device> {
+    Arc::new(Device::k40c())
+}
+
+/// Sample up to `max_samples` values of `r` uniformly from `1..=max_r`,
+/// always including 1 and `max_r`.  Used where the paper sweeps *every*
+/// possible number of resident batches, which is infeasible for the
+/// quadratic-cost sorted-array baseline on a CPU host.
+pub fn sample_resident_batches(max_r: usize, max_samples: usize) -> Vec<usize> {
+    if max_r == 0 {
+        return Vec::new();
+    }
+    if max_r <= max_samples {
+        return (1..=max_r).collect();
+    }
+    let mut samples: Vec<usize> = (0..max_samples)
+        .map(|i| 1 + i * (max_r - 1) / (max_samples - 1))
+        .collect();
+    samples.dedup();
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_includes_endpoints_and_is_sorted() {
+        let s = sample_resident_batches(1000, 16);
+        assert_eq!(*s.first().unwrap(), 1);
+        assert_eq!(*s.last().unwrap(), 1000);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.len() <= 16);
+    }
+
+    #[test]
+    fn sampling_small_ranges_returns_all() {
+        assert_eq!(sample_resident_batches(5, 16), vec![1, 2, 3, 4, 5]);
+        assert!(sample_resident_batches(0, 4).is_empty());
+    }
+}

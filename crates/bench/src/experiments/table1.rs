@@ -1,0 +1,182 @@
+//! Table I — the asymptotic comparison, checked empirically.
+//!
+//! Table I is analytical: per-item work of O(log n) for LSM updates versus
+//! O(n) for sorted-array updates, O(log² n) versus O(log n) lookups, and
+//! O(1) cuckoo lookups.  This experiment measures how per-item update cost
+//! and per-query lookup cost *grow* as `n` doubles, and reports the fitted
+//! growth exponent (slope of log(cost) against log(n)), which should be
+//! ≈ 0 for polylogarithmic costs and ≈ 1 for linear ones.
+
+use gpu_baselines::{CuckooHashTable, SortedArray};
+use gpu_lsm::GpuLsm;
+use lsm_workloads::{existing_lookups, unique_random_pairs};
+
+use super::experiment_device;
+use crate::measure::time_once;
+use crate::report::Table;
+
+/// Measured per-item costs at one structure size.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Resident elements when the measurement was taken.
+    pub n: usize,
+    /// Microseconds per inserted element (LSM batch insert at this size).
+    pub lsm_insert_us_per_item: f64,
+    /// Microseconds per inserted element (SA merge insert at this size).
+    pub sa_insert_us_per_item: f64,
+    /// Microseconds per lookup (LSM).
+    pub lsm_lookup_us_per_query: f64,
+    /// Microseconds per lookup (SA).
+    pub sa_lookup_us_per_query: f64,
+    /// Microseconds per lookup (cuckoo hash).
+    pub cuckoo_lookup_us_per_query: f64,
+}
+
+/// Full scaling study.
+#[derive(Debug, Clone)]
+pub struct Table1Result {
+    /// One point per structure size.
+    pub points: Vec<ScalingPoint>,
+    /// Fitted growth exponents (slope of log cost vs. log n).
+    pub lsm_insert_exponent: f64,
+    /// Growth exponent of SA insertion cost.
+    pub sa_insert_exponent: f64,
+    /// Growth exponent of LSM lookup cost.
+    pub lsm_lookup_exponent: f64,
+    /// Growth exponent of SA lookup cost.
+    pub sa_lookup_exponent: f64,
+    /// Growth exponent of cuckoo lookup cost.
+    pub cuckoo_lookup_exponent: f64,
+}
+
+/// Least-squares slope of `log2(y)` against `log2(x)`.
+pub fn growth_exponent(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| (x.log2(), y.max(1e-12).log2()))
+        .collect();
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Run the scaling study over `sizes` (element counts), with the given batch
+/// size and query count per measurement.
+pub fn run(sizes: &[usize], batch_size: usize, num_queries: usize, seed: u64) -> Table1Result {
+    let device = experiment_device();
+    let mut points = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let pairs = unique_random_pairs(n + batch_size, seed);
+        let resident = &pairs[..n];
+        let incoming = &pairs[n..n + batch_size];
+        let resident_keys: Vec<u32> = resident.iter().map(|&(k, _)| k).collect();
+        let queries = existing_lookups(&resident_keys, num_queries, seed ^ n as u64);
+
+        // Insertion cost at size n.
+        let mut lsm = GpuLsm::bulk_build(device.clone(), batch_size, resident).expect("bulk build");
+        let (_, t) = time_once(|| lsm.insert(incoming).expect("insert"));
+        let lsm_insert_us_per_item = t.as_secs_f64() * 1e6 / batch_size as f64;
+        let mut sa = SortedArray::bulk_build(device.clone(), resident);
+        let (_, t) = time_once(|| sa.insert_batch(incoming));
+        let sa_insert_us_per_item = t.as_secs_f64() * 1e6 / batch_size as f64;
+
+        // Lookup cost at size n (structures rebuilt without the extra batch
+        // so sizes are exactly n).
+        let lsm = GpuLsm::bulk_build(device.clone(), batch_size, resident).expect("bulk build");
+        let sa = SortedArray::bulk_build(device.clone(), resident);
+        let cuckoo = CuckooHashTable::bulk_build(device.clone(), resident);
+        let (_, t_lsm) = time_once(|| lsm.lookup(&queries));
+        let (_, t_sa) = time_once(|| sa.lookup(&queries));
+        let (_, t_ck) = time_once(|| cuckoo.lookup(&queries));
+
+        points.push(ScalingPoint {
+            n,
+            lsm_insert_us_per_item,
+            sa_insert_us_per_item,
+            lsm_lookup_us_per_query: t_lsm.as_secs_f64() * 1e6 / num_queries as f64,
+            sa_lookup_us_per_query: t_sa.as_secs_f64() * 1e6 / num_queries as f64,
+            cuckoo_lookup_us_per_query: t_ck.as_secs_f64() * 1e6 / num_queries as f64,
+        });
+    }
+
+    let fit = |f: &dyn Fn(&ScalingPoint) -> f64| {
+        growth_exponent(&points.iter().map(|p| (p.n as f64, f(p))).collect::<Vec<_>>())
+    };
+    Table1Result {
+        lsm_insert_exponent: fit(&|p| p.lsm_insert_us_per_item),
+        sa_insert_exponent: fit(&|p| p.sa_insert_us_per_item),
+        lsm_lookup_exponent: fit(&|p| p.lsm_lookup_us_per_query),
+        sa_lookup_exponent: fit(&|p| p.sa_lookup_us_per_query),
+        cuckoo_lookup_exponent: fit(&|p| p.cuckoo_lookup_us_per_query),
+        points,
+    }
+}
+
+/// Render the scaling study.
+pub fn render(result: &Table1Result) -> Table {
+    let mut table = Table::new(
+        "Table I (empirical): per-item cost vs. n (µs), growth exponents in last row",
+        &[
+            "n",
+            "LSM insert",
+            "SA insert",
+            "LSM lookup",
+            "SA lookup",
+            "Cuckoo lookup",
+        ],
+    );
+    for p in &result.points {
+        table.add_row(vec![
+            p.n.to_string(),
+            format!("{:.4}", p.lsm_insert_us_per_item),
+            format!("{:.4}", p.sa_insert_us_per_item),
+            format!("{:.4}", p.lsm_lookup_us_per_query),
+            format!("{:.4}", p.sa_lookup_us_per_query),
+            format!("{:.4}", p.cuckoo_lookup_us_per_query),
+        ]);
+    }
+    table.add_row(vec![
+        "exponent".to_string(),
+        format!("{:.2}", result.lsm_insert_exponent),
+        format!("{:.2}", result.sa_insert_exponent),
+        format!("{:.2}", result.lsm_lookup_exponent),
+        format!("{:.2}", result.sa_lookup_exponent),
+        format!("{:.2}", result.cuckoo_lookup_exponent),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_exponent_recovers_known_slopes() {
+        let linear: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64 * 100.0, i as f64 * 5.0)).collect();
+        assert!((growth_exponent(&linear) - 1.0).abs() < 0.05);
+        let constant: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64 * 100.0, 3.0)).collect();
+        assert!(growth_exponent(&constant).abs() < 0.05);
+        assert_eq!(growth_exponent(&[(1.0, 1.0)]), 0.0);
+    }
+
+    #[test]
+    fn sa_insert_cost_grows_faster_than_lsm() {
+        // The key asymptotic claim of Table I: per-item SA insertion cost is
+        // ~linear in n while the LSM's is polylogarithmic; the fitted
+        // exponents should reflect a clear separation.
+        let result = run(&[1 << 12, 1 << 14, 1 << 16], 1 << 9, 2048, 33);
+        assert!(
+            result.sa_insert_exponent > result.lsm_insert_exponent + 0.3,
+            "SA exponent {} vs LSM exponent {}",
+            result.sa_insert_exponent,
+            result.lsm_insert_exponent
+        );
+        assert_eq!(render(&result).num_rows(), 4);
+    }
+}

@@ -1,0 +1,216 @@
+//! Table II — insertion rates (M elements/s) versus batch size.
+//!
+//! For every batch size `b` the paper inserts `n/b` consecutive batches into
+//! an initially empty GPU LSM (and, separately, a GPU SA), computing the
+//! per-batch insertion rate, and reports the minimum, maximum and harmonic
+//! mean over every possible number of resident batches, plus the cuckoo
+//! hash table's bulk-build rate for context.
+//!
+//! The LSM sweep is run in full (its total cost is `O(n log(n/b))`).  The
+//! sorted-array sweep is quadratic in `n`, which a CPU host cannot afford at
+//! every `r`; it is instead measured at a uniform sample of resident sizes
+//! (the state at `r` batches is reproduced with a bulk build, which is
+//! exactly what the incremental process would have produced).  The sampling
+//! is recorded in the result so reports can disclose it.
+
+use gpu_baselines::{CuckooHashTable, SortedArray};
+use gpu_lsm::GpuLsm;
+use lsm_workloads::{unique_random_pairs, SweepConfig};
+
+use super::{experiment_device, sample_resident_batches};
+use crate::measure::{elements_per_sec_m, time_once, RateStats};
+use crate::report::{fmt_rate, Table};
+
+/// Result row for one batch size.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Batch size `b`.
+    pub batch_size: usize,
+    /// GPU LSM per-batch insertion-rate statistics.
+    pub lsm: RateStats,
+    /// GPU SA per-batch insertion-rate statistics.
+    pub sa: RateStats,
+}
+
+/// Full Table II result.
+#[derive(Debug, Clone)]
+pub struct Table2Result {
+    /// One row per batch size.
+    pub rows: Vec<Table2Row>,
+    /// Harmonic mean of the per-batch-size LSM harmonic means (the paper's
+    /// bottom-row "mean").
+    pub lsm_overall_mean: f64,
+    /// Same for the sorted array.
+    pub sa_overall_mean: f64,
+    /// Cuckoo hash bulk-build rate (M elements/s) at 80 % load factor.
+    pub cuckoo_build_rate: f64,
+    /// Number of SA sample points per batch size.
+    pub sa_samples: usize,
+}
+
+/// Measure the per-batch LSM insertion rates for every `r` in `1..=n/b`.
+pub fn lsm_insertion_rates(batch_size: usize, num_batches: usize, seed: u64) -> Vec<f64> {
+    let device = experiment_device();
+    let pairs = unique_random_pairs(batch_size * num_batches, seed);
+    let mut lsm = GpuLsm::new(device, batch_size).expect("valid batch size");
+    let mut rates = Vec::with_capacity(num_batches);
+    for chunk in pairs.chunks(batch_size) {
+        let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
+        rates.push(elements_per_sec_m(batch_size, elapsed));
+    }
+    rates
+}
+
+/// Measure SA insertion rates at a sample of resident sizes.
+pub fn sa_insertion_rates(
+    batch_size: usize,
+    num_batches: usize,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let device = experiment_device();
+    let pairs = unique_random_pairs(batch_size * (num_batches + 1), seed);
+    let sampled_r = sample_resident_batches(num_batches, samples);
+    let mut rates = Vec::with_capacity(sampled_r.len());
+    for r in sampled_r {
+        // Reproduce the state after r - 1 batches with a bulk build, then
+        // time the insertion of batch r.
+        let resident = &pairs[..(r - 1) * batch_size];
+        let incoming = &pairs[(r - 1) * batch_size..r * batch_size];
+        let mut sa = SortedArray::bulk_build(device.clone(), resident);
+        let (_, elapsed) = time_once(|| sa.insert_batch(incoming));
+        rates.push(elements_per_sec_m(batch_size, elapsed));
+    }
+    rates
+}
+
+/// Run the full Table II experiment.
+pub fn run(config: &SweepConfig, sa_samples: usize) -> Table2Result {
+    let mut rows = Vec::with_capacity(config.batch_sizes.len());
+    for &b in config.batch_sizes.iter().rev() {
+        let num_batches = config.num_batches(b);
+        if num_batches == 0 {
+            continue;
+        }
+        let lsm_rates = lsm_insertion_rates(b, num_batches, config.seed);
+        let sa_rates = sa_insertion_rates(b, num_batches, sa_samples, config.seed);
+        rows.push(Table2Row {
+            batch_size: b,
+            lsm: RateStats::from_rates(&lsm_rates),
+            sa: RateStats::from_rates(&sa_rates),
+        });
+    }
+
+    // Cuckoo bulk build of n elements at the default 80 % load factor.
+    let device = experiment_device();
+    let pairs = unique_random_pairs(config.total_elements, config.seed ^ 0xCC);
+    let (_, elapsed) = time_once(|| CuckooHashTable::bulk_build(device, &pairs));
+    let cuckoo_build_rate = elements_per_sec_m(pairs.len(), elapsed);
+
+    let lsm_overall_mean =
+        crate::measure::harmonic_mean(&rows.iter().map(|r| r.lsm.harmonic_mean).collect::<Vec<_>>());
+    let sa_overall_mean =
+        crate::measure::harmonic_mean(&rows.iter().map(|r| r.sa.harmonic_mean).collect::<Vec<_>>());
+
+    Table2Result {
+        rows,
+        lsm_overall_mean,
+        sa_overall_mean,
+        cuckoo_build_rate,
+        sa_samples,
+    }
+}
+
+/// Render the result in the paper's row/column layout.
+pub fn render(result: &Table2Result) -> Table {
+    let mut table = Table::new(
+        "Table II: insertion rates (M elements/s)",
+        &[
+            "b", "LSM min", "LSM max", "LSM mean", "SA min", "SA max", "SA mean",
+        ],
+    );
+    for row in &result.rows {
+        table.add_row(vec![
+            format!("2^{}", row.batch_size.trailing_zeros()),
+            fmt_rate(row.lsm.min),
+            fmt_rate(row.lsm.max),
+            fmt_rate(row.lsm.harmonic_mean),
+            fmt_rate(row.sa.min),
+            fmt_rate(row.sa.max),
+            fmt_rate(row.sa.harmonic_mean),
+        ]);
+    }
+    table.add_row(vec![
+        "mean".to_string(),
+        String::new(),
+        String::new(),
+        fmt_rate(result.lsm_overall_mean),
+        String::new(),
+        String::new(),
+        fmt_rate(result.sa_overall_mean),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            total_elements: 1 << 12,
+            batch_sizes: vec![1 << 8, 1 << 10, 1 << 12],
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn produces_one_row_per_batch_size_and_positive_rates() {
+        let result = run(&tiny_config(), 8);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            assert!(row.lsm.harmonic_mean > 0.0, "b = {}", row.batch_size);
+            assert!(row.sa.harmonic_mean > 0.0);
+            assert!(row.lsm.min <= row.lsm.max);
+        }
+        assert!(result.cuckoo_build_rate > 0.0);
+        assert!(result.lsm_overall_mean > 0.0);
+        let rendered = render(&result);
+        assert_eq!(rendered.num_rows(), 4);
+    }
+
+    #[test]
+    fn lsm_beats_sa_for_small_batches() {
+        // The headline shape of Table II: with many resident batches the LSM
+        // sustains a (much) higher mean insertion rate than re-merging the
+        // whole sorted array.
+        let config = SweepConfig {
+            total_elements: 1 << 14,
+            batch_sizes: vec![1 << 7],
+            seed: 2,
+        };
+        let result = run(&config, 12);
+        let row = &result.rows[0];
+        assert!(
+            row.lsm.harmonic_mean > row.sa.harmonic_mean,
+            "LSM mean {} should exceed SA mean {}",
+            row.lsm.harmonic_mean,
+            row.sa.harmonic_mean
+        );
+    }
+
+    #[test]
+    fn single_batch_case_matches_bulk_build() {
+        // When b = n there is exactly one insertion (r = 1) for both
+        // structures; min == max for the LSM.
+        let config = SweepConfig {
+            total_elements: 1 << 10,
+            batch_sizes: vec![1 << 10],
+            seed: 3,
+        };
+        let result = run(&config, 4);
+        let row = &result.rows[0];
+        assert_eq!(row.lsm.count, 1);
+        assert!((row.lsm.min - row.lsm.max).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! # lsm-bench — the experiment harness for the GPU LSM reproduction
+//!
+//! One experiment runner per table and figure of the paper's evaluation
+//! (§V), plus shared measurement and reporting helpers.  Every runner is a
+//! plain function returning structured results, so the same code backs the
+//! command-line binaries (`table2_insertion`, `fig4b_effective_rate`, …),
+//! the Criterion micro-benchmarks, and the integration tests that check the
+//! *shape* of each result (who wins, by roughly what factor).
+//!
+//! Absolute throughput is CPU wall-clock on the simulation substrate, not
+//! K40c device time; each runner can also report the cost model's estimated
+//! device time for context.  EXPERIMENTS.md records both next to the
+//! paper's numbers.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod measure;
+pub mod report;
+
+pub use cli::HarnessOptions;
+pub use measure::{elements_per_sec_m, harmonic_mean, queries_per_sec_m, time_once, RateStats};
+pub use report::{write_csv, Table};

@@ -1,0 +1,149 @@
+//! Plain-text table and CSV reporting, so each binary prints the same rows
+//! and columns as the corresponding table in the paper and also leaves a
+//! machine-readable trace behind.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must have as many cells as the header).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells, header has {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line =
+            |cells: &[String], widths: &[usize]| -> String {
+                cells
+                    .iter()
+                    .zip(widths.iter())
+                    .map(|(c, w)| format!("{c:>w$}"))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Render the table as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Write a table's CSV rendering to `path` (creating parent directories).
+pub fn write_csv(table: &Table, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, table.to_csv())
+}
+
+/// Format a rate with the precision the paper uses (one decimal place).
+pub fn fmt_rate(rate: f64) -> String {
+    if rate.is_infinite() {
+        "inf".to_string()
+    } else if rate >= 100.0 {
+        format!("{rate:.1}")
+    } else {
+        format!("{rate:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns_and_includes_all_rows() {
+        let mut t = Table::new("Demo", &["b", "rate"]);
+        t.add_row(vec!["1024".to_string(), "12.5".to_string()]);
+        t.add_row(vec!["32768".to_string(), "3.75".to_string()]);
+        let text = t.render();
+        assert!(text.contains("Demo"));
+        assert!(text.contains("32768"));
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.add_row(vec!["1".to_string(), "2".to_string()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.add_row(vec!["1".to_string()]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let mut t = Table::new("Demo", &["x"]);
+        t.add_row(vec!["9".to_string()]);
+        let dir = std::env::temp_dir().join("lsm_bench_test_csv");
+        let path = dir.join("out.csv");
+        write_csv(&t, &path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains('9'));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fmt_rate_precision() {
+        assert_eq!(fmt_rate(225.34), "225.3");
+        assert_eq!(fmt_rate(3.456), "3.46");
+        assert_eq!(fmt_rate(f64::INFINITY), "inf");
+    }
+}

@@ -1,0 +1,233 @@
+//! Update batches: mixed insertions and deletions presented to the LSM as
+//! one unit of size at most `b`.
+//!
+//! The paper's batch semantics (§III-A) are implemented here and in the
+//! insertion path:
+//!
+//! * rule 3 — across batches the most recent insertion of a key wins;
+//! * rule 4 — within a batch, one of several same-key insertions is chosen
+//!   (deterministically, the earliest pushed, because the radix sort is
+//!   stable and lookups take the first match);
+//! * rule 5 — deleting a key tombstones every earlier instance;
+//! * rule 6 — a key inserted and deleted in the same batch is deleted,
+//!   because the tombstone's zero status bit sorts it before the same-key
+//!   regular element.
+//!
+//! A batch smaller than `b` is padded by duplicating its last element
+//! (paper §IV-A), so exactly one of the duplicates stays visible.
+
+use crate::error::{LsmError, Result};
+use crate::key::{encode_regular, encode_tombstone, EncodedKey, Key, Value, MAX_KEY};
+
+/// A single update operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert (or replace) `key` with `value`.
+    Insert(Key, Value),
+    /// Delete `key` (tombstone).
+    Delete(Key),
+}
+
+impl Op {
+    /// The logical key this operation refers to.
+    pub fn key(&self) -> Key {
+        match self {
+            Op::Insert(k, _) => *k,
+            Op::Delete(k) => *k,
+        }
+    }
+
+    /// Encode this operation as an (encoded key, value) pair.
+    pub fn encode(&self) -> (EncodedKey, Value) {
+        match self {
+            Op::Insert(k, v) => (encode_regular(*k), *v),
+            Op::Delete(k) => (encode_tombstone(*k), 0),
+        }
+    }
+}
+
+/// A mixed batch of insertions and deletions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    ops: Vec<Op>,
+}
+
+impl UpdateBatch {
+    /// Create an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a batch with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        UpdateBatch {
+            ops: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Queue an insertion.
+    pub fn insert(&mut self, key: Key, value: Value) -> &mut Self {
+        self.ops.push(Op::Insert(key, value));
+        self
+    }
+
+    /// Queue a deletion.
+    pub fn delete(&mut self, key: Key) -> &mut Self {
+        self.ops.push(Op::Delete(key));
+        self
+    }
+
+    /// Queue an arbitrary operation.
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued operations.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Build a batch of insertions from key–value pairs.
+    pub fn from_pairs(pairs: &[(Key, Value)]) -> Self {
+        UpdateBatch {
+            ops: pairs.iter().map(|&(k, v)| Op::Insert(k, v)).collect(),
+        }
+    }
+
+    /// Build a batch of deletions from keys.
+    pub fn from_deletions(keys: &[Key]) -> Self {
+        UpdateBatch {
+            ops: keys.iter().map(|&k| Op::Delete(k)).collect(),
+        }
+    }
+
+    /// Validate the batch against the LSM's fixed batch size and key domain,
+    /// then encode it into `(encoded_keys, values)` arrays of exactly
+    /// `batch_size` elements, padding with duplicates of the last operation.
+    pub fn encode_padded(&self, batch_size: usize) -> Result<(Vec<EncodedKey>, Vec<Value>)> {
+        if self.ops.is_empty() {
+            return Err(LsmError::EmptyBatch);
+        }
+        if self.ops.len() > batch_size {
+            return Err(LsmError::BatchTooLarge {
+                supplied: self.ops.len(),
+                batch_size,
+            });
+        }
+        if let Some(op) = self.ops.iter().find(|op| op.key() > MAX_KEY) {
+            return Err(LsmError::KeyOutOfRange { key: op.key() });
+        }
+
+        let mut keys = Vec::with_capacity(batch_size);
+        let mut values = Vec::with_capacity(batch_size);
+        for op in &self.ops {
+            let (k, v) = op.encode();
+            keys.push(k);
+            values.push(v);
+        }
+        // Pad by duplicating the last element (paper §IV-A): duplicates of a
+        // regular element are stale copies behind the visible one; duplicates
+        // of a tombstone are redundant tombstones.  Either way queries are
+        // unaffected.
+        let (last_k, last_v) = (*keys.last().unwrap(), *values.last().unwrap());
+        keys.resize(batch_size, last_k);
+        values.resize(batch_size, last_v);
+        Ok((keys, values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{is_regular, is_tombstone, original_key};
+
+    #[test]
+    fn builder_accumulates_ops() {
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, 10).delete(2).insert(3, 30);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.ops()[1], Op::Delete(2));
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn from_pairs_and_deletions() {
+        let b = UpdateBatch::from_pairs(&[(1, 10), (2, 20)]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.ops()[0], Op::Insert(1, 10));
+        let d = UpdateBatch::from_deletions(&[7, 8]);
+        assert_eq!(d.ops()[1], Op::Delete(8));
+    }
+
+    #[test]
+    fn encode_padded_pads_with_last_element() {
+        let mut batch = UpdateBatch::new();
+        batch.insert(5, 50).insert(6, 60);
+        let (keys, values) = batch.encode_padded(4).unwrap();
+        assert_eq!(keys.len(), 4);
+        assert_eq!(values.len(), 4);
+        assert_eq!(original_key(keys[2]), 6);
+        assert_eq!(original_key(keys[3]), 6);
+        assert_eq!(values[3], 60);
+    }
+
+    #[test]
+    fn encode_marks_tombstones() {
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, 10).delete(2);
+        let (keys, _) = batch.encode_padded(2).unwrap();
+        assert!(is_regular(keys[0]));
+        assert!(is_tombstone(keys[1]));
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let batch = UpdateBatch::from_pairs(&[(1, 1), (2, 2), (3, 3)]);
+        assert_eq!(
+            batch.encode_padded(2),
+            Err(LsmError::BatchTooLarge {
+                supplied: 3,
+                batch_size: 2
+            })
+        );
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        assert_eq!(
+            UpdateBatch::new().encode_padded(4),
+            Err(LsmError::EmptyBatch)
+        );
+    }
+
+    #[test]
+    fn out_of_range_key_rejected() {
+        let batch = UpdateBatch::from_pairs(&[(MAX_KEY + 1, 0)]);
+        assert_eq!(
+            batch.encode_padded(4),
+            Err(LsmError::KeyOutOfRange { key: MAX_KEY + 1 })
+        );
+    }
+
+    #[test]
+    fn op_key_and_encode() {
+        assert_eq!(Op::Insert(3, 4).key(), 3);
+        assert_eq!(Op::Delete(9).key(), 9);
+        let (k, v) = Op::Insert(3, 4).encode();
+        assert!(is_regular(k));
+        assert_eq!((original_key(k), v), (3, 4));
+        let (k, _) = Op::Delete(9).encode();
+        assert!(is_tombstone(k));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the GPU LSM public API.
+
+use std::fmt;
+
+/// Result alias for GPU LSM operations.
+pub type Result<T> = std::result::Result<T, LsmError>;
+
+/// Errors reported by the GPU LSM public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsmError {
+    /// The requested batch size is zero or not supported.
+    InvalidBatchSize {
+        /// The offending batch size.
+        batch_size: usize,
+    },
+    /// An update batch is larger than the LSM's fixed batch size `b`.
+    BatchTooLarge {
+        /// Number of operations supplied.
+        supplied: usize,
+        /// The LSM's fixed batch size.
+        batch_size: usize,
+    },
+    /// An update batch contained no operations.
+    EmptyBatch,
+    /// A key exceeds the 31-bit key domain (the LSB is reserved for the
+    /// tombstone status bit, paper §IV-A).
+    KeyOutOfRange {
+        /// The offending key.
+        key: u32,
+    },
+}
+
+impl fmt::Display for LsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LsmError::InvalidBatchSize { batch_size } => {
+                write!(f, "invalid batch size {batch_size}: must be at least 1")
+            }
+            LsmError::BatchTooLarge {
+                supplied,
+                batch_size,
+            } => write!(
+                f,
+                "update batch of {supplied} operations exceeds the fixed batch size b = {batch_size}"
+            ),
+            LsmError::EmptyBatch => write!(f, "update batch contains no operations"),
+            LsmError::KeyOutOfRange { key } => write!(
+                f,
+                "key {key} exceeds the 31-bit key domain (max {})",
+                crate::key::MAX_KEY
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_cause() {
+        assert!(LsmError::InvalidBatchSize { batch_size: 0 }
+            .to_string()
+            .contains("batch size 0"));
+        assert!(LsmError::BatchTooLarge {
+            supplied: 10,
+            batch_size: 4
+        }
+        .to_string()
+        .contains("b = 4"));
+        assert!(LsmError::EmptyBatch.to_string().contains("no operations"));
+        assert!(LsmError::KeyOutOfRange { key: u32::MAX }
+            .to_string()
+            .contains("31-bit"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(LsmError::EmptyBatch, LsmError::EmptyBatch);
+        assert_ne!(
+            LsmError::EmptyBatch,
+            LsmError::InvalidBatchSize { batch_size: 0 }
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Levels of the GPU LSM: sorted arrays of exactly `b·2^i` elements.
+//!
+//! With `r` resident batches the occupied levels are the set bits of the
+//! binary representation of `r` (paper §III-B).  Each level stores its
+//! encoded keys and values as two parallel arrays (structure-of-arrays, the
+//! layout the real implementation uses for coalesced access), sorted by the
+//! original key with same-key elements ordered newest-first.
+
+use crate::key::{key_less, EncodedKey, Value};
+
+/// One occupied level of the LSM.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Level {
+    keys: Vec<EncodedKey>,
+    values: Vec<Value>,
+}
+
+impl Level {
+    /// Build a level from already-sorted parallel key/value arrays.
+    pub fn from_sorted(keys: Vec<EncodedKey>, values: Vec<Value>) -> Self {
+        debug_assert_eq!(keys.len(), values.len());
+        debug_assert!(
+            keys.windows(2).all(|w| !key_less(&w[1], &w[0])),
+            "level keys must be sorted by original key"
+        );
+        Level { keys, values }
+    }
+
+    /// Number of elements in the level.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the level holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The encoded keys, sorted by original key.
+    pub fn keys(&self) -> &[EncodedKey] {
+        &self.keys
+    }
+
+    /// The values, parallel to [`Level::keys`].
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume the level, returning its key and value arrays.
+    pub fn into_parts(self) -> (Vec<EncodedKey>, Vec<Value>) {
+        (self.keys, self.values)
+    }
+
+    /// Memory footprint of the level in bytes (keys + values).
+    pub fn size_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<EncodedKey>()
+            + self.values.len() * std::mem::size_of::<Value>()
+    }
+}
+
+/// The set of levels of an LSM with batch size `b` and `r` resident batches.
+/// `levels[i]` is `Some` iff bit `i` of `r` is set.
+#[derive(Debug, Clone, Default)]
+pub struct LevelSet {
+    levels: Vec<Option<Level>>,
+}
+
+impl LevelSet {
+    /// An empty level set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of level slots (occupied or not) currently allocated.
+    pub fn num_slots(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level at index `i`, if occupied.
+    pub fn get(&self, i: usize) -> Option<&Level> {
+        self.levels.get(i).and_then(|l| l.as_ref())
+    }
+
+    /// Whether level `i` is occupied.
+    pub fn is_full(&self, i: usize) -> bool {
+        self.get(i).is_some()
+    }
+
+    /// Take (empty) level `i`, returning its contents.
+    pub fn take(&mut self, i: usize) -> Option<Level> {
+        self.levels.get_mut(i).and_then(|l| l.take())
+    }
+
+    /// Place `level` at index `i`, which must currently be empty.
+    pub fn place(&mut self, i: usize, level: Level) {
+        while self.levels.len() <= i {
+            self.levels.push(None);
+        }
+        debug_assert!(self.levels[i].is_none(), "placing into an occupied level");
+        self.levels[i] = Some(level);
+    }
+
+    /// Remove and return every occupied level, smallest index first.
+    pub fn drain_occupied(&mut self) -> Vec<(usize, Level)> {
+        let mut out = Vec::new();
+        for (i, slot) in self.levels.iter_mut().enumerate() {
+            if let Some(level) = slot.take() {
+                out.push((i, level));
+            }
+        }
+        self.levels.clear();
+        out
+    }
+
+    /// Iterate over occupied levels, smallest (most recent) index first.
+    pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, &Level)> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.as_ref().map(|level| (i, level)))
+    }
+
+    /// Number of occupied levels.
+    pub fn num_occupied(&self) -> usize {
+        self.levels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Total number of elements across all occupied levels.
+    pub fn total_elements(&self) -> usize {
+        self.iter_occupied().map(|(_, l)| l.len()).sum()
+    }
+
+    /// Total memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.iter_occupied().map(|(_, l)| l.size_bytes()).sum()
+    }
+
+    /// Remove all levels.
+    pub fn clear(&mut self) {
+        self.levels.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::encode_regular;
+
+    fn level_of(keys: &[u32]) -> Level {
+        let encoded: Vec<u32> = keys.iter().map(|&k| encode_regular(k)).collect();
+        let values: Vec<u32> = keys.iter().map(|&k| k * 10).collect();
+        Level::from_sorted(encoded, values)
+    }
+
+    #[test]
+    fn level_accessors() {
+        let level = level_of(&[1, 2, 3]);
+        assert_eq!(level.len(), 3);
+        assert!(!level.is_empty());
+        assert_eq!(level.values(), &[10, 20, 30]);
+        assert_eq!(level.size_bytes(), 3 * 8);
+        let (k, v) = level.into_parts();
+        assert_eq!(k.len(), 3);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn occupancy_follows_placement() {
+        let mut set = LevelSet::new();
+        assert_eq!(set.num_occupied(), 0);
+        set.place(1, level_of(&[1, 2]));
+        set.place(3, level_of(&[3, 4, 5, 6, 7, 8, 9, 10]));
+        assert!(set.is_full(1));
+        assert!(!set.is_full(0));
+        assert!(!set.is_full(2));
+        assert!(set.is_full(3));
+        assert_eq!(set.num_occupied(), 2);
+        assert_eq!(set.total_elements(), 10);
+    }
+
+    #[test]
+    fn take_empties_a_slot() {
+        let mut set = LevelSet::new();
+        set.place(0, level_of(&[5]));
+        let taken = set.take(0).unwrap();
+        assert_eq!(taken.len(), 1);
+        assert!(!set.is_full(0));
+        assert!(set.take(0).is_none());
+        assert!(set.take(99).is_none());
+    }
+
+    #[test]
+    fn drain_returns_levels_in_index_order() {
+        let mut set = LevelSet::new();
+        set.place(2, level_of(&[1, 2, 3, 4]));
+        set.place(0, level_of(&[9]));
+        let drained = set.drain_occupied();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, 0);
+        assert_eq!(drained[1].0, 2);
+        assert_eq!(set.num_occupied(), 0);
+    }
+
+    #[test]
+    fn iter_occupied_skips_empty_slots() {
+        let mut set = LevelSet::new();
+        set.place(1, level_of(&[1, 1]));
+        let occupied: Vec<usize> = set.iter_occupied().map(|(i, _)| i).collect();
+        assert_eq!(occupied, vec![1]);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut set = LevelSet::new();
+        set.place(0, level_of(&[1]));
+        set.clear();
+        assert_eq!(set.total_elements(), 0);
+        assert_eq!(set.num_slots(), 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Bulk lookup queries.
+//!
+//! Each query is independent (the paper's "individual approach", §IV-B): a
+//! thread walks the occupied levels from the smallest (most recent) to the
+//! largest, performing a lower-bound binary search per level on the original
+//! key.  The first element found with a matching key decides the outcome —
+//! a regular element returns its value, a tombstone means the key was
+//! deleted — because the building invariants of §III-D order equal keys
+//! newest-first within a level and newer levels are searched first.
+
+use gpu_sim::AccessPattern;
+use rayon::prelude::*;
+
+use crate::key::{is_regular, original_key, Key, Value};
+use crate::lsm::GpuLsm;
+
+impl GpuLsm {
+    /// Look up a batch of keys in parallel.  Returns, for each query key,
+    /// `Some(value)` of the most recent insertion if the key is present and
+    /// not deleted, `None` otherwise.
+    pub fn lookup(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        let kernel = "lsm_lookup";
+        self.device().metrics().record_launch(kernel);
+        self.device().metrics().record_read(
+            kernel,
+            (queries.len() * std::mem::size_of::<Key>()) as u64,
+            AccessPattern::Coalesced,
+        );
+        // Traffic accounting: each query performs a binary search in every
+        // occupied level until it finds a hit; the worst case (miss) probes
+        // every level.  Each probe is a scattered (random) access.
+        let probes: u64 = self
+            .levels()
+            .iter_occupied()
+            .map(|(_, level)| (usize::BITS - level.len().leading_zeros()) as u64)
+            .sum();
+        self.device().metrics().record_scattered_probes(
+            kernel,
+            probes * queries.len() as u64,
+            std::mem::size_of::<Key>() as u64,
+        );
+
+        self.device().timer().time("lookup", || {
+            queries.par_iter().map(|&q| self.lookup_one(q)).collect()
+        })
+    }
+
+    /// Look up a single key (the per-thread body of [`GpuLsm::lookup`],
+    /// usable on its own for asynchronous individual queries).
+    pub fn lookup_one(&self, query: Key) -> Option<Value> {
+        for (_, level) in self.levels().iter_occupied() {
+            let keys = level.keys();
+            // Lower bound on the original key: first element with key >= query.
+            let idx = gpu_primitives::search::lower_bound_by(keys, &(query << 1), |a, b| {
+                (a >> 1) < (b >> 1)
+            });
+            if idx < keys.len() && original_key(keys[idx]) == query {
+                return if is_regular(keys[idx]) {
+                    Some(level.values()[idx])
+                } else {
+                    None // most recent instance is a tombstone: deleted
+                };
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is currently present (not deleted).
+    pub fn contains(&self, key: Key) -> bool {
+        self.lookup_one(key).is_some()
+    }
+
+    /// The paper's *bulk* lookup alternative (§IV-B): sort all queries once,
+    /// then resolve them against every occupied level with a streaming
+    /// sorted search instead of per-query binary searches.
+    ///
+    /// Returns results in the original query order, identical to
+    /// [`GpuLsm::lookup`].  The trade-off it exists to expose: the query
+    /// sort is an extra bulk pass, but each level is then scanned with
+    /// coalesced accesses rather than probed randomly — profitable when
+    /// there are many queries relative to the structure size.
+    pub fn lookup_bulk_sorted(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        let kernel = "lsm_lookup_bulk";
+        self.device().metrics().record_launch(kernel);
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        self.device().timer().time("lookup_bulk", || {
+            // Sort the queries, remembering their original positions.
+            let mut sorted_queries: Vec<Key> = queries.to_vec();
+            let mut positions: Vec<u32> = (0..queries.len() as u32).collect();
+            gpu_primitives::radix_sort::sort_pairs(self.device(), &mut sorted_queries, &mut positions);
+            // Encode the probes like stored keys (key << 1) so the key-only
+            // comparator applies uniformly to needles and haystack.
+            let probes: Vec<u32> = sorted_queries.iter().map(|&q| q << 1).collect();
+
+            // Resolve levels newest-first; the first level that decides a
+            // query (hit or tombstone) wins.
+            let mut results: Vec<Option<Value>> = vec![None; queries.len()];
+            let mut decided: Vec<bool> = vec![false; queries.len()];
+            for (_, level) in self.levels().iter_occupied() {
+                let keys = level.keys();
+                let lower_bounds = gpu_primitives::sorted_search::sorted_lower_bound(
+                    self.device(),
+                    keys,
+                    &probes,
+                    |a, b| (a >> 1) < (b >> 1),
+                );
+                for (qi, &idx) in lower_bounds.iter().enumerate() {
+                    let original = positions[qi] as usize;
+                    if decided[original] {
+                        continue;
+                    }
+                    if idx < keys.len() && original_key(keys[idx]) == sorted_queries[qi] {
+                        decided[original] = true;
+                        results[original] = if is_regular(keys[idx]) {
+                            Some(level.values()[idx])
+                        } else {
+                            None
+                        };
+                    }
+                }
+            }
+            results
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use gpu_sim::{Device, DeviceConfig};
+
+    use crate::batch::UpdateBatch;
+    use crate::lsm::GpuLsm;
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::small()))
+    }
+
+    #[test]
+    fn finds_inserted_keys_and_misses_absent_ones() {
+        let mut lsm = GpuLsm::new(device(), 8).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..8).map(|k| (k * 2, k * 100)).collect();
+        lsm.insert(&pairs).unwrap();
+        assert_eq!(lsm.lookup(&[0, 2, 14]), vec![Some(0), Some(100), Some(700)]);
+        assert_eq!(lsm.lookup(&[1, 3, 99]), vec![None, None, None]);
+        assert!(lsm.contains(4));
+        assert!(!lsm.contains(5));
+    }
+
+    #[test]
+    fn most_recent_insertion_wins_across_batches() {
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        lsm.insert(&[(1, 10), (2, 20), (3, 30), (4, 40)]).unwrap();
+        lsm.insert(&[(2, 999), (5, 50), (6, 60), (7, 70)]).unwrap();
+        assert_eq!(lsm.lookup(&[2]), vec![Some(999)]);
+        assert_eq!(lsm.lookup(&[1]), vec![Some(10)]);
+    }
+
+    #[test]
+    fn deletion_hides_older_insertions() {
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        lsm.insert(&[(1, 10), (2, 20), (3, 30), (4, 40)]).unwrap();
+        lsm.delete(&[2, 3]).unwrap();
+        assert_eq!(
+            lsm.lookup(&[1, 2, 3, 4]),
+            vec![Some(10), None, None, Some(40)]
+        );
+    }
+
+    #[test]
+    fn reinsert_after_delete_is_visible() {
+        let mut lsm = GpuLsm::new(device(), 2).unwrap();
+        lsm.insert(&[(7, 70), (8, 80)]).unwrap();
+        lsm.delete(&[7]).unwrap();
+        lsm.insert(&[(7, 71)]).unwrap();
+        assert_eq!(lsm.lookup(&[7]), vec![Some(71)]);
+    }
+
+    #[test]
+    fn insert_and_delete_same_batch_resolves_to_deleted() {
+        // Semantics rule 6: a key inserted and deleted within the same batch
+        // is considered deleted.
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(5, 50).delete(5).insert(6, 60).insert(7, 70);
+        lsm.update(&batch).unwrap();
+        assert_eq!(lsm.lookup(&[5, 6, 7]), vec![None, Some(60), Some(70)]);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_batch_resolve_deterministically() {
+        // Semantics rule 4: one of the duplicates is chosen; with a stable
+        // sort and first-match lookups it is the first one pushed.
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        lsm.insert(&[(9, 1), (9, 2), (9, 3), (9, 4)]).unwrap();
+        assert_eq!(lsm.lookup(&[9]), vec![Some(1)]);
+    }
+
+    #[test]
+    fn lookup_on_empty_lsm_returns_none() {
+        let lsm = GpuLsm::new(device(), 4).unwrap();
+        assert_eq!(lsm.lookup(&[1, 2, 3]), vec![None, None, None]);
+    }
+
+    #[test]
+    fn lookup_across_many_batches_and_levels() {
+        let mut lsm = GpuLsm::new(device(), 16).unwrap();
+        // 9 batches → levels 0 and 3 occupied; keys 0..144.
+        for b in 0..9u32 {
+            let pairs: Vec<(u32, u32)> = (0..16).map(|i| (b * 16 + i, b * 1000 + i)).collect();
+            lsm.insert(&pairs).unwrap();
+        }
+        let queries: Vec<u32> = (0..144).collect();
+        let results = lsm.lookup(&queries);
+        for (q, r) in queries.iter().zip(results.iter()) {
+            let batch = q / 16;
+            let i = q % 16;
+            assert_eq!(*r, Some(batch * 1000 + i), "query {q}");
+        }
+        assert_eq!(lsm.lookup(&[144, 1000]), vec![None, None]);
+    }
+
+    #[test]
+    fn bulk_sorted_lookup_matches_individual_lookup() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut lsm = GpuLsm::new(device(), 64).unwrap();
+        for round in 0..7u32 {
+            let mut batch = UpdateBatch::new();
+            let mut used = std::collections::HashSet::new();
+            while used.len() < 64 {
+                let key = rng.gen_range(0..2000u32);
+                if !used.insert(key) {
+                    continue;
+                }
+                if rng.gen_bool(0.2) {
+                    batch.delete(key);
+                } else {
+                    batch.insert(key, round * 10_000 + key);
+                }
+            }
+            lsm.update(&batch).unwrap();
+        }
+        let queries: Vec<u32> = (0..2500).map(|i| (i * 17) % 2600).collect();
+        assert_eq!(lsm.lookup_bulk_sorted(&queries), lsm.lookup(&queries));
+        // Empty query set and empty structure are handled.
+        assert!(lsm.lookup_bulk_sorted(&[]).is_empty());
+        let empty = GpuLsm::new(device(), 8).unwrap();
+        assert_eq!(empty.lookup_bulk_sorted(&[1, 2]), vec![None, None]);
+    }
+
+    #[test]
+    fn lookup_records_traffic() {
+        let mut lsm = GpuLsm::new(device(), 8).unwrap();
+        lsm.insert(&[(1, 1)]).unwrap();
+        let _ = lsm.lookup(&[1, 2, 3]);
+        assert!(lsm
+            .device()
+            .metrics()
+            .snapshot()
+            .contains_key("lsm_lookup"));
+    }
+}

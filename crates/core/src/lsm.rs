@@ -1,0 +1,321 @@
+//! The [`GpuLsm`] structure: construction, bulk build and the batched
+//! insertion / deletion path.
+//!
+//! Insertion (paper §III-B, Fig. 3): the incoming batch is radix-sorted by
+//! its full encoded key (status bit included), then merged with full levels
+//! from level 0 upward — comparing *original keys only* and letting the more
+//! recent buffer win ties — until an empty level receives the result.  With
+//! `r` resident batches this is exactly a binary-counter increment: the
+//! occupied levels are the set bits of `r`.
+//!
+//! Deletion is the insertion of tombstones, so a mixed batch of insertions
+//! and deletions costs the same as a pure-insert batch.
+
+use std::sync::Arc;
+
+use gpu_primitives::{merge::merge_pairs_by, radix_sort::sort_pairs};
+use gpu_sim::Device;
+
+use crate::batch::UpdateBatch;
+use crate::error::{LsmError, Result};
+use crate::key::{encode_regular, key_less, placebo, EncodedKey, Key, Value, MAX_KEY};
+use crate::level::{Level, LevelSet};
+
+/// The GPU LSM: a dynamic dictionary with batched updates and parallel
+/// queries.
+#[derive(Debug, Clone)]
+pub struct GpuLsm {
+    device: Arc<Device>,
+    batch_size: usize,
+    num_batches: usize,
+    pub(crate) levels: LevelSet,
+}
+
+impl GpuLsm {
+    /// Create an empty GPU LSM with batch size `b` on `device`.
+    ///
+    /// The batch size is fixed for the lifetime of the structure (paper
+    /// §III-A rule 1) and trades update against query performance: larger
+    /// batches mean fewer occupied levels for the same number of elements.
+    pub fn new(device: Arc<Device>, batch_size: usize) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(LsmError::InvalidBatchSize { batch_size });
+        }
+        Ok(GpuLsm {
+            device,
+            batch_size,
+            num_batches: 0,
+            levels: LevelSet::new(),
+        })
+    }
+
+    /// Bulk-build an LSM from an arbitrary set of key–value pairs
+    /// (paper §V-B "bulk build"): one device-wide radix sort, padding with
+    /// placebo elements up to a multiple of `b`, then slicing the sorted
+    /// array into levels according to the binary representation of the
+    /// number of batches.
+    pub fn bulk_build(
+        device: Arc<Device>,
+        batch_size: usize,
+        pairs: &[(Key, Value)],
+    ) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(LsmError::InvalidBatchSize { batch_size });
+        }
+        if let Some(&(k, _)) = pairs.iter().find(|(k, _)| *k > MAX_KEY) {
+            return Err(LsmError::KeyOutOfRange { key: k });
+        }
+        let mut lsm = GpuLsm {
+            device,
+            batch_size,
+            num_batches: 0,
+            levels: LevelSet::new(),
+        };
+        if pairs.is_empty() {
+            return Ok(lsm);
+        }
+
+        let mut keys: Vec<EncodedKey> = pairs.iter().map(|&(k, _)| encode_regular(k)).collect();
+        let mut values: Vec<Value> = pairs.iter().map(|&(_, v)| v).collect();
+        sort_pairs(&lsm.device, &mut keys, &mut values);
+
+        // Pad to a multiple of b with placebos (max-key tombstones); they
+        // sort to the very end by construction, so appending keeps the array
+        // sorted by original key.
+        let padded_len = pairs.len().div_ceil(batch_size) * batch_size;
+        keys.resize(padded_len, placebo());
+        values.resize(padded_len, 0);
+
+        lsm.num_batches = padded_len / batch_size;
+        lsm.distribute_sorted(keys, values);
+        Ok(lsm)
+    }
+
+    /// Slice an already-sorted array into levels following the set bits of
+    /// `self.num_batches`, smallest level first (smaller keys end up in
+    /// smaller levels, as in the paper's cleanup).
+    fn distribute_sorted(&mut self, keys: Vec<EncodedKey>, values: Vec<Value>) {
+        debug_assert_eq!(keys.len(), self.num_batches * self.batch_size);
+        self.levels.clear();
+        let mut offset = 0usize;
+        for bit in 0..usize::BITS {
+            if self.num_batches & (1 << bit) != 0 {
+                let len = self.batch_size << bit;
+                let level_keys = keys[offset..offset + len].to_vec();
+                let level_values = values[offset..offset + len].to_vec();
+                self.levels
+                    .place(bit as usize, Level::from_sorted(level_keys, level_values));
+                offset += len;
+            }
+        }
+        debug_assert_eq!(offset, keys.len());
+    }
+
+    /// Apply a mixed batch of insertions and deletions (at most `b`
+    /// operations; shorter batches are padded, see [`UpdateBatch`]).
+    pub fn update(&mut self, batch: &UpdateBatch) -> Result<()> {
+        let (mut keys, mut values) = batch.encode_padded(self.batch_size)?;
+        // Sort the batch by the full encoded key, status bit included
+        // (Fig. 3 line 9): tombstones precede same-key insertions from the
+        // same batch, implementing semantics rule 6.
+        self.device.timer().time("insert::sort_batch", || {
+            sort_pairs(&self.device, &mut keys, &mut values);
+        });
+        self.push_sorted_buffer(keys, values);
+        Ok(())
+    }
+
+    /// Insert key–value pairs (at most `b`).
+    pub fn insert(&mut self, pairs: &[(Key, Value)]) -> Result<()> {
+        self.update(&UpdateBatch::from_pairs(pairs))
+    }
+
+    /// Delete keys (at most `b`) by inserting tombstones.
+    pub fn delete(&mut self, keys: &[Key]) -> Result<()> {
+        self.update(&UpdateBatch::from_deletions(keys))
+    }
+
+    /// The carry chain: merge the sorted buffer with full levels until an
+    /// empty level is found, then place it there.
+    fn push_sorted_buffer(&mut self, mut keys: Vec<EncodedKey>, mut values: Vec<Value>) {
+        let mut i = 0usize;
+        while self.levels.is_full(i) {
+            let (level_keys, level_values) = self.levels.take(i).expect("level is full").into_parts();
+            // Merge comparing original keys only (status bit ignored), with
+            // the more recent buffer as the first argument so it wins ties
+            // and the §III-D ordering invariants hold.
+            let (merged_keys, merged_values) = self.device.timer().time("insert::merge", || {
+                merge_pairs_by(
+                    &self.device,
+                    &keys,
+                    &values,
+                    &level_keys,
+                    &level_values,
+                    key_less,
+                )
+            });
+            keys = merged_keys;
+            values = merged_values;
+            i += 1;
+        }
+        self.levels.place(i, Level::from_sorted(keys, values));
+        self.num_batches += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The fixed batch size `b`.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of resident batches `r` (including stale elements).
+    pub fn num_batches(&self) -> usize {
+        self.num_batches
+    }
+
+    /// Total number of resident elements (`r · b`), including stale
+    /// elements, tombstones and placebos.
+    pub fn num_resident_elements(&self) -> usize {
+        self.num_batches * self.batch_size
+    }
+
+    /// Whether the structure holds no elements at all.
+    pub fn is_empty(&self) -> bool {
+        self.num_batches == 0
+    }
+
+    /// Number of occupied levels (the popcount of `r`).
+    pub fn num_occupied_levels(&self) -> usize {
+        self.levels.num_occupied()
+    }
+
+    /// The modelled device this LSM runs on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Read-only access to the level set (used by queries and validation).
+    pub(crate) fn levels(&self) -> &LevelSet {
+        &self.levels
+    }
+
+    /// Replace the entire contents from an already-sorted, already-padded
+    /// array (used by cleanup).
+    pub(crate) fn replace_contents(&mut self, keys: Vec<EncodedKey>, values: Vec<Value>) {
+        debug_assert_eq!(keys.len() % self.batch_size, 0);
+        self.num_batches = keys.len() / self.batch_size;
+        if self.num_batches == 0 {
+            self.levels.clear();
+        } else {
+            self.distribute_sorted(keys, values);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(gpu_sim::DeviceConfig::small()))
+    }
+
+    #[test]
+    fn new_rejects_zero_batch_size() {
+        assert_eq!(
+            GpuLsm::new(device(), 0).unwrap_err(),
+            LsmError::InvalidBatchSize { batch_size: 0 }
+        );
+    }
+
+    #[test]
+    fn empty_lsm_has_no_levels() {
+        let lsm = GpuLsm::new(device(), 16).unwrap();
+        assert!(lsm.is_empty());
+        assert_eq!(lsm.num_resident_elements(), 0);
+        assert_eq!(lsm.num_occupied_levels(), 0);
+    }
+
+    #[test]
+    fn occupancy_follows_binary_counter() {
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        for batch_idx in 0..7u32 {
+            let pairs: Vec<(u32, u32)> = (0..4).map(|i| (batch_idx * 4 + i, i)).collect();
+            lsm.insert(&pairs).unwrap();
+            let r = batch_idx as usize + 1;
+            assert_eq!(lsm.num_batches(), r);
+            assert_eq!(lsm.num_occupied_levels(), r.count_ones() as usize);
+            // Level i occupied iff bit i of r is set, and holds b·2^i elements.
+            for bit in 0..4 {
+                let expected = r & (1 << bit) != 0;
+                assert_eq!(lsm.levels().is_full(bit), expected, "r = {r}, level {bit}");
+                if expected {
+                    assert_eq!(lsm.levels().get(bit).unwrap().len(), 4 << bit);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_batch_is_padded_to_full_size() {
+        let mut lsm = GpuLsm::new(device(), 8).unwrap();
+        lsm.insert(&[(1, 10), (2, 20)]).unwrap();
+        assert_eq!(lsm.num_resident_elements(), 8);
+        assert_eq!(lsm.levels().get(0).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn levels_stay_sorted_by_original_key() {
+        let mut lsm = GpuLsm::new(device(), 32).unwrap();
+        for b in 0..5u32 {
+            let pairs: Vec<(u32, u32)> = (0..32).map(|i| ((i * 37 + b * 13) % 1000, i)).collect();
+            lsm.insert(&pairs).unwrap();
+        }
+        for (_, level) in lsm.levels().iter_occupied() {
+            let keys = level.keys();
+            assert!(keys.windows(2).all(|w| (w[0] >> 1) <= (w[1] >> 1)));
+        }
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_occupancy() {
+        let pairs: Vec<(u32, u32)> = (0..100).map(|k| (k, k + 1)).collect();
+        let lsm = GpuLsm::bulk_build(device(), 16, &pairs).unwrap();
+        // 100 elements pad to 112 = 7 batches of 16: levels 0, 1, 2 occupied.
+        assert_eq!(lsm.num_batches(), 7);
+        assert_eq!(lsm.num_occupied_levels(), 3);
+        assert_eq!(lsm.num_resident_elements(), 112);
+    }
+
+    #[test]
+    fn bulk_build_empty_and_invalid() {
+        let lsm = GpuLsm::bulk_build(device(), 16, &[]).unwrap();
+        assert!(lsm.is_empty());
+        assert!(GpuLsm::bulk_build(device(), 0, &[(1, 1)]).is_err());
+        assert_eq!(
+            GpuLsm::bulk_build(device(), 4, &[(MAX_KEY + 1, 0)]).unwrap_err(),
+            LsmError::KeyOutOfRange { key: MAX_KEY + 1 }
+        );
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_without_mutation() {
+        let mut lsm = GpuLsm::new(device(), 2).unwrap();
+        let err = lsm.insert(&[(1, 1), (2, 2), (3, 3)]).unwrap_err();
+        assert!(matches!(err, LsmError::BatchTooLarge { .. }));
+        assert!(lsm.is_empty());
+    }
+
+    #[test]
+    fn mixed_update_batch_counts_as_one_batch() {
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, 10).delete(2).insert(3, 30).delete(4);
+        lsm.update(&batch).unwrap();
+        assert_eq!(lsm.num_batches(), 1);
+        assert_eq!(lsm.num_resident_elements(), 4);
+    }
+}

@@ -1,0 +1,210 @@
+//! Order-based point queries: successor and predecessor.
+//!
+//! The paper notes (footnote 1) that beyond LOOKUP, COUNT and RANGE "it is
+//! straightforward to support other order-based queries such as finding a
+//! successor or a predecessor of a certain key"; this module provides them.
+//!
+//! A successor query must return the smallest *valid* key strictly greater
+//! than the query key — skipping tombstoned keys and seeing through replaced
+//! duplicates — so the search alternates between "find the next candidate
+//! key across all levels" (one lower-bound per level) and "is that candidate
+//! still live?" (the lookup rule: the newest instance decides).  Each
+//! rejected candidate advances the search key, so the cost is
+//! O((1 + s) · levels · log n) where `s` is the number of stale keys skipped,
+//! which cleanup keeps small.
+
+use rayon::prelude::*;
+
+use gpu_primitives::search::{lower_bound_by, upper_bound_by};
+use gpu_sim::AccessPattern;
+
+use crate::key::{original_key, Key, Value, MAX_KEY};
+use crate::lsm::GpuLsm;
+
+impl GpuLsm {
+    /// For each query key, the smallest valid key strictly greater than it,
+    /// with its value; `None` if no such key exists.
+    pub fn successor(&self, queries: &[Key]) -> Vec<Option<(Key, Value)>> {
+        self.record_order_traffic("lsm_successor", queries.len());
+        self.device().timer().time("successor", || {
+            queries.par_iter().map(|&q| self.successor_one(q)).collect()
+        })
+    }
+
+    /// For each query key, the largest valid key strictly smaller than it,
+    /// with its value; `None` if no such key exists.
+    pub fn predecessor(&self, queries: &[Key]) -> Vec<Option<(Key, Value)>> {
+        self.record_order_traffic("lsm_predecessor", queries.len());
+        self.device().timer().time("predecessor", || {
+            queries
+                .par_iter()
+                .map(|&q| self.predecessor_one(q))
+                .collect()
+        })
+    }
+
+    /// Successor of a single key.
+    pub fn successor_one(&self, query: Key) -> Option<(Key, Value)> {
+        let mut probe = query;
+        loop {
+            // Smallest key strictly greater than `probe` in any level.
+            let mut candidate: Option<Key> = None;
+            for (_, level) in self.levels().iter_occupied() {
+                let keys = level.keys();
+                let idx = upper_bound_by(keys, &(probe << 1 | 1), |a, b| (a >> 1) < (b >> 1));
+                if idx < keys.len() {
+                    let k = original_key(keys[idx]);
+                    candidate = Some(candidate.map_or(k, |c: Key| c.min(k)));
+                }
+            }
+            let next = candidate?;
+            // A placebo (MAX_KEY tombstone) can be the only remaining key.
+            if let Some(v) = self.lookup_one(next) {
+                return Some((next, v));
+            }
+            if next == MAX_KEY {
+                return None;
+            }
+            probe = next; // stale key: keep walking upward
+        }
+    }
+
+    /// Predecessor of a single key.
+    pub fn predecessor_one(&self, query: Key) -> Option<(Key, Value)> {
+        let mut probe = query;
+        loop {
+            // Largest key strictly smaller than `probe` in any level.
+            let mut candidate: Option<Key> = None;
+            for (_, level) in self.levels().iter_occupied() {
+                let keys = level.keys();
+                let idx = lower_bound_by(keys, &(probe << 1), |a, b| (a >> 1) < (b >> 1));
+                if idx > 0 {
+                    let k = original_key(keys[idx - 1]);
+                    candidate = Some(candidate.map_or(k, |c: Key| c.max(k)));
+                }
+            }
+            let prev = candidate?;
+            if let Some(v) = self.lookup_one(prev) {
+                return Some((prev, v));
+            }
+            if prev == 0 {
+                return None;
+            }
+            probe = prev; // stale key: keep walking downward
+        }
+    }
+
+    fn record_order_traffic(&self, kernel: &str, num_queries: usize) {
+        self.device().metrics().record_launch(kernel);
+        let probes: u64 = self
+            .levels()
+            .iter_occupied()
+            .map(|(_, level)| (usize::BITS - level.len().leading_zeros()) as u64)
+            .sum();
+        self.device().metrics().record_scattered_probes(
+            kernel,
+            2 * probes * num_queries as u64,
+            std::mem::size_of::<Key>() as u64,
+        );
+        self.device().metrics().record_read(
+            kernel,
+            (num_queries * std::mem::size_of::<Key>()) as u64,
+            AccessPattern::Coalesced,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    use gpu_sim::{Device, DeviceConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use crate::batch::UpdateBatch;
+    use crate::lsm::GpuLsm;
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::small()))
+    }
+
+    #[test]
+    fn successor_and_predecessor_on_simple_set() {
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        lsm.insert(&[(10, 1), (20, 2), (30, 3), (40, 4)]).unwrap();
+        assert_eq!(lsm.successor_one(10), Some((20, 2)));
+        assert_eq!(lsm.successor_one(15), Some((20, 2)));
+        assert_eq!(lsm.successor_one(40), None);
+        assert_eq!(lsm.predecessor_one(40), Some((30, 3)));
+        assert_eq!(lsm.predecessor_one(35), Some((30, 3)));
+        assert_eq!(lsm.predecessor_one(10), None);
+        assert_eq!(lsm.successor(&[0, 25]), vec![Some((10, 1)), Some((30, 3))]);
+        assert_eq!(lsm.predecessor(&[100, 5]), vec![Some((40, 4)), None]);
+    }
+
+    #[test]
+    fn successor_skips_deleted_keys() {
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        lsm.insert(&[(10, 1), (20, 2), (30, 3), (40, 4)]).unwrap();
+        lsm.delete(&[20, 30]).unwrap();
+        assert_eq!(lsm.successor_one(10), Some((40, 4)));
+        assert_eq!(lsm.predecessor_one(40), Some((10, 1)));
+        assert_eq!(lsm.successor_one(40), None);
+    }
+
+    #[test]
+    fn successor_sees_latest_value_of_replaced_key() {
+        let mut lsm = GpuLsm::new(device(), 2).unwrap();
+        lsm.insert(&[(5, 1), (9, 1)]).unwrap();
+        lsm.insert(&[(9, 2), (12, 1)]).unwrap();
+        assert_eq!(lsm.successor_one(5), Some((9, 2)));
+    }
+
+    #[test]
+    fn empty_structure_has_no_neighbours() {
+        let lsm = GpuLsm::new(device(), 4).unwrap();
+        assert_eq!(lsm.successor_one(0), None);
+        assert_eq!(lsm.predecessor_one(100), None);
+        assert!(lsm.successor(&[]).is_empty());
+    }
+
+    #[test]
+    fn order_queries_match_btreemap_on_random_workload() {
+        let mut rng = StdRng::seed_from_u64(321);
+        let b = 32;
+        let mut lsm = GpuLsm::new(device(), b).unwrap();
+        let mut reference: BTreeMap<u32, u32> = BTreeMap::new();
+        for _ in 0..8 {
+            let mut batch = UpdateBatch::new();
+            let mut used = std::collections::HashSet::new();
+            while used.len() < b {
+                let key = rng.gen_range(0..400u32);
+                if !used.insert(key) {
+                    continue;
+                }
+                if rng.gen_bool(0.3) {
+                    batch.delete(key);
+                    reference.remove(&key);
+                } else {
+                    let v = rng.gen();
+                    batch.insert(key, v);
+                    reference.insert(key, v);
+                }
+            }
+            lsm.update(&batch).unwrap();
+        }
+        for q in (0..450).step_by(3) {
+            let expected_succ = reference.range(q + 1..).next().map(|(&k, &v)| (k, v));
+            assert_eq!(lsm.successor_one(q), expected_succ, "successor({q})");
+            let expected_pred = reference.range(..q).next_back().map(|(&k, &v)| (k, v));
+            assert_eq!(lsm.predecessor_one(q), expected_pred, "predecessor({q})");
+        }
+        // Cleanup must not change order-query answers.
+        let before: Vec<_> = (0..450).map(|q| lsm.successor_one(q)).collect();
+        lsm.cleanup();
+        let after: Vec<_> = (0..450).map(|q| lsm.successor_one(q)).collect();
+        assert_eq!(before, after);
+    }
+}

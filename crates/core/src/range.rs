@@ -1,0 +1,227 @@
+//! Range queries: return every valid key–value pair in `[k1, k2]`.
+//!
+//! Range queries share stages 1–4 with count queries (§IV-D): bounds,
+//! scan, gather (keys *and* values) and segmented sort.  Stage 5 differs:
+//! instead of tallying, each key run's newest element is marked valid if it
+//! is a regular element, and a flag-based compaction gathers the surviving
+//! pairs per query, producing per-query offsets followed by the valid
+//! elements sorted by key — the same output layout the paper describes.
+
+use gpu_primitives::compact::compact_pairs_by_flag;
+use gpu_primitives::scan::exclusive_scan;
+use rayon::prelude::*;
+
+use crate::count::{split_by_offsets, Candidates};
+use crate::key::{is_regular, original_key, Key, Value};
+use crate::lsm::GpuLsm;
+
+/// The result of a batch of range queries.
+///
+/// All queries' results are stored contiguously (keys ascending within each
+/// query); `offsets` delimits each query's slice, mirroring the
+/// offsets-then-elements layout the GPU implementation returns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeResult {
+    /// Per-query start offsets into `keys` / `values`
+    /// (`num_queries + 1` entries).
+    pub offsets: Vec<usize>,
+    /// Valid original (decoded) keys of all queries, concatenated.
+    pub keys: Vec<Key>,
+    /// Values parallel to `keys`.
+    pub values: Vec<Value>,
+}
+
+impl RangeResult {
+    /// Number of queries this result covers.
+    pub fn num_queries(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The `(keys, values)` slices of query `q`.
+    pub fn query(&self, q: usize) -> (&[Key], &[Value]) {
+        let start = self.offsets[q];
+        let end = self.offsets[q + 1];
+        (&self.keys[start..end], &self.values[start..end])
+    }
+
+    /// Number of valid elements returned for query `q`.
+    pub fn len(&self, q: usize) -> usize {
+        self.offsets[q + 1] - self.offsets[q]
+    }
+
+    /// Whether query `q` returned no elements.
+    pub fn is_empty(&self, q: usize) -> bool {
+        self.len(q) == 0
+    }
+
+    /// Iterate the `(key, value)` pairs of query `q`.
+    pub fn iter_query(&self, q: usize) -> impl Iterator<Item = (Key, Value)> + '_ {
+        let (k, v) = self.query(q);
+        k.iter().copied().zip(v.iter().copied())
+    }
+
+    /// Total number of returned elements across all queries.
+    pub fn total_len(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+impl GpuLsm {
+    /// Execute a batch of range queries `(k1, k2)`, returning every valid
+    /// pair with `k1 <= key <= k2`, sorted by key, for each query.
+    pub fn range(&self, queries: &[(Key, Key)]) -> RangeResult {
+        let candidates = self.device().timer().time("range::gather", || {
+            self.gather_candidates(queries, "lsm_range")
+        });
+        self.device()
+            .timer()
+            .time("range::validate", || self.compact_valid(queries.len(), candidates))
+    }
+
+    /// Stage 5 for range queries: mark the newest instance of each key when
+    /// it is regular, then compact the marked pairs per query.
+    fn compact_valid(&self, num_queries: usize, candidates: Candidates) -> RangeResult {
+        let Candidates {
+            keys,
+            values,
+            segment_offsets,
+        } = candidates;
+
+        // Mark valid elements: first (newest) element of each key run within
+        // its segment, and only if it is a regular element.
+        let mut flags = vec![false; keys.len()];
+        {
+            let flag_segments = split_by_offsets(&mut flags, &segment_offsets);
+            flag_segments.into_par_iter().enumerate().for_each(|(q, seg)| {
+                let start = segment_offsets[q];
+                let seg_keys = &keys[start..start + seg.len()];
+                let mut i = 0usize;
+                while i < seg_keys.len() {
+                    let key = seg_keys[i] >> 1;
+                    seg[i] = is_regular(seg_keys[i]);
+                    i += 1;
+                    while i < seg_keys.len() && seg_keys[i] >> 1 == key {
+                        seg[i] = false;
+                        i += 1;
+                    }
+                }
+            });
+        }
+
+        // Per-query valid counts -> output offsets.
+        let per_query_counts: Vec<u64> = (0..num_queries)
+            .into_par_iter()
+            .map(|q| {
+                flags[segment_offsets[q]..segment_offsets[q + 1]]
+                    .iter()
+                    .filter(|&&f| f)
+                    .count() as u64
+            })
+            .collect();
+        let (query_offsets, total_valid) = exclusive_scan(self.device(), &per_query_counts);
+
+        // Compact the flagged pairs; the flag-based compaction preserves
+        // order, so each query's elements stay contiguous and key-sorted.
+        let (kept_keys, kept_values) = compact_pairs_by_flag(self.device(), &keys, &values, &flags);
+        debug_assert_eq!(kept_keys.len(), total_valid as usize);
+
+        let mut offsets: Vec<usize> = query_offsets.iter().map(|&o| o as usize).collect();
+        offsets.push(total_valid as usize);
+
+        RangeResult {
+            offsets,
+            keys: kept_keys.iter().map(|&k| original_key(k)).collect(),
+            values: kept_values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use gpu_sim::{Device, DeviceConfig};
+
+    use crate::lsm::GpuLsm;
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::small()))
+    }
+
+    #[test]
+    fn returns_pairs_sorted_by_key() {
+        let mut lsm = GpuLsm::new(device(), 8).unwrap();
+        let pairs: Vec<(u32, u32)> = [(50, 5), (10, 1), (30, 3), (70, 7), (20, 2), (60, 6), (40, 4), (80, 8)]
+            .to_vec();
+        lsm.insert(&pairs).unwrap();
+        let result = lsm.range(&[(15, 65)]);
+        assert_eq!(result.num_queries(), 1);
+        let (keys, values) = result.query(0);
+        assert_eq!(keys, &[20, 30, 40, 50, 60]);
+        assert_eq!(values, &[2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn excludes_deleted_and_uses_latest_value() {
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        lsm.insert(&[(1, 10), (2, 20), (3, 30), (4, 40)]).unwrap();
+        lsm.insert(&[(2, 21), (5, 50), (6, 60), (7, 70)]).unwrap();
+        lsm.delete(&[3, 6]).unwrap();
+        let result = lsm.range(&[(1, 7)]);
+        let (keys, values) = result.query(0);
+        assert_eq!(keys, &[1, 2, 4, 5, 7]);
+        assert_eq!(values, &[10, 21, 40, 50, 70]);
+    }
+
+    #[test]
+    fn multiple_queries_have_independent_segments() {
+        let mut lsm = GpuLsm::new(device(), 16).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..16).map(|k| (k, k * 2)).collect();
+        lsm.insert(&pairs).unwrap();
+        let result = lsm.range(&[(0, 3), (10, 12), (100, 200)]);
+        assert_eq!(result.num_queries(), 3);
+        assert_eq!(result.query(0).0, &[0, 1, 2, 3]);
+        assert_eq!(result.query(1).0, &[10, 11, 12]);
+        assert!(result.is_empty(2));
+        assert_eq!(result.len(0), 4);
+        assert_eq!(result.total_len(), 7);
+        let collected: Vec<(u32, u32)> = result.iter_query(1).collect();
+        assert_eq!(collected, vec![(10, 20), (11, 22), (12, 24)]);
+    }
+
+    #[test]
+    fn range_on_empty_structure() {
+        let lsm = GpuLsm::new(device(), 4).unwrap();
+        let result = lsm.range(&[(0, 100)]);
+        assert_eq!(result.num_queries(), 1);
+        assert!(result.is_empty(0));
+    }
+
+    #[test]
+    fn range_with_replaced_keys_returns_single_instance() {
+        let mut lsm = GpuLsm::new(device(), 2).unwrap();
+        lsm.insert(&[(5, 1), (6, 1)]).unwrap();
+        lsm.insert(&[(5, 2), (6, 2)]).unwrap();
+        lsm.insert(&[(5, 3), (6, 3)]).unwrap();
+        let result = lsm.range(&[(5, 6)]);
+        let (keys, values) = result.query(0);
+        assert_eq!(keys, &[5, 6]);
+        assert_eq!(values, &[3, 3]);
+    }
+
+    #[test]
+    fn range_matches_count() {
+        let mut lsm = GpuLsm::new(device(), 32).unwrap();
+        for b in 0..3u32 {
+            let pairs: Vec<(u32, u32)> = (0..32).map(|i| ((i * 7 + b * 3) % 200, i)).collect();
+            lsm.insert(&pairs).unwrap();
+        }
+        lsm.delete(&[14, 21, 28]).unwrap();
+        let queries: Vec<(u32, u32)> = vec![(0, 50), (40, 120), (150, 199), (0, 199)];
+        let counts = lsm.count(&queries);
+        let ranges = lsm.range(&queries);
+        for (q, &c) in counts.iter().enumerate() {
+            assert_eq!(ranges.len(q), c as usize, "query {q}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Structure statistics: occupancy, memory usage and staleness accounting.
+//!
+//! The paper's discussion of cleanup scheduling (§III-F, §V-D) is driven by
+//! how many levels are occupied and how many stale elements have
+//! accumulated; [`LsmStats`] exposes exactly those quantities so
+//! applications (and the experiment harness) can decide when a cleanup pays
+//! off.
+
+use crate::key::is_regular;
+use crate::lsm::GpuLsm;
+
+/// A snapshot of the GPU LSM's shape and contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsmStats {
+    /// The fixed batch size `b`.
+    pub batch_size: usize,
+    /// Number of resident batches `r`.
+    pub num_batches: usize,
+    /// Total resident elements (`r·b`), stale elements included.
+    pub total_elements: usize,
+    /// Number of occupied levels (popcount of `r`).
+    pub occupied_levels: usize,
+    /// Sizes of the occupied levels, smallest level index first.
+    pub level_sizes: Vec<usize>,
+    /// Bytes of device memory used by keys and values.
+    pub memory_bytes: usize,
+    /// Number of elements that are currently *valid* (the newest instance of
+    /// a key, regular, not a placebo).  Everything else is stale.
+    pub valid_elements: usize,
+    /// `total_elements - valid_elements`.
+    pub stale_elements: usize,
+}
+
+impl LsmStats {
+    /// Fraction of resident elements that are stale (0.0 for an empty LSM).
+    pub fn stale_fraction(&self) -> f64 {
+        if self.total_elements == 0 {
+            0.0
+        } else {
+            self.stale_elements as f64 / self.total_elements as f64
+        }
+    }
+}
+
+impl GpuLsm {
+    /// Compute a statistics snapshot.  This scans the structure (it is a
+    /// diagnostic, not a hot-path operation).
+    pub fn stats(&self) -> LsmStats {
+        let level_sizes: Vec<usize> = self.levels().iter_occupied().map(|(_, l)| l.len()).collect();
+        let memory_bytes = self.levels().size_bytes();
+        let valid_elements = self.count_valid_elements();
+        let total_elements = self.num_resident_elements();
+        LsmStats {
+            batch_size: self.batch_size(),
+            num_batches: self.num_batches(),
+            total_elements,
+            occupied_levels: self.num_occupied_levels(),
+            level_sizes,
+            memory_bytes,
+            valid_elements,
+            stale_elements: total_elements - valid_elements,
+        }
+    }
+
+    /// Count the currently valid elements: for every distinct key, the most
+    /// recent instance if it is a regular element (placebos never count).
+    pub fn count_valid_elements(&self) -> usize {
+        // Collect every distinct key's newest instance by walking levels
+        // newest-first and keeping the first sighting of each key.
+        let mut seen = std::collections::HashSet::new();
+        let mut valid = 0usize;
+        for (_, level) in self.levels().iter_occupied() {
+            let keys = level.keys();
+            // Within a level equal keys are adjacent, newest first; consider
+            // only each run's first element.
+            let mut i = 0usize;
+            while i < keys.len() {
+                let key = keys[i] >> 1;
+                let newest = keys[i];
+                if seen.insert(key) && is_regular(newest) {
+                    valid += 1;
+                }
+                i += 1;
+                while i < keys.len() && keys[i] >> 1 == key {
+                    i += 1;
+                }
+            }
+        }
+        valid
+    }
+
+    /// Total bytes of device memory used by the structure's levels.
+    pub fn memory_bytes(&self) -> usize {
+        self.levels().size_bytes()
+    }
+
+    /// Per-level element counts, keyed by level index.
+    pub fn level_occupancy(&self) -> Vec<(usize, usize)> {
+        self.levels()
+            .iter_occupied()
+            .map(|(i, l)| (i, l.len()))
+            .collect()
+    }
+
+    /// Sum over occupied levels of a query's worst-case binary-search probes
+    /// (`log2` of each level size) — the quantity that governs lookup cost
+    /// in Table I.
+    pub fn worst_case_lookup_probes(&self) -> u32 {
+        self.levels()
+            .iter_occupied()
+            .map(|(_, l)| usize::BITS - l.len().leading_zeros())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use gpu_sim::{Device, DeviceConfig};
+
+    use crate::lsm::GpuLsm;
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::small()))
+    }
+
+    #[test]
+    fn stats_of_empty_lsm() {
+        let lsm = GpuLsm::new(device(), 8).unwrap();
+        let stats = lsm.stats();
+        assert_eq!(stats.total_elements, 0);
+        assert_eq!(stats.valid_elements, 0);
+        assert_eq!(stats.occupied_levels, 0);
+        assert_eq!(stats.stale_fraction(), 0.0);
+        assert!(stats.level_sizes.is_empty());
+    }
+
+    #[test]
+    fn stats_track_inserts_and_deletes() {
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        lsm.insert(&[(1, 1), (2, 2), (3, 3), (4, 4)]).unwrap();
+        lsm.delete(&[2]).unwrap();
+        let stats = lsm.stats();
+        assert_eq!(stats.batch_size, 4);
+        assert_eq!(stats.num_batches, 2);
+        assert_eq!(stats.total_elements, 8);
+        assert_eq!(stats.valid_elements, 3); // 1, 3, 4
+        assert_eq!(stats.stale_elements, 5);
+        assert!(stats.stale_fraction() > 0.0);
+        assert_eq!(stats.occupied_levels, 1);
+        assert_eq!(stats.level_sizes, vec![8]);
+        assert_eq!(stats.memory_bytes, 8 * 8);
+    }
+
+    #[test]
+    fn level_occupancy_matches_binary_counter() {
+        let mut lsm = GpuLsm::new(device(), 2).unwrap();
+        for i in 0..5u32 {
+            lsm.insert(&[(i * 2, 0), (i * 2 + 1, 0)]).unwrap();
+        }
+        // r = 5 = 0b101: levels 0 and 2.
+        let occ = lsm.level_occupancy();
+        assert_eq!(occ, vec![(0, 2), (2, 8)]);
+        assert!(lsm.worst_case_lookup_probes() >= 2);
+        assert!(lsm.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn valid_count_ignores_replaced_duplicates() {
+        let mut lsm = GpuLsm::new(device(), 2).unwrap();
+        lsm.insert(&[(7, 1), (8, 1)]).unwrap();
+        lsm.insert(&[(7, 2), (8, 2)]).unwrap();
+        assert_eq!(lsm.count_valid_elements(), 2);
+        let stats = lsm.stats();
+        assert_eq!(stats.stale_elements, 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Phase timers: CUDA-event style wall-clock timing of named phases.
+//!
+//! The experiment harness needs to measure sub-operations (sort, merge
+//! chain, validation) as well as whole operations, the same way CUDA events
+//! bracket kernel sequences.  [`PhaseTimer`] accumulates wall-clock time per
+//! named phase; repeated phases are summed and counted.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Accumulated statistics for one named phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Total accumulated duration.
+    pub total: Duration,
+    /// Number of times the phase was recorded.
+    pub count: u64,
+}
+
+impl PhaseStats {
+    /// Mean duration per occurrence (zero if never recorded).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Accumulates wall-clock time for named phases.
+#[derive(Debug, Default)]
+pub struct PhaseTimer {
+    phases: Mutex<BTreeMap<String, PhaseStats>>,
+}
+
+impl PhaseTimer {
+    /// Create an empty timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time `f` and add the elapsed duration to `phase`.
+    pub fn time<R>(&self, phase: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let result = f();
+        self.record(phase, start.elapsed());
+        result
+    }
+
+    /// Record an externally measured duration for `phase`.
+    pub fn record(&self, phase: &str, elapsed: Duration) {
+        let mut phases = self.phases.lock();
+        let entry = phases.entry(phase.to_string()).or_default();
+        entry.total += elapsed;
+        entry.count += 1;
+    }
+
+    /// Stats for a single phase, if it was ever recorded.
+    pub fn stats(&self, phase: &str) -> Option<PhaseStats> {
+        self.phases.lock().get(phase).copied()
+    }
+
+    /// Snapshot of every phase.
+    pub fn snapshot(&self) -> BTreeMap<String, PhaseStats> {
+        self.phases.lock().clone()
+    }
+
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.phases.lock().values().map(|s| s.total).sum()
+    }
+
+    /// Clear all recorded phases.
+    pub fn reset(&self) {
+        self.phases.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_phase() {
+        let timer = PhaseTimer::new();
+        let out = timer.time("work", || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        let stats = timer.stats("work").unwrap();
+        assert_eq!(stats.count, 1);
+        assert!(stats.total >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn repeated_phases_accumulate() {
+        let timer = PhaseTimer::new();
+        timer.record("sort", Duration::from_millis(10));
+        timer.record("sort", Duration::from_millis(30));
+        let stats = timer.stats("sort").unwrap();
+        assert_eq!(stats.count, 2);
+        assert_eq!(stats.total, Duration::from_millis(40));
+        assert_eq!(stats.mean(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn total_sums_all_phases() {
+        let timer = PhaseTimer::new();
+        timer.record("a", Duration::from_millis(1));
+        timer.record("b", Duration::from_millis(2));
+        assert_eq!(timer.total(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn unknown_phase_is_none_and_reset_clears() {
+        let timer = PhaseTimer::new();
+        assert!(timer.stats("nothing").is_none());
+        timer.record("x", Duration::from_millis(1));
+        timer.reset();
+        assert!(timer.snapshot().is_empty());
+    }
+
+    #[test]
+    fn mean_of_empty_stats_is_zero() {
+        assert_eq!(PhaseStats::default().mean(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,292 @@
+//! Device (global) memory: buffers, allocation tracking and the ping-pong
+//! double buffer used by the LSM's out-of-place merges.
+//!
+//! On a real GPU the data structure lives in device DRAM and every kernel
+//! reads and writes it there.  Here a [`DeviceBuffer`] owns its storage on
+//! the host, but the [`MemoryTracker`] keeps the same accounting a GPU
+//! allocator would: live bytes, peak bytes and allocation counts — the
+//! numbers the paper's §IV discusses when motivating the ping-pong strategy
+//! and the memory cost of stale elements.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Tracks device-memory allocations (live bytes, peak bytes, counts).
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    live_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
+    total_allocations: AtomicU64,
+}
+
+impl MemoryTracker {
+    /// Create a tracker with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an allocation of `bytes`.
+    pub fn record_alloc(&self, bytes: u64) {
+        let live = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.total_allocations.fetch_add(1, Ordering::Relaxed);
+        // Update the peak with a CAS loop (the value only ever increases).
+        let mut peak = self.peak_bytes.load(Ordering::Relaxed);
+        while live > peak {
+            match self.peak_bytes.compare_exchange_weak(
+                peak,
+                live,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(p) => peak = p,
+            }
+        }
+    }
+
+    /// Record that an allocation of `bytes` was freed.
+    pub fn record_free(&self, bytes: u64) {
+        self.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of allocations performed.
+    pub fn total_allocations(&self) -> u64 {
+        self.total_allocations.load(Ordering::Relaxed)
+    }
+}
+
+/// A buffer in the modelled device's global memory.
+///
+/// The buffer owns a `Vec<T>`; its allocation and deallocation are reported
+/// to the owning [`MemoryTracker`] so that experiments can report device
+/// memory usage (e.g. the memory overhead of stale elements before cleanup).
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    label: String,
+    data: Vec<T>,
+    tracker: Option<Arc<MemoryTracker>>,
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Wrap an existing vector as a device buffer tracked by `tracker`.
+    pub fn from_vec(label: impl Into<String>, data: Vec<T>, tracker: Option<Arc<MemoryTracker>>) -> Self {
+        let buf = DeviceBuffer {
+            label: label.into(),
+            data,
+            tracker,
+        };
+        if let Some(t) = &buf.tracker {
+            t.record_alloc(buf.size_bytes());
+        }
+        buf
+    }
+
+    /// Length in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size of the allocation in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        (self.data.capacity() * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Debug label of the buffer.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Read-only view of the buffer contents.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the buffer contents.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copy the buffer back to host memory (returns a clone of the data).
+    pub fn to_host(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.data.clone()
+    }
+
+    /// Consume the buffer and return the underlying vector without copying.
+    pub fn into_vec(mut self) -> Vec<T> {
+        if let Some(t) = self.tracker.take() {
+            t.record_free((self.data.capacity() * std::mem::size_of::<T>()) as u64);
+        }
+        std::mem::take(&mut self.data)
+    }
+
+    /// Replace the contents with `data` (models a device-to-device copy into
+    /// a reused allocation).
+    pub fn replace(&mut self, data: Vec<T>) {
+        let old = self.size_bytes();
+        self.data = data;
+        if let Some(t) = &self.tracker {
+            t.record_free(old);
+            t.record_alloc(self.size_bytes());
+        }
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        if let Some(t) = &self.tracker {
+            t.record_free((self.data.capacity() * std::mem::size_of::<T>()) as u64);
+        }
+    }
+}
+
+impl<T: Clone> Clone for DeviceBuffer<T> {
+    fn clone(&self) -> Self {
+        DeviceBuffer::from_vec(self.label.clone(), self.data.clone(), self.tracker.clone())
+    }
+}
+
+/// A pair of equally sized buffers used for out-of-place (ping-pong)
+/// operations, as the paper's merge chain requires (§IV-A: "Since our merge
+/// is not an in-place operation, we use double buffers and a ping-pong
+/// strategy between them").
+#[derive(Debug)]
+pub struct DoubleBuffer<T> {
+    current: Vec<T>,
+    alternate: Vec<T>,
+}
+
+impl<T: Default + Clone> DoubleBuffer<T> {
+    /// Create a double buffer whose current side holds `data`.
+    pub fn new(data: Vec<T>) -> Self {
+        let alternate = Vec::with_capacity(data.len());
+        DoubleBuffer { current: data, alternate }
+    }
+
+    /// Current (valid) side.
+    pub fn current(&self) -> &[T] {
+        &self.current
+    }
+
+    /// Mutable access to the current side.
+    pub fn current_mut(&mut self) -> &mut Vec<T> {
+        &mut self.current
+    }
+
+    /// Mutable access to the alternate (scratch) side.
+    pub fn alternate_mut(&mut self) -> &mut Vec<T> {
+        &mut self.alternate
+    }
+
+    /// Swap the roles of the two sides (after an out-of-place pass wrote the
+    /// new values into the alternate side).
+    pub fn swap(&mut self) {
+        std::mem::swap(&mut self.current, &mut self.alternate);
+    }
+
+    /// Consume the double buffer, returning the current side.
+    pub fn into_current(self) -> Vec<T> {
+        self.current
+    }
+
+    /// Length of the current side.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// Whether the current side is empty.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_alloc_and_free() {
+        let tracker = Arc::new(MemoryTracker::new());
+        {
+            let buf = DeviceBuffer::from_vec("a", vec![0u64; 128], Some(tracker.clone()));
+            assert_eq!(tracker.live_bytes(), buf.size_bytes());
+            assert_eq!(tracker.total_allocations(), 1);
+        }
+        assert_eq!(tracker.live_bytes(), 0);
+        assert!(tracker.peak_bytes() >= 128 * 8);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let tracker = Arc::new(MemoryTracker::new());
+        let a = DeviceBuffer::from_vec("a", vec![0u32; 100], Some(tracker.clone()));
+        let b = DeviceBuffer::from_vec("b", vec![0u32; 200], Some(tracker.clone()));
+        let peak_with_both = tracker.live_bytes();
+        drop(a);
+        drop(b);
+        assert_eq!(tracker.live_bytes(), 0);
+        assert_eq!(tracker.peak_bytes(), peak_with_both);
+    }
+
+    #[test]
+    fn buffer_roundtrip_to_host() {
+        let buf = DeviceBuffer::from_vec("x", vec![1u32, 2, 3], None);
+        assert_eq!(buf.to_host(), vec![1, 2, 3]);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.label(), "x");
+    }
+
+    #[test]
+    fn into_vec_releases_tracking() {
+        let tracker = Arc::new(MemoryTracker::new());
+        let buf = DeviceBuffer::from_vec("y", vec![7u8; 64], Some(tracker.clone()));
+        let v = buf.into_vec();
+        assert_eq!(v.len(), 64);
+        assert_eq!(tracker.live_bytes(), 0);
+    }
+
+    #[test]
+    fn replace_updates_accounting() {
+        let tracker = Arc::new(MemoryTracker::new());
+        let mut buf = DeviceBuffer::from_vec("z", vec![0u64; 10], Some(tracker.clone()));
+        buf.replace(vec![0u64; 1000]);
+        assert_eq!(tracker.live_bytes(), buf.size_bytes());
+        assert_eq!(buf.len(), 1000);
+    }
+
+    #[test]
+    fn double_buffer_swap_exchanges_sides() {
+        let mut db = DoubleBuffer::new(vec![1, 2, 3]);
+        db.alternate_mut().clear();
+        db.alternate_mut().extend_from_slice(&[4, 5, 6, 7]);
+        db.swap();
+        assert_eq!(db.current(), &[4, 5, 6, 7]);
+        assert_eq!(db.len(), 4);
+        db.swap();
+        assert_eq!(db.current(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn double_buffer_into_current() {
+        let db: DoubleBuffer<u32> = DoubleBuffer::new(vec![9, 8]);
+        assert_eq!(db.into_current(), vec![9, 8]);
+    }
+}

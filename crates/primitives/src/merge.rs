@@ -1,0 +1,296 @@
+//! Stable parallel merge of two sorted sequences under a caller-supplied
+//! comparator (moderngpu `Merge` equivalent).
+//!
+//! The LSM's insertion path repeatedly merges the incoming (sorted) buffer
+//! with a full level (paper Fig. 3 line 14).  The comparator compares only
+//! the original 31-bit key — the status bit is ignored — and the merge must
+//! be stable in a specific sense: **on ties, elements of the first input
+//! (the more recently inserted buffer) come first**, which preserves the
+//! ordering invariants of §III-D.
+//!
+//! The implementation is the classical *merge path* decomposition: the
+//! output is cut into tiles; for each tile boundary (a diagonal of the merge
+//! grid) a binary search finds how many elements of `a` and `b` precede the
+//! diagonal under the tie-breaking rule; each tile is then merged
+//! sequentially and independently, so all tiles run in parallel.
+
+use gpu_sim::{AccessPattern, Device};
+use rayon::prelude::*;
+
+use crate::util::SharedSlice;
+
+/// Find the merge-path split for diagonal `diag`: the number of elements
+/// taken from `a` when exactly `diag` output elements have been produced,
+/// with ties favouring `a`.
+///
+/// `less(x, y)` must be a strict weak ordering ("x sorts before y").
+fn merge_path<T, F>(a: &[T], b: &[T], diag: usize, less: &F) -> usize
+where
+    F: Fn(&T, &T) -> bool,
+{
+    let mut lo = diag.saturating_sub(b.len());
+    let mut hi = diag.min(a.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // a[mid] vs b[diag - 1 - mid]: if b element is strictly smaller, the
+        // split point must include fewer `a` elements after mid; otherwise
+        // (a <= b, i.e. tie or a smaller) `a` wins and the split moves right.
+        if less(&b[diag - 1 - mid], &a[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Sequentially merge `a` and `b` into `out`, ties favouring `a`.
+fn serial_merge_into<T, F>(a: &[T], b: &[T], out: &mut [T], less: &F)
+where
+    T: Copy,
+    F: Fn(&T, &T) -> bool,
+{
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = if i >= a.len() {
+            false
+        } else if j >= b.len() {
+            true
+        } else {
+            // Take from b only if strictly smaller: ties go to a.
+            !less(&b[j], &a[i])
+        };
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+/// Merge two sorted slices into a new vector, ties favouring `a`, using the
+/// comparator `less`.
+pub fn merge_by<T, F>(device: &Device, a: &[T], b: &[T], less: F) -> Vec<T>
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    let n = a.len() + b.len();
+    let kernel = "merge";
+    device.metrics().record_launch(kernel);
+    let bytes = (n * std::mem::size_of::<T>()) as u64;
+    device.metrics().record_read(kernel, bytes, AccessPattern::Coalesced);
+    device.metrics().record_write(kernel, bytes, AccessPattern::Coalesced);
+
+    let mut out = vec![T::default(); n];
+    if n == 0 {
+        return out;
+    }
+    let tile = device.preferred_tile(std::mem::size_of::<T>()).max(1024);
+    let num_tiles = n.div_ceil(tile);
+
+    // Precompute merge-path splits at every tile boundary (scattered binary
+    // searches — a handful per tile).
+    let splits: Vec<usize> = (0..=num_tiles)
+        .into_par_iter()
+        .map(|t| merge_path(a, b, (t * tile).min(n), &less))
+        .collect();
+    device
+        .metrics()
+        .record_scattered_probes(kernel, (num_tiles as u64 + 1) * 32, std::mem::size_of::<T>() as u64);
+
+    let shared = SharedSlice::new(&mut out);
+    (0..num_tiles).into_par_iter().for_each(|t| {
+        let out_start = t * tile;
+        let out_end = ((t + 1) * tile).min(n);
+        let a_start = splits[t];
+        let a_end = splits[t + 1];
+        let b_start = out_start - a_start;
+        let b_end = out_end - a_end;
+        let mut local = vec![T::default(); out_end - out_start];
+        serial_merge_into(&a[a_start..a_end], &b[b_start..b_end], &mut local, &less);
+        for (offset, v) in local.into_iter().enumerate() {
+            // SAFETY: tiles cover disjoint output ranges.
+            unsafe { shared.write(out_start + offset, v) };
+        }
+    });
+    out
+}
+
+/// Merge two sorted key–value sequences by key, ties favouring `a`.
+/// Returns the merged keys and values.
+pub fn merge_pairs_by<F>(
+    device: &Device,
+    a_keys: &[u32],
+    a_vals: &[u32],
+    b_keys: &[u32],
+    b_vals: &[u32],
+    less: F,
+) -> (Vec<u32>, Vec<u32>)
+where
+    F: Fn(&u32, &u32) -> bool + Sync,
+{
+    assert_eq!(a_keys.len(), a_vals.len());
+    assert_eq!(b_keys.len(), b_vals.len());
+    // Merge (key, value) tuples so values travel with their keys; the
+    // comparator only ever sees keys.
+    let a: Vec<(u32, u32)> = a_keys.iter().copied().zip(a_vals.iter().copied()).collect();
+    let b: Vec<(u32, u32)> = b_keys.iter().copied().zip(b_vals.iter().copied()).collect();
+    let merged = merge_by(device, &a, &b, |x, y| less(&x.0, &y.0));
+    let mut keys = Vec::with_capacity(merged.len());
+    let mut vals = Vec::with_capacity(merged.len());
+    for (k, v) in merged {
+        keys.push(k);
+        vals.push(v);
+    }
+    (keys, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::small())
+    }
+
+    fn lt(a: &u32, b: &u32) -> bool {
+        a < b
+    }
+
+    #[test]
+    fn merges_disjoint_ranges() {
+        let device = device();
+        let a: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        let b: Vec<u32> = (0..100).map(|i| i * 2 + 1).collect();
+        let out = merge_by(&device, &a, &b, lt);
+        let expected: Vec<u32> = (0..200).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn merges_with_one_empty_side() {
+        let device = device();
+        let a: Vec<u32> = (0..50).collect();
+        let out = merge_by(&device, &a, &[], lt);
+        assert_eq!(out, a);
+        let out = merge_by(&device, &[], &a, lt);
+        assert_eq!(out, a);
+        let out: Vec<u32> = merge_by(&device, &[], &[], lt);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ties_favour_first_input() {
+        let device = device();
+        // Tag elements so we can see which input they came from: compare only
+        // on the key part (high 16 bits).
+        let a: Vec<u32> = vec![(1 << 16) | 0xA, (2 << 16) | 0xA, (2 << 16) | 0xB];
+        let b: Vec<u32> = vec![(1 << 16) | 0xF, (2 << 16) | 0xF];
+        let out = merge_by(&device, &a, &b, |x, y| (x >> 16) < (y >> 16));
+        // For key 1: a's element first, then b's.  For key 2: both of a's
+        // elements (in order) before b's.
+        assert_eq!(
+            out,
+            vec![
+                (1 << 16) | 0xA,
+                (1 << 16) | 0xF,
+                (2 << 16) | 0xA,
+                (2 << 16) | 0xB,
+                (2 << 16) | 0xF
+            ]
+        );
+    }
+
+    #[test]
+    fn large_merge_matches_std() {
+        let device = device();
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a: Vec<u32> = (0..100_000).map(|_| rng.gen()).collect();
+        let mut b: Vec<u32> = (0..63_001).map(|_| rng.gen()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let out = merge_by(&device, &a, &b, lt);
+        let mut expected = [a, b].concat();
+        expected.sort_unstable();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn merge_pairs_moves_values() {
+        let device = device();
+        let (k, v) = merge_pairs_by(
+            &device,
+            &[10, 30],
+            &[1, 3],
+            &[20, 30],
+            &[2, 9],
+            |a, b| a < b,
+        );
+        assert_eq!(k, vec![10, 20, 30, 30]);
+        assert_eq!(v, vec![1, 2, 3, 9]); // a's 30 precedes b's 30
+    }
+
+    #[test]
+    fn merge_records_traffic() {
+        let device = device();
+        let a: Vec<u32> = (0..1000).collect();
+        let b: Vec<u32> = (0..1000).collect();
+        let _ = merge_by(&device, &a, &b, lt);
+        assert!(device.metrics().snapshot().contains_key("merge"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_merge_is_sorted_and_permutation(
+            mut a in proptest::collection::vec(0u32..5000, 0..800),
+            mut b in proptest::collection::vec(0u32..5000, 0..800)
+        ) {
+            let device = device();
+            a.sort_unstable();
+            b.sort_unstable();
+            let out = merge_by(&device, &a, &b, lt);
+            prop_assert!(out.windows(2).all(|w| w[0] <= w[1]));
+            let mut expected = [a, b].concat();
+            expected.sort_unstable();
+            prop_assert_eq!(out, expected);
+        }
+
+        #[test]
+        fn prop_tie_break_prefers_a(
+            keys in proptest::collection::vec(0u32..50, 1..400)
+        ) {
+            // Both inputs share the same key population; tag provenance in the
+            // low bit and compare on the upper bits only.
+            let device = device();
+            let mut a: Vec<u32> = keys.iter().map(|&k| k << 1).collect();
+            let mut b: Vec<u32> = keys.iter().map(|&k| (k << 1) | 1).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            let out = merge_by(&device, &a, &b, |x, y| (x >> 1) < (y >> 1));
+            // Within every run of equal keys, all a-elements (low bit 0) must
+            // precede all b-elements (low bit 1).
+            let mut i = 0;
+            while i < out.len() {
+                let key = out[i] >> 1;
+                let mut seen_b = false;
+                while i < out.len() && out[i] >> 1 == key {
+                    if out[i] & 1 == 1 {
+                        seen_b = true;
+                    } else {
+                        prop_assert!(!seen_b, "a-element after b-element for key {}", key);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Two-bucket stable multisplit (Ashkiani et al., "GPU multisplit",
+//! PPoPP 2016 — reference [20] of the GPU LSM paper).
+//!
+//! The cleanup operation collects all unmarked valid elements with "a
+//! two-bucket multisplit" (paper §IV-E step 3): elements whose predicate is
+//! true move to the front, the rest to the back, and the order *within each
+//! bucket* is preserved.  The warp-level formulation is ballot + rank (each
+//! lane's offset within the warp is the popcount of earlier lanes in the
+//! same bucket) followed by a scan of per-warp bucket counts; this module
+//! follows that structure so the warp primitives of [`gpu_sim::warp`] are
+//! exercised the same way the GPU kernel would.
+
+use gpu_sim::{AccessPattern, Device, WarpOps, WARP_SIZE};
+use rayon::prelude::*;
+
+use crate::scan::exclusive_scan;
+use crate::util::SharedSlice;
+
+/// Stable two-bucket partition of `data` by `pred`.  Elements with
+/// `pred == true` end up first (order preserved), the rest follow (order
+/// preserved).  Returns the number of elements in the first bucket.
+pub fn multisplit_in_place<T, F>(device: &Device, data: &mut [T], pred: F) -> usize
+where
+    T: Copy + Send + Sync + Default,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return 0;
+    }
+    let kernel = "multisplit";
+    device.metrics().record_launch(kernel);
+    let bytes = (n * std::mem::size_of::<T>()) as u64;
+    device.metrics().record_read(kernel, bytes, AccessPattern::Coalesced);
+    device.metrics().record_write(kernel, bytes, AccessPattern::Coalesced);
+
+    // Stage 1: warp-level ballots.  For each warp-sized group record the
+    // ballot mask and the per-warp count of bucket-0 (pred true) elements.
+    let warp_ballots: Vec<u32> = data
+        .par_chunks(WARP_SIZE)
+        .map(|chunk| {
+            let preds: Vec<bool> = chunk.iter().map(|x| pred(x)).collect();
+            WarpOps::ballot(&preds)
+        })
+        .collect();
+    let warp_true_counts: Vec<u32> = warp_ballots.par_iter().map(|b| b.count_ones()).collect();
+    let warp_sizes: Vec<u32> = data
+        .par_chunks(WARP_SIZE)
+        .map(|chunk| chunk.len() as u32)
+        .collect();
+
+    // Stage 2: scan the per-warp counts to get every warp's base offset in
+    // each bucket.
+    let (true_offsets, total_true) = exclusive_scan(device, &warp_true_counts);
+    let false_counts: Vec<u32> = warp_true_counts
+        .iter()
+        .zip(warp_sizes.iter())
+        .map(|(&t, &s)| s - t)
+        .collect();
+    let (false_offsets, _total_false) = exclusive_scan(device, &false_counts);
+    let split = total_true as usize;
+
+    // Stage 3: scatter.  Each lane's destination is its bucket base plus its
+    // rank among earlier lanes of the same bucket (popcount of the ballot
+    // below its lane), which is exactly the GPU multisplit formulation.
+    let mut out = vec![T::default(); n];
+    {
+        let shared = SharedSlice::new(&mut out);
+        data.par_chunks(WARP_SIZE)
+            .enumerate()
+            .for_each(|(w, chunk)| {
+                let ballot = warp_ballots[w];
+                for (lane, &v) in chunk.iter().enumerate() {
+                    let in_first = (ballot >> lane) & 1 == 1;
+                    let dst = if in_first {
+                        true_offsets[w] as usize + WarpOps::rank_below(ballot, lane) as usize
+                    } else {
+                        split
+                            + false_offsets[w] as usize
+                            + (lane as u32 - WarpOps::rank_below(ballot, lane)) as usize
+                    };
+                    // SAFETY: destinations are unique: bucket bases are the
+                    // exclusive scans of per-warp counts and ranks are unique
+                    // within a warp and bucket.
+                    unsafe { shared.write(dst, v) };
+                }
+            });
+    }
+    data.copy_from_slice(&out);
+    split
+}
+
+/// Stable two-bucket partition of parallel key and value arrays by a
+/// predicate over the keys.  Returns the size of the first bucket.
+pub fn multisplit_pairs_in_place<F>(
+    device: &Device,
+    keys: &mut [u32],
+    values: &mut [u32],
+    pred: F,
+) -> usize
+where
+    F: Fn(&u32) -> bool + Sync,
+{
+    assert_eq!(keys.len(), values.len());
+    let mut pairs: Vec<(u32, u32)> = keys
+        .iter()
+        .copied()
+        .zip(values.iter().copied())
+        .collect();
+    let split = multisplit_in_place(device, &mut pairs, |p| pred(&p.0));
+    for (i, (k, v)) in pairs.into_iter().enumerate() {
+        keys[i] = k;
+        values[i] = v;
+    }
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::small())
+    }
+
+    #[test]
+    fn partitions_evens_before_odds_stably() {
+        let device = device();
+        let mut data: Vec<u32> = (0..1000).collect();
+        let split = multisplit_in_place(&device, &mut data, |x| x % 2 == 0);
+        assert_eq!(split, 500);
+        let expected_front: Vec<u32> = (0..1000).filter(|x| x % 2 == 0).collect();
+        let expected_back: Vec<u32> = (0..1000).filter(|x| x % 2 == 1).collect();
+        assert_eq!(&data[..500], expected_front.as_slice());
+        assert_eq!(&data[500..], expected_back.as_slice());
+    }
+
+    #[test]
+    fn all_true_and_all_false() {
+        let device = device();
+        let mut data: Vec<u32> = (0..100).collect();
+        let split = multisplit_in_place(&device, &mut data, |_| true);
+        assert_eq!(split, 100);
+        assert_eq!(data, (0..100).collect::<Vec<_>>());
+        let split = multisplit_in_place(&device, &mut data, |_| false);
+        assert_eq!(split, 0);
+        assert_eq!(data, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let device = device();
+        let mut data: Vec<u32> = vec![];
+        assert_eq!(multisplit_in_place(&device, &mut data, |_| true), 0);
+    }
+
+    #[test]
+    fn non_warp_multiple_length() {
+        let device = device();
+        let mut data: Vec<u32> = (0..77).collect();
+        let split = multisplit_in_place(&device, &mut data, |x| *x < 10);
+        assert_eq!(split, 10);
+        assert_eq!(&data[..10], (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(&data[10..], (10..77).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn pairs_stay_associated() {
+        let device = device();
+        let mut keys = vec![5u32, 2, 8, 1, 9, 4];
+        let mut vals = vec![50u32, 20, 80, 10, 90, 40];
+        let split = multisplit_pairs_in_place(&device, &mut keys, &mut vals, |k| *k < 5);
+        assert_eq!(split, 3);
+        assert_eq!(&keys[..3], &[2, 1, 4]);
+        assert_eq!(&vals[..3], &[20, 10, 40]);
+        assert_eq!(&keys[3..], &[5, 8, 9]);
+        assert_eq!(&vals[3..], &[50, 80, 90]);
+    }
+
+    #[test]
+    fn records_traffic() {
+        let device = device();
+        let mut data: Vec<u32> = (0..4096).collect();
+        let _ = multisplit_in_place(&device, &mut data, |x| x % 3 == 0);
+        assert!(device.metrics().snapshot().contains_key("multisplit"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_multisplit_is_stable_partition(
+            data in proptest::collection::vec(0u32..1000, 0..600),
+            threshold in 0u32..1000
+        ) {
+            let device = device();
+            let mut ours = data.clone();
+            let split = multisplit_in_place(&device, &mut ours, |x| *x < threshold);
+            let front: Vec<u32> = data.iter().copied().filter(|x| *x < threshold).collect();
+            let back: Vec<u32> = data.iter().copied().filter(|x| *x >= threshold).collect();
+            prop_assert_eq!(split, front.len());
+            prop_assert_eq!(&ours[..split], front.as_slice());
+            prop_assert_eq!(&ours[split..], back.as_slice());
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Stable LSD radix sort for 32-bit keys and key–value pairs (CUB
+//! `DeviceRadixSort` equivalent).
+//!
+//! The GPU LSM sorts every incoming batch by the full 32-bit encoded key
+//! (31-bit key plus the tombstone status bit) before merging it into the
+//! levels (paper §IV-A, Fig. 3 line 9).  Stability matters: a tombstone has
+//! status bit 0 and therefore sorts *before* a regular element with the same
+//! key, which is exactly the within-batch ordering the deletion semantics
+//! need; and equal encoded keys must keep their batch order so that rule 4
+//! ("an arbitrary one is chosen", implemented as "the first one wins") is
+//! deterministic.
+//!
+//! The implementation is a classical four-pass (8 bits per pass) LSD radix
+//! sort.  Each pass runs three phases, all block-parallel:
+//!
+//! 1. per-block digit histograms ([`crate::histogram`]),
+//! 2. an exclusive scan producing, for every (digit, block) pair, the global
+//!    base offset of that block's elements within that digit bucket —
+//!    digit-major, block-minor order, which is what makes the scatter stable,
+//! 3. a scatter in which each block walks its tile in order and writes every
+//!    element to `bucket_base[digit][block] + rank_within_block`.
+//!
+//! Destination index ranges are disjoint across blocks by construction, so
+//! the scatter uses [`crate::util::SharedSlice`] for the parallel writes.
+
+use gpu_sim::{AccessPattern, Device};
+use rayon::prelude::*;
+
+use crate::histogram::{block_histograms, digit, RADIX};
+use crate::util::SharedSlice;
+
+/// Number of passes needed for a full 32-bit key with 8-bit digits.
+const PASSES: u32 = 4;
+
+/// Sort `keys` ascending by the full 32-bit key.  Stable.
+pub fn sort_keys(device: &Device, keys: &mut Vec<u32>) {
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let mut scratch_keys = vec![0u32; n];
+    for pass in 0..PASSES {
+        scatter_pass(device, keys, None, &mut scratch_keys, None, pass);
+        std::mem::swap(keys, &mut scratch_keys);
+    }
+    // PASSES is even, so the sorted data ends up back in `keys`.
+}
+
+/// Sort `(keys, values)` pairs ascending by key, moving values along with
+/// their keys.  Stable: pairs with equal keys keep their input order.
+pub fn sort_pairs(device: &Device, keys: &mut Vec<u32>, values: &mut Vec<u32>) {
+    assert_eq!(keys.len(), values.len(), "keys and values must have equal length");
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let mut scratch_keys = vec![0u32; n];
+    let mut scratch_vals = vec![0u32; n];
+    for pass in 0..PASSES {
+        scatter_pass(
+            device,
+            keys,
+            Some(values.as_slice()),
+            &mut scratch_keys,
+            Some(&mut scratch_vals),
+            pass,
+        );
+        std::mem::swap(keys, &mut scratch_keys);
+        std::mem::swap(values, &mut scratch_vals);
+    }
+}
+
+/// One stable counting pass: scatter `keys` (and optionally `values`) into
+/// the scratch buffers ordered by the `pass`-th digit.
+fn scatter_pass(
+    device: &Device,
+    keys: &[u32],
+    values: Option<&[u32]>,
+    out_keys: &mut [u32],
+    out_values: Option<&mut [u32]>,
+    pass: u32,
+) {
+    let n = keys.len();
+    let tile = device.preferred_tile(std::mem::size_of::<u32>() * 2).max(1024);
+    let kernel = "radix_scatter";
+    device.metrics().record_launch(kernel);
+    let elem_bytes = if values.is_some() { 8 } else { 4 };
+    device
+        .metrics()
+        .record_read(kernel, (n * elem_bytes) as u64, AccessPattern::Coalesced);
+    device
+        .metrics()
+        .record_write(kernel, (n * elem_bytes) as u64, AccessPattern::Coalesced);
+
+    // Phase 1: per-block histograms.
+    let histograms = block_histograms(device, keys, pass, tile);
+    let num_blocks = histograms.len();
+
+    // Phase 2: digit-major / block-minor exclusive scan of the counts.
+    // offsets[block][digit] = start index of (digit, block) group in output.
+    let mut offsets = vec![vec![0u32; RADIX]; num_blocks];
+    let mut running = 0u32;
+    for d in 0..RADIX {
+        for (b, hist) in histograms.iter().enumerate() {
+            offsets[b][d] = running;
+            running += hist[d];
+        }
+    }
+    debug_assert_eq!(running as usize, n);
+
+    // Phase 3: stable scatter, one block at a time in parallel.
+    let shared_keys = SharedSlice::new(out_keys);
+    let shared_vals = out_values.map(|v| SharedSlice::new(v));
+    keys.par_chunks(tile)
+        .enumerate()
+        .for_each(|(block, chunk)| {
+            let mut cursor = offsets[block].clone();
+            let base = block * tile;
+            for (i, &k) in chunk.iter().enumerate() {
+                let d = digit(k, pass);
+                let dst = cursor[d] as usize;
+                cursor[d] += 1;
+                // SAFETY: destination ranges are disjoint across blocks and
+                // within a block each destination is produced exactly once.
+                unsafe {
+                    shared_keys.write(dst, k);
+                    if let (Some(sv), Some(vals)) = (&shared_vals, values) {
+                        sv.write(dst, vals[base + i]);
+                    }
+                }
+            }
+        });
+}
+
+/// Convenience: return a sorted copy of `keys` (used by tests and by callers
+/// that need to keep the original order around).
+pub fn sorted_keys(device: &Device, keys: &[u32]) -> Vec<u32> {
+    let mut out = keys.to_vec();
+    sort_keys(device, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::Rng as _;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::small())
+    }
+
+    #[test]
+    fn sorts_small_array() {
+        let device = device();
+        let mut keys = vec![5u32, 3, 8, 1, 9, 2, 7];
+        sort_keys(&device, &mut keys);
+        assert_eq!(keys, vec![1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sorts_large_random_array() {
+        let device = device();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut keys: Vec<u32> = (0..200_000).map(|_| rng.gen()).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        sort_keys(&device, &mut keys);
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reverse() {
+        let device = device();
+        let mut asc: Vec<u32> = (0..10_000).collect();
+        let mut desc: Vec<u32> = (0..10_000).rev().collect();
+        sort_keys(&device, &mut asc);
+        sort_keys(&device, &mut desc);
+        assert_eq!(asc, desc);
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let device = device();
+        let mut empty: Vec<u32> = vec![];
+        sort_keys(&device, &mut empty);
+        assert!(empty.is_empty());
+        let mut single = vec![7u32];
+        sort_keys(&device, &mut single);
+        assert_eq!(single, vec![7]);
+    }
+
+    #[test]
+    fn pair_sort_is_stable() {
+        let device = device();
+        // Many duplicate keys; values record original index.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut keys: Vec<u32> = (0..50_000).map(|_| rng.gen_range(0..64u32)).collect();
+        let mut values: Vec<u32> = (0..50_000).collect();
+        let original = keys.clone();
+        sort_pairs(&device, &mut keys, &mut values);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        // Stability: for equal keys, original indices (values) must ascend.
+        for w in keys.windows(2).zip(values.windows(2)) {
+            let (kw, vw) = w;
+            if kw[0] == kw[1] {
+                assert!(vw[0] < vw[1], "stability violated for key {}", kw[0]);
+            }
+        }
+        // The multiset of (key,value) associations is preserved.
+        for (k, v) in keys.iter().zip(values.iter()) {
+            assert_eq!(original[*v as usize], *k);
+        }
+    }
+
+    #[test]
+    fn pair_sort_moves_values_with_keys() {
+        let device = device();
+        let mut keys = vec![30u32, 10, 20];
+        let mut values = vec![3u32, 1, 2];
+        sort_pairs(&device, &mut keys, &mut values);
+        assert_eq!(keys, vec![10, 20, 30]);
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sorts_keys_with_all_bits_used() {
+        let device = device();
+        let mut keys = vec![u32::MAX, 0, 0x8000_0000, 0x7FFF_FFFF, 1];
+        sort_keys(&device, &mut keys);
+        assert_eq!(keys, vec![0, 1, 0x7FFF_FFFF, 0x8000_0000, u32::MAX]);
+    }
+
+    #[test]
+    fn sorted_keys_leaves_input_untouched() {
+        let device = device();
+        let keys = vec![3u32, 1, 2];
+        let out = sorted_keys(&device, &keys);
+        assert_eq!(keys, vec![3, 1, 2]);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn records_scatter_traffic() {
+        let device = device();
+        let mut keys: Vec<u32> = (0..4096).rev().collect();
+        sort_keys(&device, &mut keys);
+        let snap = device.metrics().snapshot();
+        assert_eq!(snap["radix_scatter"].launches, PASSES as u64);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_sort_matches_std(keys in proptest::collection::vec(any::<u32>(), 0..2000)) {
+            let device = device();
+            let mut ours = keys.clone();
+            sort_keys(&device, &mut ours);
+            let mut expected = keys;
+            expected.sort_unstable();
+            prop_assert_eq!(ours, expected);
+        }
+
+        #[test]
+        fn prop_pair_sort_preserves_multiset(
+            pairs in proptest::collection::vec((0u32..1000, any::<u32>()), 0..1500)
+        ) {
+            let device = device();
+            let mut keys: Vec<u32> = pairs.iter().map(|p| p.0).collect();
+            let mut values: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            sort_pairs(&device, &mut keys, &mut values);
+            prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            let mut got: Vec<(u32, u32)> = keys.into_iter().zip(values).collect();
+            let mut expected = pairs;
+            got.sort_unstable();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Device-wide reductions (CUB `DeviceReduce` equivalent).
+//!
+//! Used by the count pipeline's final tally, by structure statistics, and by
+//! tests that cross-check other primitives.
+
+use gpu_sim::{AccessPattern, Device};
+use rayon::prelude::*;
+
+fn record<T>(device: &Device, kernel: &str, n: usize) {
+    device.metrics().record_launch(kernel);
+    device.metrics().record_read(
+        kernel,
+        (n * std::mem::size_of::<T>()) as u64,
+        AccessPattern::Coalesced,
+    );
+}
+
+/// Sum of all elements.
+pub fn reduce_sum(device: &Device, data: &[u64]) -> u64 {
+    record::<u64>(device, "reduce_sum", data.len());
+    data.par_iter().sum()
+}
+
+/// Sum of u32 elements, accumulated in u64 to avoid overflow.
+pub fn reduce_sum_u32(device: &Device, data: &[u32]) -> u64 {
+    record::<u32>(device, "reduce_sum", data.len());
+    data.par_iter().map(|&x| x as u64).sum()
+}
+
+/// Minimum element, or `None` for an empty buffer.
+pub fn reduce_min(device: &Device, data: &[u32]) -> Option<u32> {
+    record::<u32>(device, "reduce_min", data.len());
+    data.par_iter().copied().min()
+}
+
+/// Maximum element, or `None` for an empty buffer.
+pub fn reduce_max(device: &Device, data: &[u32]) -> Option<u32> {
+    record::<u32>(device, "reduce_max", data.len());
+    data.par_iter().copied().max()
+}
+
+/// Count elements satisfying a predicate.
+pub fn count_if<T, F>(device: &Device, data: &[T], pred: F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    record::<T>(device, "count_if", data.len());
+    data.par_iter().filter(|x| pred(x)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::small())
+    }
+
+    #[test]
+    fn sums_match() {
+        let device = device();
+        let data: Vec<u64> = (1..=1000).collect();
+        assert_eq!(reduce_sum(&device, &data), 500_500);
+        let data32: Vec<u32> = (1..=1000).collect();
+        assert_eq!(reduce_sum_u32(&device, &data32), 500_500);
+    }
+
+    #[test]
+    fn sum_u32_does_not_overflow() {
+        let device = device();
+        let data = vec![u32::MAX; 4];
+        assert_eq!(reduce_sum_u32(&device, &data), 4 * u32::MAX as u64);
+    }
+
+    #[test]
+    fn min_max_and_empty() {
+        let device = device();
+        let data = vec![5u32, 3, 9, 1];
+        assert_eq!(reduce_min(&device, &data), Some(1));
+        assert_eq!(reduce_max(&device, &data), Some(9));
+        assert_eq!(reduce_min(&device, &[]), None);
+        assert_eq!(reduce_max(&device, &[]), None);
+    }
+
+    #[test]
+    fn count_if_counts() {
+        let device = device();
+        let data: Vec<u32> = (0..100).collect();
+        assert_eq!(count_if(&device, &data, |x| x % 10 == 0), 10);
+        assert_eq!(count_if(&device, &data, |_| false), 0);
+    }
+
+    #[test]
+    fn reductions_record_traffic() {
+        let device = device();
+        let _ = reduce_sum(&device, &[1, 2, 3]);
+        assert!(device.metrics().snapshot().contains_key("reduce_sum"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Vectorized binary searches: per-query `lower_bound` / `upper_bound`
+//! against sorted device buffers.
+//!
+//! Lookups, counts and range queries all start by binary-searching every
+//! occupied level (paper §III-D, §III-E).  Each probe of a binary search is
+//! a data-dependent global-memory access — the paper calls the resulting
+//! random accesses the main bottleneck of its lookups — so the bulk variants
+//! here account their probes as scattered traffic.
+
+use gpu_sim::{AccessPattern, Device};
+use rayon::prelude::*;
+
+/// Index of the first element of the sorted slice `data` for which
+/// `less(element, probe)` is false (i.e. the first element `>= probe` under
+/// the ordering induced by `less`).
+pub fn lower_bound_by<T, F>(data: &[T], probe: &T, less: F) -> usize
+where
+    F: Fn(&T, &T) -> bool,
+{
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if less(&data[mid], probe) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Index of the first element of the sorted slice `data` for which
+/// `less(probe, element)` is true (i.e. the first element `> probe`).
+pub fn upper_bound_by<T, F>(data: &[T], probe: &T, less: F) -> usize
+where
+    F: Fn(&T, &T) -> bool,
+{
+    let mut lo = 0usize;
+    let mut hi = data.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if less(probe, &data[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Number of binary-search probes for a slice of length `n` (used for
+/// traffic accounting).
+fn probes_for(n: usize) -> u64 {
+    (usize::BITS - n.leading_zeros()) as u64
+}
+
+/// Bulk lower bound: one query per thread, all queries in parallel
+/// (moderngpu `SortedSearch` style).  Returns one index per query.
+pub fn bulk_lower_bound<T, F>(device: &Device, data: &[T], queries: &[T], less: F) -> Vec<usize>
+where
+    T: Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    let kernel = "bulk_lower_bound";
+    device.metrics().record_launch(kernel);
+    device.metrics().record_read(
+        kernel,
+        (queries.len() * std::mem::size_of::<T>()) as u64,
+        AccessPattern::Coalesced,
+    );
+    device.metrics().record_scattered_probes(
+        kernel,
+        queries.len() as u64 * probes_for(data.len()),
+        std::mem::size_of::<T>() as u64,
+    );
+    queries
+        .par_iter()
+        .map(|q| lower_bound_by(data, q, &less))
+        .collect()
+}
+
+/// Bulk upper bound: one query per thread, all queries in parallel.
+pub fn bulk_upper_bound<T, F>(device: &Device, data: &[T], queries: &[T], less: F) -> Vec<usize>
+where
+    T: Sync,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    let kernel = "bulk_upper_bound";
+    device.metrics().record_launch(kernel);
+    device.metrics().record_read(
+        kernel,
+        (queries.len() * std::mem::size_of::<T>()) as u64,
+        AccessPattern::Coalesced,
+    );
+    device.metrics().record_scattered_probes(
+        kernel,
+        queries.len() as u64 * probes_for(data.len()),
+        std::mem::size_of::<T>() as u64,
+    );
+    queries
+        .par_iter()
+        .map(|q| upper_bound_by(data, q, &less))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::small())
+    }
+
+    fn lt(a: &u32, b: &u32) -> bool {
+        a < b
+    }
+
+    #[test]
+    fn lower_bound_basic() {
+        let data = vec![1u32, 3, 3, 5, 7];
+        assert_eq!(lower_bound_by(&data, &0, lt), 0);
+        assert_eq!(lower_bound_by(&data, &3, lt), 1);
+        assert_eq!(lower_bound_by(&data, &4, lt), 3);
+        assert_eq!(lower_bound_by(&data, &8, lt), 5);
+    }
+
+    #[test]
+    fn upper_bound_basic() {
+        let data = vec![1u32, 3, 3, 5, 7];
+        assert_eq!(upper_bound_by(&data, &0, lt), 0);
+        assert_eq!(upper_bound_by(&data, &3, lt), 3);
+        assert_eq!(upper_bound_by(&data, &7, lt), 5);
+    }
+
+    #[test]
+    fn bounds_on_empty_slice() {
+        let data: Vec<u32> = vec![];
+        assert_eq!(lower_bound_by(&data, &5, lt), 0);
+        assert_eq!(upper_bound_by(&data, &5, lt), 0);
+    }
+
+    #[test]
+    fn bulk_search_matches_scalar() {
+        let device = device();
+        let data: Vec<u32> = (0..10_000).map(|i| i * 3).collect();
+        let queries: Vec<u32> = (0..5000).map(|i| i * 7 % 30_000).collect();
+        let lb = bulk_lower_bound(&device, &data, &queries, lt);
+        let ub = bulk_upper_bound(&device, &data, &queries, lt);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(lb[i], data.partition_point(|x| x < q));
+            assert_eq!(ub[i], data.partition_point(|x| x <= q));
+        }
+    }
+
+    #[test]
+    fn bulk_search_records_scattered_traffic() {
+        let device = device();
+        let data: Vec<u32> = (0..1024).collect();
+        let queries: Vec<u32> = (0..100).collect();
+        let _ = bulk_lower_bound(&device, &data, &queries, lt);
+        let snap = device.metrics().snapshot();
+        assert!(snap["bulk_lower_bound"].scattered_transactions > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_bounds_match_partition_point(
+            mut data in proptest::collection::vec(0u32..1000, 0..500),
+            probe in 0u32..1000
+        ) {
+            data.sort_unstable();
+            prop_assert_eq!(lower_bound_by(&data, &probe, lt), data.partition_point(|x| *x < probe));
+            prop_assert_eq!(upper_bound_by(&data, &probe, lt), data.partition_point(|x| *x <= probe));
+        }
+
+        #[test]
+        fn prop_lower_le_upper(
+            mut data in proptest::collection::vec(0u32..100, 0..300),
+            probe in 0u32..100
+        ) {
+            data.sort_unstable();
+            let lb = lower_bound_by(&data, &probe, lt);
+            let ub = upper_bound_by(&data, &probe, lt);
+            prop_assert!(lb <= ub);
+            prop_assert_eq!(ub - lb, data.iter().filter(|&&x| x == probe).count());
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Segmented sort: independently sort many variable-length segments of one
+//! buffer (moderngpu `SegSortKeysFromIndices` equivalent).
+//!
+//! The count/range pipelines gather each query's candidate elements into a
+//! contiguous segment and then sort *within each segment* by original key
+//! while **preserving the temporal order of equal keys** (paper §IV-C stage
+//! 4: "LSBs (status bits) are neglected in sorting comparisons").  A stable
+//! per-segment sort gives exactly that: candidates are gathered
+//! level-by-level from most recent to least recent, so ties keep the most
+//! recent element first.
+
+use gpu_sim::{AccessPattern, Device};
+use rayon::prelude::*;
+
+/// Check that `offsets` is a valid segment description for a buffer of
+/// length `n`: monotonically non-decreasing, starting at 0, ending at `n`.
+fn validate_offsets(offsets: &[usize], n: usize) {
+    assert!(!offsets.is_empty(), "segment offsets must at least be [0, n]");
+    assert_eq!(*offsets.first().unwrap(), 0, "segments must start at 0");
+    assert_eq!(*offsets.last().unwrap(), n, "segments must end at data length");
+    assert!(
+        offsets.windows(2).all(|w| w[0] <= w[1]),
+        "segment offsets must be non-decreasing"
+    );
+}
+
+/// Sort each segment of `keys` with the stable comparator `less`.
+/// `offsets` has one more entry than there are segments; segment `i` spans
+/// `offsets[i]..offsets[i + 1]`.
+pub fn segmented_sort_keys_by<F>(device: &Device, keys: &mut [u32], offsets: &[usize], less: F)
+where
+    F: Fn(&u32, &u32) -> bool + Sync,
+{
+    validate_offsets(offsets, keys.len());
+    record(device, "segmented_sort_keys", keys.len(), 4);
+    par_segments(keys, offsets, |segment| {
+        segment.sort_by(|a, b| cmp_from_less(&less, a, b));
+    });
+}
+
+/// Sort each segment of `(keys, values)` pairs by key with the stable
+/// comparator `less`, moving values along with their keys.
+pub fn segmented_sort_pairs_by<F>(
+    device: &Device,
+    keys: &mut [u32],
+    values: &mut [u32],
+    offsets: &[usize],
+    less: F,
+) where
+    F: Fn(&u32, &u32) -> bool + Sync,
+{
+    assert_eq!(keys.len(), values.len());
+    validate_offsets(offsets, keys.len());
+    record(device, "segmented_sort_pairs", keys.len(), 8);
+
+    // Sort (key, value) tuples per segment; the comparator sees keys only so
+    // the sort is stable with respect to values.
+    let mut pairs: Vec<(u32, u32)> = keys
+        .iter()
+        .copied()
+        .zip(values.iter().copied())
+        .collect();
+    par_segments(&mut pairs, offsets, |segment| {
+        segment.sort_by(|a, b| cmp_from_less(&less, &a.0, &b.0));
+    });
+    for (i, (k, v)) in pairs.into_iter().enumerate() {
+        keys[i] = k;
+        values[i] = v;
+    }
+}
+
+fn cmp_from_less<F: Fn(&u32, &u32) -> bool>(less: &F, a: &u32, b: &u32) -> std::cmp::Ordering {
+    if less(a, b) {
+        std::cmp::Ordering::Less
+    } else if less(b, a) {
+        std::cmp::Ordering::Greater
+    } else {
+        std::cmp::Ordering::Equal
+    }
+}
+
+fn record(device: &Device, kernel: &str, n: usize, elem_bytes: usize) {
+    device.metrics().record_launch(kernel);
+    let bytes = (n * elem_bytes) as u64;
+    device.metrics().record_read(kernel, bytes, AccessPattern::Coalesced);
+    device.metrics().record_write(kernel, bytes, AccessPattern::Coalesced);
+}
+
+/// Run `f` over every segment of `data` in parallel.  Segments are disjoint
+/// sub-slices, so this splits the buffer with `split_at_mut` successively.
+fn par_segments<T, F>(data: &mut [T], offsets: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(&mut [T]) + Sync,
+{
+    // Slice the buffer into per-segment mutable sub-slices.
+    let mut segments: Vec<&mut [T]> = Vec::with_capacity(offsets.len() - 1);
+    let mut rest = data;
+    let mut consumed = 0usize;
+    for w in offsets.windows(2) {
+        let len = w[1] - w[0];
+        debug_assert_eq!(w[0], consumed);
+        let (seg, tail) = rest.split_at_mut(len);
+        segments.push(seg);
+        rest = tail;
+        consumed += len;
+    }
+    segments.into_par_iter().for_each(|seg| f(seg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceConfig;
+    use proptest::prelude::*;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::small())
+    }
+
+    fn lt(a: &u32, b: &u32) -> bool {
+        a < b
+    }
+
+    #[test]
+    fn sorts_each_segment_independently() {
+        let device = device();
+        let mut keys = vec![3u32, 1, 2, 9, 7, 8, 5, 4];
+        let offsets = vec![0, 3, 6, 8];
+        segmented_sort_keys_by(&device, &mut keys, &offsets, lt);
+        assert_eq!(keys, vec![1, 2, 3, 7, 8, 9, 4, 5]);
+    }
+
+    #[test]
+    fn empty_segments_are_fine() {
+        let device = device();
+        let mut keys = vec![2u32, 1];
+        let offsets = vec![0, 0, 2, 2];
+        segmented_sort_keys_by(&device, &mut keys, &offsets, lt);
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn single_segment_sorts_everything() {
+        let device = device();
+        let mut keys: Vec<u32> = (0..1000).rev().collect();
+        let offsets = vec![0, 1000];
+        segmented_sort_keys_by(&device, &mut keys, &offsets, lt);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pair_sort_is_stable_per_segment() {
+        let device = device();
+        // Two segments, each with duplicate keys; values record input order.
+        let mut keys = vec![5u32, 5, 1, 7, 7, 7];
+        let mut vals = vec![0u32, 1, 2, 3, 4, 5];
+        let offsets = vec![0, 3, 6];
+        segmented_sort_pairs_by(&device, &mut keys, &mut vals, &offsets, lt);
+        assert_eq!(keys, vec![1, 5, 5, 7, 7, 7]);
+        assert_eq!(vals, vec![2, 0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn comparator_can_ignore_low_bit() {
+        let device = device();
+        // Keys encode (key << 1 | status); sort by key only, so the element
+        // that appears first stays first even when status bits differ.
+        let mut keys = vec![(4 << 1) | 1, (4 << 1), (2 << 1) | 1];
+        let offsets = vec![0, 3];
+        segmented_sort_keys_by(&device, &mut keys, &offsets, |a, b| (a >> 1) < (b >> 1));
+        assert_eq!(keys, vec![(2 << 1) | 1, (4 << 1) | 1, (4 << 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segments must end at data length")]
+    fn bad_offsets_panic() {
+        let device = device();
+        let mut keys = vec![1u32, 2, 3];
+        segmented_sort_keys_by(&device, &mut keys, &[0, 2], lt);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_segments_sorted_and_permuted(
+            segs in proptest::collection::vec(proptest::collection::vec(0u32..500, 0..50), 1..20)
+        ) {
+            let device = device();
+            let mut keys: Vec<u32> = segs.iter().flatten().copied().collect();
+            let mut offsets = vec![0usize];
+            for s in &segs {
+                offsets.push(offsets.last().unwrap() + s.len());
+            }
+            segmented_sort_keys_by(&device, &mut keys, &offsets, lt);
+            for (i, s) in segs.iter().enumerate() {
+                let got = &keys[offsets[i]..offsets[i + 1]];
+                let mut expected = s.clone();
+                expected.sort_unstable();
+                prop_assert_eq!(got, expected.as_slice());
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Internal helpers shared by the primitives.
+
+use std::cell::UnsafeCell;
+
+/// A shared, mutable slice that can be written from multiple rayon workers
+/// when the caller guarantees the written index ranges are disjoint.
+///
+/// Scatter phases (radix sort, compaction, multisplit) compute, per block, a
+/// set of destination indices that are provably disjoint across blocks
+/// (each destination is `bucket_base + rank`, and ranks partition the bucket
+/// range block by block).  Rust cannot see that disjointness through a plain
+/// `&mut [T]`, so this wrapper provides the unsafe escape hatch with the
+/// invariant documented in one place.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+unsafe impl<T: Send + Sync> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap a mutable slice for disjoint parallel writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T]` and `&[UnsafeCell<T>]` have the same layout and
+        // the exclusive borrow is held for the lifetime of the wrapper.
+        let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        SharedSlice { data }
+    }
+
+    /// Number of elements.
+    #[allow(dead_code)] // exercised by tests; kept for symmetry with slices
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    /// Callers must guarantee no other thread reads or writes `index`
+    /// concurrently (disjoint destination ranges).
+    pub unsafe fn write(&self, index: usize, value: T) {
+        debug_assert!(index < self.data.len(), "scatter index out of bounds");
+        *self.data[index].get() = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn shared_slice_disjoint_parallel_writes() {
+        let mut data = vec![0u32; 1024];
+        {
+            let shared = SharedSlice::new(&mut data);
+            (0..1024usize).into_par_iter().for_each(|i| {
+                // Each index written exactly once: disjoint by construction.
+                unsafe { shared.write(i, i as u32 * 3) };
+            });
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 * 3));
+    }
+
+    #[test]
+    fn shared_slice_len_matches() {
+        let mut data = vec![0u8; 17];
+        let shared = SharedSlice::new(&mut data);
+        assert_eq!(shared.len(), 17);
+    }
+
+}

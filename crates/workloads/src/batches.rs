@@ -1,0 +1,142 @@
+//! Batch sequences for incremental-insertion experiments.
+//!
+//! Table II and Fig. 4 insert `n/b` consecutive batches of size `b` into an
+//! initially empty structure; the mixed-batch generator adds a configurable
+//! deletion fraction for the cleanup experiments of §V-D.
+
+use gpu_lsm::{Op, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::keygen::unique_random_pairs;
+
+/// A sequence of update batches plus the ground-truth key set they produce.
+#[derive(Debug, Clone)]
+pub struct BatchSequence {
+    /// The batches, in insertion order.
+    pub batches: Vec<UpdateBatch>,
+    /// Every key inserted (and never subsequently deleted) by the sequence.
+    pub live_keys: Vec<u32>,
+}
+
+/// Generate `num_batches` pure-insertion batches of `batch_size` distinct
+/// random keys each (distinct across the whole sequence).
+pub fn pure_insert_batches(batch_size: usize, num_batches: usize, seed: u64) -> BatchSequence {
+    let pairs = unique_random_pairs(batch_size * num_batches, seed);
+    let batches = pairs
+        .chunks(batch_size)
+        .map(UpdateBatch::from_pairs)
+        .collect();
+    BatchSequence {
+        live_keys: pairs.iter().map(|&(k, _)| k).collect(),
+        batches,
+    }
+}
+
+/// Generate mixed batches: each batch deletes `delete_fraction` of its slots
+/// (targeting keys inserted by earlier batches) and fills the rest with new
+/// distinct insertions.
+pub fn mixed_batches(
+    batch_size: usize,
+    num_batches: usize,
+    delete_fraction: f64,
+    seed: u64,
+) -> BatchSequence {
+    assert!((0.0..=1.0).contains(&delete_fraction));
+    let deletes_per_batch = (batch_size as f64 * delete_fraction).round() as usize;
+    let inserts_per_batch = batch_size - deletes_per_batch;
+    let all_pairs = unique_random_pairs(inserts_per_batch * num_batches, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+
+    let mut batches = Vec::with_capacity(num_batches);
+    let mut inserted_so_far: Vec<u32> = Vec::new();
+    let mut deleted: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for b in 0..num_batches {
+        let mut batch = UpdateBatch::with_capacity(batch_size);
+        let new_pairs = &all_pairs[b * inserts_per_batch..(b + 1) * inserts_per_batch];
+        for &(k, v) in new_pairs {
+            batch.push(Op::Insert(k, v));
+        }
+        // Delete keys from earlier batches (if any exist yet).
+        for _ in 0..deletes_per_batch {
+            if inserted_so_far.is_empty() {
+                // Nothing to delete yet: delete a key we are about to have
+                // anyway (self-delete), keeping the batch full.
+                let &(k, _) = &new_pairs[rng.gen_range(0..new_pairs.len().max(1))];
+                batch.push(Op::Delete(k));
+                deleted.insert(k);
+            } else {
+                let victim = inserted_so_far[rng.gen_range(0..inserted_so_far.len())];
+                batch.push(Op::Delete(victim));
+                deleted.insert(victim);
+            }
+        }
+        inserted_so_far.extend(new_pairs.iter().map(|&(k, _)| k));
+        batches.push(batch);
+    }
+
+    let live_keys = inserted_so_far
+        .into_iter()
+        .filter(|k| !deleted.contains(k))
+        .collect();
+    BatchSequence { batches, live_keys }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_insert_batches_have_right_shape() {
+        let seq = pure_insert_batches(64, 10, 1);
+        assert_eq!(seq.batches.len(), 10);
+        assert!(seq.batches.iter().all(|b| b.len() == 64));
+        assert_eq!(seq.live_keys.len(), 640);
+    }
+
+    #[test]
+    fn pure_insert_batches_are_deterministic() {
+        let a = pure_insert_batches(16, 4, 9);
+        let b = pure_insert_batches(16, 4, 9);
+        assert_eq!(a.batches, b.batches);
+    }
+
+    #[test]
+    fn mixed_batches_respect_delete_fraction() {
+        let seq = mixed_batches(100, 8, 0.3, 5);
+        assert_eq!(seq.batches.len(), 8);
+        for batch in &seq.batches {
+            assert_eq!(batch.len(), 100);
+            let deletes = batch
+                .ops()
+                .iter()
+                .filter(|op| matches!(op, Op::Delete(_)))
+                .count();
+            assert_eq!(deletes, 30);
+        }
+    }
+
+    #[test]
+    fn mixed_batches_live_keys_exclude_deleted() {
+        let seq = mixed_batches(50, 6, 0.2, 42);
+        let deleted: std::collections::HashSet<u32> = seq
+            .batches
+            .iter()
+            .flat_map(|b| b.ops())
+            .filter_map(|op| match op {
+                Op::Delete(k) => Some(*k),
+                _ => None,
+            })
+            .collect();
+        assert!(seq.live_keys.iter().all(|k| !deleted.contains(k)));
+    }
+
+    #[test]
+    fn zero_delete_fraction_is_pure_insert() {
+        let seq = mixed_batches(32, 3, 0.0, 7);
+        assert!(seq
+            .batches
+            .iter()
+            .all(|b| b.ops().iter().all(|op| matches!(op, Op::Insert(..)))));
+    }
+}

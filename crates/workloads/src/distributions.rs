@@ -1,0 +1,175 @@
+//! Non-uniform and adversarial key distributions.
+//!
+//! The paper evaluates on uniform random keys, but a data structure release
+//! needs stress workloads too: skewed (Zipf-like) key popularity where a few
+//! hot keys are re-inserted constantly (maximum staleness pressure),
+//! pre-sorted runs (the best case for merges, the worst case for naive
+//! pivot-based approaches), and duplicate-heavy batches that exercise the
+//! semantics rules 4–6.
+
+use gpu_lsm::MAX_KEY;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf-like sampler over `universe` distinct keys with exponent `theta`
+/// (`theta = 0` is uniform; `theta ≈ 1` is strongly skewed).
+///
+/// Uses the standard inverse-CDF approximation with a precomputed harmonic
+/// normaliser, which is accurate enough for workload generation.
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    universe: u32,
+    theta: f64,
+    zeta: f64,
+    rng: StdRng,
+}
+
+impl ZipfKeys {
+    /// Create a sampler over keys `0..universe` with skew `theta`.
+    pub fn new(universe: u32, theta: f64, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!((0.0..2.0).contains(&theta), "theta must be in [0, 2)");
+        let zeta = (1..=universe.min(100_000))
+            .map(|i| 1.0 / (i as f64).powf(theta))
+            .sum();
+        ZipfKeys {
+            universe,
+            theta,
+            zeta,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw one key; rank 0 (the hottest key) maps to key 0.
+    pub fn sample(&mut self) -> u32 {
+        if self.theta == 0.0 {
+            return self.rng.gen_range(0..self.universe);
+        }
+        // Inverse-CDF walk over the truncated harmonic sum.
+        let u: f64 = self.rng.gen_range(0.0..1.0) * self.zeta;
+        let mut acc = 0.0;
+        let limit = self.universe.min(100_000);
+        for rank in 1..=limit {
+            acc += 1.0 / (rank as f64).powf(self.theta);
+            if acc >= u {
+                return rank - 1;
+            }
+        }
+        self.rng.gen_range(0..self.universe)
+    }
+
+    /// Draw a batch of `n` keys.
+    pub fn sample_batch(&mut self, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+/// Pre-sorted ascending key–value pairs starting at `start` — the best case
+/// for merge-based insertion and a stress case for any balance-sensitive
+/// structure.
+pub fn sorted_run(start: u32, n: usize) -> Vec<(u32, u32)> {
+    (0..n as u32)
+        .map(|i| ((start + i).min(MAX_KEY), i))
+        .collect()
+}
+
+/// Reverse-sorted pairs ending at `end`.
+pub fn reverse_sorted_run(end: u32, n: usize) -> Vec<(u32, u32)> {
+    (0..n as u32)
+        .map(|i| (end.saturating_sub(i), i))
+        .collect()
+}
+
+/// A batch in which every element has the *same* key — the degenerate case
+/// of semantics rule 4 (only one of the duplicates may be visible).
+pub fn all_duplicates(key: u32, n: usize) -> Vec<(u32, u32)> {
+    (0..n as u32).map(|i| (key, i)).collect()
+}
+
+/// A "hot set" update stream: `fraction_hot` of each batch re-inserts keys
+/// drawn from a small hot set (causing continual replacement and staleness),
+/// the rest are fresh cold keys.
+pub fn hot_set_batches(
+    batch_size: usize,
+    num_batches: usize,
+    hot_set_size: u32,
+    fraction_hot: f64,
+    seed: u64,
+) -> Vec<Vec<(u32, u32)>> {
+    assert!((0.0..=1.0).contains(&fraction_hot));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_cold = hot_set_size;
+    (0..num_batches)
+        .map(|b| {
+            (0..batch_size)
+                .map(|i| {
+                    if rng.gen_bool(fraction_hot) {
+                        (rng.gen_range(0..hot_set_size), (b * batch_size + i) as u32)
+                    } else {
+                        next_cold += 1;
+                        (next_cold.min(MAX_KEY), (b * batch_size + i) as u32)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut z = ZipfKeys::new(10_000, 0.99, 1);
+        let samples = z.sample_batch(20_000);
+        let hot = samples.iter().filter(|&&k| k < 100).count();
+        let cold = samples.iter().filter(|&&k| k >= 5000).count();
+        assert!(
+            hot > cold * 3,
+            "skewed sampler should prefer hot keys: {hot} hot vs {cold} cold"
+        );
+        assert!(samples.iter().all(|&k| k < 10_000));
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let mut z = ZipfKeys::new(1000, 0.0, 2);
+        let samples = z.sample_batch(50_000);
+        let low_half = samples.iter().filter(|&&k| k < 500).count();
+        assert!((low_half as f64 / 50_000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn sorted_runs_are_sorted() {
+        let run = sorted_run(100, 50);
+        assert!(run.windows(2).all(|w| w[0].0 <= w[1].0));
+        let rev = reverse_sorted_run(100, 50);
+        assert!(rev.windows(2).all(|w| w[0].0 >= w[1].0));
+        assert_eq!(rev[0].0, 100);
+    }
+
+    #[test]
+    fn all_duplicates_share_one_key() {
+        let dup = all_duplicates(7, 16);
+        assert_eq!(dup.len(), 16);
+        assert!(dup.iter().all(|&(k, _)| k == 7));
+    }
+
+    #[test]
+    fn hot_set_batches_have_requested_shape() {
+        let batches = hot_set_batches(100, 5, 16, 0.5, 3);
+        assert_eq!(batches.len(), 5);
+        for batch in &batches {
+            assert_eq!(batch.len(), 100);
+            let hot = batch.iter().filter(|&&(k, _)| k < 16).count();
+            assert!(hot > 20 && hot < 80, "hot fraction out of range: {hot}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe")]
+    fn empty_universe_panics() {
+        let _ = ZipfKeys::new(0, 0.5, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Random key and key–value generation over the 31-bit key domain.
+
+use gpu_lsm::MAX_KEY;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate `n` random (not necessarily distinct) key–value pairs with keys
+/// uniform over the 31-bit domain.
+pub fn random_pairs(n: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (rng.gen_range(0..=MAX_KEY), rng.gen::<u32>()))
+        .collect()
+}
+
+/// Generate `n` *distinct* random keys, uniform over the 31-bit domain.
+///
+/// Distinct keys make "all queries exist" / "none exist" lookup workloads
+/// (Table III) and expected-range-width calculations (Table IV) exact.
+pub fn unique_random_keys(n: usize, seed: u64) -> Vec<u32> {
+    assert!(
+        (n as u64) <= MAX_KEY as u64 / 2,
+        "cannot draw {n} distinct keys from the 31-bit domain comfortably"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut keys = Vec::with_capacity(n);
+    while keys.len() < n {
+        let k = rng.gen_range(0..=MAX_KEY);
+        if seen.insert(k) {
+            keys.push(k);
+        }
+    }
+    keys
+}
+
+/// Generate `n` distinct-key random pairs.
+pub fn unique_random_pairs(n: usize, seed: u64) -> Vec<(u32, u32)> {
+    let keys = unique_random_keys(n, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+    keys.into_iter().map(|k| (k, rng.gen::<u32>())).collect()
+}
+
+/// Generate `n` distinct keys that do **not** collide with `existing`
+/// (used for the "none exist" lookup scenario).
+pub fn unique_keys_disjoint_from(n: usize, existing: &[u32], seed: u64) -> Vec<u32> {
+    let existing: std::collections::HashSet<u32> = existing.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut keys = Vec::with_capacity(n);
+    while keys.len() < n {
+        let k = rng.gen_range(0..=MAX_KEY);
+        if !existing.contains(&k) && seen.insert(k) {
+            keys.push(k);
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_pairs_are_in_domain_and_deterministic() {
+        let a = random_pairs(1000, 7);
+        let b = random_pairs(1000, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(k, _)| k <= MAX_KEY));
+        assert_ne!(a, random_pairs(1000, 8));
+    }
+
+    #[test]
+    fn unique_keys_are_distinct() {
+        let keys = unique_random_keys(10_000, 3);
+        let set: std::collections::HashSet<_> = keys.iter().copied().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn unique_pairs_have_distinct_keys() {
+        let pairs = unique_random_pairs(5000, 11);
+        let set: std::collections::HashSet<_> = pairs.iter().map(|&(k, _)| k).collect();
+        assert_eq!(set.len(), pairs.len());
+    }
+
+    #[test]
+    fn disjoint_keys_do_not_collide() {
+        let existing = unique_random_keys(2000, 1);
+        let missing = unique_keys_disjoint_from(2000, &existing, 2);
+        let existing_set: std::collections::HashSet<_> = existing.into_iter().collect();
+        assert!(missing.iter().all(|k| !existing_set.contains(k)));
+        let missing_set: std::collections::HashSet<_> = missing.iter().copied().collect();
+        assert_eq!(missing_set.len(), missing.len());
+    }
+
+    #[test]
+    fn zero_length_requests() {
+        assert!(random_pairs(0, 0).is_empty());
+        assert!(unique_random_keys(0, 0).is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # lsm-workloads — workload generators for the GPU LSM experiments
+//!
+//! The paper's evaluation (§V) drives the data structures with uniformly
+//! random 31-bit keys, incremental batch-insertion sequences, lookup query
+//! sets in which either none or all of the queried keys exist, and
+//! count/range queries whose expected result width `L` is controlled by the
+//! query interval width.  This crate generates those workloads
+//! deterministically from a seed so every experiment is reproducible.
+
+#![warn(missing_docs)]
+
+pub mod batches;
+pub mod distributions;
+pub mod keygen;
+pub mod queries;
+pub mod sweep;
+
+pub use batches::{mixed_batches, pure_insert_batches, BatchSequence};
+pub use distributions::{hot_set_batches, sorted_run, ZipfKeys};
+pub use keygen::{random_pairs, unique_random_keys, unique_random_pairs};
+pub use queries::{existing_lookups, missing_lookups, range_queries_with_expected_width};
+pub use sweep::{paper_batch_sizes, scaled_batch_sizes, SweepConfig};

@@ -1,0 +1,116 @@
+//! Query-set generators for the lookup, count and range experiments.
+
+use gpu_lsm::MAX_KEY;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::keygen::unique_keys_disjoint_from;
+
+/// Lookup queries that all exist: a random sample (with replacement) of the
+/// resident keys, `num_queries` long (Table III, "all existing").
+pub fn existing_lookups(resident_keys: &[u32], num_queries: usize, seed: u64) -> Vec<u32> {
+    assert!(!resident_keys.is_empty(), "need at least one resident key");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_queries)
+        .map(|_| resident_keys[rng.gen_range(0..resident_keys.len())])
+        .collect()
+}
+
+/// Lookup queries none of which exist (Table III, "none existing").
+pub fn missing_lookups(resident_keys: &[u32], num_queries: usize, seed: u64) -> Vec<u32> {
+    unique_keys_disjoint_from(num_queries, resident_keys, seed)
+}
+
+/// Interval queries whose expected number of resident keys is `expected_width`
+/// (the paper's `L`), assuming `num_resident` keys uniform over the 31-bit
+/// domain (Table IV uses L = 8 and L = 1024).
+///
+/// The interval width is `L · domain / n`; query start points are uniform.
+pub fn range_queries_with_expected_width(
+    num_resident: usize,
+    expected_width: usize,
+    num_queries: usize,
+    seed: u64,
+) -> Vec<(u32, u32)> {
+    assert!(num_resident > 0, "need a non-empty resident set");
+    let domain = MAX_KEY as u64 + 1;
+    let width = ((expected_width as u128 * domain as u128) / num_resident as u128)
+        .min(domain as u128 - 1) as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_queries)
+        .map(|_| {
+            let start = rng.gen_range(0..domain - width) as u32;
+            (start, (start as u64 + width).min(MAX_KEY as u64) as u32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen::unique_random_keys;
+
+    #[test]
+    fn existing_lookups_are_members() {
+        let keys = unique_random_keys(1000, 1);
+        let set: std::collections::HashSet<_> = keys.iter().copied().collect();
+        let queries = existing_lookups(&keys, 500, 2);
+        assert_eq!(queries.len(), 500);
+        assert!(queries.iter().all(|q| set.contains(q)));
+    }
+
+    #[test]
+    fn missing_lookups_are_not_members() {
+        let keys = unique_random_keys(1000, 1);
+        let set: std::collections::HashSet<_> = keys.iter().copied().collect();
+        let queries = missing_lookups(&keys, 500, 2);
+        assert_eq!(queries.len(), 500);
+        assert!(queries.iter().all(|q| !set.contains(q)));
+    }
+
+    #[test]
+    fn range_queries_have_requested_expected_width() {
+        // With n uniform keys and interval width L·D/n, the mean number of
+        // keys per interval should be close to L.
+        let n = 50_000;
+        let l = 64;
+        let keys = {
+            let mut k = unique_random_keys(n, 3);
+            k.sort_unstable();
+            k
+        };
+        let queries = range_queries_with_expected_width(n, l, 400, 4);
+        let mean: f64 = queries
+            .iter()
+            .map(|&(a, b)| {
+                let lo = keys.partition_point(|&k| k < a);
+                let hi = keys.partition_point(|&k| k <= b);
+                (hi - lo) as f64
+            })
+            .sum::<f64>()
+            / queries.len() as f64;
+        assert!(
+            (mean - l as f64).abs() < l as f64 * 0.25,
+            "mean width {mean} too far from target {l}"
+        );
+    }
+
+    #[test]
+    fn range_bounds_are_ordered_and_in_domain() {
+        let queries = range_queries_with_expected_width(1000, 8, 200, 9);
+        assert!(queries.iter().all(|&(a, b)| a <= b && b <= MAX_KEY));
+    }
+
+    #[test]
+    fn query_generation_is_deterministic() {
+        let keys = unique_random_keys(100, 5);
+        assert_eq!(
+            existing_lookups(&keys, 50, 6),
+            existing_lookups(&keys, 50, 6)
+        );
+        assert_eq!(
+            range_queries_with_expected_width(100, 8, 50, 7),
+            range_queries_with_expected_width(100, 8, 50, 7)
+        );
+    }
+}

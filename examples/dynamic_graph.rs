@@ -1,0 +1,90 @@
+//! A dynamic graph maintained as a dictionary of edges — the paper's
+//! introduction lists "processing dynamic graphs and trees" as a target
+//! application for a mutable GPU dictionary.
+//!
+//! Each directed edge (u, v) is one dictionary entry: the key packs the
+//! source vertex in the high bits and the destination in the low bits, and
+//! the value carries the edge weight.  Because all of a vertex's out-edges
+//! form one contiguous key range, adjacency queries are RANGE operations and
+//! out-degrees are COUNT operations; edge insertions and removals arrive in
+//! batches, exactly the LSM's update model.
+//!
+//! Run with: `cargo run --release --example dynamic_graph`
+
+use std::sync::Arc;
+
+use gpu_lsm::{GpuLsm, UpdateBatch};
+use gpu_sim::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DST_BITS: u32 = 15;
+const NUM_VERTICES: u32 = 1 << 15;
+
+fn edge_key(src: u32, dst: u32) -> u32 {
+    debug_assert!(src < (1 << (31 - DST_BITS)) && dst < (1 << DST_BITS));
+    (src << DST_BITS) | dst
+}
+
+fn vertex_range(src: u32) -> (u32, u32) {
+    (edge_key(src, 0), edge_key(src, (1 << DST_BITS) - 1))
+}
+
+fn main() {
+    let device = Arc::new(Device::k40c());
+    let batch_size = 1 << 13;
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Build an initial random graph (preferential towards low vertex ids so
+    // some vertices have large adjacency lists).
+    let initial_edges: Vec<(u32, u32)> = (0..200_000)
+        .map(|_| {
+            let src = rng.gen_range(0..NUM_VERTICES) & rng.gen_range(0..NUM_VERTICES);
+            let dst = rng.gen_range(0..1 << DST_BITS);
+            (edge_key(src, dst), rng.gen_range(1..100))
+        })
+        .collect();
+    let mut graph = GpuLsm::bulk_build(device, batch_size, &initial_edges).expect("bulk build");
+    println!(
+        "built graph with {} edge slots in {} levels",
+        graph.num_resident_elements(),
+        graph.num_occupied_levels()
+    );
+
+    // Stream of edge updates: new edges appear, some old edges disappear.
+    for round in 0..5 {
+        let mut batch = UpdateBatch::with_capacity(batch_size);
+        for _ in 0..(batch_size * 3 / 4) {
+            let src = rng.gen_range(0..NUM_VERTICES) & rng.gen_range(0..NUM_VERTICES);
+            let dst = rng.gen_range(0..1 << DST_BITS);
+            batch.insert(edge_key(src, dst), rng.gen_range(1..100));
+        }
+        for _ in 0..(batch_size / 4) {
+            let (k, _) = initial_edges[rng.gen_range(0..initial_edges.len())];
+            batch.delete(k);
+        }
+        graph.update(&batch).expect("edge update batch");
+
+        // Out-degree of a few hub vertices via COUNT, adjacency of one via RANGE.
+        let hubs: Vec<u32> = (0..4).collect();
+        let degree_queries: Vec<(u32, u32)> = hubs.iter().map(|&v| vertex_range(v)).collect();
+        let degrees = graph.count(&degree_queries);
+        let adjacency = graph.range(&[vertex_range(hubs[0])]);
+        let neighbours: Vec<u32> = adjacency
+            .iter_query(0)
+            .take(5)
+            .map(|(k, _)| k & ((1 << DST_BITS) - 1))
+            .collect();
+        println!(
+            "round {round}: out-degrees of vertices 0..3 = {:?}; first neighbours of vertex 0: {:?}",
+            degrees, neighbours
+        );
+    }
+
+    // Consolidate before a long read-only analytics phase.
+    let report = graph.cleanup();
+    println!(
+        "final cleanup: {} -> {} valid edges, {} -> {} levels",
+        report.elements_before, report.valid_elements, report.levels_before, report.levels_after
+    );
+}

@@ -1,0 +1,100 @@
+//! Streaming geo-tagged events with windowed region queries — modelled on
+//! the paper's "real-time tweet visualization from a user-defined
+//! geographical region" motivation.
+//!
+//! Events arrive in batches; each event's key is a 31-bit geohash-style cell
+//! id (here: 15-bit latitude band × 16-bit longitude band, concatenated so
+//! that one latitude band is a contiguous key range) and its value is an
+//! event id.  A dashboard repeatedly issues COUNT queries for latitude/
+//! longitude windows, and old events are retired with deletion batches, with
+//! periodic cleanups to keep query latency low.
+//!
+//! Run with: `cargo run --release --example geo_stream`
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use gpu_lsm::{GpuLsm, UpdateBatch};
+use gpu_sim::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const LON_BITS: u32 = 16;
+
+/// Cell id: latitude band in the high bits, longitude in the low bits.
+fn cell(lat_band: u32, lon_band: u32) -> u32 {
+    (lat_band << LON_BITS) | lon_band
+}
+
+fn main() {
+    let device = Arc::new(Device::k40c());
+    let batch_size = 1 << 13;
+    let retention_batches = 6; // keep the last 6 batches of events "live"
+    let mut lsm = GpuLsm::new(device, batch_size).expect("create GPU LSM");
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Hot-spot model: most events cluster around a few cities.
+    let cities: Vec<(u32, u32)> = (0..8)
+        .map(|_| (rng.gen_range(0..1 << 15), rng.gen_range(0..1 << 16)))
+        .collect();
+
+    let mut history: VecDeque<Vec<u32>> = VecDeque::new();
+    let mut next_event_id = 0u32;
+
+    for step in 0..12 {
+        // Ingest one batch of events.
+        let mut batch = UpdateBatch::with_capacity(batch_size);
+        let mut keys_this_batch = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            let (clat, clon) = cities[rng.gen_range(0..cities.len())];
+            let lat = (clat + rng.gen_range(0..64)).min((1 << 15) - 1);
+            let lon = (clon + rng.gen_range(0..64)).min((1 << 16) - 1);
+            let key = cell(lat, lon);
+            batch.insert(key, next_event_id);
+            keys_this_batch.push(key);
+            next_event_id += 1;
+        }
+        lsm.update(&batch).expect("ingest batch");
+        history.push_back(keys_this_batch);
+
+        // Retire events that fell out of the retention window.
+        if history.len() > retention_batches {
+            let expired = history.pop_front().unwrap();
+            for chunk in expired.chunks(batch_size) {
+                lsm.delete(chunk).expect("retire batch");
+            }
+        }
+
+        // Dashboard: count events in a window of latitude bands around the
+        // first city (each latitude band is one contiguous key range).
+        let (clat, _) = cities[0];
+        let windows: Vec<(u32, u32)> = (0..4)
+            .map(|d| {
+                let band = clat + d * 16;
+                (cell(band, 0), cell(band, (1 << 16) - 1))
+            })
+            .collect();
+        let counts = lsm.count(&windows);
+        let stats = lsm.stats();
+        println!(
+            "step {step:>2}: {:>8} resident ({:>5.1}% stale, {} levels) | occupied cells per lat band near city 0: {:?}",
+            stats.total_elements,
+            stats.stale_fraction() * 100.0,
+            stats.occupied_levels,
+            counts
+        );
+
+        // Clean up when staleness gets high, as §V-D recommends for
+        // query-heavy phases.
+        if stats.stale_fraction() > 0.4 {
+            let report = lsm.cleanup();
+            println!(
+                "         cleanup: {} -> {} elements, {} -> {} levels",
+                report.elements_before,
+                report.valid_elements + report.placebos_added,
+                report.levels_before,
+                report.levels_after
+            );
+        }
+    }
+}

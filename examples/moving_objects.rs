@@ -1,0 +1,120 @@
+//! Moving objects with repeated range queries — the paper's introduction
+//! motivates the GPU LSM with "processing moving objects (e.g., real-time
+//! range queries to find k nearest neighbors for all moving objects in a 2D
+//! plane)".
+//!
+//! Objects live on a 2^15 × 2^15 grid.  Each object's dictionary key is the
+//! interleaved Morton code of its cell (30 bits, fits the 31-bit key
+//! domain) and its value is the object id.  Every simulation tick a batch of
+//! objects moves: the old cell key is tombstoned and the new cell key
+//! inserted.  Rectangular window queries decompose into a small set of
+//! Morton ranges, answered with the LSM's range operation.
+//!
+//! Run with: `cargo run --release --example moving_objects`
+
+use std::sync::Arc;
+
+use gpu_lsm::{GpuLsm, UpdateBatch};
+use gpu_sim::Device;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const GRID_BITS: u32 = 15;
+const GRID: u32 = 1 << GRID_BITS;
+
+/// Interleave the low 15 bits of x and y into a 30-bit Morton code.
+fn morton(x: u32, y: u32) -> u32 {
+    let mut code = 0u32;
+    for bit in 0..GRID_BITS {
+        code |= ((x >> bit) & 1) << (2 * bit);
+        code |= ((y >> bit) & 1) << (2 * bit + 1);
+    }
+    code
+}
+
+struct Object {
+    x: u32,
+    y: u32,
+}
+
+fn main() {
+    let device = Arc::new(Device::k40c());
+    let num_objects = 40_000usize;
+    let batch_size = 8192usize;
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Spawn objects and bulk-build the initial index.
+    let mut objects: Vec<Object> = (0..num_objects)
+        .map(|_| Object {
+            x: rng.gen_range(0..GRID),
+            y: rng.gen_range(0..GRID),
+        })
+        .collect();
+    let initial: Vec<(u32, u32)> = objects
+        .iter()
+        .enumerate()
+        .map(|(id, o)| (morton(o.x, o.y), id as u32))
+        .collect();
+    let mut index = GpuLsm::bulk_build(device, batch_size, &initial).expect("bulk build");
+    println!(
+        "indexed {num_objects} objects in {} levels",
+        index.num_occupied_levels()
+    );
+
+    // Simulate ticks: a subset of objects moves each tick.
+    for tick in 0..6 {
+        let movers: Vec<usize> = (0..batch_size / 2)
+            .map(|_| rng.gen_range(0..num_objects))
+            .collect();
+        let mut batch = UpdateBatch::with_capacity(batch_size);
+        for &id in &movers {
+            let old_key = morton(objects[id].x, objects[id].y);
+            // Random walk with reflection at the borders.
+            let o = &mut objects[id];
+            o.x = (o.x + rng.gen_range(0..8)).min(GRID - 1);
+            o.y = (o.y + rng.gen_range(0..8)).min(GRID - 1);
+            let new_key = morton(o.x, o.y);
+            if new_key != old_key {
+                batch.delete(old_key);
+                batch.insert(new_key, id as u32);
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        index.update(&batch).expect("tick update");
+
+        // Window query: how many objects are in a square around the centre?
+        // A Morton-aligned square of side 2^k maps to one contiguous code
+        // range, so align the query window to the quadtree cell containing
+        // the centre point.
+        let k = 11u32; // 2^11 x 2^11 window
+        let cx = (GRID / 2) & !((1 << k) - 1);
+        let cy = (GRID / 2) & !((1 << k) - 1);
+        let lo = morton(cx, cy);
+        let hi = lo + (1 << (2 * k)) - 1;
+        let count = index.count(&[(lo, hi)])[0];
+        println!(
+            "tick {tick}: moved {} objects, {} objects inside the {}x{} centre window, {} levels",
+            movers.len(),
+            count,
+            1 << k,
+            1 << k,
+            index.num_occupied_levels()
+        );
+
+        // Periodic cleanup keeps tombstones from accumulating.
+        if tick % 3 == 2 {
+            let report = index.cleanup();
+            println!(
+                "  cleanup: removed {} stale elements, levels {} -> {}",
+                report.removed_elements, report.levels_before, report.levels_after
+            );
+        }
+    }
+
+    // Final sanity check: every object is findable at its current cell.
+    let sample: Vec<u32> = (0..64).map(|i| morton(objects[i].x, objects[i].y)).collect();
+    let found = index.lookup(&sample).iter().filter(|r| r.is_some()).count();
+    println!("spot check: {found}/64 sampled objects found at their current cells");
+}

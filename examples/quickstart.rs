@@ -1,0 +1,87 @@
+//! Quickstart: build a GPU LSM, insert and delete batches, run every kind of
+//! query, inspect statistics, and clean up.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use std::sync::Arc;
+
+use gpu_lsm::{GpuLsm, UpdateBatch};
+use gpu_sim::Device;
+
+fn main() {
+    // The device models the paper's NVIDIA Tesla K40c; all bulk operations
+    // execute data-parallel on the host while traffic is accounted against
+    // the device's cost model.
+    let device = Arc::new(Device::k40c());
+    let batch_size = 1 << 12;
+    let mut lsm = GpuLsm::new(device.clone(), batch_size).expect("create GPU LSM");
+
+    // Insert four full batches of key-value pairs.
+    for b in 0..4u32 {
+        let pairs: Vec<(u32, u32)> = (0..batch_size as u32)
+            .map(|i| (b * batch_size as u32 + i, i * 10))
+            .collect();
+        lsm.insert(&pairs).expect("insert batch");
+    }
+    println!(
+        "inserted {} elements in {} batches across {} occupied levels",
+        lsm.num_resident_elements(),
+        lsm.num_batches(),
+        lsm.num_occupied_levels()
+    );
+
+    // Point lookups.
+    let queries = vec![0, 123, 9999, 50_000];
+    let results = lsm.lookup(&queries);
+    for (q, r) in queries.iter().zip(&results) {
+        println!("lookup({q}) = {r:?}");
+    }
+
+    // A mixed batch: replace some keys, delete others.
+    let mut batch = UpdateBatch::new();
+    for k in 0..100u32 {
+        batch.insert(k, 777);
+    }
+    for k in 1000..1100u32 {
+        batch.delete(k);
+    }
+    lsm.update(&batch).expect("mixed update");
+    println!(
+        "after mixed batch: lookup(5) = {:?}, lookup(1005) = {:?}",
+        lsm.lookup_one(5),
+        lsm.lookup_one(1005)
+    );
+
+    // Count and range queries.
+    let counts = lsm.count(&[(0, 999), (1000, 1099), (0, 65_535)]);
+    println!("counts: 0..=999 -> {}, 1000..=1099 -> {}, all -> {}", counts[0], counts[1], counts[2]);
+    let ranges = lsm.range(&[(42, 52)]);
+    println!("range 42..=52:");
+    for (k, v) in ranges.iter_query(0) {
+        println!("  key {k} -> value {v}");
+    }
+
+    // Structure statistics and cleanup.
+    let stats = lsm.stats();
+    println!(
+        "before cleanup: {} resident, {} valid, {:.1}% stale, {} levels, {} KiB",
+        stats.total_elements,
+        stats.valid_elements,
+        stats.stale_fraction() * 100.0,
+        stats.occupied_levels,
+        stats.memory_bytes / 1024
+    );
+    let report = lsm.cleanup();
+    println!(
+        "cleanup removed {} stale elements ({} -> {} levels)",
+        report.removed_elements, report.levels_before, report.levels_after
+    );
+
+    // The device kept track of the traffic all of this generated.
+    let est = device.estimated_time();
+    println!(
+        "modelled device time for the whole session: {:.3} ms ({} bytes moved)",
+        est.total_seconds * 1e3,
+        device.metrics().total().total_bytes()
+    );
+}

@@ -1,0 +1,30 @@
+//! Workspace facade for the GPU LSM reproduction.
+//!
+//! This tiny crate exists so the repository-level `examples/` and `tests/`
+//! can use every workspace crate through one dependency.  Library users
+//! should depend on the individual crates ([`gpu_lsm`], [`gpu_sim`],
+//! [`gpu_primitives`], [`gpu_baselines`], [`lsm_workloads`]) directly.
+
+pub use gpu_baselines;
+pub use gpu_lsm;
+pub use gpu_primitives;
+pub use gpu_sim;
+pub use lsm_workloads;
+
+/// Convenience re-exports used by the examples.
+pub mod prelude {
+    pub use gpu_baselines::{CuckooHashTable, SortedArray};
+    pub use gpu_lsm::{GpuLsm, LsmStats, Op, RangeResult, UpdateBatch};
+    pub use gpu_sim::{Device, DeviceConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_core_types() {
+        use super::prelude::*;
+        let device = std::sync::Arc::new(Device::new(DeviceConfig::small()));
+        let lsm = GpuLsm::new(device, 16).unwrap();
+        assert!(lsm.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! End-to-end correctness: the GPU LSM must answer every query exactly like
+//! a reference `BTreeMap` dictionary, across arbitrary interleavings of
+//! batched insertions, deletions, cleanups and bulk builds.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gpu_lsm::{GpuLsm, UpdateBatch};
+use gpu_sim::{Device, DeviceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn device() -> Arc<Device> {
+    Arc::new(Device::new(DeviceConfig::small()))
+}
+
+/// Apply one mixed batch both to the LSM and to the reference map.
+/// Keys are distinct within the batch so the sequential reference semantics
+/// coincide with the LSM's batch semantics.
+fn apply_random_batch(
+    lsm: &mut GpuLsm,
+    reference: &mut BTreeMap<u32, u32>,
+    batch_size: usize,
+    key_domain: u32,
+    delete_prob: f64,
+    rng: &mut StdRng,
+) {
+    let mut batch = UpdateBatch::with_capacity(batch_size);
+    let mut used = std::collections::HashSet::new();
+    while used.len() < batch_size {
+        let key = rng.gen_range(0..key_domain);
+        if !used.insert(key) {
+            continue;
+        }
+        if rng.gen_bool(delete_prob) {
+            batch.delete(key);
+            reference.remove(&key);
+        } else {
+            let value = rng.gen::<u32>();
+            batch.insert(key, value);
+            reference.insert(key, value);
+        }
+    }
+    lsm.update(&batch).expect("update batch");
+}
+
+fn check_against_reference(lsm: &GpuLsm, reference: &BTreeMap<u32, u32>, key_domain: u32) {
+    // Lookups over the whole key domain.
+    let queries: Vec<u32> = (0..key_domain).collect();
+    let results = lsm.lookup(&queries);
+    for (q, got) in queries.iter().zip(results.iter()) {
+        assert_eq!(got, &reference.get(q).copied(), "lookup({q})");
+    }
+
+    // Count and range queries over a grid of intervals.
+    let intervals: Vec<(u32, u32)> = (0..16)
+        .map(|i| {
+            let lo = i * key_domain / 16;
+            let hi = ((i + 2) * key_domain / 16).min(key_domain - 1);
+            (lo, hi)
+        })
+        .collect();
+    let counts = lsm.count(&intervals);
+    let ranges = lsm.range(&intervals);
+    for (qi, &(lo, hi)) in intervals.iter().enumerate() {
+        let expected: Vec<(u32, u32)> = reference
+            .range(lo..=hi)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        assert_eq!(counts[qi] as usize, expected.len(), "count({lo},{hi})");
+        let got: Vec<(u32, u32)> = ranges.iter_query(qi).collect();
+        assert_eq!(got, expected, "range({lo},{hi})");
+    }
+}
+
+#[test]
+fn random_mixed_workload_matches_btreemap() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let batch_size = 128;
+    let key_domain = 2000u32;
+    let mut lsm = GpuLsm::new(device(), batch_size).unwrap();
+    let mut reference = BTreeMap::new();
+
+    for step in 0..12 {
+        apply_random_batch(&mut lsm, &mut reference, batch_size, key_domain, 0.35, &mut rng);
+        lsm.check_invariants().expect("invariants");
+        if step % 4 == 3 {
+            check_against_reference(&lsm, &reference, key_domain);
+        }
+    }
+    check_against_reference(&lsm, &reference, key_domain);
+}
+
+#[test]
+fn cleanup_never_changes_answers() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let batch_size = 64;
+    let key_domain = 1000u32;
+    let mut lsm = GpuLsm::new(device(), batch_size).unwrap();
+    let mut reference = BTreeMap::new();
+
+    for step in 0..10 {
+        apply_random_batch(&mut lsm, &mut reference, batch_size, key_domain, 0.45, &mut rng);
+        if step % 2 == 1 {
+            let stats_before = lsm.stats();
+            lsm.cleanup();
+            lsm.check_invariants().expect("invariants after cleanup");
+            let stats_after = lsm.stats();
+            assert!(stats_after.total_elements <= stats_before.total_elements);
+            assert_eq!(stats_after.valid_elements, reference.len());
+            check_against_reference(&lsm, &reference, key_domain);
+        }
+    }
+}
+
+#[test]
+fn bulk_build_agrees_with_incremental_insertion() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let batch_size = 256;
+    let pairs: Vec<(u32, u32)> = {
+        let mut keys: Vec<u32> = (0..2048u32).collect();
+        // Shuffle keys to avoid a pre-sorted input.
+        for i in (1..keys.len()).rev() {
+            keys.swap(i, rng.gen_range(0..=i));
+        }
+        keys.into_iter().map(|k| (k, k * 3 + 1)).collect()
+    };
+
+    let bulk = GpuLsm::bulk_build(device(), batch_size, &pairs).unwrap();
+    let mut incremental = GpuLsm::new(device(), batch_size).unwrap();
+    for chunk in pairs.chunks(batch_size) {
+        incremental.insert(chunk).unwrap();
+    }
+
+    bulk.check_invariants().unwrap();
+    incremental.check_invariants().unwrap();
+    let queries: Vec<u32> = (0..2500u32).collect();
+    assert_eq!(bulk.lookup(&queries), incremental.lookup(&queries));
+    let intervals = vec![(0u32, 100u32), (500, 1500), (2000, 2400)];
+    assert_eq!(bulk.count(&intervals), incremental.count(&intervals));
+}
+
+#[test]
+fn values_survive_many_replacements() {
+    let batch_size = 32;
+    let mut lsm = GpuLsm::new(device(), batch_size).unwrap();
+    // Re-insert the same keys 20 times with increasing values.
+    for round in 0..20u32 {
+        let pairs: Vec<(u32, u32)> = (0..batch_size as u32).map(|k| (k, round * 100 + k)).collect();
+        lsm.insert(&pairs).unwrap();
+    }
+    let queries: Vec<u32> = (0..batch_size as u32).collect();
+    let results = lsm.lookup(&queries);
+    for (k, r) in queries.iter().zip(results.iter()) {
+        assert_eq!(*r, Some(19 * 100 + k), "key {k} should hold the last value");
+    }
+    // Count sees each key once despite 20 copies.
+    assert_eq!(lsm.count(&[(0, batch_size as u32 - 1)]), vec![batch_size as u32]);
+    // After cleanup only one copy per key remains.
+    let report = lsm.cleanup();
+    assert_eq!(report.valid_elements, batch_size);
+    assert_eq!(lsm.lookup(&queries), results);
+}
+
+#[test]
+fn interleaved_delete_reinsert_cycles() {
+    let batch_size = 16;
+    let mut lsm = GpuLsm::new(device(), batch_size).unwrap();
+    let keys: Vec<u32> = (0..batch_size as u32).collect();
+    for cycle in 0..8u32 {
+        let pairs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, cycle)).collect();
+        lsm.insert(&pairs).unwrap();
+        assert_eq!(lsm.lookup(&[0]), vec![Some(cycle)]);
+        lsm.delete(&keys).unwrap();
+        assert_eq!(lsm.lookup(&[0]), vec![None]);
+        assert_eq!(lsm.count(&[(0, batch_size as u32)]), vec![0]);
+    }
+    // Final state: everything deleted.
+    let report = lsm.cleanup();
+    assert_eq!(report.valid_elements, 0);
+    assert!(lsm.is_empty());
+}

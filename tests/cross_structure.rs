@@ -1,0 +1,107 @@
+//! Cross-structure agreement: the GPU LSM, the sorted-array baseline and the
+//! cuckoo hash table must give identical answers on the workloads they all
+//! support, since the paper's tables compare their performance on the same
+//! query streams.
+
+use std::sync::Arc;
+
+use gpu_baselines::{CuckooHashTable, SortedArray};
+use gpu_lsm::GpuLsm;
+use gpu_sim::{Device, DeviceConfig};
+use lsm_workloads::{
+    existing_lookups, missing_lookups, range_queries_with_expected_width, unique_random_pairs,
+};
+
+fn device() -> Arc<Device> {
+    Arc::new(Device::new(DeviceConfig::small()))
+}
+
+#[test]
+fn all_structures_agree_on_lookups() {
+    let pairs = unique_random_pairs(20_000, 31);
+    let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    let lsm = GpuLsm::bulk_build(device(), 1024, &pairs).unwrap();
+    let sa = SortedArray::bulk_build(device(), &pairs);
+    let cuckoo = CuckooHashTable::bulk_build(device(), &pairs);
+
+    let hits = existing_lookups(&keys, 4000, 1);
+    let misses = missing_lookups(&keys, 4000, 2);
+    for queries in [&hits, &misses] {
+        let from_lsm = lsm.lookup(queries);
+        let from_sa = sa.lookup(queries);
+        let from_cuckoo = cuckoo.lookup(queries);
+        assert_eq!(from_lsm, from_sa);
+        assert_eq!(from_lsm, from_cuckoo);
+    }
+}
+
+#[test]
+fn lsm_and_sa_agree_on_counts_and_ranges() {
+    let pairs = unique_random_pairs(30_000, 32);
+    let lsm = GpuLsm::bulk_build(device(), 2048, &pairs).unwrap();
+    let sa = SortedArray::bulk_build(device(), &pairs);
+
+    for expected_width in [4usize, 64, 512] {
+        let queries =
+            range_queries_with_expected_width(pairs.len(), expected_width, 200, expected_width as u64);
+        let lsm_counts = lsm.count(&queries);
+        let sa_counts = sa.count(&queries);
+        assert_eq!(lsm_counts, sa_counts, "counts disagree at L = {expected_width}");
+
+        let lsm_ranges = lsm.range(&queries);
+        let (sa_offsets, sa_keys, sa_values) = sa.range(&queries);
+        assert_eq!(lsm_ranges.offsets, sa_offsets);
+        assert_eq!(lsm_ranges.keys, sa_keys);
+        assert_eq!(lsm_ranges.values, sa_values);
+    }
+}
+
+#[test]
+fn structures_agree_after_equivalent_updates() {
+    // Apply the same batches (inserts of fresh keys, then deletions) to the
+    // LSM and the sorted array and check the answers stay identical.
+    let pairs = unique_random_pairs(8_192, 33);
+    let batch = 1024;
+    let mut lsm = GpuLsm::new(device(), batch).unwrap();
+    let mut sa = SortedArray::new(device());
+    for chunk in pairs.chunks(batch) {
+        lsm.insert(chunk).unwrap();
+        sa.insert_batch(chunk);
+    }
+    // Delete one in four keys.
+    let doomed: Vec<u32> = pairs.iter().step_by(4).map(|&(k, _)| k).collect();
+    for chunk in doomed.chunks(batch) {
+        lsm.delete(chunk).unwrap();
+        sa.delete_batch(chunk);
+    }
+
+    let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    let queries = existing_lookups(&keys, 3000, 3);
+    assert_eq!(lsm.lookup(&queries), sa.lookup(&queries));
+
+    let intervals = range_queries_with_expected_width(pairs.len(), 32, 100, 4);
+    assert_eq!(lsm.count(&intervals), sa.count(&intervals));
+
+    // Cleanup must not change agreement.
+    lsm.cleanup();
+    assert_eq!(lsm.lookup(&queries), sa.lookup(&queries));
+    assert_eq!(lsm.count(&intervals), sa.count(&intervals));
+}
+
+#[test]
+fn memory_accounting_is_tracked_for_all_structures() {
+    let dev = device();
+    let pairs = unique_random_pairs(10_000, 34);
+    let lsm = GpuLsm::bulk_build(dev.clone(), 1024, &pairs).unwrap();
+    let sa = SortedArray::bulk_build(dev.clone(), &pairs);
+    let cuckoo = CuckooHashTable::bulk_build(dev.clone(), &pairs);
+    // The LSM and SA store keys + values (8 bytes/element); the cuckoo table
+    // stores packed 8-byte slots at 1/load_factor slots per element.
+    assert!(lsm.memory_bytes() >= pairs.len() * 8);
+    assert!(sa.memory_bytes() >= pairs.len() * 8);
+    assert!(cuckoo.memory_bytes() >= pairs.len() * 8);
+    assert!(cuckoo.memory_bytes() < pairs.len() * 16);
+    // Device-level traffic was recorded for the builds.
+    assert!(dev.metrics().total().total_bytes() > 0);
+    assert!(dev.estimated_time().total_seconds > 0.0);
+}

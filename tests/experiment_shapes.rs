@@ -1,0 +1,123 @@
+//! Shape tests for the paper's headline experimental claims, at reduced
+//! problem sizes.  These do not check absolute numbers (our substrate is a
+//! CPU-hosted model, not a K40c); they check the *orderings and trends* that
+//! the paper's tables and figures report, which is what EXPERIMENTS.md
+//! documents in detail.
+//!
+//! These tests time real work, so they are written with generous margins and
+//! moderate sizes to stay robust in debug builds.
+
+use lsm_bench::experiments::{fig4, table1, table2};
+use lsm_workloads::SweepConfig;
+
+#[test]
+fn table2_shape_lsm_updates_beat_sorted_array_updates() {
+    // Paper: averaged over batch sizes, the GPU LSM inserts ~13.5x faster
+    // than the sorted array; per batch size the mean rate is always better.
+    let config = SweepConfig {
+        total_elements: 1 << 14,
+        batch_sizes: vec![1 << 7, 1 << 9],
+        seed: 42,
+    };
+    let result = table2::run(&config, 12);
+    for row in &result.rows {
+        assert!(
+            row.lsm.harmonic_mean > row.sa.harmonic_mean,
+            "b = {}: LSM mean {} should beat SA mean {}",
+            row.batch_size,
+            row.lsm.harmonic_mean,
+            row.sa.harmonic_mean
+        );
+    }
+    assert!(
+        result.lsm_overall_mean > 1.5 * result.sa_overall_mean,
+        "overall LSM mean {} should be well above SA mean {}",
+        result.lsm_overall_mean,
+        result.sa_overall_mean
+    );
+}
+
+#[test]
+fn table2_shape_smaller_batches_mean_slower_lsm_insertion() {
+    // Paper Table II: for a fixed n, smaller b means more occupied levels,
+    // more iterative merges and a lower mean insertion rate.
+    let config = SweepConfig {
+        total_elements: 1 << 14,
+        batch_sizes: vec![1 << 7, 1 << 12],
+        seed: 43,
+    };
+    let result = table2::run(&config, 8);
+    let small = result.rows.iter().find(|r| r.batch_size == 1 << 7).unwrap();
+    let large = result.rows.iter().find(|r| r.batch_size == 1 << 12).unwrap();
+    assert!(
+        large.lsm.harmonic_mean > small.lsm.harmonic_mean,
+        "larger batches should insert faster on average: {} vs {}",
+        large.lsm.harmonic_mean,
+        small.lsm.harmonic_mean
+    );
+}
+
+#[test]
+fn fig4b_shape_effective_rate_gap_grows_with_n() {
+    // Paper Fig. 4b: as more batches are inserted, the sorted array's
+    // effective rate collapses (O(1/n)) while the LSM's degrades slowly
+    // (O(1/log n)), so the ratio between them grows.
+    let b = 1 << 8;
+    let lsm = fig4::run_fig4b_lsm(b, 32, 7);
+    let sa = fig4::run_fig4b_sa(b, 32, 7);
+    let ratio_early = lsm.points[3].effective_rate / sa.points[3].effective_rate;
+    let ratio_late = lsm.points[31].effective_rate / sa.points[31].effective_rate;
+    assert!(
+        ratio_late > ratio_early,
+        "LSM advantage should grow with n: early {ratio_early:.2}x, late {ratio_late:.2}x"
+    );
+    assert!(ratio_late > 1.0, "LSM should win outright by the end");
+}
+
+#[test]
+fn table1_shape_growth_exponents_separate_linear_from_polylog() {
+    // Paper Table I: per-item SA updates are O(n); LSM updates are O(log n).
+    let result = table1::run(&[1 << 11, 1 << 13, 1 << 15], 1 << 8, 1 << 11, 44);
+    assert!(
+        result.sa_insert_exponent > 0.5,
+        "SA insert cost should grow roughly linearly, exponent {}",
+        result.sa_insert_exponent
+    );
+    assert!(
+        result.lsm_insert_exponent < result.sa_insert_exponent,
+        "LSM insert growth {} should be below SA growth {}",
+        result.lsm_insert_exponent,
+        result.sa_insert_exponent
+    );
+    assert!(
+        result.cuckoo_lookup_exponent < 0.5,
+        "cuckoo lookups should be ~constant, exponent {}",
+        result.cuckoo_lookup_exponent
+    );
+}
+
+#[test]
+fn fig4a_shape_insertion_time_follows_the_carry_chain() {
+    // Paper Fig. 4a: insertion time spikes exactly when the carry chain is
+    // long (r with many trailing zeros) and is lowest when level 0 is empty.
+    let points = fig4::run_fig4a(1 << 9, 32, 45);
+    // Average time of insertions with no merge (odd r) must be below the
+    // average of insertions with >= 2 merges (r divisible by 4).
+    let no_merge: Vec<f64> = points
+        .iter()
+        .filter(|p| p.resident_batches % 2 == 1)
+        .map(|p| p.insertion_ms)
+        .collect();
+    let long_chain: Vec<f64> = points
+        .iter()
+        .filter(|p| p.resident_batches % 4 == 0)
+        .map(|p| p.insertion_ms)
+        .collect();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        avg(&long_chain) > avg(&no_merge),
+        "carry-chain insertions ({:.3} ms) should cost more than merge-free ones ({:.3} ms)",
+        avg(&long_chain),
+        avg(&no_merge)
+    );
+}

@@ -1,0 +1,148 @@
+//! Stress and adversarial workloads: skewed key popularity, sorted and
+//! reverse-sorted runs, duplicate-only batches, and hot-set replacement
+//! streams.  These exercise the semantics rules (§III-A) and the stale-
+//! element machinery far harder than the paper's uniform workloads.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gpu_lsm::GpuLsm;
+use gpu_sim::{Device, DeviceConfig};
+use lsm_workloads::distributions::{
+    all_duplicates, hot_set_batches, reverse_sorted_run, sorted_run, ZipfKeys,
+};
+
+fn device() -> Arc<Device> {
+    Arc::new(Device::new(DeviceConfig::small()))
+}
+
+#[test]
+fn sorted_and_reverse_sorted_runs_round_trip() {
+    let b = 256;
+    let mut lsm = GpuLsm::new(device(), b).unwrap();
+    lsm.insert(&sorted_run(0, b)).unwrap();
+    lsm.insert(&reverse_sorted_run(10_000, b)).unwrap();
+    lsm.insert(&sorted_run(20_000, b)).unwrap();
+    lsm.check_invariants().unwrap();
+    // Every inserted key is findable.
+    assert_eq!(lsm.count(&[(0, 255)]), vec![256]);
+    assert_eq!(lsm.count(&[(10_000 - 255, 10_000)]), vec![256]);
+    assert_eq!(lsm.count(&[(20_000, 20_000 + 255)]), vec![256]);
+    assert_eq!(lsm.lookup(&[0, 10_000, 20_255]), vec![Some(0), Some(0), Some(255)]);
+}
+
+#[test]
+fn duplicate_only_batches_keep_exactly_one_visible() {
+    let b = 64;
+    let mut lsm = GpuLsm::new(device(), b).unwrap();
+    lsm.insert(&all_duplicates(42, b)).unwrap();
+    lsm.insert(&all_duplicates(42, b)).unwrap();
+    lsm.insert(&all_duplicates(43, b)).unwrap();
+    lsm.check_invariants().unwrap();
+    assert_eq!(lsm.count(&[(0, 100)]), vec![2]); // keys 42 and 43
+    // The visible value for 42 comes from the second batch (most recent),
+    // and within that batch the first pushed duplicate wins.
+    assert_eq!(lsm.lookup(&[42]), vec![Some(0)]);
+    let report = lsm.cleanup();
+    assert_eq!(report.valid_elements, 2);
+    assert_eq!(lsm.count(&[(0, 100)]), vec![2]);
+}
+
+#[test]
+fn zipf_skewed_updates_match_reference_and_cleanup_reclaims_space() {
+    let b = 128;
+    let universe = 512u32;
+    let mut zipf = ZipfKeys::new(universe, 0.9, 7);
+    let mut lsm = GpuLsm::new(device(), b).unwrap();
+    let mut reference: BTreeMap<u32, u32> = BTreeMap::new();
+
+    for round in 0..12u32 {
+        // Skewed keys, deduplicated within the batch so the sequential
+        // reference agrees with the batch semantics.
+        let mut batch_keys = Vec::with_capacity(b);
+        let mut seen = std::collections::HashSet::new();
+        while batch_keys.len() < b {
+            let k = zipf.sample();
+            if seen.insert(k) {
+                batch_keys.push(k);
+            }
+        }
+        let pairs: Vec<(u32, u32)> = batch_keys.iter().map(|&k| (k, round)).collect();
+        lsm.insert(&pairs).unwrap();
+        for &(k, v) in &pairs {
+            reference.insert(k, v);
+        }
+    }
+    lsm.check_invariants().unwrap();
+
+    // Heavy replacement means most resident elements are stale.
+    let stats = lsm.stats();
+    assert_eq!(stats.valid_elements, reference.len());
+    assert!(
+        stats.stale_fraction() > 0.3,
+        "hot-key replacement should accumulate staleness, got {:.2}",
+        stats.stale_fraction()
+    );
+
+    // Queries agree with the reference before and after cleanup.
+    let queries: Vec<u32> = (0..universe).collect();
+    let expected: Vec<Option<u32>> = queries.iter().map(|k| reference.get(k).copied()).collect();
+    assert_eq!(lsm.lookup(&queries), expected);
+    lsm.cleanup();
+    assert_eq!(lsm.lookup(&queries), expected);
+    assert!(lsm.stats().stale_fraction() < stats.stale_fraction());
+}
+
+#[test]
+fn hot_set_stream_accumulates_and_cleans_predictably() {
+    let b = 128;
+    let batches = hot_set_batches(b, 10, 32, 0.6, 11);
+    let mut lsm = GpuLsm::new(device(), b).unwrap();
+    let mut reference: BTreeMap<u32, u32> = BTreeMap::new();
+    for batch in &batches {
+        // Deduplicate within the batch (keep the first occurrence, matching
+        // the LSM's rule 4 resolution).
+        let mut seen = std::collections::HashSet::new();
+        let deduped: Vec<(u32, u32)> = batch
+            .iter()
+            .copied()
+            .filter(|&(k, _)| seen.insert(k))
+            .collect();
+        lsm.insert(&deduped).unwrap();
+        for &(k, v) in &deduped {
+            reference.insert(k, v);
+        }
+    }
+    let stats = lsm.stats();
+    assert_eq!(stats.valid_elements, reference.len());
+    // The hot keys (0..32) must hold their most recent values.
+    let hot_queries: Vec<u32> = (0..32).collect();
+    let expected: Vec<Option<u32>> = hot_queries.iter().map(|k| reference.get(k).copied()).collect();
+    assert_eq!(lsm.lookup(&hot_queries), expected);
+    let report = lsm.cleanup();
+    assert_eq!(report.valid_elements, reference.len());
+    assert_eq!(lsm.lookup(&hot_queries), expected);
+}
+
+#[test]
+fn alternating_insert_delete_of_the_same_hot_key() {
+    // Pathological churn on a single key across many batches.
+    let b = 16;
+    let mut lsm = GpuLsm::new(device(), b).unwrap();
+    for round in 0..20u32 {
+        if round % 2 == 0 {
+            let mut pairs = vec![(7u32, round)];
+            pairs.extend((1000 + round * 16..1000 + round * 16 + 15).map(|k| (k, 0)));
+            lsm.insert(&pairs).unwrap();
+            assert_eq!(lsm.lookup(&[7]), vec![Some(round)], "round {round}");
+        } else {
+            lsm.delete(&[7]).unwrap();
+            assert_eq!(lsm.lookup(&[7]), vec![None], "round {round}");
+        }
+        lsm.check_invariants().unwrap();
+    }
+    // Ended on a delete round (round 19), so key 7 is absent.
+    assert_eq!(lsm.count(&[(7, 7)]), vec![0]);
+    lsm.cleanup();
+    assert_eq!(lsm.lookup(&[7]), vec![None]);
+}
