@@ -88,12 +88,17 @@ impl CuckooHashTable {
     }
 
     /// Bulk-build with an explicit configuration.
-    pub fn bulk_build_with(device: Arc<Device>, pairs: &[(u32, u32)], config: CuckooConfig) -> Self {
+    pub fn bulk_build_with(
+        device: Arc<Device>,
+        pairs: &[(u32, u32)],
+        config: CuckooConfig,
+    ) -> Self {
         assert!(
             config.load_factor > 0.0 && config.load_factor < 1.0,
             "load factor must be in (0, 1)"
         );
-        let table_size = ((pairs.len() as f64 / config.load_factor).ceil() as usize).max(NUM_HASHES * 2);
+        let table_size =
+            ((pairs.len() as f64 / config.load_factor).ceil() as usize).max(NUM_HASHES * 2);
         let kernel = "cuckoo_build";
         device.metrics().record_launch(kernel);
         device

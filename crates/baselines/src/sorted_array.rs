@@ -266,7 +266,10 @@ mod tests {
     fn bulk_build_sorts_pairs() {
         let sa = SortedArray::bulk_build(device(), &[(5, 50), (1, 10), (3, 30)]);
         assert_eq!(sa.len(), 3);
-        assert_eq!(sa.lookup(&[1, 3, 5, 7]), vec![Some(10), Some(30), Some(50), None]);
+        assert_eq!(
+            sa.lookup(&[1, 3, 5, 7]),
+            vec![Some(10), Some(30), Some(50), None]
+        );
         assert!(sa.memory_bytes() > 0);
     }
 
@@ -311,7 +314,8 @@ mod tests {
 
     #[test]
     fn range_returns_sorted_distinct_pairs() {
-        let mut sa = SortedArray::bulk_build(device(), &(0..100u32).map(|k| (k, k)).collect::<Vec<_>>());
+        let mut sa =
+            SortedArray::bulk_build(device(), &(0..100u32).map(|k| (k, k)).collect::<Vec<_>>());
         sa.insert_batch(&[(50, 999)]);
         let (offsets, keys, values) = sa.range(&[(45, 55), (90, 200)]);
         assert_eq!(offsets, vec![0, 11, 21]);
@@ -324,7 +328,10 @@ mod tests {
     fn large_build_and_query_roundtrip() {
         let pairs: Vec<(u32, u32)> = (0..50_000u32).map(|k| (k * 2, k)).collect();
         let sa = SortedArray::bulk_build(device(), &pairs);
-        assert_eq!(sa.lookup(&[0, 2, 99_998]), vec![Some(0), Some(1), Some(49_999)]);
+        assert_eq!(
+            sa.lookup(&[0, 2, 99_998]),
+            vec![Some(0), Some(1), Some(49_999)]
+        );
         assert_eq!(sa.count(&[(0, 99_998)]), vec![50_000]);
     }
 }

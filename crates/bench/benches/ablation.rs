@@ -123,15 +123,22 @@ fn bench_individual_vs_bulk_lookup(c: &mut Criterion) {
     use gpu_lsm::GpuLsm;
     let pairs = unique_random_pairs(N, 9);
     let lsm = GpuLsm::bulk_build(experiment_device(), 1 << 13, &pairs).unwrap();
-    let queries: Vec<u32> = unique_random_pairs(1 << 15, 10).iter().map(|&(k, _)| k).collect();
+    let queries: Vec<u32> = unique_random_pairs(1 << 15, 10)
+        .iter()
+        .map(|&(k, _)| k)
+        .collect();
 
     let mut group = c.benchmark_group("ablation_lookup_strategy");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.throughput(Throughput::Elements(queries.len() as u64));
-    group.bench_function("individual_binary_search", |b| b.iter(|| lsm.lookup(&queries)));
-    group.bench_function("bulk_sorted_search", |b| b.iter(|| lsm.lookup_bulk_sorted(&queries)));
+    group.bench_function("individual_binary_search", |b| {
+        b.iter(|| lsm.lookup(&queries))
+    });
+    group.bench_function("bulk_sorted_search", |b| {
+        b.iter(|| lsm.lookup_bulk_sorted(&queries))
+    });
     group.finish();
 }
 

@@ -63,7 +63,9 @@ fn bench_scan_compact_multisplit(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.throughput(Throughput::Elements(N as u64));
-    group.bench_function("exclusive_scan", |b| b.iter(|| exclusive_scan(&device, &data)));
+    group.bench_function("exclusive_scan", |b| {
+        b.iter(|| exclusive_scan(&device, &data))
+    });
     group.bench_function("compact_by_flag", |b| {
         b.iter(|| compact_by_flag(&device, &keys, &flags))
     });

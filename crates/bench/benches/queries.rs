@@ -46,8 +46,12 @@ fn bench_lookup(c: &mut Criterion) {
     group.bench_function("lsm_none_exist", |b| b.iter(|| f.lsm.lookup(&f.missing)));
     group.bench_function("sa_all_exist", |b| b.iter(|| f.sa.lookup(&f.existing)));
     group.bench_function("sa_none_exist", |b| b.iter(|| f.sa.lookup(&f.missing)));
-    group.bench_function("cuckoo_all_exist", |b| b.iter(|| f.cuckoo.lookup(&f.existing)));
-    group.bench_function("cuckoo_none_exist", |b| b.iter(|| f.cuckoo.lookup(&f.missing)));
+    group.bench_function("cuckoo_all_exist", |b| {
+        b.iter(|| f.cuckoo.lookup(&f.existing))
+    });
+    group.bench_function("cuckoo_none_exist", |b| {
+        b.iter(|| f.cuckoo.lookup(&f.missing))
+    });
     group.finish();
 }
 
@@ -60,8 +64,7 @@ fn bench_count_and_range(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.throughput(Throughput::Elements(num_queries as u64));
     for l in [8usize, 1024] {
-        let queries =
-            range_queries_with_expected_width(N - BATCH / 2, l, num_queries, l as u64);
+        let queries = range_queries_with_expected_width(N - BATCH / 2, l, num_queries, l as u64);
         group.bench_with_input(BenchmarkId::new("lsm_count", l), &queries, |b, q| {
             b.iter(|| f.lsm.count(q))
         });

@@ -66,7 +66,11 @@ fn main() {
     println!("{}", table4::render(&t4).render());
 
     // Bulk build.
-    let bb = bulk_build::run(1usize << 24u32.saturating_sub(scale).max(12), 1 << 10, opts.seed);
+    let bb = bulk_build::run(
+        1usize << 24u32.saturating_sub(scale).max(12),
+        1 << 10,
+        opts.seed,
+    );
     println!("{}", bulk_build::render(&[bb]).render());
 
     // Cleanup.

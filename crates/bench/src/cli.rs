@@ -56,12 +56,12 @@ impl HarnessOptions {
                 "--quick" => opts.scale = 12,
                 "--help" | "-h" => {
                     return Err(concat!(
-                        "usage: <bin> [--scale N] [--seed S] [--csv PATH] [--quick]\n",
-                        "  --scale N   shift paper problem sizes down by N powers of two (default 8)\n",
-                        "  --seed S    workload seed\n",
-                        "  --csv PATH  also write results as CSV\n",
-                        "  --quick     smoke-test scale (equivalent to --scale 12)",
-                    )
+                    "usage: <bin> [--scale N] [--seed S] [--csv PATH] [--quick]\n",
+                    "  --scale N   shift paper problem sizes down by N powers of two (default 8)\n",
+                    "  --seed S    workload seed\n",
+                    "  --csv PATH  also write results as CSV\n",
+                    "  --quick     smoke-test scale (equivalent to --scale 12)",
+                )
                     .to_string())
                 }
                 other => return Err(format!("unknown option: {other}")),

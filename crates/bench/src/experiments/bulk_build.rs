@@ -33,9 +33,8 @@ pub fn run(num_elements: usize, batch_size: usize, seed: u64) -> BulkBuildResult
     let device = experiment_device();
     let pairs = unique_random_pairs(num_elements, seed);
 
-    let (_, t_lsm) = time_once(|| {
-        GpuLsm::bulk_build(device.clone(), batch_size, &pairs).expect("bulk build")
-    });
+    let (_, t_lsm) =
+        time_once(|| GpuLsm::bulk_build(device.clone(), batch_size, &pairs).expect("bulk build"));
     let (_, t_sa) = time_once(|| SortedArray::bulk_build(device.clone(), &pairs));
     let (_, t_cuckoo) = time_once(|| CuckooHashTable::bulk_build(device, &pairs));
 

@@ -56,14 +56,9 @@ pub fn run_cleanup_rate(
     let (report, t_cleanup) = time_once(|| lsm.cleanup());
 
     // Rebuild comparison: bulk-build a fresh LSM from the surviving pairs.
-    let valid_pairs: Vec<(u32, u32)> = seq
-        .live_keys
-        .iter()
-        .map(|&k| (k, 0u32))
-        .collect();
-    let (_, t_rebuild) = time_once(|| {
-        GpuLsm::bulk_build(device, batch_size, &valid_pairs).expect("bulk build")
-    });
+    let valid_pairs: Vec<(u32, u32)> = seq.live_keys.iter().map(|&k| (k, 0u32)).collect();
+    let (_, t_rebuild) =
+        time_once(|| GpuLsm::bulk_build(device, batch_size, &valid_pairs).expect("bulk build"));
 
     CleanupRateResult {
         elements_before,
@@ -108,7 +103,10 @@ pub fn run_cleanup_query_speedup(
         lsm.update(batch).expect("update");
     }
     let query_keys = if seq.live_keys.is_empty() {
-        unique_random_pairs(num_queries, seed).iter().map(|&(k, _)| k).collect()
+        unique_random_pairs(num_queries, seed)
+            .iter()
+            .map(|&(k, _)| k)
+            .collect()
     } else {
         existing_lookups(&seq.live_keys, num_queries, seed ^ 0x51)
     };
@@ -117,7 +115,10 @@ pub fn run_cleanup_query_speedup(
     let (dirty_results, t_dirty) = time_once(|| lsm.lookup(&query_keys));
     let (_, t_cleanup) = time_once(|| lsm.cleanup());
     let (clean_results, t_clean) = time_once(|| lsm.lookup(&query_keys));
-    assert_eq!(dirty_results, clean_results, "cleanup changed query answers");
+    assert_eq!(
+        dirty_results, clean_results,
+        "cleanup changed query answers"
+    );
 
     let dirty_query_ms = t_dirty.as_secs_f64() * 1e3;
     let cleanup_ms = t_cleanup.as_secs_f64() * 1e3;
@@ -160,13 +161,16 @@ pub fn render_rates(results: &[CleanupRateResult]) -> Table {
 
 /// Render the query-speed-up measurement.
 pub fn render_query_speedup(r: &CleanupQueryResult) -> Table {
-    let mut table = Table::new(
-        "Queries before vs. after cleanup",
-        &["phase", "time (ms)"],
-    );
-    table.add_row(vec!["queries on dirty LSM".into(), format!("{:.3}", r.dirty_query_ms)]);
+    let mut table = Table::new("Queries before vs. after cleanup", &["phase", "time (ms)"]);
+    table.add_row(vec![
+        "queries on dirty LSM".into(),
+        format!("{:.3}", r.dirty_query_ms),
+    ]);
     table.add_row(vec!["cleanup".into(), format!("{:.3}", r.cleanup_ms)]);
-    table.add_row(vec!["queries after cleanup".into(), format!("{:.3}", r.clean_query_ms)]);
+    table.add_row(vec![
+        "queries after cleanup".into(),
+        format!("{:.3}", r.clean_query_ms),
+    ]);
     table.add_row(vec![
         "speedup incl. cleanup".into(),
         format!("{:.2}x", r.speedup_including_cleanup),

@@ -125,7 +125,10 @@ pub fn render_fig4b(series: &[Fig4bSeries]) -> Table {
     let mut header: Vec<String> = vec!["total elements".to_string()];
     header.extend(series.iter().map(|s| s.label.clone()));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut table = Table::new("Fig. 4b: effective insertion rate (M elements/s)", &header_refs);
+    let mut table = Table::new(
+        "Fig. 4b: effective insertion rate (M elements/s)",
+        &header_refs,
+    );
 
     // Use the union of x positions of the longest series; shorter series
     // leave blanks past their end.
@@ -135,13 +138,13 @@ pub fn render_fig4b(series: &[Fig4bSeries]) -> Table {
         .max_by_key(|s| s.points.len())
         .map(|s| s.points.as_slice())
         .unwrap_or(&[]);
-    for i in 0..longest {
-        let mut row = vec![reference[i].total_elements.to_string()];
+    for reference_point in reference.iter().take(longest) {
+        let mut row = vec![reference_point.total_elements.to_string()];
         for s in series {
             row.push(
                 s.points
                     .iter()
-                    .find(|p| p.total_elements == reference[i].total_elements)
+                    .find(|p| p.total_elements == reference_point.total_elements)
                     .map(|p| fmt_rate(p.effective_rate))
                     .unwrap_or_default(),
             );
@@ -162,7 +165,10 @@ mod tests {
         // Batch 16 (r: 15 -> 16) merges every level; batch 2 merges one.
         // The worst case should be clearly slower than the best case.
         let max = points.iter().map(|p| p.insertion_ms).fold(0.0, f64::max);
-        let min = points.iter().map(|p| p.insertion_ms).fold(f64::MAX, f64::min);
+        let min = points
+            .iter()
+            .map(|p| p.insertion_ms)
+            .fold(f64::MAX, f64::min);
         assert!(max > min);
         // The most expensive insertions are those with the longest carry
         // chains: r = 8 and r = 16 (all lower levels full before them).

@@ -106,7 +106,12 @@ pub fn run(sizes: &[usize], batch_size: usize, num_queries: usize, seed: u64) ->
     }
 
     let fit = |f: &dyn Fn(&ScalingPoint) -> f64| {
-        growth_exponent(&points.iter().map(|p| (p.n as f64, f(p))).collect::<Vec<_>>())
+        growth_exponent(
+            &points
+                .iter()
+                .map(|p| (p.n as f64, f(p)))
+                .collect::<Vec<_>>(),
+        )
     };
     Table1Result {
         lsm_insert_exponent: fit(&|p| p.lsm_insert_us_per_item),
@@ -158,7 +163,9 @@ mod tests {
 
     #[test]
     fn growth_exponent_recovers_known_slopes() {
-        let linear: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64 * 100.0, i as f64 * 5.0)).collect();
+        let linear: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64 * 100.0, i as f64 * 5.0))
+            .collect();
         assert!((growth_exponent(&linear) - 1.0).abs() < 0.05);
         let constant: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64 * 100.0, 3.0)).collect();
         assert!(growth_exponent(&constant).abs() < 0.05);

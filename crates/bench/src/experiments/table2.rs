@@ -107,8 +107,9 @@ pub fn run(config: &SweepConfig, sa_samples: usize) -> Table2Result {
     let (_, elapsed) = time_once(|| CuckooHashTable::bulk_build(device, &pairs));
     let cuckoo_build_rate = elements_per_sec_m(pairs.len(), elapsed);
 
-    let lsm_overall_mean =
-        crate::measure::harmonic_mean(&rows.iter().map(|r| r.lsm.harmonic_mean).collect::<Vec<_>>());
+    let lsm_overall_mean = crate::measure::harmonic_mean(
+        &rows.iter().map(|r| r.lsm.harmonic_mean).collect::<Vec<_>>(),
+    );
     let sa_overall_mean =
         crate::measure::harmonic_mean(&rows.iter().map(|r| r.sa.harmonic_mean).collect::<Vec<_>>());
 

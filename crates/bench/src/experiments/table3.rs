@@ -102,7 +102,15 @@ pub fn run(config: &SweepConfig, r_samples: usize, max_queries: usize) -> Table3
         .iter()
         .rev()
         .filter(|&&b| b <= config.total_elements)
-        .map(|&b| row_for_batch_size(config.total_elements, b, r_samples, max_queries, config.seed))
+        .map(|&b| {
+            row_for_batch_size(
+                config.total_elements,
+                b,
+                r_samples,
+                max_queries,
+                config.seed,
+            )
+        })
         .collect();
 
     // Cuckoo hash lookups over the full element set.
@@ -112,7 +120,7 @@ pub fn run(config: &SweepConfig, r_samples: usize, max_queries: usize) -> Table3
     let table = CuckooHashTable::bulk_build(device, &pairs);
     let num_queries = config.total_elements.min(max_queries);
     let all_queries = existing_lookups(&resident_keys, num_queries, config.seed ^ 0xA11);
-    let none_queries = missing_lookups(&resident_keys, num_queries, config.seed ^ 0x0);
+    let none_queries = missing_lookups(&resident_keys, num_queries, config.seed);
     let (_, t_none) = time_once(|| table.lookup(&none_queries));
     let (_, t_all) = time_once(|| table.lookup(&all_queries));
 
@@ -208,7 +216,11 @@ mod tests {
         };
         let result = run(&config, 3, 4096);
         let small_b = result.rows.iter().find(|r| r.batch_size == 1 << 7).unwrap();
-        let big_b = result.rows.iter().find(|r| r.batch_size == 1 << 13).unwrap();
+        let big_b = result
+            .rows
+            .iter()
+            .find(|r| r.batch_size == 1 << 13)
+            .unwrap();
         assert!(
             big_b.lsm_none.harmonic_mean >= small_b.lsm_none.harmonic_mean * 0.5,
             "single-level LSM lookups unexpectedly slow: {} vs {}",

@@ -150,9 +150,7 @@ pub fn run(
 pub fn render(result: &Table4Result) -> Table {
     let mut table = Table::new(
         "Table IV: count and range query rates (M queries/s)",
-        &[
-            "op", "b", "L", "LSM min", "LSM max", "LSM mean", "SA mean",
-        ],
+        &["op", "b", "L", "LSM min", "LSM max", "LSM mean", "SA mean"],
     );
     for row in &result.rows {
         table.add_row(vec![

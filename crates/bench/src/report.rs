@@ -50,15 +50,14 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let line =
-            |cells: &[String], widths: &[usize]| -> String {
-                cells
-                    .iter()
-                    .zip(widths.iter())
-                    .map(|(c, w)| format!("{c:>w$}"))
-                    .collect::<Vec<_>>()
-                    .join("  ")
-            };
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
         let _ = writeln!(out, "{}", line(&self.header, &widths));
         let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
         let _ = writeln!(out, "{}", "-".repeat(total));

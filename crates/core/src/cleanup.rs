@@ -76,7 +76,14 @@ impl GpuLsm {
                 merged_values = lv;
             } else {
                 let (k, v) = self.device().timer().time("cleanup::merge", || {
-                    merge_pairs_by(self.device(), &merged_keys, &merged_values, &lk, &lv, key_less)
+                    merge_pairs_by(
+                        self.device(),
+                        &merged_keys,
+                        &merged_values,
+                        &lk,
+                        &lv,
+                        key_less,
+                    )
                 });
                 merged_keys = k;
                 merged_values = v;

@@ -122,7 +122,8 @@ mod tests {
     #[test]
     fn basic_operations_through_the_wrapper() {
         let lsm = handle(8);
-        lsm.insert(&(0..8u32).map(|k| (k, k * 2)).collect::<Vec<_>>()).unwrap();
+        lsm.insert(&(0..8u32).map(|k| (k, k * 2)).collect::<Vec<_>>())
+            .unwrap();
         assert_eq!(lsm.lookup(&[3]), vec![Some(6)]);
         assert_eq!(lsm.count(&[(0, 7)]), vec![8]);
         assert_eq!(lsm.range(&[(2, 4)]).query(0).0, &[2, 3, 4]);
@@ -139,7 +140,8 @@ mod tests {
     #[test]
     fn concurrent_readers_with_interleaved_writer() {
         let lsm = handle(64);
-        lsm.insert(&(0..64u32).map(|k| (k, k)).collect::<Vec<_>>()).unwrap();
+        lsm.insert(&(0..64u32).map(|k| (k, k)).collect::<Vec<_>>())
+            .unwrap();
 
         let mut readers = Vec::new();
         for t in 0..4 {
@@ -159,8 +161,7 @@ mod tests {
             let lsm = lsm.clone();
             std::thread::spawn(move || {
                 for round in 1..10u32 {
-                    let pairs: Vec<(u32, u32)> =
-                        (64..128).map(|k| (k, round)).collect();
+                    let pairs: Vec<(u32, u32)> = (64..128).map(|k| (k, round)).collect();
                     lsm.insert(&pairs).unwrap();
                     if round % 3 == 0 {
                         lsm.cleanup();

@@ -43,9 +43,9 @@ impl GpuLsm {
         let candidates = self.device().timer().time("count::gather", || {
             self.gather_candidates(queries, "lsm_count")
         });
-        self.device().timer().time("count::validate", || {
-            validate_counts(&candidates)
-        })
+        self.device()
+            .timer()
+            .time("count::validate", || validate_counts(&candidates))
     }
 
     /// Stages 1–4 of the count/range pipeline, shared by [`GpuLsm::count`]
@@ -97,11 +97,9 @@ impl GpuLsm {
         // groups can be copied in parallel per query.
         let mut keys = vec![0u32; total];
         let mut values = vec![0u32; total];
-        self.device().metrics().record_read(
-            kernel,
-            (total * 8) as u64,
-            AccessPattern::Scattered,
-        );
+        self.device()
+            .metrics()
+            .record_read(kernel, (total * 8) as u64, AccessPattern::Scattered);
         self.device()
             .metrics()
             .record_write(kernel, (total * 8) as u64, AccessPattern::Coalesced);
@@ -134,7 +132,13 @@ impl GpuLsm {
         // Stage 4: segmented sort by original key (status bit ignored).  The
         // sort is stable and the gather visited levels newest-first, so equal
         // keys stay ordered newest-first.
-        segmented_sort_pairs_by(self.device(), &mut keys, &mut values, &segment_offsets, key_less);
+        segmented_sort_pairs_by(
+            self.device(),
+            &mut keys,
+            &mut values,
+            &segment_offsets,
+            key_less,
+        );
 
         Candidates {
             keys,

@@ -143,7 +143,7 @@ mod tests {
         // No regular encoded key with a valid key compares greater under the
         // key-only ordering.
         assert!(!key_less(&p, &encode_regular(MAX_KEY)));
-        assert!(!key_less(&encode_regular(MAX_KEY), &p) || true);
+        assert!(!key_less(&encode_regular(MAX_KEY), &p));
     }
 
     #[test]

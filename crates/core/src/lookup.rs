@@ -23,7 +23,7 @@ impl GpuLsm {
         self.device().metrics().record_launch(kernel);
         self.device().metrics().record_read(
             kernel,
-            (queries.len() * std::mem::size_of::<Key>()) as u64,
+            std::mem::size_of_val(queries) as u64,
             AccessPattern::Coalesced,
         );
         // Traffic accounting: each query performs a binary search in every
@@ -89,7 +89,11 @@ impl GpuLsm {
             // Sort the queries, remembering their original positions.
             let mut sorted_queries: Vec<Key> = queries.to_vec();
             let mut positions: Vec<u32> = (0..queries.len() as u32).collect();
-            gpu_primitives::radix_sort::sort_pairs(self.device(), &mut sorted_queries, &mut positions);
+            gpu_primitives::radix_sort::sort_pairs(
+                self.device(),
+                &mut sorted_queries,
+                &mut positions,
+            );
             // Encode the probes like stored keys (key << 1) so the key-only
             // comparator applies uniformly to needles and haystack.
             let probes: Vec<u32> = sorted_queries.iter().map(|&q| q << 1).collect();
@@ -258,10 +262,6 @@ mod tests {
         let mut lsm = GpuLsm::new(device(), 8).unwrap();
         lsm.insert(&[(1, 1)]).unwrap();
         let _ = lsm.lookup(&[1, 2, 3]);
-        assert!(lsm
-            .device()
-            .metrics()
-            .snapshot()
-            .contains_key("lsm_lookup"));
+        assert!(lsm.device().metrics().snapshot().contains_key("lsm_lookup"));
     }
 }

@@ -140,7 +140,8 @@ impl GpuLsm {
     fn push_sorted_buffer(&mut self, mut keys: Vec<EncodedKey>, mut values: Vec<Value>) {
         let mut i = 0usize;
         while self.levels.is_full(i) {
-            let (level_keys, level_values) = self.levels.take(i).expect("level is full").into_parts();
+            let (level_keys, level_values) =
+                self.levels.take(i).expect("level is full").into_parts();
             // Merge comparing original keys only (status bit ignored), with
             // the more recent buffer as the first argument so it wins ties
             // and the §III-D ordering invariants hold.

@@ -73,9 +73,9 @@ impl GpuLsm {
         let candidates = self.device().timer().time("range::gather", || {
             self.gather_candidates(queries, "lsm_range")
         });
-        self.device()
-            .timer()
-            .time("range::validate", || self.compact_valid(queries.len(), candidates))
+        self.device().timer().time("range::validate", || {
+            self.compact_valid(queries.len(), candidates)
+        })
     }
 
     /// Stage 5 for range queries: mark the newest instance of each key when
@@ -92,20 +92,23 @@ impl GpuLsm {
         let mut flags = vec![false; keys.len()];
         {
             let flag_segments = split_by_offsets(&mut flags, &segment_offsets);
-            flag_segments.into_par_iter().enumerate().for_each(|(q, seg)| {
-                let start = segment_offsets[q];
-                let seg_keys = &keys[start..start + seg.len()];
-                let mut i = 0usize;
-                while i < seg_keys.len() {
-                    let key = seg_keys[i] >> 1;
-                    seg[i] = is_regular(seg_keys[i]);
-                    i += 1;
-                    while i < seg_keys.len() && seg_keys[i] >> 1 == key {
-                        seg[i] = false;
+            flag_segments
+                .into_par_iter()
+                .enumerate()
+                .for_each(|(q, seg)| {
+                    let start = segment_offsets[q];
+                    let seg_keys = &keys[start..start + seg.len()];
+                    let mut i = 0usize;
+                    while i < seg_keys.len() {
+                        let key = seg_keys[i] >> 1;
+                        seg[i] = is_regular(seg_keys[i]);
                         i += 1;
+                        while i < seg_keys.len() && seg_keys[i] >> 1 == key {
+                            seg[i] = false;
+                            i += 1;
+                        }
                     }
-                }
-            });
+                });
         }
 
         // Per-query valid counts -> output offsets.
@@ -151,8 +154,17 @@ mod tests {
     #[test]
     fn returns_pairs_sorted_by_key() {
         let mut lsm = GpuLsm::new(device(), 8).unwrap();
-        let pairs: Vec<(u32, u32)> = [(50, 5), (10, 1), (30, 3), (70, 7), (20, 2), (60, 6), (40, 4), (80, 8)]
-            .to_vec();
+        let pairs: Vec<(u32, u32)> = [
+            (50, 5),
+            (10, 1),
+            (30, 3),
+            (70, 7),
+            (20, 2),
+            (60, 6),
+            (40, 4),
+            (80, 8),
+        ]
+        .to_vec();
         lsm.insert(&pairs).unwrap();
         let result = lsm.range(&[(15, 65)]);
         assert_eq!(result.num_queries(), 1);

@@ -46,7 +46,11 @@ impl GpuLsm {
     /// Compute a statistics snapshot.  This scans the structure (it is a
     /// diagnostic, not a hot-path operation).
     pub fn stats(&self) -> LsmStats {
-        let level_sizes: Vec<usize> = self.levels().iter_occupied().map(|(_, l)| l.len()).collect();
+        let level_sizes: Vec<usize> = self
+            .levels()
+            .iter_occupied()
+            .map(|(_, l)| l.len())
+            .collect();
         let memory_bytes = self.levels().size_bytes();
         let valid_elements = self.count_valid_elements();
         let total_elements = self.num_resident_elements();

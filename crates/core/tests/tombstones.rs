@@ -1,0 +1,165 @@
+//! Tombstone semantics for `count` and `range` (§III-A rules 2–3): deleted
+//! keys must not be counted and must not appear in range results, stale
+//! (shadowed) duplicates must be skipped, and delete-then-reinsert must
+//! resurrect a key with its newest value — including when the carry chain
+//! has merged the tombstone and both versions into the same level.
+
+use std::sync::Arc;
+
+use gpu_lsm::{GpuLsm, UpdateBatch};
+use gpu_sim::{Device, DeviceConfig};
+
+fn device() -> Arc<Device> {
+    Arc::new(Device::new(DeviceConfig::small()))
+}
+
+/// Insert keys `0..b`, then delete the even ones: counts and ranges must
+/// see exactly the odd keys.
+#[test]
+fn deleted_keys_are_not_counted_and_not_returned() {
+    let b = 16u32;
+    let mut lsm = GpuLsm::new(device(), b as usize).unwrap();
+    let pairs: Vec<(u32, u32)> = (0..b).map(|k| (k, k + 100)).collect();
+    lsm.insert(&pairs).unwrap();
+    let evens: Vec<u32> = (0..b).filter(|k| k % 2 == 0).collect();
+    lsm.delete(&evens).unwrap();
+    lsm.check_invariants().unwrap();
+
+    // Count over the whole domain and over a window that contains only
+    // deleted keys' even endpoints.
+    assert_eq!(lsm.count(&[(0, b - 1)]), vec![b / 2]);
+    assert_eq!(lsm.count(&[(0, 0)]), vec![0], "deleted key must count 0");
+    assert_eq!(lsm.count(&[(1, 1)]), vec![1]);
+
+    // Range must return exactly the surviving odd keys with their values.
+    let result = lsm.range(&[(0, b - 1)]);
+    let got: Vec<(u32, u32)> = result.iter_query(0).collect();
+    let expected: Vec<(u32, u32)> = (0..b)
+        .filter(|k| k % 2 == 1)
+        .map(|k| (k, k + 100))
+        .collect();
+    assert_eq!(got, expected);
+}
+
+/// A key deleted and later reinserted must reappear with the new value —
+/// while the interleaved batches force carry-chain merges that put the
+/// tombstone, the old version and the new version through shared levels.
+#[test]
+fn delete_then_reinsert_across_level_merges() {
+    let b = 8usize;
+    let target = 3u32;
+    let mut lsm = GpuLsm::new(device(), b).unwrap();
+
+    // Batch 1: insert the target among fillers.
+    let mut batch = UpdateBatch::new();
+    batch.insert(target, 1111);
+    for k in 0..(b as u32 - 1) {
+        batch.insert(1000 + k, k);
+    }
+    lsm.update(&batch).unwrap();
+
+    // Batch 2: delete the target (levels 1+2 merge: r = 1 -> 10).
+    let mut batch = UpdateBatch::new();
+    batch.delete(target);
+    for k in 0..(b as u32 - 1) {
+        batch.insert(2000 + k, k);
+    }
+    lsm.update(&batch).unwrap();
+    assert_eq!(lsm.lookup(&[target]), vec![None]);
+    assert_eq!(lsm.count(&[(0, 999)]), vec![0]);
+    assert!(lsm.range(&[(0, 999)]).is_empty(0));
+
+    // Batch 3: reinsert the target with a new value (r = 10 -> 11).
+    let mut batch = UpdateBatch::new();
+    batch.insert(target, 2222);
+    for k in 0..(b as u32 - 1) {
+        batch.insert(3000 + k, k);
+    }
+    lsm.update(&batch).unwrap();
+
+    // Batch 4 triggers the long carry 11 -> 100: tombstone, old and new
+    // version all meet in one merged level.
+    let filler: Vec<(u32, u32)> = (0..b as u32).map(|k| (4000 + k, k)).collect();
+    lsm.insert(&filler).unwrap();
+    lsm.check_invariants().unwrap();
+    assert_eq!(
+        lsm.num_occupied_levels(),
+        1,
+        "carry chain should leave one level"
+    );
+
+    assert_eq!(lsm.lookup(&[target]), vec![Some(2222)]);
+    assert_eq!(
+        lsm.count(&[(0, 999)]),
+        vec![1],
+        "reinserted key counts once"
+    );
+    assert_eq!(lsm.count(&[(target, target)]), vec![1]);
+    let result = lsm.range(&[(0, 999)]);
+    let got: Vec<(u32, u32)> = result.iter_query(0).collect();
+    assert_eq!(
+        got,
+        vec![(target, 2222)],
+        "range sees only the newest version"
+    );
+}
+
+/// Count and range agree with a reference model under a randomized-looking
+/// but fixed interleaving of inserts, deletes and reinserts, before and
+/// after `cleanup()` physically removes the stale elements.
+#[test]
+fn counts_and_ranges_survive_cleanup_with_tombstones() {
+    let b = 16usize;
+    let mut lsm = GpuLsm::new(device(), b).unwrap();
+    let mut reference = std::collections::BTreeMap::new();
+
+    // Four batches over a small key domain: overwrite, delete, reinsert.
+    let script: [Vec<(u32, Option<u32>)>; 4] = [
+        (0..16).map(|k| (k, Some(k * 10))).collect(),
+        (0..16)
+            .map(|k| (k + 8, if k % 2 == 0 { None } else { Some(k) }))
+            .collect(),
+        (0..16)
+            .map(|k| (k, if k < 8 { None } else { Some(7 * k) }))
+            .collect(),
+        (0..16).map(|k| (k + 4, Some(k + 500))).collect(),
+    ];
+    for ops in &script {
+        let mut batch = UpdateBatch::new();
+        for &(k, v) in ops {
+            match v {
+                Some(v) => batch.insert(k, v),
+                None => batch.delete(k),
+            };
+            match v {
+                Some(v) => {
+                    reference.insert(k, v);
+                }
+                None => {
+                    reference.remove(&k);
+                }
+            }
+        }
+        lsm.update(&batch).unwrap();
+    }
+
+    let intervals = [(0u32, 7u32), (8, 15), (16, 31), (0, 31)];
+    let expect_count = |(lo, hi): (u32, u32)| reference.range(lo..=hi).count() as u32;
+    let expect_range = |(lo, hi): (u32, u32)| -> Vec<(u32, u32)> {
+        reference.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
+    };
+
+    for pass in 0..2 {
+        let counts = lsm.count(&intervals);
+        let ranges = lsm.range(&intervals);
+        for (qi, &iv) in intervals.iter().enumerate() {
+            assert_eq!(counts[qi], expect_count(iv), "count {iv:?} (pass {pass})");
+            let got: Vec<(u32, u32)> = ranges.iter_query(qi).collect();
+            assert_eq!(got, expect_range(iv), "range {iv:?} (pass {pass})");
+        }
+        if pass == 0 {
+            lsm.cleanup();
+            lsm.check_invariants().unwrap();
+        }
+    }
+}

@@ -60,9 +60,9 @@ impl DeviceConfig {
             dram_bandwidth_gbps: 288.0,
             streaming_efficiency: 0.75,
             dram_latency_cycles: 350.0,
-            l2_cache_bytes: 1_572_864,      // 1.5 MB
-            l1_cache_bytes: 16 * 1024,      // 16 KB per SM
-            shared_mem_per_sm: 48 * 1024,   // 48 KB
+            l2_cache_bytes: 1_572_864,                 // 1.5 MB
+            l1_cache_bytes: 16 * 1024,                 // 16 KB per SM
+            shared_mem_per_sm: 48 * 1024,              // 48 KB
             global_mem_bytes: 12 * 1024 * 1024 * 1024, // 12 GB
             transaction_bytes: 128,
             max_warps_per_sm: 64,

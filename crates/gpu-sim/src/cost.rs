@@ -83,13 +83,15 @@ impl CostModel {
         let coalesced = (snap.coalesced_read_bytes + snap.coalesced_write_bytes) as f64;
         let scattered = (snap.scattered_read_bytes + snap.scattered_write_bytes) as f64;
 
-        let bandwidth_seconds = coalesced / bw + scattered / (bw * self.scattered_bandwidth_fraction);
+        let bandwidth_seconds =
+            coalesced / bw + scattered / (bw * self.scattered_bandwidth_fraction);
 
         // Latency component: each scattered transaction pays DRAM latency,
         // hidden across all warps the device can keep in flight.
         let warps_in_flight = (self.config.num_sms * self.config.max_warps_per_sm) as f64;
         let latency_per_txn = self.config.dram_latency_cycles * self.config.cycle_seconds();
-        let latency_seconds = snap.scattered_transactions as f64 * latency_per_txn / warps_in_flight;
+        let latency_seconds =
+            snap.scattered_transactions as f64 * latency_per_txn / warps_in_flight;
 
         CostEstimate {
             bandwidth_seconds,

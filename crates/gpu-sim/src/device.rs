@@ -114,9 +114,11 @@ impl Device {
         F: Fn(usize, &mut T) + Sync,
     {
         self.metrics.record_launch(kernel);
-        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-        self.metrics.record_read(kernel, bytes, AccessPattern::Coalesced);
-        self.metrics.record_write(kernel, bytes, AccessPattern::Coalesced);
+        let bytes = std::mem::size_of_val(data) as u64;
+        self.metrics
+            .record_read(kernel, bytes, AccessPattern::Coalesced);
+        self.metrics
+            .record_write(kernel, bytes, AccessPattern::Coalesced);
         data.par_iter_mut().enumerate().for_each(|(i, x)| f(i, x));
     }
 
@@ -132,7 +134,7 @@ impl Device {
         self.metrics.record_launch(kernel);
         self.metrics.record_read(
             kernel,
-            (data.len() * std::mem::size_of::<T>()) as u64,
+            std::mem::size_of_val(data) as u64,
             AccessPattern::Coalesced,
         );
         self.metrics.record_write(
@@ -153,7 +155,7 @@ impl Device {
     {
         self.metrics.record_launch(kernel);
         let blocks = make_blocks(n, tile, self.config.max_threads_per_block);
-        blocks.par_iter().for_each(|b| f(b));
+        blocks.par_iter().for_each(&f);
     }
 
     /// Block-parallel kernel that produces one result per block (e.g. a
@@ -165,7 +167,7 @@ impl Device {
     {
         self.metrics.record_launch(kernel);
         let blocks = make_blocks(n, tile, self.config.max_threads_per_block);
-        blocks.par_iter().map(|b| f(b)).collect()
+        blocks.par_iter().map(&f).collect()
     }
 
     /// The tile size (in elements of `elem_bytes` bytes) that fits this

@@ -79,7 +79,11 @@ pub struct DeviceBuffer<T> {
 
 impl<T> DeviceBuffer<T> {
     /// Wrap an existing vector as a device buffer tracked by `tracker`.
-    pub fn from_vec(label: impl Into<String>, data: Vec<T>, tracker: Option<Arc<MemoryTracker>>) -> Self {
+    pub fn from_vec(
+        label: impl Into<String>,
+        data: Vec<T>,
+        tracker: Option<Arc<MemoryTracker>>,
+    ) -> Self {
         let buf = DeviceBuffer {
             label: label.into(),
             data,
@@ -177,7 +181,10 @@ impl<T: Default + Clone> DoubleBuffer<T> {
     /// Create a double buffer whose current side holds `data`.
     pub fn new(data: Vec<T>) -> Self {
         let alternate = Vec::with_capacity(data.len());
-        DoubleBuffer { current: data, alternate }
+        DoubleBuffer {
+            current: data,
+            alternate,
+        }
     }
 
     /// Current (valid) side.

@@ -26,10 +26,10 @@ impl WarpOps {
     /// `__ballot`: a bitmask with bit `i` set iff lane `i`'s predicate holds.
     pub fn ballot(predicates: &[bool]) -> u32 {
         debug_assert!(predicates.len() <= WARP_SIZE);
-        predicates
-            .iter()
-            .enumerate()
-            .fold(0u32, |mask, (lane, &p)| if p { mask | (1 << lane) } else { mask })
+        predicates.iter().enumerate().fold(
+            0u32,
+            |mask, (lane, &p)| if p { mask | (1 << lane) } else { mask },
+        )
     }
 
     /// `__any`: true iff any active lane's predicate holds.

@@ -18,11 +18,17 @@ pub fn compact_by_flag<T>(device: &Device, data: &[T], flags: &[bool]) -> Vec<T>
 where
     T: Copy + Send + Sync + Default,
 {
-    assert_eq!(data.len(), flags.len(), "data and flags must have equal length");
+    assert_eq!(
+        data.len(),
+        flags.len(),
+        "data and flags must have equal length"
+    );
     let kernel = "compact";
     device.metrics().record_launch(kernel);
-    let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
-    device.metrics().record_read(kernel, bytes, AccessPattern::Coalesced);
+    let bytes = std::mem::size_of_val(data) as u64;
+    device
+        .metrics()
+        .record_read(kernel, bytes, AccessPattern::Coalesced);
 
     let flags01: Vec<u32> = flags.par_iter().map(|&f| f as u32).collect();
     let (offsets, total) = exclusive_scan(device, &flags01);

@@ -29,7 +29,7 @@ pub fn block_histograms(device: &Device, keys: &[u32], pass: u32, tile: usize) -
     device.metrics().record_launch(kernel);
     device.metrics().record_read(
         kernel,
-        (keys.len() * std::mem::size_of::<u32>()) as u64,
+        std::mem::size_of_val(keys) as u64,
         AccessPattern::Coalesced,
     );
     keys.par_chunks(tile)

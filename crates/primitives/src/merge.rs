@@ -82,8 +82,12 @@ where
     let kernel = "merge";
     device.metrics().record_launch(kernel);
     let bytes = (n * std::mem::size_of::<T>()) as u64;
-    device.metrics().record_read(kernel, bytes, AccessPattern::Coalesced);
-    device.metrics().record_write(kernel, bytes, AccessPattern::Coalesced);
+    device
+        .metrics()
+        .record_read(kernel, bytes, AccessPattern::Coalesced);
+    device
+        .metrics()
+        .record_write(kernel, bytes, AccessPattern::Coalesced);
 
     let mut out = vec![T::default(); n];
     if n == 0 {
@@ -98,9 +102,11 @@ where
         .into_par_iter()
         .map(|t| merge_path(a, b, (t * tile).min(n), &less))
         .collect();
-    device
-        .metrics()
-        .record_scattered_probes(kernel, (num_tiles as u64 + 1) * 32, std::mem::size_of::<T>() as u64);
+    device.metrics().record_scattered_probes(
+        kernel,
+        (num_tiles as u64 + 1) * 32,
+        std::mem::size_of::<T>() as u64,
+    );
 
     let shared = SharedSlice::new(&mut out);
     (0..num_tiles).into_par_iter().for_each(|t| {
@@ -225,14 +231,9 @@ mod tests {
     #[test]
     fn merge_pairs_moves_values() {
         let device = device();
-        let (k, v) = merge_pairs_by(
-            &device,
-            &[10, 30],
-            &[1, 3],
-            &[20, 30],
-            &[2, 9],
-            |a, b| a < b,
-        );
+        let (k, v) = merge_pairs_by(&device, &[10, 30], &[1, 3], &[20, 30], &[2, 9], |a, b| {
+            a < b
+        });
         assert_eq!(k, vec![10, 20, 30, 30]);
         assert_eq!(v, vec![1, 2, 3, 9]); // a's 30 precedes b's 30
     }

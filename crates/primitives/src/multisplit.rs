@@ -30,16 +30,20 @@ where
     }
     let kernel = "multisplit";
     device.metrics().record_launch(kernel);
-    let bytes = (n * std::mem::size_of::<T>()) as u64;
-    device.metrics().record_read(kernel, bytes, AccessPattern::Coalesced);
-    device.metrics().record_write(kernel, bytes, AccessPattern::Coalesced);
+    let bytes = std::mem::size_of_val(data) as u64;
+    device
+        .metrics()
+        .record_read(kernel, bytes, AccessPattern::Coalesced);
+    device
+        .metrics()
+        .record_write(kernel, bytes, AccessPattern::Coalesced);
 
     // Stage 1: warp-level ballots.  For each warp-sized group record the
     // ballot mask and the per-warp count of bucket-0 (pred true) elements.
     let warp_ballots: Vec<u32> = data
         .par_chunks(WARP_SIZE)
         .map(|chunk| {
-            let preds: Vec<bool> = chunk.iter().map(|x| pred(x)).collect();
+            let preds: Vec<bool> = chunk.iter().map(&pred).collect();
             WarpOps::ballot(&preds)
         })
         .collect();
@@ -102,11 +106,7 @@ where
     F: Fn(&u32) -> bool + Sync,
 {
     assert_eq!(keys.len(), values.len());
-    let mut pairs: Vec<(u32, u32)> = keys
-        .iter()
-        .copied()
-        .zip(values.iter().copied())
-        .collect();
+    let mut pairs: Vec<(u32, u32)> = keys.iter().copied().zip(values.iter().copied()).collect();
     let split = multisplit_in_place(device, &mut pairs, |p| pred(&p.0));
     for (i, (k, v)) in pairs.into_iter().enumerate() {
         keys[i] = k;

@@ -49,7 +49,11 @@ pub fn sort_keys(device: &Device, keys: &mut Vec<u32>) {
 /// Sort `(keys, values)` pairs ascending by key, moving values along with
 /// their keys.  Stable: pairs with equal keys keep their input order.
 pub fn sort_pairs(device: &Device, keys: &mut Vec<u32>, values: &mut Vec<u32>) {
-    assert_eq!(keys.len(), values.len(), "keys and values must have equal length");
+    assert_eq!(
+        keys.len(),
+        values.len(),
+        "keys and values must have equal length"
+    );
     let n = keys.len();
     if n <= 1 {
         return;
@@ -81,7 +85,9 @@ fn scatter_pass(
     pass: u32,
 ) {
     let n = keys.len();
-    let tile = device.preferred_tile(std::mem::size_of::<u32>() * 2).max(1024);
+    let tile = device
+        .preferred_tile(std::mem::size_of::<u32>() * 2)
+        .max(1024);
     let kernel = "radix_scatter";
     device.metrics().record_launch(kernel);
     let elem_bytes = if values.is_some() { 8 } else { 4 };
@@ -110,7 +116,7 @@ fn scatter_pass(
 
     // Phase 3: stable scatter, one block at a time in parallel.
     let shared_keys = SharedSlice::new(out_keys);
-    let shared_vals = out_values.map(|v| SharedSlice::new(v));
+    let shared_vals = out_values.map(SharedSlice::new);
     keys.par_chunks(tile)
         .enumerate()
         .for_each(|(block, chunk)| {
@@ -146,7 +152,6 @@ mod tests {
     use gpu_sim::DeviceConfig;
     use proptest::prelude::*;
     use rand::prelude::*;
-    use rand::Rng as _;
 
     fn device() -> Device {
         Device::new(DeviceConfig::small())

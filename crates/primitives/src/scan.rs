@@ -31,8 +31,12 @@ impl_scan_elem!(u32, u64, usize, i64);
 fn record_scan_traffic<T>(device: &Device, kernel: &str, n: usize) {
     device.metrics().record_launch(kernel);
     let bytes = (n * std::mem::size_of::<T>()) as u64;
-    device.metrics().record_read(kernel, bytes, AccessPattern::Coalesced);
-    device.metrics().record_write(kernel, bytes, AccessPattern::Coalesced);
+    device
+        .metrics()
+        .record_read(kernel, bytes, AccessPattern::Coalesced);
+    device
+        .metrics()
+        .record_write(kernel, bytes, AccessPattern::Coalesced);
 }
 
 /// Exclusive prefix sum: `out[i] = sum(input[..i])`.  Returns the scanned

@@ -66,7 +66,7 @@ where
     device.metrics().record_launch(kernel);
     device.metrics().record_read(
         kernel,
-        (queries.len() * std::mem::size_of::<T>()) as u64,
+        std::mem::size_of_val(queries) as u64,
         AccessPattern::Coalesced,
     );
     device.metrics().record_scattered_probes(
@@ -90,7 +90,7 @@ where
     device.metrics().record_launch(kernel);
     device.metrics().record_read(
         kernel,
-        (queries.len() * std::mem::size_of::<T>()) as u64,
+        std::mem::size_of_val(queries) as u64,
         AccessPattern::Coalesced,
     );
     device.metrics().record_scattered_probes(

@@ -15,9 +15,16 @@ use rayon::prelude::*;
 /// Check that `offsets` is a valid segment description for a buffer of
 /// length `n`: monotonically non-decreasing, starting at 0, ending at `n`.
 fn validate_offsets(offsets: &[usize], n: usize) {
-    assert!(!offsets.is_empty(), "segment offsets must at least be [0, n]");
+    assert!(
+        !offsets.is_empty(),
+        "segment offsets must at least be [0, n]"
+    );
     assert_eq!(*offsets.first().unwrap(), 0, "segments must start at 0");
-    assert_eq!(*offsets.last().unwrap(), n, "segments must end at data length");
+    assert_eq!(
+        *offsets.last().unwrap(),
+        n,
+        "segments must end at data length"
+    );
     assert!(
         offsets.windows(2).all(|w| w[0] <= w[1]),
         "segment offsets must be non-decreasing"
@@ -55,11 +62,7 @@ pub fn segmented_sort_pairs_by<F>(
 
     // Sort (key, value) tuples per segment; the comparator sees keys only so
     // the sort is stable with respect to values.
-    let mut pairs: Vec<(u32, u32)> = keys
-        .iter()
-        .copied()
-        .zip(values.iter().copied())
-        .collect();
+    let mut pairs: Vec<(u32, u32)> = keys.iter().copied().zip(values.iter().copied()).collect();
     par_segments(&mut pairs, offsets, |segment| {
         segment.sort_by(|a, b| cmp_from_less(&less, &a.0, &b.0));
     });
@@ -82,8 +85,12 @@ fn cmp_from_less<F: Fn(&u32, &u32) -> bool>(less: &F, a: &u32, b: &u32) -> std::
 fn record(device: &Device, kernel: &str, n: usize, elem_bytes: usize) {
     device.metrics().record_launch(kernel);
     let bytes = (n * elem_bytes) as u64;
-    device.metrics().record_read(kernel, bytes, AccessPattern::Coalesced);
-    device.metrics().record_write(kernel, bytes, AccessPattern::Coalesced);
+    device
+        .metrics()
+        .record_read(kernel, bytes, AccessPattern::Coalesced);
+    device
+        .metrics()
+        .record_write(kernel, bytes, AccessPattern::Coalesced);
 }
 
 /// Run `f` over every segment of `data` in parallel.  Segments are disjoint
@@ -105,7 +112,7 @@ where
         rest = tail;
         consumed += len;
     }
-    segments.into_par_iter().for_each(|seg| f(seg));
+    segments.into_par_iter().for_each(&f);
 }
 
 #[cfg(test)]

@@ -36,7 +36,10 @@ where
 {
     let kernel = "sorted_lower_bound";
     device.metrics().record_launch(kernel);
-    debug_assert!(needles.windows(2).all(|w| !less(&w[1], &w[0])), "needles must be sorted");
+    debug_assert!(
+        needles.windows(2).all(|w| !less(&w[1], &w[0])),
+        "needles must be sorted"
+    );
 
     if needles.is_empty() {
         return Vec::new();
@@ -62,8 +65,7 @@ where
         .for_each(|(out_chunk, needle_chunk)| {
             // Locate the first needle of the tile with one binary search,
             // then walk forward for the rest of the tile.
-            let mut pos =
-                crate::search::lower_bound_by(haystack, &needle_chunk[0], &less);
+            let mut pos = crate::search::lower_bound_by(haystack, &needle_chunk[0], &less);
             for (o, needle) in out_chunk.iter_mut().zip(needle_chunk.iter()) {
                 while pos < haystack.len() && less(&haystack[pos], needle) {
                     pos += 1;

@@ -68,5 +68,4 @@ mod tests {
         let shared = SharedSlice::new(&mut data);
         assert_eq!(shared.len(), 17);
     }
-
 }

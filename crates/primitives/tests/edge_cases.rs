@@ -1,0 +1,218 @@
+//! Edge-case tests for the bulk primitives: empty input, single element,
+//! all-duplicate keys, and already-/reverse-sorted inputs, for each of
+//! `radix_sort`, `merge`, `scan` and `compact`.  These are the degenerate
+//! shapes the LSM produces at its boundaries (empty levels, one-element
+//! batches, duplicate-heavy update streams), so the primitives must handle
+//! them without special-casing upstream.
+
+use gpu_primitives::compact::{compact_by_flag, compact_pairs_by_flag};
+use gpu_primitives::merge::{merge_by, merge_pairs_by};
+use gpu_primitives::radix_sort::{sort_keys, sort_pairs};
+use gpu_primitives::scan::{exclusive_scan, inclusive_scan};
+use gpu_sim::{Device, DeviceConfig};
+
+fn device() -> Device {
+    Device::new(DeviceConfig::small())
+}
+
+// ---------------------------------------------------------------- radix sort
+
+#[test]
+fn radix_sort_empty_input() {
+    let device = device();
+    let mut keys: Vec<u32> = vec![];
+    sort_keys(&device, &mut keys);
+    assert!(keys.is_empty());
+
+    let mut values: Vec<u32> = vec![];
+    sort_pairs(&device, &mut keys, &mut values);
+    assert!(keys.is_empty() && values.is_empty());
+}
+
+#[test]
+fn radix_sort_single_element() {
+    let device = device();
+    let mut keys = vec![u32::MAX];
+    let mut values = vec![7u32];
+    sort_pairs(&device, &mut keys, &mut values);
+    assert_eq!(keys, vec![u32::MAX]);
+    assert_eq!(values, vec![7]);
+}
+
+#[test]
+fn radix_sort_all_duplicate_keys_is_stable() {
+    let device = device();
+    let n = 3000u32;
+    let mut keys = vec![42u32; n as usize];
+    // Values record the original position; stability requires the order to
+    // survive all four passes untouched.
+    let mut values: Vec<u32> = (0..n).collect();
+    sort_pairs(&device, &mut keys, &mut values);
+    assert!(keys.iter().all(|&k| k == 42));
+    assert_eq!(values, (0..n).collect::<Vec<u32>>());
+}
+
+#[test]
+fn radix_sort_already_sorted_and_reverse_sorted() {
+    let device = device();
+    let expected: Vec<u32> = (0..5000).collect();
+
+    let mut asc = expected.clone();
+    sort_keys(&device, &mut asc);
+    assert_eq!(asc, expected);
+
+    let mut desc: Vec<u32> = expected.iter().rev().copied().collect();
+    sort_keys(&device, &mut desc);
+    assert_eq!(desc, expected);
+}
+
+// --------------------------------------------------------------------- merge
+
+#[test]
+fn merge_empty_sides() {
+    let device = device();
+    let empty: Vec<u32> = vec![];
+    let data = vec![1u32, 3, 5];
+    assert_eq!(merge_by(&device, &empty, &empty, |a, b| a < b), empty);
+    assert_eq!(merge_by(&device, &data, &empty, |a, b| a < b), data);
+    assert_eq!(merge_by(&device, &empty, &data, |a, b| a < b), data);
+}
+
+#[test]
+fn merge_single_elements() {
+    let device = device();
+    assert_eq!(
+        merge_by(&device, &[2u32], &[1u32], |a, b| a < b),
+        vec![1, 2]
+    );
+    assert_eq!(
+        merge_by(&device, &[1u32], &[2u32], |a, b| a < b),
+        vec![1, 2]
+    );
+    // Equal single elements: the first input must win the tie.
+    let (k, v) = merge_pairs_by(&device, &[5], &[100], &[5], &[200], |a, b| a < b);
+    assert_eq!(k, vec![5, 5]);
+    assert_eq!(v, vec![100, 200]);
+}
+
+#[test]
+fn merge_all_duplicate_keys_prefers_first_input() {
+    let device = device();
+    let n = 2500usize;
+    let a_vals: Vec<u32> = (0..n as u32).collect();
+    let b_vals: Vec<u32> = (n as u32..2 * n as u32).collect();
+    let keys = vec![9u32; n];
+    let (merged_keys, merged_vals) =
+        merge_pairs_by(&device, &keys, &a_vals, &keys, &b_vals, |a, b| a < b);
+    assert!(merged_keys.iter().all(|&k| k == 9));
+    // Every element of `a` precedes every element of `b`, in order.
+    assert_eq!(merged_vals[..n], a_vals[..]);
+    assert_eq!(merged_vals[n..], b_vals[..]);
+}
+
+#[test]
+fn merge_sorted_and_reverse_interleavings() {
+    let device = device();
+    // Already-sorted relative to each other: all of `a` below all of `b`,
+    // and the reverse.
+    let low: Vec<u32> = (0..2000).collect();
+    let high: Vec<u32> = (2000..4000).collect();
+    let expected: Vec<u32> = (0..4000).collect();
+    assert_eq!(merge_by(&device, &low, &high, |a, b| a < b), expected);
+    assert_eq!(merge_by(&device, &high, &low, |a, b| a < b), expected);
+}
+
+// ---------------------------------------------------------------------- scan
+
+#[test]
+fn scan_empty_input() {
+    let device = device();
+    let (prefix, total) = exclusive_scan::<u32>(&device, &[]);
+    assert!(prefix.is_empty());
+    assert_eq!(total, 0);
+    assert!(inclusive_scan::<u32>(&device, &[]).is_empty());
+}
+
+#[test]
+fn scan_single_element() {
+    let device = device();
+    let (prefix, total) = exclusive_scan(&device, &[41u32]);
+    assert_eq!(prefix, vec![0]);
+    assert_eq!(total, 41);
+    assert_eq!(inclusive_scan(&device, &[41u32]), vec![41]);
+}
+
+#[test]
+fn scan_all_equal_elements() {
+    let device = device();
+    let input = vec![3u32; 4000];
+    let (prefix, total) = exclusive_scan(&device, &input);
+    assert_eq!(total, 12_000);
+    assert!(prefix.iter().enumerate().all(|(i, &p)| p == 3 * i as u32));
+    let inc = inclusive_scan(&device, &input);
+    assert!(inc
+        .iter()
+        .enumerate()
+        .all(|(i, &p)| p == 3 * (i as u32 + 1)));
+}
+
+#[test]
+fn scan_matches_reference_on_monotone_inputs() {
+    let device = device();
+    // Ascending and descending inputs cross block-tile boundaries; compare
+    // against a sequential prefix sum.
+    for input in [
+        (0..3000u32).collect::<Vec<_>>(),
+        (0..3000u32).rev().collect::<Vec<_>>(),
+    ] {
+        let (prefix, total) = exclusive_scan(&device, &input);
+        let mut acc = 0u32;
+        for (i, &x) in input.iter().enumerate() {
+            assert_eq!(prefix[i], acc, "exclusive prefix at {i}");
+            acc += x;
+        }
+        assert_eq!(total, acc);
+    }
+}
+
+// ------------------------------------------------------------------- compact
+
+#[test]
+fn compact_empty_input() {
+    let device = device();
+    let out: Vec<u32> = compact_by_flag(&device, &[], &[]);
+    assert!(out.is_empty());
+    let (k, v) = compact_pairs_by_flag(&device, &[], &[], &[]);
+    assert!(k.is_empty() && v.is_empty());
+}
+
+#[test]
+fn compact_single_element() {
+    let device = device();
+    assert_eq!(compact_by_flag(&device, &[7u32], &[true]), vec![7]);
+    assert!(compact_by_flag(&device, &[7u32], &[false]).is_empty());
+}
+
+#[test]
+fn compact_all_kept_and_all_dropped() {
+    let device = device();
+    let data: Vec<u32> = (0..3000).collect();
+    assert_eq!(compact_by_flag(&device, &data, &vec![true; 3000]), data);
+    assert!(compact_by_flag(&device, &data, &vec![false; 3000]).is_empty());
+}
+
+#[test]
+fn compact_preserves_relative_order() {
+    let device = device();
+    // Keep every third element of a descending sequence; compaction must be
+    // a stable filter.
+    let data: Vec<u32> = (0..3000u32).rev().collect();
+    let flags: Vec<bool> = (0..3000).map(|i| i % 3 == 0).collect();
+    let expected: Vec<u32> = data
+        .iter()
+        .zip(&flags)
+        .filter(|(_, &f)| f)
+        .map(|(&d, _)| d)
+        .collect();
+    assert_eq!(compact_by_flag(&device, &data, &flags), expected);
+}

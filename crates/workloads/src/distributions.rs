@@ -75,9 +75,7 @@ pub fn sorted_run(start: u32, n: usize) -> Vec<(u32, u32)> {
 
 /// Reverse-sorted pairs ending at `end`.
 pub fn reverse_sorted_run(end: u32, n: usize) -> Vec<(u32, u32)> {
-    (0..n as u32)
-        .map(|i| (end.saturating_sub(i), i))
-        .collect()
+    (0..n as u32).map(|i| (end.saturating_sub(i), i)).collect()
 }
 
 /// A batch in which every element has the *same* key — the degenerate case

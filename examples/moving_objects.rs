@@ -114,7 +114,9 @@ fn main() {
     }
 
     // Final sanity check: every object is findable at its current cell.
-    let sample: Vec<u32> = (0..64).map(|i| morton(objects[i].x, objects[i].y)).collect();
+    let sample: Vec<u32> = (0..64)
+        .map(|i| morton(objects[i].x, objects[i].y))
+        .collect();
     let found = index.lookup(&sample).iter().filter(|r| r.is_some()).count();
     println!("spot check: {found}/64 sampled objects found at their current cells");
 }

@@ -54,7 +54,10 @@ fn main() {
 
     // Count and range queries.
     let counts = lsm.count(&[(0, 999), (1000, 1099), (0, 65_535)]);
-    println!("counts: 0..=999 -> {}, 1000..=1099 -> {}, all -> {}", counts[0], counts[1], counts[2]);
+    println!(
+        "counts: 0..=999 -> {}, 1000..=1099 -> {}, all -> {}",
+        counts[0], counts[1], counts[2]
+    );
     let ranges = lsm.range(&[(42, 52)]);
     println!("range 42..=52:");
     for (k, v) in ranges.iter_query(0) {

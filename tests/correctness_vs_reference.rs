@@ -63,10 +63,7 @@ fn check_against_reference(lsm: &GpuLsm, reference: &BTreeMap<u32, u32>, key_dom
     let counts = lsm.count(&intervals);
     let ranges = lsm.range(&intervals);
     for (qi, &(lo, hi)) in intervals.iter().enumerate() {
-        let expected: Vec<(u32, u32)> = reference
-            .range(lo..=hi)
-            .map(|(&k, &v)| (k, v))
-            .collect();
+        let expected: Vec<(u32, u32)> = reference.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
         assert_eq!(counts[qi] as usize, expected.len(), "count({lo},{hi})");
         let got: Vec<(u32, u32)> = ranges.iter_query(qi).collect();
         assert_eq!(got, expected, "range({lo},{hi})");
@@ -82,7 +79,14 @@ fn random_mixed_workload_matches_btreemap() {
     let mut reference = BTreeMap::new();
 
     for step in 0..12 {
-        apply_random_batch(&mut lsm, &mut reference, batch_size, key_domain, 0.35, &mut rng);
+        apply_random_batch(
+            &mut lsm,
+            &mut reference,
+            batch_size,
+            key_domain,
+            0.35,
+            &mut rng,
+        );
         lsm.check_invariants().expect("invariants");
         if step % 4 == 3 {
             check_against_reference(&lsm, &reference, key_domain);
@@ -100,7 +104,14 @@ fn cleanup_never_changes_answers() {
     let mut reference = BTreeMap::new();
 
     for step in 0..10 {
-        apply_random_batch(&mut lsm, &mut reference, batch_size, key_domain, 0.45, &mut rng);
+        apply_random_batch(
+            &mut lsm,
+            &mut reference,
+            batch_size,
+            key_domain,
+            0.45,
+            &mut rng,
+        );
         if step % 2 == 1 {
             let stats_before = lsm.stats();
             lsm.cleanup();
@@ -146,7 +157,9 @@ fn values_survive_many_replacements() {
     let mut lsm = GpuLsm::new(device(), batch_size).unwrap();
     // Re-insert the same keys 20 times with increasing values.
     for round in 0..20u32 {
-        let pairs: Vec<(u32, u32)> = (0..batch_size as u32).map(|k| (k, round * 100 + k)).collect();
+        let pairs: Vec<(u32, u32)> = (0..batch_size as u32)
+            .map(|k| (k, round * 100 + k))
+            .collect();
         lsm.insert(&pairs).unwrap();
     }
     let queries: Vec<u32> = (0..batch_size as u32).collect();
@@ -155,7 +168,10 @@ fn values_survive_many_replacements() {
         assert_eq!(*r, Some(19 * 100 + k), "key {k} should hold the last value");
     }
     // Count sees each key once despite 20 copies.
-    assert_eq!(lsm.count(&[(0, batch_size as u32 - 1)]), vec![batch_size as u32]);
+    assert_eq!(
+        lsm.count(&[(0, batch_size as u32 - 1)]),
+        vec![batch_size as u32]
+    );
     // After cleanup only one copy per key remains.
     let report = lsm.cleanup();
     assert_eq!(report.valid_elements, batch_size);

@@ -42,11 +42,18 @@ fn lsm_and_sa_agree_on_counts_and_ranges() {
     let sa = SortedArray::bulk_build(device(), &pairs);
 
     for expected_width in [4usize, 64, 512] {
-        let queries =
-            range_queries_with_expected_width(pairs.len(), expected_width, 200, expected_width as u64);
+        let queries = range_queries_with_expected_width(
+            pairs.len(),
+            expected_width,
+            200,
+            expected_width as u64,
+        );
         let lsm_counts = lsm.count(&queries);
         let sa_counts = sa.count(&queries);
-        assert_eq!(lsm_counts, sa_counts, "counts disagree at L = {expected_width}");
+        assert_eq!(
+            lsm_counts, sa_counts,
+            "counts disagree at L = {expected_width}"
+        );
 
         let lsm_ranges = lsm.range(&queries);
         let (sa_offsets, sa_keys, sa_values) = sa.range(&queries);

@@ -22,7 +22,10 @@ fn insertion_records_sort_and_merge_traffic() {
     }
     let snapshot = dev.metrics().snapshot();
     // The batch sort and the carry-chain merges must both appear.
-    assert!(snapshot.contains_key("radix_scatter"), "missing radix sort traffic");
+    assert!(
+        snapshot.contains_key("radix_scatter"),
+        "missing radix sort traffic"
+    );
     assert!(snapshot.contains_key("merge"), "missing merge traffic");
     // Inserting 4 batches triggers 3 carry merges (r: 1, 10, 11, 100).
     assert_eq!(snapshot["merge"].launches, 3);
@@ -42,7 +45,10 @@ fn lookups_are_charged_as_scattered_probes() {
     let _ = lsm.lookup(&queries);
     let snapshot = dev.metrics().snapshot();
     let lookup = &snapshot["lsm_lookup"];
-    assert!(lookup.scattered_transactions > 0, "lookups must pay random-access probes");
+    assert!(
+        lookup.scattered_transactions > 0,
+        "lookups must pay random-access probes"
+    );
     assert!(lookup.scattered_read_bytes > 0);
     // Probes per query are bounded by levels × log2(level size).
     let max_probes = lsm.worst_case_lookup_probes() as u64 * queries.len() as u64;
@@ -71,16 +77,25 @@ fn memory_footprint_follows_the_structure_lifecycle() {
     let pairs = unique_random_pairs(1 << 14, 4);
     let mut lsm = GpuLsm::bulk_build(dev.clone(), 1 << 11, &pairs).unwrap();
     let after_build = lsm.memory_bytes();
-    assert!(after_build >= pairs.len() * 8, "keys + values must be resident");
+    assert!(
+        after_build >= pairs.len() * 8,
+        "keys + values must be resident"
+    );
     // Replacing every key doubles the resident data until cleanup.
     for chunk in pairs.chunks(1 << 11) {
         lsm.insert(chunk).unwrap();
     }
     let with_stale = lsm.memory_bytes();
-    assert!(with_stale >= 2 * after_build - 64, "stale copies occupy memory");
+    assert!(
+        with_stale >= 2 * after_build - 64,
+        "stale copies occupy memory"
+    );
     lsm.cleanup();
     let after_cleanup = lsm.memory_bytes();
-    assert!(after_cleanup < with_stale, "cleanup must shrink the footprint");
+    assert!(
+        after_cleanup < with_stale,
+        "cleanup must shrink the footprint"
+    );
     assert!(after_cleanup >= pairs.len() * 8);
     // Device buffers allocated explicitly on the device are still tracked.
     let buf = dev.alloc_zeroed::<u64>("scratch", 1024);

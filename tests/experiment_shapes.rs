@@ -7,11 +7,19 @@
 //! These tests time real work, so they are written with generous margins and
 //! moderate sizes to stay robust in debug builds.
 
+use std::sync::Mutex;
+
 use lsm_bench::experiments::{fig4, table1, table2};
 use lsm_workloads::SweepConfig;
 
+/// These tests time wall-clock work; running them on concurrent test
+/// threads would let them distort each other's measurements.  Each test
+/// holds this lock while it measures.
+static TIMING: Mutex<()> = Mutex::new(());
+
 #[test]
 fn table2_shape_lsm_updates_beat_sorted_array_updates() {
+    let _serial = TIMING.lock().unwrap_or_else(|e| e.into_inner());
     // Paper: averaged over batch sizes, the GPU LSM inserts ~13.5x faster
     // than the sorted array; per batch size the mean rate is always better.
     let config = SweepConfig {
@@ -39,6 +47,7 @@ fn table2_shape_lsm_updates_beat_sorted_array_updates() {
 
 #[test]
 fn table2_shape_smaller_batches_mean_slower_lsm_insertion() {
+    let _serial = TIMING.lock().unwrap_or_else(|e| e.into_inner());
     // Paper Table II: for a fixed n, smaller b means more occupied levels,
     // more iterative merges and a lower mean insertion rate.
     let config = SweepConfig {
@@ -48,7 +57,11 @@ fn table2_shape_smaller_batches_mean_slower_lsm_insertion() {
     };
     let result = table2::run(&config, 8);
     let small = result.rows.iter().find(|r| r.batch_size == 1 << 7).unwrap();
-    let large = result.rows.iter().find(|r| r.batch_size == 1 << 12).unwrap();
+    let large = result
+        .rows
+        .iter()
+        .find(|r| r.batch_size == 1 << 12)
+        .unwrap();
     assert!(
         large.lsm.harmonic_mean > small.lsm.harmonic_mean,
         "larger batches should insert faster on average: {} vs {}",
@@ -59,6 +72,7 @@ fn table2_shape_smaller_batches_mean_slower_lsm_insertion() {
 
 #[test]
 fn fig4b_shape_effective_rate_gap_grows_with_n() {
+    let _serial = TIMING.lock().unwrap_or_else(|e| e.into_inner());
     // Paper Fig. 4b: as more batches are inserted, the sorted array's
     // effective rate collapses (O(1/n)) while the LSM's degrades slowly
     // (O(1/log n)), so the ratio between them grows.
@@ -76,6 +90,7 @@ fn fig4b_shape_effective_rate_gap_grows_with_n() {
 
 #[test]
 fn table1_shape_growth_exponents_separate_linear_from_polylog() {
+    let _serial = TIMING.lock().unwrap_or_else(|e| e.into_inner());
     // Paper Table I: per-item SA updates are O(n); LSM updates are O(log n).
     let result = table1::run(&[1 << 11, 1 << 13, 1 << 15], 1 << 8, 1 << 11, 44);
     assert!(
@@ -98,6 +113,7 @@ fn table1_shape_growth_exponents_separate_linear_from_polylog() {
 
 #[test]
 fn fig4a_shape_insertion_time_follows_the_carry_chain() {
+    let _serial = TIMING.lock().unwrap_or_else(|e| e.into_inner());
     // Paper Fig. 4a: insertion time spikes exactly when the carry chain is
     // long (r with many trailing zeros) and is lowest when level 0 is empty.
     let points = fig4::run_fig4a(1 << 9, 32, 45);

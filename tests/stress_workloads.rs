@@ -28,7 +28,10 @@ fn sorted_and_reverse_sorted_runs_round_trip() {
     assert_eq!(lsm.count(&[(0, 255)]), vec![256]);
     assert_eq!(lsm.count(&[(10_000 - 255, 10_000)]), vec![256]);
     assert_eq!(lsm.count(&[(20_000, 20_000 + 255)]), vec![256]);
-    assert_eq!(lsm.lookup(&[0, 10_000, 20_255]), vec![Some(0), Some(0), Some(255)]);
+    assert_eq!(
+        lsm.lookup(&[0, 10_000, 20_255]),
+        vec![Some(0), Some(0), Some(255)]
+    );
 }
 
 #[test]
@@ -40,8 +43,8 @@ fn duplicate_only_batches_keep_exactly_one_visible() {
     lsm.insert(&all_duplicates(43, b)).unwrap();
     lsm.check_invariants().unwrap();
     assert_eq!(lsm.count(&[(0, 100)]), vec![2]); // keys 42 and 43
-    // The visible value for 42 comes from the second batch (most recent),
-    // and within that batch the first pushed duplicate wins.
+                                                 // The visible value for 42 comes from the second batch (most recent),
+                                                 // and within that batch the first pushed duplicate wins.
     assert_eq!(lsm.lookup(&[42]), vec![Some(0)]);
     let report = lsm.cleanup();
     assert_eq!(report.valid_elements, 2);
@@ -117,7 +120,10 @@ fn hot_set_stream_accumulates_and_cleans_predictably() {
     assert_eq!(stats.valid_elements, reference.len());
     // The hot keys (0..32) must hold their most recent values.
     let hot_queries: Vec<u32> = (0..32).collect();
-    let expected: Vec<Option<u32>> = hot_queries.iter().map(|k| reference.get(k).copied()).collect();
+    let expected: Vec<Option<u32>> = hot_queries
+        .iter()
+        .map(|k| reference.get(k).copied())
+        .collect();
     assert_eq!(lsm.lookup(&hot_queries), expected);
     let report = lsm.cleanup();
     assert_eq!(report.valid_elements, reference.len());

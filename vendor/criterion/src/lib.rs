@@ -1,0 +1,295 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::{iter, iter_batched}`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.  Instead of criterion's
+//! statistical machinery it runs a short warm-up plus a fixed sample of
+//! timed iterations and prints the mean wall-clock time (and throughput,
+//! when configured) per benchmark.  Good enough to smoke-test that the
+//! bench harness links and runs; not a statistics engine.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measured quantity a benchmark reports rates against.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost; advisory only in this stand-in.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Time `routine` over this bencher's sample budget.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is untimed.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Shared measurement settings for a group or the top-level criterion.
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+fn run_benchmark(group: &str, id: &str, settings: &Settings, f: impl FnOnce(&mut Bencher)) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let mut bencher = Bencher::new(settings.sample_size.max(1));
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label:<50} (no timed iterations)");
+        return;
+    }
+    let mean = bencher.total / bencher.iters as u32;
+    let rate = settings.throughput.map(|t| match t {
+        Throughput::Elements(n) => {
+            format!("  {:>10.2} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Throughput::Bytes(n) => {
+            format!(
+                "  {:>10.2} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+    });
+    println!("{label:<50} mean {mean:>12.3?}{}", rate.unwrap_or_default());
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in uses a fixed sample
+    /// count rather than a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is one untimed iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Report throughput alongside mean time.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id.into().id, &self.settings, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id.into().id, &self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark("", &id.into().id, &self.settings.clone(), f);
+        self
+    }
+
+    /// Set the default number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+}
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        assert!(runs >= 2);
+        let mut batched = 0;
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter_batched(|| n, |x| batched += x, BatchSize::LargeInput)
+        });
+        assert!(batched >= 8);
+        group.finish();
+    }
+}

@@ -1,0 +1,145 @@
+//! Collection strategies: the stand-in for `proptest::collection`.
+
+use std::collections::BTreeMap;
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng as _;
+
+/// An inclusive size band for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max_inclusive: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..=self.max_inclusive)
+    }
+}
+
+/// Strategy for vectors with element strategy `S`, returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generate `Vec`s whose length falls in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap`s, returned by [`btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: SizeRange,
+}
+
+/// Generate `BTreeMap`s with `size.pick()` target entries.  Duplicate
+/// generated keys collapse, so like upstream proptest the result can be
+/// smaller than the target when the key domain is narrow; extra draws are
+/// attempted to honour the minimum size where possible.
+pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        keys,
+        values,
+        size: size.into(),
+    }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.pick(rng);
+        let mut map = BTreeMap::new();
+        let mut attempts = 0;
+        let max_attempts = target * 4 + 16;
+        while map.len() < target && attempts < max_attempts {
+            map.insert(self.keys.new_value(rng), self.values.new_value(rng));
+            attempts += 1;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_band() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let s = vec(any::<u32>(), 3..7);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_map_hits_target_when_domain_is_wide() {
+        let mut rng = TestRng::seed_from_u64(10);
+        let s = btree_map(0u32..1_000_000, any::<u32>(), 5..=5);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut rng).len(), 5);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Case execution, seeding, and failure persistence.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The RNG handed to strategies: the workspace's deterministic `StdRng`.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Runner configuration (the stand-in for `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A property-case failure with a human-readable reason.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fail the case with `reason`.
+    pub fn fail(reason: impl fmt::Display) -> Self {
+        TestCaseError(reason.to_string())
+    }
+
+    /// Alias for [`TestCaseError::fail`], matching upstream's `Fail` variant
+    /// constructor usage.
+    pub fn reject(reason: impl fmt::Display) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Base seed for deriving per-case seeds: `PROPTEST_SEED` env var if set,
+/// otherwise a fixed default so runs are reproducible out of the box.
+fn base_seed() -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse::<u64>()
+            .or_else(|_| u64::from_str_radix(s.trim().trim_start_matches("0x"), 16))
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+        Err(_) => 0xA5A5_5EED_2026_1CC5,
+    }
+}
+
+// Thread-local persistence-path override for this crate's own unit tests,
+// so they never mutate the process environment (`set_var` racing other
+// threads' `getenv` is undefined behaviour on glibc) and never write into
+// the repository's regression file.
+#[cfg(test)]
+thread_local! {
+    static TEST_PERSISTENCE_OVERRIDE: std::cell::RefCell<Option<PathBuf>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Where failing seeds are persisted: `PROPTEST_PERSISTENCE` env var if
+/// set, else `tests/proptest-regressions.txt` under the crate manifest
+/// (falling back to the crate manifest root when `tests/` does not exist).
+fn persistence_path() -> Option<PathBuf> {
+    #[cfg(test)]
+    if let Some(p) = TEST_PERSISTENCE_OVERRIDE.with(|o| o.borrow().clone()) {
+        return Some(p);
+    }
+    if let Ok(p) = std::env::var("PROPTEST_PERSISTENCE") {
+        return Some(PathBuf::from(p));
+    }
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").ok()?;
+    let tests_dir = PathBuf::from(&manifest).join("tests");
+    Some(if tests_dir.is_dir() {
+        tests_dir.join("proptest-regressions.txt")
+    } else {
+        PathBuf::from(manifest).join("proptest-regressions.txt")
+    })
+}
+
+/// Seeds previously persisted for `test_name` (lines `cc <name> <seed>`).
+fn persisted_seeds(test_name: &str) -> Vec<u64> {
+    let Some(path) = persistence_path() else {
+        return Vec::new();
+    };
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let mut fields = line.split_whitespace();
+            (fields.next() == Some("cc") && fields.next() == Some(test_name))
+                .then(|| fields.next()?.parse().ok())
+                .flatten()
+        })
+        .collect()
+}
+
+fn persist_failure(test_name: &str, seed: u64) {
+    let Some(path) = persistence_path() else {
+        return;
+    };
+    if persisted_seeds(test_name).contains(&seed) {
+        return;
+    }
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| writeln!(file, "cc {test_name} {seed}"));
+    if let Err(e) = result {
+        eprintln!(
+            "proptest: could not persist failing seed to {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// FNV-1a over the test path, to decorrelate sibling tests' case seeds.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Execute one property: persisted regression seeds first, then
+/// `config.cases` fresh cases.  On failure the seed is persisted and the
+/// test panics with a reproduction message.  Called by the `proptest!`
+/// macro; not intended for direct use.
+pub fn run_proptest<F>(config: &ProptestConfig, test_name: &str, mut run_one: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng as _;
+
+    let base = base_seed();
+    let name_hash = hash_name(test_name);
+
+    let regression_seeds = persisted_seeds(test_name);
+    let fresh_seeds = (0..config.cases as u64).map(|case| mix(base ^ name_hash ^ mix(case)));
+
+    let total = regression_seeds.len() + config.cases as usize;
+    for (i, seed) in regression_seeds.into_iter().chain(fresh_seeds).enumerate() {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(&mut rng)));
+        let reason = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(e)) => e.to_string(),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                format!("panicked: {msg}")
+            }
+        };
+        persist_failure(test_name, seed);
+        panic!(
+            "property {test_name} failed at case {}/{total} (seed {seed}): {reason}\n\
+             reproduce with the persisted seed, or rerun the whole property with \
+             PROPTEST_SEED={base}",
+            i + 1,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng as _;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut runs = 0;
+        run_proptest(
+            &ProptestConfig::with_cases(10),
+            "t::always_passes",
+            |_rng| {
+                runs += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed() {
+        // Keep the intentional failure out of the repo's regression file,
+        // without touching the process environment (run_proptest invokes the
+        // property — and any persistence — on this same thread).
+        TEST_PERSISTENCE_OVERRIDE
+            .with(|o| *o.borrow_mut() = Some("/tmp/proptest-stub-selftest.txt".into()));
+        let result = std::panic::catch_unwind(|| {
+            run_proptest(&ProptestConfig::with_cases(5), "t::always_fails", |rng| {
+                let _ = rng.gen::<u32>();
+                Err(TestCaseError::fail("nope"))
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic_per_name() {
+        let mut first = Vec::new();
+        run_proptest(&ProptestConfig::with_cases(3), "t::det", |rng| {
+            first.push(rng.gen::<u64>());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        run_proptest(&ProptestConfig::with_cases(3), "t::det", |rng| {
+            second.push(rng.gen::<u64>());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

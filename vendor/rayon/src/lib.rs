@@ -1,0 +1,762 @@
+//! Offline stand-in for `rayon`, with real data parallelism.
+//!
+//! The build container has no network access, so this vendored crate
+//! implements the subset of rayon's parallel-iterator API this workspace
+//! uses.  It is not work-stealing: every consumer splits its (always
+//! indexed) producer into one contiguous part per available core and runs
+//! the parts to completion on `std::thread::scope` threads, preserving
+//! order when recombining.  For the bulk-synchronous, evenly-tiled kernels
+//! of the GPU model this static partitioning is a good fit.
+//!
+//! Supported surface: `par_iter`, `par_iter_mut`, `par_chunks`,
+//! `par_chunks_mut`, `into_par_iter` (vectors and `Range<usize>`), the
+//! adapters `map`, `enumerate`, `zip`, `copied`, `filter`, and the
+//! consumers `for_each`, `collect`, `sum`, `min`, `max`, `count`,
+//! `reduce`, plus [`current_num_threads`].
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel consumer will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Below this many items a consumer runs sequentially: thread spawn/join
+/// overhead (tens of microseconds per `std::thread::scope`) would dominate
+/// the work and distort the timed shape experiments, which measure inputs
+/// up to tens of thousands of elements.
+const SEQUENTIAL_CUTOFF: usize = 1 << 16;
+
+/// An indexed parallel iterator: knows its exact length, can split itself
+/// into two disjoint halves, and can drain one part sequentially.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator a part drains into.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of items this iterator will produce (pre-`filter`).
+    fn par_len(&self) -> usize;
+
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Drain this iterator sequentially.
+    fn into_seq(self) -> Self::Seq;
+
+    /// Map each item through `f` (applied in parallel at the consumer).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send + Clone,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pair each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
+    }
+
+    /// Iterate two equal-length parallel iterators in lockstep.
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Copy out of references.
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        T: 'a + Copy + Send + Sync,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Copied { base: self }
+    }
+
+    /// Map each item to a sequential iterator and flatten, preserving
+    /// order (rayon's `flat_map_iter`).
+    fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> I + Sync + Send + Clone,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Keep only items matching `pred`.
+    fn filter<F>(self, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send + Clone,
+    {
+        Filter { base: self, pred }
+    }
+
+    /// Run `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send + Clone,
+    {
+        run_parts(self, move |part| part.into_seq().for_each(&f));
+    }
+
+    /// Collect all items, preserving order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        let parts = run_parts(self, |part| part.into_seq().collect::<Vec<_>>());
+        C::from_ordered_parts(parts)
+    }
+
+    /// Sum all items.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        run_parts(self, |part| part.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Minimum item, if any.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        run_parts(self, |part| part.into_seq().min())
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
+    /// Maximum item, if any.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        run_parts(self, |part| part.into_seq().max())
+            .into_iter()
+            .flatten()
+            .max()
+    }
+
+    /// Number of items produced (meaningful after `filter`).
+    fn count(self) -> usize {
+        run_parts(self, |part| part.into_seq().count())
+            .into_iter()
+            .sum()
+    }
+
+    /// Reduce with an identity and an associative operation.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send + Clone,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send + Clone,
+    {
+        run_parts(self, {
+            let op = op.clone();
+            let identity = identity.clone();
+            move |part| part.into_seq().fold(identity(), &op)
+        })
+        .into_iter()
+        .fold(identity(), op)
+    }
+}
+
+/// Split `iter` into roughly even parts (one per core), run `f` over each
+/// part on scoped threads, and return the per-part results in order.
+fn run_parts<P, R, F>(iter: P, f: F) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P) -> R + Sync + Send + Clone,
+{
+    let len = iter.par_len();
+    let threads = current_num_threads();
+    if threads <= 1 || len < SEQUENTIAL_CUTOFF {
+        return vec![f(iter)];
+    }
+    let num_parts = threads.min(len.max(1));
+    let mut parts = Vec::with_capacity(num_parts);
+    let mut rest = iter;
+    let mut remaining = len;
+    for i in 0..num_parts - 1 {
+        let take = remaining / (num_parts - i);
+        let (head, tail) = rest.split_at(take);
+        parts.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    parts.push(rest);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                let f = f.clone();
+                scope.spawn(move || f(part))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Collections a parallel iterator can be collected into.
+pub trait FromParallelIterator<T>: Sized {
+    /// Build from in-order per-part sequential results.
+    fn from_ordered_parts(parts: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_parts(parts: Vec<Vec<T>>) -> Self {
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at(mid);
+        (ParIter(a), ParIter(b))
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.0.split_at_mut(mid);
+        (ParIterMut(a), ParIterMut(b))
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.0.iter_mut()
+    }
+}
+
+/// Parallel iterator over immutable chunks of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+    type Seq = std::slice::Chunks<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(cut);
+        (
+            ParChunks {
+                slice: a,
+                size: self.size,
+            },
+            ParChunks {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn par_len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(cut);
+        (
+            ParChunksMut {
+                slice: a,
+                size: self.size,
+            },
+            ParChunksMut {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+///
+/// `split_at` physically partitions with `Vec::split_off`, which copies the
+/// tail once per split (one extra serial pass over the data in total).
+/// Current call sites only feed small vectors or vectors of thin references,
+/// where that memcpy is negligible; if a large owned `Vec` of big elements
+/// ever lands on this path, rework this to carry `(Vec, Range)` bounds.
+pub struct ParVec<T>(Vec<T>);
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let mut head = self.0;
+        let tail = head.split_off(mid);
+        (ParVec(head), ParVec(tail))
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.0.into_iter()
+    }
+}
+
+/// Parallel iterator over `Range<usize>`.
+pub struct ParRange(Range<usize>);
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+    type Seq = Range<usize>;
+
+    fn par_len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = self.0.start + mid;
+        (ParRange(self.0.start..cut), ParRange(cut..self.0.end))
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// Lazy `map` adapter.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync + Send + Clone,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Map {
+                base: a,
+                f: self.f.clone(),
+            },
+            Map { base: b, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// Lazy `enumerate` adapter; `offset` tracks the index of the first item
+/// after a split.
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+/// Sequential side of [`Enumerate`].
+pub struct EnumerateSeq<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, item))
+    }
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = EnumerateSeq<P::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Enumerate {
+                base: a,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: b,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            inner: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Lazy `zip` adapter over two equal-length parallel iterators.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(mid);
+        let (b1, b2) = self.b.split_at(mid);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Lazy `copied` adapter.
+pub struct Copied<P> {
+    base: P,
+}
+
+impl<'a, T, P> ParallelIterator for Copied<P>
+where
+    T: 'a + Copy + Send + Sync,
+    P: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    type Seq = std::iter::Copied<P::Seq>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (Copied { base: a }, Copied { base: b })
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().copied()
+    }
+}
+
+/// Lazy `flat_map_iter` adapter.  `par_len` reports the outer length,
+/// which is only used to balance the split.
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, I> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> I + Sync + Send + Clone,
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    type Seq = std::iter::FlatMap<P::Seq, I, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            FlatMapIter {
+                base: a,
+                f: self.f.clone(),
+            },
+            FlatMapIter { base: b, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().flat_map(self.f)
+    }
+}
+
+/// Lazy `filter` adapter.  `par_len` reports the pre-filter length, which
+/// is only used to balance the split — consumers never rely on it as an
+/// exact output count.
+pub struct Filter<P, F> {
+    base: P,
+    pred: F,
+}
+
+impl<P, F> ParallelIterator for Filter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(&P::Item) -> bool + Sync + Send + Clone,
+{
+    type Item = P::Item;
+    type Seq = std::iter::Filter<P::Seq, F>;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(mid);
+        (
+            Filter {
+                base: a,
+                pred: self.pred.clone(),
+            },
+            Filter {
+                base: b,
+                pred: self.pred,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().filter(self.pred)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// `par_iter` on shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator;
+    /// Iterate the collection's elements by shared reference, in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter(self.as_slice())
+    }
+}
+
+/// `par_iter_mut` on mutable references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator;
+    /// Iterate the collection's elements by mutable reference, in parallel.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = ParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        ParIterMut(self)
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = ParIterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        ParIterMut(self.as_mut_slice())
+    }
+}
+
+/// `into_par_iter` on owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParVec(self)
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> Self::Iter {
+        ParRange(self)
+    }
+}
+
+impl IntoParallelIterator for std::ops::RangeInclusive<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> Self::Iter {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(end < usize::MAX, "inclusive range end too large");
+        ParRange(if start > end { 0..0 } else { start..end + 1 })
+    }
+}
+
+/// `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `size`-element chunks (last may be short).
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunks { slice: self, size }
+    }
+}
+
+/// `par_chunks_mut` on slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Glob-import surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..100_000u64).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), v.len());
+        assert!(doubled.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn enumerate_indices_survive_splits() {
+        let v = vec![7u32; 50_000];
+        let idx: Vec<usize> = v.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert!(idx.iter().enumerate().all(|(i, &j)| i == j));
+    }
+
+    #[test]
+    fn mutable_iteration_touches_every_element() {
+        let mut v = vec![1u32; 30_000];
+        v.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x += i as u32);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 1 + i as u32));
+    }
+
+    #[test]
+    fn chunks_and_zip() {
+        let src: Vec<u32> = (0..40_000).collect();
+        let mut dst = vec![0u32; 40_000];
+        dst.par_chunks_mut(1024)
+            .zip(src.par_chunks(1024))
+            .for_each(|(d, s)| d.copy_from_slice(s));
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn sum_min_max_filter_count() {
+        let v: Vec<u64> = (1..=100_000u64).collect();
+        assert_eq!(
+            v.par_iter().map(|&x| x).sum::<u64>(),
+            100_000u64 * 100_001 / 2
+        );
+        assert_eq!(v.par_iter().copied().min(), Some(1));
+        assert_eq!(v.par_iter().copied().max(), Some(100_000));
+        assert_eq!(v.par_iter().filter(|&&x| x % 2 == 0).count(), 50_000);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * i).collect();
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn small_inputs_run_sequentially_and_correctly() {
+        let v = vec![3u32, 1, 2];
+        let out: Vec<u32> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![4, 2, 3]);
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(
+            empty.par_iter().map(|&x| x).collect::<Vec<_>>(),
+            Vec::<u32>::new()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stand-in.  They emit marker-trait impls so `#[derive(Serialize,
+//! Deserialize)]` in the workspace compiles without any real serialization
+//! machinery (nothing in the workspace serializes through serde yet).
+
+use proc_macro::TokenStream;
+
+/// Extract the bare type identifier a `derive` input declares.
+fn derived_type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(proc_macro::TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    match derived_type_name(&input) {
+        // Generic types would need bounds; the workspace only derives on
+        // plain structs, so a bare impl suffices.
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new()),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derive the (empty) `serde::Serialize` marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// Derive the (empty) `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}
