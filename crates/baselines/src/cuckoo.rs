@@ -1,4 +1,4 @@
-//! Bulk-built cuckoo hash table (Alcantara et al. [5], as packaged in CUDPP
+//! Bulk-built cuckoo hash table (Alcantara et al. (reference \[5\] of the paper), as packaged in CUDPP
 //! and used by the paper as its hash-table baseline).
 //!
 //! The table stores each occupied slot as a packed 64-bit word
@@ -204,7 +204,7 @@ impl CuckooHashTable {
         self.slots.len() * std::mem::size_of::<u64>()
     }
 
-    /// Bulk lookup: each query probes at most [`NUM_HASHES`] slots.
+    /// Bulk lookup: each query probes at most `NUM_HASHES` slots.
     pub fn lookup(&self, queries: &[u32]) -> Vec<Option<u32>> {
         let kernel = "cuckoo_lookup";
         self.device.metrics().record_launch(kernel);

@@ -1,0 +1,50 @@
+//! Run the CI bench-regression suite and write its results as JSON.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin bench_ci -- [--out PATH] [--repeats N]`
+//!
+//! Defaults write `BENCH_ci.json` in the current directory; CI uploads that
+//! file as an artifact and feeds it to `bench_compare` together with the
+//! committed `BENCH_baseline.json`.  Regenerate the baseline with
+//! `--out BENCH_baseline.json` after a deliberate performance change.
+
+use std::path::PathBuf;
+
+use lsm_bench::ci;
+
+fn main() {
+    let mut out = PathBuf::from("BENCH_ci.json");
+    let mut repeats = ci::CI_REPEATS;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| usage("--out needs a path"));
+                out = PathBuf::from(v);
+            }
+            "--repeats" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--repeats needs a value"));
+                repeats = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad --repeats value: {v}")));
+            }
+            other => usage(&format!("unknown option: {other}")),
+        }
+    }
+
+    eprintln!("running CI bench suite ({repeats} repeats per metric, median kept)...");
+    let metrics = ci::run_suite(repeats);
+    for m in &metrics {
+        println!("{:>24}  {:10.3} M elements/s", m.name, m.rate);
+    }
+    let json = ci::to_json(&metrics, repeats);
+    std::fs::write(&out, json).expect("write bench JSON");
+    eprintln!("wrote {}", out.display());
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: bench_ci [--out PATH] [--repeats N]");
+    std::process::exit(2);
+}

@@ -1,0 +1,84 @@
+//! Compare a current CI bench run against the committed baseline and fail
+//! (exit 1) when any shared metric loses more than the tolerated fraction
+//! of its throughput.
+//!
+//! Usage: `bench_compare <baseline.json> <current.json> [--tolerance 0.2]`
+
+use lsm_bench::ci;
+
+fn main() {
+    let mut positional: Vec<String> = Vec::new();
+    let mut tolerance = 0.2f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--tolerance needs a value"));
+                tolerance = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad --tolerance value: {v}")));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [baseline_path, current_path] = positional.as_slice() else {
+        usage("expected exactly two files: <baseline.json> <current.json>");
+    };
+
+    let baseline = read_metrics(baseline_path);
+    let current = read_metrics(current_path);
+    let report = ci::compare(&baseline, &current, tolerance);
+    for name in ci::unmatched(&baseline, &current) {
+        eprintln!("warning: metric not compared: {name}");
+    }
+    if report.is_empty() {
+        eprintln!("error: baseline and current share no metrics");
+        std::process::exit(1);
+    }
+
+    println!(
+        "{:>24}  {:>12}  {:>12}  {:>8}",
+        "metric", "baseline", "current", "ratio"
+    );
+    let mut regressions = 0;
+    for c in &report {
+        let flag = if c.regressed { "  REGRESSED" } else { "" };
+        println!(
+            "{:>24}  {:>12.3}  {:>12.3}  {:>7.2}x{}",
+            c.name, c.baseline, c.current, c.ratio, flag
+        );
+        if c.regressed {
+            regressions += 1;
+        }
+    }
+    if regressions > 0 {
+        eprintln!(
+            "FAIL: {regressions} metric(s) regressed more than {:.0}% vs baseline",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: no metric regressed more than {:.0}% vs baseline",
+        tolerance * 100.0
+    );
+}
+
+fn read_metrics(path: &str) -> Vec<ci::Metric> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    ci::parse_metrics(&text).unwrap_or_else(|e| {
+        eprintln!("error: cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: bench_compare <baseline.json> <current.json> [--tolerance FRAC]");
+    std::process::exit(2);
+}

@@ -1,0 +1,345 @@
+//! The CI bench-regression suite: a small, fixed workload whose throughput
+//! is recorded as `BENCH_ci.json` on every CI run and compared against the
+//! committed `BENCH_baseline.json`.
+//!
+//! The suite deliberately over-weights *small* inputs (batches of at most
+//! 4Ki elements): those are the regime where fixed per-call costs — thread
+//! spawning, radix histogram passes, per-kernel bookkeeping — dominate, so
+//! they are the first numbers to move when dispatch overhead regresses.
+//! Every metric is a rate in M elements/s; higher is better.
+//!
+//! The JSON schema is intentionally flat so the comparator does not need a
+//! real JSON parser (the serde stand-in has no `Deserialize` runtime):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "repeats": 5,
+//!   "metrics": { "lsm_insert_b1k": 12.34, ... }
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use gpu_lsm::GpuLsm;
+use gpu_primitives::{merge::merge_by, radix_sort::sort_pairs};
+use gpu_sim::Device;
+use lsm_workloads::unique_random_pairs;
+
+use crate::measure::{elements_per_sec_m, harmonic_mean, time_once};
+
+/// Schema version stamped into the JSON output.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Workload seed; fixed so baseline and CI runs measure identical inputs.
+pub const CI_SEED: u64 = 0xC1_BE7C;
+
+/// How many times each metric is measured; the **median** run is reported.
+/// The median damps both slow outliers (scheduler noise on shared CI
+/// runners) and fast outliers (frequency bursts), either of which would
+/// make a best-of or worst-of gate flaky.
+pub const CI_REPEATS: usize = 5;
+
+/// One measured throughput metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Stable metric name (JSON key).
+    pub name: String,
+    /// Throughput in M elements/s; higher is better.
+    pub rate: f64,
+}
+
+fn ci_device() -> Arc<Device> {
+    Arc::new(Device::k40c())
+}
+
+/// Harmonic-mean per-batch insert rate for inserting `num_batches` batches
+/// of `batch_size` into an empty LSM.
+fn lsm_insert_rate(batch_size: usize, num_batches: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(batch_size * num_batches, CI_SEED);
+    let mut lsm = GpuLsm::new(device, batch_size).expect("valid batch size");
+    let mut rates = Vec::with_capacity(num_batches);
+    for chunk in pairs.chunks(batch_size) {
+        let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
+        rates.push(elements_per_sec_m(batch_size, elapsed));
+    }
+    harmonic_mean(&rates)
+}
+
+/// Rate of radix-sorting `n` random key–value pairs.
+fn sort_pairs_rate(n: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(n, CI_SEED ^ 0x50);
+    let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    let values: Vec<u32> = pairs.iter().map(|&(_, v)| v).collect();
+    let mut k = keys.clone();
+    let mut v = values.clone();
+    let (_, elapsed) = time_once(|| sort_pairs(&device, &mut k, &mut v));
+    elements_per_sec_m(n, elapsed)
+}
+
+/// Rate of merging two sorted runs of `n / 2` keys each.
+fn merge_rate(n: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(n, CI_SEED ^ 0x4D);
+    let mut a: Vec<u32> = pairs[..n / 2].iter().map(|&(k, _)| k).collect();
+    let mut b: Vec<u32> = pairs[n / 2..].iter().map(|&(k, _)| k).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    let (out, elapsed) = time_once(|| merge_by(&device, &a, &b, |x, y| x < y));
+    assert_eq!(out.len(), n);
+    elements_per_sec_m(n, elapsed)
+}
+
+/// Rate of looking up `n` present keys in an LSM of `8 * n` elements.
+fn lookup_rate(n: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(8 * n, CI_SEED ^ 0x10);
+    let lsm = GpuLsm::bulk_build(device, n, &pairs).expect("bulk build");
+    let queries: Vec<u32> = pairs.iter().take(n).map(|&(k, _)| k).collect();
+    let (_, elapsed) = time_once(|| lsm.lookup(&queries));
+    elements_per_sec_m(n, elapsed)
+}
+
+/// Run one measurement of every metric in the suite.
+fn measure_once() -> Vec<Metric> {
+    let m = |name: &str, rate: f64| Metric {
+        name: name.to_string(),
+        rate,
+    };
+    vec![
+        // Small-batch insertion — the headline numbers the pool + radix
+        // fast paths exist for.
+        m("lsm_insert_b1k", lsm_insert_rate(1 << 10, 32)),
+        m("lsm_insert_b4k", lsm_insert_rate(1 << 12, 16)),
+        // Primitive building blocks at small and moderate sizes.
+        m("sort_pairs_2k", sort_pairs_rate(1 << 11)),
+        m("sort_pairs_64k", sort_pairs_rate(1 << 16)),
+        m("merge_64k", merge_rate(1 << 16)),
+        m("lookup_4k", lookup_rate(1 << 12)),
+    ]
+}
+
+/// Run the full suite: `repeats` measurements per metric, median kept.
+pub fn run_suite(repeats: usize) -> Vec<Metric> {
+    let repeats = repeats.max(1);
+    let mut samples: Vec<Vec<f64>> = Vec::new();
+    let mut names: Vec<String> = Vec::new();
+    for round in 0..repeats {
+        for (slot, fresh) in measure_once().into_iter().enumerate() {
+            if round == 0 {
+                names.push(fresh.name);
+                samples.push(vec![fresh.rate]);
+            } else {
+                debug_assert_eq!(names[slot], fresh.name);
+                samples[slot].push(fresh.rate);
+            }
+        }
+    }
+    names
+        .into_iter()
+        .zip(samples)
+        .map(|(name, mut rates)| {
+            rates.sort_unstable_by(f64::total_cmp);
+            Metric {
+                name,
+                rate: rates[rates.len() / 2],
+            }
+        })
+        .collect()
+}
+
+/// Render a metric set as the flat JSON document described in the module
+/// docs.
+pub fn to_json(metrics: &[Metric], repeats: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"repeats\": {repeats},");
+    let _ = writeln!(out, "  \"metrics\": {{");
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 == metrics.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{}\": {:.4}{}", m.name, m.rate, comma);
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Parse the `"metrics"` object of a document produced by [`to_json`].
+///
+/// This is a deliberately minimal scanner for the flat schema above, not a
+/// general JSON parser: it looks for the `"metrics"` key and then reads
+/// `"name": number` pairs until the closing brace.
+pub fn parse_metrics(json: &str) -> Result<Vec<Metric>, String> {
+    let start = json
+        .find("\"metrics\"")
+        .ok_or_else(|| "no \"metrics\" key".to_string())?;
+    let body = &json[start..];
+    let open = body.find('{').ok_or("no opening brace after \"metrics\"")?;
+    let close = body[open..]
+        .find('}')
+        .ok_or("no closing brace for \"metrics\"")?;
+    let inner = &body[open + 1..open + close];
+    let mut metrics = Vec::new();
+    for entry in inner.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("bad metric entry: {entry:?}"))?;
+        let name = name.trim().trim_matches('"');
+        let rate: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad metric value for {name:?}: {value:?}"))?;
+        metrics.push(Metric {
+            name: name.to_string(),
+            rate,
+        });
+    }
+    if metrics.is_empty() {
+        return Err("empty \"metrics\" object".to_string());
+    }
+    Ok(metrics)
+}
+
+/// Outcome of comparing a current run against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Metric name.
+    pub name: String,
+    /// Baseline rate (M elements/s).
+    pub baseline: f64,
+    /// Current rate (M elements/s).
+    pub current: f64,
+    /// `current / baseline`; below `1 - tolerance` is a regression.
+    pub ratio: f64,
+    /// Whether this metric regressed beyond the tolerance.
+    pub regressed: bool,
+}
+
+/// Compare current metrics against a baseline with a relative `tolerance`
+/// (0.2 = fail when a metric loses more than 20 % throughput).  Only
+/// metrics present on *both* sides are compared — use [`unmatched`] to
+/// surface the rest — so the suite can grow without breaking older
+/// baselines.
+pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for b in baseline {
+        if let Some(c) = current.iter().find(|c| c.name == b.name) {
+            let ratio = if b.rate > 0.0 {
+                c.rate / b.rate
+            } else {
+                f64::INFINITY
+            };
+            out.push(Comparison {
+                name: b.name.clone(),
+                baseline: b.rate,
+                current: c.rate,
+                ratio,
+                regressed: ratio < 1.0 - tolerance,
+            });
+        }
+    }
+    out
+}
+
+/// Names present in exactly one of the two metric sets (first the ones
+/// only in `baseline`, then the ones only in `current`).  The gate warns
+/// about these instead of silently losing coverage when a metric is
+/// renamed or removed.
+pub fn unmatched(baseline: &[Metric], current: &[Metric]) -> Vec<String> {
+    let mut names = Vec::new();
+    for b in baseline {
+        if !current.iter().any(|c| c.name == b.name) {
+            names.push(format!("{} (baseline only)", b.name));
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.name == c.name) {
+            names.push(format!("{} (current only)", c.name));
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &str, rate: f64) -> Metric {
+        Metric {
+            name: name.to_string(),
+            rate,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let metrics = vec![metric("a", 12.5), metric("b", 0.125)];
+        let json = to_json(&metrics, 3);
+        let parsed = parse_metrics(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].name, "a");
+        assert!((parsed[0].rate - 12.5).abs() < 1e-9);
+        assert!((parsed[1].rate - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_metrics("{}").is_err());
+        assert!(parse_metrics("{\"metrics\": {}}").is_err());
+        assert!(parse_metrics("{\"metrics\": {\"a\": \"fast\"}}").is_err());
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let baseline = vec![metric("a", 100.0), metric("b", 100.0), metric("c", 100.0)];
+        let current = vec![
+            metric("a", 85.0),  // -15 %: within a 20 % tolerance
+            metric("b", 75.0),  // -25 %: regression
+            metric("c", 140.0), // improvement
+        ];
+        let report = compare(&baseline, &current, 0.2);
+        assert_eq!(report.len(), 3);
+        assert!(!report[0].regressed);
+        assert!(report[1].regressed);
+        assert!(!report[2].regressed);
+    }
+
+    #[test]
+    fn compare_skips_unmatched_metrics_and_unmatched_reports_them() {
+        let baseline = vec![metric("gone", 10.0), metric("both", 10.0)];
+        let current = vec![metric("new", 10.0), metric("both", 10.0)];
+        assert_eq!(compare(&baseline, &current, 0.2).len(), 1);
+        let missing = unmatched(&baseline, &current);
+        assert_eq!(
+            missing,
+            vec![
+                "gone (baseline only)".to_string(),
+                "new (current only)".to_string()
+            ]
+        );
+        assert!(unmatched(&baseline, &baseline).is_empty());
+    }
+
+    #[test]
+    fn suite_runs_and_produces_positive_rates() {
+        // One repeat keeps this test cheap; it exercises every metric once.
+        let metrics = run_suite(1);
+        assert_eq!(metrics.len(), 6);
+        for m in &metrics {
+            assert!(m.rate > 0.0, "metric {} must be positive", m.name);
+        }
+        // Names are unique (the comparator matches by name).
+        let mut names: Vec<&str> = metrics.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), metrics.len());
+    }
+}

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ci;
 pub mod cli;
 pub mod experiments;
 pub mod measure;

@@ -145,6 +145,51 @@ impl UpdateBatch {
         values.resize(batch_size, last_v);
         Ok((keys, values))
     }
+
+    /// Insert-only fast path: validate and encode key–value pairs straight
+    /// into `(encoded_keys, values)` arrays without materializing an [`Op`]
+    /// vector first.  Semantically identical to
+    /// `UpdateBatch::from_pairs(pairs).encode_padded(batch_size)`, minus
+    /// one allocation and pass — measurable on small hot batches.
+    ///
+    /// The returned flag is `true` when the encoded keys came out already
+    /// non-decreasing (sorted bulk loads, replayed runs); it is computed
+    /// inside the encode loop, where the comparison is free, so the caller
+    /// can skip its batch sort without a second pass over the keys.
+    pub fn encode_pairs_padded(
+        pairs: &[(Key, Value)],
+        batch_size: usize,
+    ) -> Result<(Vec<EncodedKey>, Vec<Value>, bool)> {
+        if pairs.is_empty() {
+            return Err(LsmError::EmptyBatch);
+        }
+        if pairs.len() > batch_size {
+            return Err(LsmError::BatchTooLarge {
+                supplied: pairs.len(),
+                batch_size,
+            });
+        }
+        if let Some(&(k, _)) = pairs.iter().find(|&&(k, _)| k > MAX_KEY) {
+            return Err(LsmError::KeyOutOfRange { key: k });
+        }
+        let mut keys = Vec::with_capacity(batch_size);
+        let mut values = Vec::with_capacity(batch_size);
+        let mut sorted = true;
+        let mut prev = 0u32;
+        for &(k, v) in pairs {
+            let enc = encode_regular(k);
+            sorted &= prev <= enc;
+            prev = enc;
+            keys.push(enc);
+            values.push(v);
+        }
+        // Padding duplicates the last element, which keeps a sorted batch
+        // sorted.
+        let (last_k, last_v) = (*keys.last().unwrap(), *values.last().unwrap());
+        keys.resize(batch_size, last_k);
+        values.resize(batch_size, last_v);
+        Ok((keys, values, sorted))
+    }
 }
 
 #[cfg(test)]

@@ -114,20 +114,46 @@ impl GpuLsm {
     /// Apply a mixed batch of insertions and deletions (at most `b`
     /// operations; shorter batches are padded, see [`UpdateBatch`]).
     pub fn update(&mut self, batch: &UpdateBatch) -> Result<()> {
-        let (mut keys, mut values) = batch.encode_padded(self.batch_size)?;
-        // Sort the batch by the full encoded key, status bit included
-        // (Fig. 3 line 9): tombstones precede same-key insertions from the
-        // same batch, implementing semantics rule 6.
-        self.device.timer().time("insert::sort_batch", || {
-            sort_pairs(&self.device, &mut keys, &mut values);
-        });
-        self.push_sorted_buffer(keys, values);
+        let (keys, values) = batch.encode_padded(self.batch_size)?;
+        self.sort_and_push(keys, values, None);
         Ok(())
     }
 
+    /// Sort an encoded batch and push it down the carry chain.
+    ///
+    /// The sort is by the full encoded key, status bit included (Fig. 3
+    /// line 9): tombstones precede same-key insertions from the same
+    /// batch, implementing semantics rule 6.  `known_sorted` carries a
+    /// caller's sortedness knowledge (the insert path probes during
+    /// encoding); when `None`, a cheap monotonicity probe runs here.
+    /// Either way a pre-sorted batch (sorted bulk loads, replayed runs,
+    /// the duplicate-padded tail of a short batch) skips the sort outright
+    /// — a stable sort of already-sorted data is the identity.
+    fn sort_and_push(
+        &mut self,
+        mut keys: Vec<EncodedKey>,
+        mut values: Vec<Value>,
+        known_sorted: Option<bool>,
+    ) {
+        self.device.timer().time("insert::sort_batch", || {
+            let sorted = known_sorted.unwrap_or_else(|| keys.windows(2).all(|w| w[0] <= w[1]));
+            if !sorted {
+                sort_pairs(&self.device, &mut keys, &mut values);
+            }
+        });
+        self.push_sorted_buffer(keys, values);
+    }
+
     /// Insert key–value pairs (at most `b`).
+    ///
+    /// Encodes directly from the pair slice (no intermediate op vector) —
+    /// the hot path for small-batch workloads.
     pub fn insert(&mut self, pairs: &[(Key, Value)]) -> Result<()> {
-        self.update(&UpdateBatch::from_pairs(pairs))
+        let (keys, values, sorted) = UpdateBatch::encode_pairs_padded(pairs, self.batch_size)?;
+        // The sortedness probe rode along with the encode loop, so pass it
+        // as a known fact instead of re-probing.
+        self.sort_and_push(keys, values, Some(sorted));
+        Ok(())
     }
 
     /// Delete keys (at most `b`) by inserting tombstones.

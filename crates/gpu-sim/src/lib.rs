@@ -13,7 +13,7 @@
 //!
 //! * **Bulk synchrony** — work is issued as *kernels* over a grid of thread
 //!   blocks; blocks are independent and are executed in parallel
-//!   ([`Device::parallel_for`], [`Device::launch_blocks`]).
+//!   ([`Device::launch_blocks`], [`Device::launch_blocks_map`]).
 //! * **The memory hierarchy** — global memory is allocated in
 //!   [`DeviceBuffer`]s whose sizes are tracked; kernels account the global
 //!   loads/stores they perform and whether accesses are coalesced

@@ -4,7 +4,7 @@
 //! fast intra-warp communication: `__ballot`, `__any`, `__all`, shuffles and
 //! warp scans.  The paper uses warp-wide ballots in the final validation
 //! stage of count/range queries (§IV-C stage 5) and the two-bucket
-//! multisplit [20] builds on ballot + population count.
+//! multisplit (reference \[20\]) builds on ballot + population count.
 //!
 //! Here a *warp* is modelled as a group of `WARP_SIZE` lanes whose per-lane
 //! values are materialised in small stack arrays; the cooperative operations

@@ -14,10 +14,24 @@
 //! diagonal under the tie-breaking rule; each tile is then merged
 //! sequentially and independently, so all tiles run in parallel.
 
-use gpu_sim::{AccessPattern, Device};
+use gpu_sim::Device;
 use rayon::prelude::*;
 
 use crate::util::SharedSlice;
+
+/// Output size below which one sequential merge wins: under the pool's own
+/// adaptive cutoff the tiled path cannot parallelize anyway, so its split
+/// binary searches, per-tile scratch vectors and (for pairs) tuple round
+/// trips are pure overhead.  Floored at 4Ki for hosts whose calibrated
+/// cutoff is very low.
+fn sequential_merge_cutoff() -> usize {
+    rayon::sequential_cutoff().max(1 << 12)
+}
+
+/// Record one merge launch plus its streaming traffic.
+fn record_merge_traffic(device: &Device, n: usize, elem_bytes: usize) {
+    crate::util::record_streaming(device, "merge", n, elem_bytes);
+}
 
 /// Find the merge-path split for diagonal `diag`: the number of elements
 /// taken from `a` when exactly `diag` output elements have been produced,
@@ -51,24 +65,156 @@ where
     F: Fn(&T, &T) -> bool,
 {
     debug_assert_eq!(out.len(), a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    for slot in out.iter_mut() {
-        let take_a = if i >= a.len() {
-            false
-        } else if j >= b.len() {
-            true
-        } else {
-            // Take from b only if strictly smaller: ties go to a.
-            !less(&b[j], &a[i])
-        };
-        if take_a {
-            *slot = a[i];
-            i += 1;
-        } else {
-            *slot = b[j];
-            j += 1;
-        }
+    let (mut i, mut j, mut o) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        // Take from b only if strictly smaller: ties go to a.  Selecting
+        // with arithmetic instead of a branch lets the compiler emit
+        // conditional moves; on random keys the branch is a coin flip, and
+        // the mispredictions would otherwise dominate the loop.
+        let take_b = less(&b[j], &a[i]);
+        out[o] = if take_b { b[j] } else { a[i] };
+        i += usize::from(!take_b);
+        j += usize::from(take_b);
+        o += 1;
     }
+    // Exactly one of the tails is non-empty; bulk-copy it.
+    out[o..o + (a.len() - i)].copy_from_slice(&a[i..]);
+    o += a.len() - i;
+    out[o..].copy_from_slice(&b[j..]);
+}
+
+/// Sequential key/value merge, ties favouring `a`, for unequal-length
+/// inputs.  The inner loop is the hot kernel treatment: output written into
+/// uninitialized capacity (a `vec![0; n]` zero-fill would be a pure extra
+/// memory sweep per merge), branchless take-a/take-b selection (on random
+/// keys the branch is a coin flip and mispredictions would dominate), and
+/// unchecked indexing (the loop conditions already bound `i` and `j`).
+fn seq_merge_pairs<F>(
+    a_keys: &[u32],
+    a_vals: &[u32],
+    b_keys: &[u32],
+    b_vals: &[u32],
+    less: &F,
+) -> (Vec<u32>, Vec<u32>)
+where
+    F: Fn(&u32, &u32) -> bool,
+{
+    let n = a_keys.len() + b_keys.len();
+    let mut keys: Vec<u32> = Vec::with_capacity(n);
+    let mut vals: Vec<u32> = Vec::with_capacity(n);
+    // SAFETY: `o = i + j` takes each value in `0..n` exactly once across
+    // the main loop and the two tail copies (i ≤ a.len(), j ≤ b.len(),
+    // n = a.len() + b.len()), so every output slot is written exactly once
+    // before `set_len(n)`; all source reads are bounded by the loop
+    // conditions / tail lengths.
+    unsafe {
+        let out_keys = keys.as_mut_ptr();
+        let out_vals = vals.as_mut_ptr();
+        let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+        while i < a_keys.len() && j < b_keys.len() {
+            // Take from b only if strictly smaller: ties go to a.
+            let take_b = less(b_keys.get_unchecked(j), a_keys.get_unchecked(i));
+            *out_keys.add(o) = if take_b {
+                *b_keys.get_unchecked(j)
+            } else {
+                *a_keys.get_unchecked(i)
+            };
+            *out_vals.add(o) = if take_b {
+                *b_vals.get_unchecked(j)
+            } else {
+                *a_vals.get_unchecked(i)
+            };
+            i += usize::from(!take_b);
+            j += usize::from(take_b);
+            o += 1;
+        }
+        std::ptr::copy_nonoverlapping(a_keys.as_ptr().add(i), out_keys.add(o), a_keys.len() - i);
+        std::ptr::copy_nonoverlapping(a_vals.as_ptr().add(i), out_vals.add(o), a_vals.len() - i);
+        let o = o + (a_keys.len() - i);
+        std::ptr::copy_nonoverlapping(b_keys.as_ptr().add(j), out_keys.add(o), b_keys.len() - j);
+        std::ptr::copy_nonoverlapping(b_vals.as_ptr().add(j), out_vals.add(o), b_vals.len() - j);
+        keys.set_len(n);
+        vals.set_len(n);
+    }
+    (keys, vals)
+}
+
+/// Parity merge for **equal-length** inputs: a forward chain produces the
+/// first half of the output while an independent backward chain produces
+/// the second half, doubling the instruction-level parallelism of the
+/// dependency-bound merge loop.
+///
+/// Correctness: with `a.len() == b.len() == h`, the forward chain executes
+/// the first `h` take-decisions of the unique stable tie-favouring-`a`
+/// merge — within those steps neither input can run dry (`i + j = t < h`
+/// bounds both indices), so no end-of-array fallback is needed.  The
+/// backward chain symmetrically reproduces the *last* `h` decisions: it
+/// takes the larger tail element, and on ties takes from `b`, which is
+/// exactly the reverse of "ties favour `a`".  Both chains therefore emit
+/// disjoint halves of the same merged sequence.
+fn parity_merge_pairs<F>(
+    a_keys: &[u32],
+    a_vals: &[u32],
+    b_keys: &[u32],
+    b_vals: &[u32],
+    less: &F,
+) -> (Vec<u32>, Vec<u32>)
+where
+    F: Fn(&u32, &u32) -> bool,
+{
+    let h = a_keys.len();
+    debug_assert_eq!(h, b_keys.len());
+    let n = 2 * h;
+    let mut keys: Vec<u32> = Vec::with_capacity(n);
+    let mut vals: Vec<u32> = Vec::with_capacity(n);
+    // SAFETY: at iteration t the forward chain has consumed i + j = t < h
+    // items, so i < h and j < h bound its reads, and it writes o = t; the
+    // backward chain has consumed (h - ib) + (h - jb) = t < h items, so
+    // ib ≥ 1 and jb ≥ 1 bound its reads, and it writes n - 1 - t.  Over
+    // h iterations the two chains write exactly 0..h and h..n, so every
+    // slot is initialized before `set_len(n)`.
+    unsafe {
+        let out_keys = keys.as_mut_ptr();
+        let out_vals = vals.as_mut_ptr();
+        let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+        let (mut ib, mut jb, mut ob) = (h, h, n);
+        for _ in 0..h {
+            // Forward: take from b only if strictly smaller (ties go to a).
+            let take_b = less(b_keys.get_unchecked(j), a_keys.get_unchecked(i));
+            *out_keys.add(o) = if take_b {
+                *b_keys.get_unchecked(j)
+            } else {
+                *a_keys.get_unchecked(i)
+            };
+            *out_vals.add(o) = if take_b {
+                *b_vals.get_unchecked(j)
+            } else {
+                *a_vals.get_unchecked(i)
+            };
+            i += usize::from(!take_b);
+            j += usize::from(take_b);
+            o += 1;
+            // Backward: take the larger tail element; ties go to b, the
+            // mirror of the forward rule.
+            let back_a = less(b_keys.get_unchecked(jb - 1), a_keys.get_unchecked(ib - 1));
+            ob -= 1;
+            *out_keys.add(ob) = if back_a {
+                *a_keys.get_unchecked(ib - 1)
+            } else {
+                *b_keys.get_unchecked(jb - 1)
+            };
+            *out_vals.add(ob) = if back_a {
+                *a_vals.get_unchecked(ib - 1)
+            } else {
+                *b_vals.get_unchecked(jb - 1)
+            };
+            ib -= usize::from(back_a);
+            jb -= usize::from(!back_a);
+        }
+        keys.set_len(n);
+        vals.set_len(n);
+    }
+    (keys, vals)
 }
 
 /// Merge two sorted slices into a new vector, ties favouring `a`, using the
@@ -79,18 +225,14 @@ where
     F: Fn(&T, &T) -> bool + Sync,
 {
     let n = a.len() + b.len();
-    let kernel = "merge";
-    device.metrics().record_launch(kernel);
-    let bytes = (n * std::mem::size_of::<T>()) as u64;
-    device
-        .metrics()
-        .record_read(kernel, bytes, AccessPattern::Coalesced);
-    device
-        .metrics()
-        .record_write(kernel, bytes, AccessPattern::Coalesced);
+    record_merge_traffic(device, n, std::mem::size_of::<T>());
 
     let mut out = vec![T::default(); n];
     if n == 0 {
+        return out;
+    }
+    if n <= sequential_merge_cutoff() {
+        serial_merge_into(a, b, &mut out, &less);
         return out;
     }
     let tile = device.preferred_tile(std::mem::size_of::<T>()).max(1024);
@@ -103,7 +245,7 @@ where
         .map(|t| merge_path(a, b, (t * tile).min(n), &less))
         .collect();
     device.metrics().record_scattered_probes(
-        kernel,
+        "merge",
         (num_tiles as u64 + 1) * 32,
         std::mem::size_of::<T>() as u64,
     );
@@ -141,6 +283,19 @@ where
 {
     assert_eq!(a_keys.len(), a_vals.len());
     assert_eq!(b_keys.len(), b_vals.len());
+    let n = a_keys.len() + b_keys.len();
+    // Small merges (the bottom of the LSM carry chain) go straight to a
+    // sequential key/value merge: no tuple zip, no unzip, no tile splits.
+    if n <= sequential_merge_cutoff() {
+        record_merge_traffic(device, n, 2 * std::mem::size_of::<u32>());
+        if a_keys.len() == b_keys.len() {
+            // The LSM carry chain always merges a buffer of b·2^i elements
+            // with a level of the same size, so the equal-length parity
+            // merge applies on the hot path.
+            return parity_merge_pairs(a_keys, a_vals, b_keys, b_vals, &less);
+        }
+        return seq_merge_pairs(a_keys, a_vals, b_keys, b_vals, &less);
+    }
     // Merge (key, value) tuples so values travel with their keys; the
     // comparator only ever sees keys.
     let a: Vec<(u32, u32)> = a_keys.iter().copied().zip(a_vals.iter().copied()).collect();
@@ -263,6 +418,53 @@ mod tests {
             let mut expected = [a, b].concat();
             expected.sort_unstable();
             prop_assert_eq!(out, expected);
+        }
+
+        #[test]
+        fn prop_pairs_merge_matches_reference(
+            a_len in 0usize..600,
+            b_len_raw in 0usize..600,
+            seed in any::<u32>()
+        ) {
+            // Exercises both sequential pair-merge paths.  Independent
+            // lengths essentially never collide, so half the cases force
+            // b_len == a_len to drive the parity merge (the LSM
+            // carry-chain shape); the rest hit the unidirectional
+            // fallback.  Duplicate-heavy keys probe the tie-favours-a
+            // rule; values tag provenance and input order.
+            let b_len = if seed % 2 == 0 { a_len } else { b_len_raw };
+            let device = device();
+            let mut a_keys: Vec<u32> = (0..a_len as u32)
+                .map(|i| (i.wrapping_mul(seed | 1)) % 64)
+                .collect();
+            let mut b_keys: Vec<u32> = (0..b_len as u32)
+                .map(|i| (i.wrapping_mul((seed >> 7) | 3)) % 64)
+                .collect();
+            a_keys.sort_unstable();
+            b_keys.sort_unstable();
+            let a_vals: Vec<u32> = (0..a_len as u32).collect();
+            let b_vals: Vec<u32> = (0..b_len as u32).map(|i| 1_000_000 + i).collect();
+            let (keys, vals) =
+                merge_pairs_by(&device, &a_keys, &a_vals, &b_keys, &b_vals, lt);
+            // Reference: sequential stable merge, ties favouring a.
+            let (mut i, mut j) = (0, 0);
+            let mut exp_keys = Vec::new();
+            let mut exp_vals = Vec::new();
+            while i < a_keys.len() || j < b_keys.len() {
+                let take_a = j >= b_keys.len()
+                    || (i < a_keys.len() && !lt(&b_keys[j], &a_keys[i]));
+                if take_a {
+                    exp_keys.push(a_keys[i]);
+                    exp_vals.push(a_vals[i]);
+                    i += 1;
+                } else {
+                    exp_keys.push(b_keys[j]);
+                    exp_vals.push(b_vals[j]);
+                    j += 1;
+                }
+            }
+            prop_assert_eq!(keys, exp_keys);
+            prop_assert_eq!(vals, exp_vals);
         }
 
         #[test]

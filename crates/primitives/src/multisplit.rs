@@ -1,5 +1,5 @@
 //! Two-bucket stable multisplit (Ashkiani et al., "GPU multisplit",
-//! PPoPP 2016 — reference [20] of the GPU LSM paper).
+//! PPoPP 2016 — reference \[20\] of the GPU LSM paper).
 //!
 //! The cleanup operation collects all unmarked valid elements with "a
 //! two-bucket multisplit" (paper §IV-E step 3): elements whose predicate is
@@ -10,11 +10,16 @@
 //! follows that structure so the warp primitives of [`gpu_sim::warp`] are
 //! exercised the same way the GPU kernel would.
 
-use gpu_sim::{AccessPattern, Device, WarpOps, WARP_SIZE};
+use gpu_sim::{Device, WarpOps, WARP_SIZE};
 use rayon::prelude::*;
 
 use crate::scan::exclusive_scan;
 use crate::util::SharedSlice;
+
+/// Below this many elements the warp-ballot pipeline's fixed costs (two
+/// device-wide scans, three auxiliary vectors) dominate; a sequential
+/// stable partition wins.
+const SEQUENTIAL_MULTISPLIT_CUTOFF: usize = 1 << 11;
 
 /// Stable two-bucket partition of `data` by `pred`.  Elements with
 /// `pred == true` end up first (order preserved), the rest follow (order
@@ -28,15 +33,28 @@ where
     if n == 0 {
         return 0;
     }
-    let kernel = "multisplit";
-    device.metrics().record_launch(kernel);
-    let bytes = std::mem::size_of_val(data) as u64;
-    device
-        .metrics()
-        .record_read(kernel, bytes, AccessPattern::Coalesced);
-    device
-        .metrics()
-        .record_write(kernel, bytes, AccessPattern::Coalesced);
+    crate::util::record_streaming(device, "multisplit", n, std::mem::size_of::<T>());
+
+    // Small inputs: one sequential stable pass.  The ballot/scan/scatter
+    // pipeline below records two extra scan launches and walks the data
+    // four times, all pure overhead when everything fits in cache.
+    // Pred-true elements compact toward the front in place (reads are
+    // always at or ahead of writes); only the back bucket needs a buffer.
+    if n <= SEQUENTIAL_MULTISPLIT_CUTOFF {
+        let mut back = Vec::with_capacity(n);
+        let mut split = 0usize;
+        for i in 0..n {
+            let v = data[i];
+            if pred(&v) {
+                data[split] = v;
+                split += 1;
+            } else {
+                back.push(v);
+            }
+        }
+        data[split..].copy_from_slice(&back);
+        return split;
+    }
 
     // Stage 1: warp-level ballots.  For each warp-sized group record the
     // ballot mask and the per-warp count of bucket-0 (pred true) elements.
@@ -106,6 +124,28 @@ where
     F: Fn(&u32) -> bool + Sync,
 {
     assert_eq!(keys.len(), values.len());
+    let n = keys.len();
+    // Small inputs: partition the two arrays directly, skipping the tuple
+    // round trip (three extra allocations and copies) entirely.
+    if n <= SEQUENTIAL_MULTISPLIT_CUTOFF {
+        crate::util::record_streaming(device, "multisplit", n, 2 * std::mem::size_of::<u32>());
+        let mut back_keys = Vec::with_capacity(n);
+        let mut back_vals = Vec::with_capacity(n);
+        let mut split = 0usize;
+        for i in 0..n {
+            if pred(&keys[i]) {
+                keys[split] = keys[i];
+                values[split] = values[i];
+                split += 1;
+            } else {
+                back_keys.push(keys[i]);
+                back_vals.push(values[i]);
+            }
+        }
+        keys[split..].copy_from_slice(&back_keys);
+        values[split..].copy_from_slice(&back_vals);
+        return split;
+    }
     let mut pairs: Vec<(u32, u32)> = keys.iter().copied().zip(values.iter().copied()).collect();
     let split = multisplit_in_place(device, &mut pairs, |p| pred(&p.0));
     for (i, (k, v)) in pairs.into_iter().enumerate() {

@@ -21,16 +21,56 @@
 //!    element to `bucket_base[digit][block] + rank_within_block`.
 //!
 //! Destination index ranges are disjoint across blocks by construction, so
-//! the scatter uses [`crate::util::SharedSlice`] for the parallel writes.
+//! the scatter uses `crate::util::SharedSlice` for the parallel writes.
+//!
+//! Two small-input fast paths keep tiny batches from paying the fixed
+//! 256-bucket cost:
+//!
+//! * at or below [`COMPARISON_SORT_CUTOFF`] elements the sort is a plain
+//!   (stable for pairs) comparison sort — one cache-resident pass instead
+//!   of four histogram/scan/scatter rounds;
+//! * above the cutoff, a cheap bitwise-OR reduction of the keys determines
+//!   how many 8-bit digits are actually populated, and only those passes
+//!   run (batch keys are dense low ranges in most workloads, so 1–2 passes
+//!   replace the unconditional 4).
 
 use gpu_sim::{AccessPattern, Device};
 use rayon::prelude::*;
 
-use crate::histogram::{block_histograms, digit, RADIX};
+use crate::histogram::{block_histograms, digit, RADIX, RADIX_BITS};
 use crate::util::SharedSlice;
 
-/// Number of passes needed for a full 32-bit key with 8-bit digits.
-const PASSES: u32 = 4;
+/// Maximum number of passes for a full 32-bit key with 8-bit digits.
+const MAX_PASSES: u32 = 4;
+
+/// At or below this many elements a comparison sort wins: even a single
+/// radix pass pays a 256-bucket histogram, a 256-way scan and a scatter
+/// through scratch buffers, which at 4Ki elements costs more than the whole
+/// `sort_unstable` call on cache-resident data.
+pub const COMPARISON_SORT_CUTOFF: usize = 1 << 12;
+
+/// Record the traffic of the small-input comparison sort under its own
+/// kernel name, so the device accounting still sees every sort.
+fn record_small_sort(device: &Device, n: usize, elem_bytes: usize) {
+    crate::util::record_streaming(device, "radix_small_sort", n, elem_bytes);
+}
+
+/// Number of radix passes actually needed for `keys`: a bitwise-OR
+/// reduction over the keys (one streaming read) reveals which 8-bit digit
+/// positions are ever non-zero, and passes above the highest populated
+/// digit would only copy data back and forth.
+fn needed_passes(device: &Device, keys: &[u32]) -> u32 {
+    let kernel = "radix_bits_reduce";
+    device.metrics().record_launch(kernel);
+    device.metrics().record_read(
+        kernel,
+        std::mem::size_of_val(keys) as u64,
+        AccessPattern::Coalesced,
+    );
+    let all_bits: u32 = keys.par_iter().copied().reduce(|| 0, |a, b| a | b);
+    let bits = 32 - all_bits.leading_zeros();
+    bits.div_ceil(RADIX_BITS).clamp(1, MAX_PASSES)
+}
 
 /// Sort `keys` ascending by the full 32-bit key.  Stable.
 pub fn sort_keys(device: &Device, keys: &mut Vec<u32>) {
@@ -38,12 +78,21 @@ pub fn sort_keys(device: &Device, keys: &mut Vec<u32>) {
     if n <= 1 {
         return;
     }
+    if n <= COMPARISON_SORT_CUTOFF {
+        record_small_sort(device, n, std::mem::size_of::<u32>());
+        // Equal u32 keys are indistinguishable, so an unstable sort is
+        // observationally stable here.
+        keys.sort_unstable();
+        return;
+    }
+    let passes = needed_passes(device, keys);
     let mut scratch_keys = vec![0u32; n];
-    for pass in 0..PASSES {
+    for pass in 0..passes {
         scatter_pass(device, keys, None, &mut scratch_keys, None, pass);
+        // Each pass swaps, so the latest data is always back in `keys`
+        // regardless of how many passes the key range needed.
         std::mem::swap(keys, &mut scratch_keys);
     }
-    // PASSES is even, so the sorted data ends up back in `keys`.
 }
 
 /// Sort `(keys, values)` pairs ascending by key, moving values along with
@@ -58,9 +107,29 @@ pub fn sort_pairs(device: &Device, keys: &mut Vec<u32>, values: &mut Vec<u32>) {
     if n <= 1 {
         return;
     }
+    if n <= COMPARISON_SORT_CUTOFF {
+        record_small_sort(device, n, 2 * std::mem::size_of::<u32>());
+        // Pack (key, input position) into one u64 so the fast *unstable*
+        // u64 sort becomes stable by construction: equal keys tie-break on
+        // the position bits, preserving input order exactly like the LSD
+        // radix scatter.  Values are gathered through the positions after.
+        let mut packed: Vec<u64> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (u64::from(k) << 32) | i as u64)
+            .collect();
+        packed.sort_unstable();
+        let old_values = values.clone();
+        for (i, &p) in packed.iter().enumerate() {
+            keys[i] = (p >> 32) as u32;
+            values[i] = old_values[(p & 0xFFFF_FFFF) as usize];
+        }
+        return;
+    }
+    let passes = needed_passes(device, keys);
     let mut scratch_keys = vec![0u32; n];
     let mut scratch_vals = vec![0u32; n];
-    for pass in 0..PASSES {
+    for pass in 0..passes {
         scatter_pass(
             device,
             keys,
@@ -249,12 +318,72 @@ mod tests {
     }
 
     #[test]
-    fn records_scatter_traffic() {
+    fn records_scatter_traffic_for_full_range_keys() {
         let device = device();
-        let mut keys: Vec<u32> = (0..4096).rev().collect();
+        // Top byte populated (u32::MAX - i), so all four passes must run;
+        // the input is above the comparison-sort cutoff.
+        let mut keys: Vec<u32> = (0..20_000).map(|i| u32::MAX - i).collect();
         sort_keys(&device, &mut keys);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
         let snap = device.metrics().snapshot();
-        assert_eq!(snap["radix_scatter"].launches, PASSES as u64);
+        assert_eq!(snap["radix_scatter"].launches, MAX_PASSES as u64);
+        assert_eq!(snap["radix_bits_reduce"].launches, 1);
+    }
+
+    #[test]
+    fn narrow_key_ranges_skip_high_digit_passes() {
+        let device = device();
+        // Keys fit in 16 bits: only two of the four passes should run.
+        let mut keys: Vec<u32> = (0..20_000u32).map(|i| (i * 7919) % (1 << 16)).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        sort_keys(&device, &mut keys);
+        assert_eq!(keys, expected);
+        let snap = device.metrics().snapshot();
+        assert_eq!(snap["radix_scatter"].launches, 2);
+
+        // Single-digit keys collapse to one pass.
+        let dev_one = Device::new(DeviceConfig::small());
+        let mut keys: Vec<u32> = (0..20_000u32).map(|i| (i * 31) % 251).collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        sort_keys(&dev_one, &mut keys);
+        assert_eq!(keys, expected);
+        assert_eq!(dev_one.metrics().snapshot()["radix_scatter"].launches, 1);
+    }
+
+    #[test]
+    fn small_inputs_use_the_comparison_path() {
+        let device = device();
+        let mut keys: Vec<u32> = (0..(COMPARISON_SORT_CUTOFF as u32)).rev().collect();
+        sort_keys(&device, &mut keys);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let snap = device.metrics().snapshot();
+        assert!(snap.contains_key("radix_small_sort"));
+        assert!(
+            !snap.contains_key("radix_scatter"),
+            "small inputs must not pay the radix machinery"
+        );
+    }
+
+    #[test]
+    fn pair_sort_is_stable_on_both_sides_of_the_cutoff() {
+        // Duplicate-heavy keys; values record input order.  Stability must
+        // hold for the comparison path and the radix path alike.
+        for n in [COMPARISON_SORT_CUTOFF / 2, 4 * COMPARISON_SORT_CUTOFF] {
+            let device = device();
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut keys: Vec<u32> = (0..n).map(|_| rng.gen_range(0..32u32)).collect();
+            let mut values: Vec<u32> = (0..n as u32).collect();
+            sort_pairs(&device, &mut keys, &mut values);
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            for w in keys.windows(2).zip(values.windows(2)) {
+                let (kw, vw) = w;
+                if kw[0] == kw[1] {
+                    assert!(vw[0] < vw[1], "stability violated at n = {n}");
+                }
+            }
+        }
     }
 
     proptest! {
@@ -268,6 +397,32 @@ mod tests {
             let mut expected = keys;
             expected.sort_unstable();
             prop_assert_eq!(ours, expected);
+        }
+
+        #[test]
+        fn prop_fast_paths_match_std_across_key_ranges(
+            raw in proptest::collection::vec(any::<u32>(), 0..600),
+            mask_idx in 0usize..5,
+            stretch in 1usize..12
+        ) {
+            // Adversarial key ranges: masking to 8/16/24/32 bits (plus an
+            // all-zero mask) drives the pass-skipping branch through every
+            // possible pass count, and `stretch` repeats the data so the
+            // input lands on both sides of the comparison-sort cutoff
+            // (up to ~6600 elements against a 4096 cutoff).
+            let mask = [0u32, 0xFF, 0xFFFF, 0xFF_FFFF, u32::MAX][mask_idx];
+            let keys_once: Vec<u32> = raw.iter().map(|&k| k & mask).collect();
+            let mut keys: Vec<u32> = keys_once
+                .iter()
+                .cycle()
+                .take(keys_once.len() * stretch)
+                .copied()
+                .collect();
+            let mut expected = keys.clone();
+            expected.sort_unstable();
+            let device = device();
+            sort_keys(&device, &mut keys);
+            prop_assert_eq!(keys, expected);
         }
 
         #[test]

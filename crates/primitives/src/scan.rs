@@ -7,7 +7,7 @@
 //! parallel, a scan of the block sums, then a parallel down-sweep that adds
 //! each block's offset to its local prefix.
 
-use gpu_sim::{AccessPattern, Device};
+use gpu_sim::Device;
 use rayon::prelude::*;
 
 /// Elements that can be prefix-summed.
@@ -29,14 +29,7 @@ macro_rules! impl_scan_elem {
 impl_scan_elem!(u32, u64, usize, i64);
 
 fn record_scan_traffic<T>(device: &Device, kernel: &str, n: usize) {
-    device.metrics().record_launch(kernel);
-    let bytes = (n * std::mem::size_of::<T>()) as u64;
-    device
-        .metrics()
-        .record_read(kernel, bytes, AccessPattern::Coalesced);
-    device
-        .metrics()
-        .record_write(kernel, bytes, AccessPattern::Coalesced);
+    crate::util::record_streaming(device, kernel, n, std::mem::size_of::<T>());
 }
 
 /// Exclusive prefix sum: `out[i] = sum(input[..i])`.  Returns the scanned
@@ -47,12 +40,26 @@ pub fn exclusive_scan<T: ScanElem>(device: &Device, input: &[T]) -> (Vec<T>, T) 
     (out, total)
 }
 
+/// Below this many elements the three-phase decomposition (two parallel
+/// sweeps plus the block-totals round trip) is pure fixed cost; a single
+/// sequential sweep touches the data once and stays in cache.
+const SEQUENTIAL_SCAN_CUTOFF: usize = 1 << 10;
+
 /// Exclusive prefix sum in place; returns the total sum.
 pub fn exclusive_scan_in_place<T: ScanElem>(device: &Device, data: &mut [T]) -> T {
     record_scan_traffic::<T>(device, "exclusive_scan", data.len());
     let n = data.len();
     if n == 0 {
         return T::default();
+    }
+    if n <= SEQUENTIAL_SCAN_CUTOFF {
+        let mut acc = T::default();
+        for v in data.iter_mut() {
+            let old = *v;
+            *v = acc;
+            acc = acc.add(old);
+        }
+        return acc;
     }
     let tile = device.preferred_tile(std::mem::size_of::<T>()).max(1024);
 

@@ -9,8 +9,12 @@
 //! level-by-level from most recent to least recent, so ties keep the most
 //! recent element first.
 
-use gpu_sim::{AccessPattern, Device};
+use gpu_sim::Device;
 use rayon::prelude::*;
+
+/// Below this many total elements the per-segment slicing and parallel
+/// dispatch cost more than sorting the segments back to back.
+const SEQUENTIAL_SEGSORT_CUTOFF: usize = 1 << 11;
 
 /// Check that `offsets` is a valid segment description for a buffer of
 /// length `n`: monotonically non-decreasing, starting at 0, ending at `n`.
@@ -82,16 +86,7 @@ fn cmp_from_less<F: Fn(&u32, &u32) -> bool>(less: &F, a: &u32, b: &u32) -> std::
     }
 }
 
-fn record(device: &Device, kernel: &str, n: usize, elem_bytes: usize) {
-    device.metrics().record_launch(kernel);
-    let bytes = (n * elem_bytes) as u64;
-    device
-        .metrics()
-        .record_read(kernel, bytes, AccessPattern::Coalesced);
-    device
-        .metrics()
-        .record_write(kernel, bytes, AccessPattern::Coalesced);
-}
+use crate::util::record_streaming as record;
 
 /// Run `f` over every segment of `data` in parallel.  Segments are disjoint
 /// sub-slices, so this splits the buffer with `split_at_mut` successively.
@@ -100,6 +95,14 @@ where
     T: Send,
     F: Fn(&mut [T]) + Sync,
 {
+    // Small buffers: sort the segments in place without building the
+    // sub-slice vector or touching the parallel machinery at all.
+    if data.len() <= SEQUENTIAL_SEGSORT_CUTOFF {
+        for w in offsets.windows(2) {
+            f(&mut data[w[0]..w[1]]);
+        }
+        return;
+    }
     // Slice the buffer into per-segment mutable sub-slices.
     let mut segments: Vec<&mut [T]> = Vec::with_capacity(offsets.len() - 1);
     let mut rest = data;

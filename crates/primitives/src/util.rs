@@ -2,6 +2,22 @@
 
 use std::cell::UnsafeCell;
 
+use gpu_sim::{AccessPattern, Device};
+
+/// Record one kernel launch that streams `n` elements of `elem_bytes` each
+/// through global memory (one coalesced read plus one coalesced write of
+/// the whole input) — the accounting shape shared by every bulk primitive.
+pub(crate) fn record_streaming(device: &Device, kernel: &str, n: usize, elem_bytes: usize) {
+    device.metrics().record_launch(kernel);
+    let bytes = (n * elem_bytes) as u64;
+    device
+        .metrics()
+        .record_read(kernel, bytes, AccessPattern::Coalesced);
+    device
+        .metrics()
+        .record_write(kernel, bytes, AccessPattern::Coalesced);
+}
+
 /// A shared, mutable slice that can be written from multiple rayon workers
 /// when the caller guarantees the written index ranges are disjoint.
 ///

@@ -49,7 +49,7 @@ impl SizeRange {
     }
 }
 
-/// Strategy for vectors with element strategy `S`, returned by [`vec`].
+/// Strategy for vectors with element strategy `S`, returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

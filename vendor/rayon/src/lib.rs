@@ -4,9 +4,20 @@
 //! implements the subset of rayon's parallel-iterator API this workspace
 //! uses.  It is not work-stealing: every consumer splits its (always
 //! indexed) producer into one contiguous part per available core and runs
-//! the parts to completion on `std::thread::scope` threads, preserving
-//! order when recombining.  For the bulk-synchronous, evenly-tiled kernels
-//! of the GPU model this static partitioning is a good fit.
+//! the parts to completion on a lazily-initialized **persistent worker
+//! pool** (see `src/pool.rs`), preserving order when recombining.  For the
+//! bulk-synchronous, evenly-tiled kernels of the GPU model this static
+//! partitioning is a good fit, and the parked-worker pool keeps the
+//! per-call dispatch cost to a queue push and a condvar wake instead of a
+//! full `std::thread::scope` spawn/join cycle.
+//!
+//! Below an **adaptive sequential cutoff** a consumer runs inline: the
+//! cutoff is calibrated once per process from the measured pool dispatch
+//! overhead versus the measured per-item cost of a representative
+//! streaming kernel (see [`sequential_cutoff`]), so small inputs never pay
+//! for parallelism that cannot amortize.  Chunked producers report their
+//! *element* count as the work estimate (`par_work`), so a slice cut into
+//! a handful of large tiles still parallelizes.
 //!
 //! Supported surface: `par_iter`, `par_iter_mut`, `par_chunks`,
 //! `par_chunks_mut`, `into_par_iter` (vectors and `Range<usize>`), the
@@ -16,18 +27,105 @@
 
 #![warn(missing_docs)]
 
-use std::ops::Range;
+mod pool;
 
-/// Number of worker threads a parallel consumer will use.
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Number of threads a parallel consumer will use (workers plus the
+/// participating caller).  Honours `RAYON_NUM_THREADS` when set to a
+/// positive integer, like the real rayon.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
 }
 
-/// Below this many items a consumer runs sequentially: thread spawn/join
-/// overhead (tens of microseconds per `std::thread::scope`) would dominate
-/// the work and distort the timed shape experiments, which measure inputs
-/// up to tens of thousands of elements.
-const SEQUENTIAL_CUTOFF: usize = 1 << 16;
+/// Number of worker threads the persistent pool has spawned so far (0 until
+/// the first above-cutoff consumer call, constant afterwards).  Exposed so
+/// tests can assert that repeated consumer calls reuse the same pool.
+pub fn pool_thread_count() -> usize {
+    pool::spawned_workers()
+}
+
+/// Test-only override of the adaptive cutoff: a non-zero value replaces the
+/// calibrated cutoff, `0` restores it.  Lets tests force parallel dispatch
+/// on small inputs without depending on calibration results.
+#[doc(hidden)]
+pub fn set_sequential_cutoff(cutoff: usize) {
+    CUTOFF_OVERRIDE.store(cutoff, Ordering::Relaxed);
+}
+
+static CUTOFF_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The work threshold (in items, as reported by `par_work`) below which a
+/// consumer runs sequentially.
+///
+/// Calibrated once per process: the pool's round-trip dispatch latency is
+/// measured directly (empty task sets through the live pool), the per-item
+/// cost of a representative streaming kernel (an 8-bit histogram, the
+/// radix sort's inner loop) is measured inline, and the cutoff is set where
+/// the sequential work would be about four times the dispatch cost — below
+/// that, splitting cannot win back its own overhead.  The result is clamped
+/// to `[2^11, 2^18]` to stay sane on exotic hosts, and can be pinned with
+/// the `LSM_PAR_CUTOFF` environment variable (useful for reproducing
+/// measurements).
+pub fn sequential_cutoff() -> usize {
+    let overridden = CUTOFF_OVERRIDE.load(Ordering::Relaxed);
+    if overridden != 0 {
+        return overridden;
+    }
+    static CALIBRATED: OnceLock<usize> = OnceLock::new();
+    *CALIBRATED.get_or_init(calibrate_cutoff)
+}
+
+/// Measure dispatch overhead vs. per-item work; see [`sequential_cutoff`].
+fn calibrate_cutoff() -> usize {
+    if let Ok(v) = std::env::var("LSM_PAR_CUTOFF") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    let empty_tasks = || -> Vec<Box<dyn FnOnce() + Send>> {
+        (0..current_num_threads())
+            .map(|_| Box::new(|| {}) as Box<dyn FnOnce() + Send>)
+            .collect()
+    };
+    // First dispatch spawns the workers; keep that out of the measurement.
+    pool::global().run_scoped(empty_tasks());
+    const ROUNDS: u32 = 16;
+    let start = std::time::Instant::now();
+    for _ in 0..ROUNDS {
+        pool::global().run_scoped(empty_tasks());
+    }
+    let dispatch_ns = start.elapsed().as_nanos() as f64 / f64::from(ROUNDS);
+
+    // Per-item cost of a histogram-style streaming pass, the cheapest kind
+    // of work the sort/scan kernels hand to the pool.
+    let keys: Vec<u32> = (0..1u32 << 15)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect();
+    let mut counts = [0u32; 256];
+    let start = std::time::Instant::now();
+    for &k in std::hint::black_box(keys.as_slice()) {
+        counts[(k & 0xFF) as usize] = counts[(k & 0xFF) as usize].wrapping_add(1);
+    }
+    std::hint::black_box(&mut counts);
+    let per_item_ns = (start.elapsed().as_nanos() as f64 / keys.len() as f64).max(0.05);
+
+    (((4.0 * dispatch_ns) / per_item_ns) as usize).clamp(1 << 11, 1 << 18)
+}
 
 /// An indexed parallel iterator: knows its exact length, can split itself
 /// into two disjoint halves, and can drain one part sequentially.
@@ -39,6 +137,15 @@ pub trait ParallelIterator: Sized + Send {
 
     /// Exact number of items this iterator will produce (pre-`filter`).
     fn par_len(&self) -> usize;
+
+    /// Estimated number of underlying *work items*, used only to decide
+    /// sequential-vs-parallel against [`sequential_cutoff`].  Defaults to
+    /// [`par_len`](Self::par_len); chunked producers override it to report
+    /// elements rather than chunks, so a slice split into a few big tiles
+    /// still counts its full work.
+    fn par_work(&self) -> usize {
+        self.par_len()
+    }
 
     /// Split into `[0, mid)` and `[mid, len)`.
     fn split_at(self, mid: usize) -> (Self, Self);
@@ -165,8 +272,10 @@ pub trait ParallelIterator: Sized + Send {
     }
 }
 
-/// Split `iter` into roughly even parts (one per core), run `f` over each
-/// part on scoped threads, and return the per-part results in order.
+/// Split `iter` into roughly even parts (one per thread), run `f` over each
+/// part on the persistent worker pool, and return the per-part results in
+/// order.  Runs sequentially when the estimated work is below the adaptive
+/// cutoff or when called from a pool worker (nested parallelism).
 fn run_parts<P, R, F>(iter: P, f: F) -> Vec<R>
 where
     P: ParallelIterator,
@@ -175,10 +284,10 @@ where
 {
     let len = iter.par_len();
     let threads = current_num_threads();
-    if threads <= 1 || len < SEQUENTIAL_CUTOFF {
+    if threads <= 1 || len <= 1 || iter.par_work() < sequential_cutoff() || pool::is_pool_worker() {
         return vec![f(iter)];
     }
-    let num_parts = threads.min(len.max(1));
+    let num_parts = threads.min(len);
     let mut parts = Vec::with_capacity(num_parts);
     let mut rest = iter;
     let mut remaining = len;
@@ -191,16 +300,43 @@ where
     }
     parts.push(rest);
 
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = parts
+    // One result slot per part; each task owns a disjoint `&mut` into the
+    // vector, so recombination is by construction in input order.
+    let mut slots: Vec<Option<std::thread::Result<R>>> = Vec::new();
+    slots.resize_with(num_parts, || None);
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = parts
             .into_iter()
-            .map(|part| {
+            .zip(slots.iter_mut())
+            .map(|(part, slot)| {
                 let f = f.clone();
-                scope.spawn(move || f(part))
+                Box::new(move || {
+                    *slot = Some(std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || f(part),
+                    )));
+                }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+        pool::global().run_scoped(tasks);
+    }
+
+    // Every slot is filled once run_scoped returns.  Surface results in
+    // part order; if any part panicked, rethrow the first payload after all
+    // siblings have completed (they have — the latch guarantees it).
+    let mut results = Vec::with_capacity(num_parts);
+    let mut first_panic = None;
+    for slot in slots {
+        match slot.expect("pool ran every part to completion") {
+            Ok(value) => results.push(value),
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    results
 }
 
 /// Collections a parallel iterator can be collected into.
@@ -275,6 +411,9 @@ impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
     fn par_len(&self) -> usize {
         self.slice.len().div_ceil(self.size)
     }
+    fn par_work(&self) -> usize {
+        self.slice.len()
+    }
     fn split_at(self, mid: usize) -> (Self, Self) {
         let cut = (mid * self.size).min(self.slice.len());
         let (a, b) = self.slice.split_at(cut);
@@ -306,6 +445,9 @@ impl<'a, T: Send> ParallelIterator for ParChunksMut<'a, T> {
 
     fn par_len(&self) -> usize {
         self.slice.len().div_ceil(self.size)
+    }
+    fn par_work(&self) -> usize {
+        self.slice.len()
     }
     fn split_at(self, mid: usize) -> (Self, Self) {
         let cut = (mid * self.size).min(self.slice.len());
@@ -393,6 +535,9 @@ where
     fn par_len(&self) -> usize {
         self.base.par_len()
     }
+    fn par_work(&self) -> usize {
+        self.base.par_work()
+    }
     fn split_at(self, mid: usize) -> (Self, Self) {
         let (a, b) = self.base.split_at(mid);
         (
@@ -438,6 +583,9 @@ impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
     fn par_len(&self) -> usize {
         self.base.par_len()
     }
+    fn par_work(&self) -> usize {
+        self.base.par_work()
+    }
     fn split_at(self, mid: usize) -> (Self, Self) {
         let (a, b) = self.base.split_at(mid);
         (
@@ -472,6 +620,9 @@ impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
     fn par_len(&self) -> usize {
         self.a.par_len().min(self.b.par_len())
     }
+    fn par_work(&self) -> usize {
+        self.a.par_work().max(self.b.par_work())
+    }
     fn split_at(self, mid: usize) -> (Self, Self) {
         let (a1, a2) = self.a.split_at(mid);
         let (b1, b2) = self.b.split_at(mid);
@@ -497,6 +648,9 @@ where
 
     fn par_len(&self) -> usize {
         self.base.par_len()
+    }
+    fn par_work(&self) -> usize {
+        self.base.par_work()
     }
     fn split_at(self, mid: usize) -> (Self, Self) {
         let (a, b) = self.base.split_at(mid);
@@ -526,6 +680,9 @@ where
 
     fn par_len(&self) -> usize {
         self.base.par_len()
+    }
+    fn par_work(&self) -> usize {
+        self.base.par_work()
     }
     fn split_at(self, mid: usize) -> (Self, Self) {
         let (a, b) = self.base.split_at(mid);
@@ -560,6 +717,9 @@ where
 
     fn par_len(&self) -> usize {
         self.base.par_len()
+    }
+    fn par_work(&self) -> usize {
+        self.base.par_work()
     }
     fn split_at(self, mid: usize) -> (Self, Self) {
         let (a, b) = self.base.split_at(mid);
@@ -695,6 +855,98 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    /// Lock shared by every test that reads or overrides the cutoff.
+    fn cutoff_lock() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Serializes tests that override the adaptive cutoff and restores the
+    /// calibrated value when dropped (even if the test body panics).
+    struct ForcedParallelism(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+
+    impl ForcedParallelism {
+        fn new() -> Self {
+            let lock = cutoff_lock();
+            super::set_sequential_cutoff(1);
+            ForcedParallelism(lock)
+        }
+    }
+
+    impl Drop for ForcedParallelism {
+        fn drop(&mut self) {
+            super::set_sequential_cutoff(0);
+        }
+    }
+
+    #[test]
+    fn pool_thread_count_stays_constant_across_calls() {
+        let _forced = ForcedParallelism::new();
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let _: u64 = v.par_iter().copied().sum();
+        let after_first = super::pool_thread_count();
+        assert!(
+            after_first > 0 || super::current_num_threads() == 1,
+            "a parallel dispatch must have built the pool"
+        );
+        for _ in 0..16 {
+            let _: u64 = v.par_iter().copied().sum();
+        }
+        assert_eq!(
+            super::pool_thread_count(),
+            after_first,
+            "repeated consumer calls must reuse the persistent pool"
+        );
+        assert!(after_first < super::current_num_threads().max(2));
+    }
+
+    #[test]
+    fn panics_propagate_and_leave_the_pool_usable() {
+        let _forced = ForcedParallelism::new();
+        let v: Vec<u32> = (0..10_000).collect();
+        let result = std::panic::catch_unwind(|| {
+            v.par_iter().for_each(|&x| {
+                if x == 7_777 {
+                    panic!("boom at {x}");
+                }
+            });
+        });
+        assert!(result.is_err(), "the part's panic must reach the caller");
+        // The pool survives a panicking task and still computes correctly.
+        let sum: u64 = v.par_iter().map(|&x| u64::from(x)).sum();
+        assert_eq!(sum, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn collect_preserves_order_under_parallel_dispatch() {
+        let _forced = ForcedParallelism::new();
+        let v: Vec<u64> = (0..50_000u64).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x * 3).collect();
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 3 * i as u64));
+    }
+
+    #[test]
+    fn nested_consumer_calls_do_not_deadlock() {
+        let _forced = ForcedParallelism::new();
+        // Outer parallel loop; every iteration runs an inner parallel
+        // consumer.  Inner calls on pool workers run inline; inner calls on
+        // the helping caller may re-enter the pool.  Either way this must
+        // terminate with correct results.
+        let totals: Vec<u64> = (0..64usize)
+            .into_par_iter()
+            .map(|_| (0..1_000usize).into_par_iter().map(|i| i as u64).sum())
+            .collect();
+        assert_eq!(totals.len(), 64);
+        assert!(totals.iter().all(|&t| t == 999 * 1_000 / 2));
+    }
+
+    #[test]
+    fn calibrated_cutoff_is_within_clamp() {
+        let _lock = cutoff_lock();
+        let cutoff = super::sequential_cutoff();
+        assert!((1 << 11..=1 << 18).contains(&cutoff), "cutoff {cutoff}");
+    }
 
     #[test]
     fn map_collect_preserves_order() {

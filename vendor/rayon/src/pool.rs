@@ -1,0 +1,248 @@
+//! The persistent worker pool behind every parallel consumer.
+//!
+//! The first above-cutoff consumer call lazily spawns `current_num_threads()
+//! - 1` workers that park on a condvar; every later call only pays a queue
+//! push and a wake-up (a few microseconds) instead of a full
+//! `std::thread::scope` spawn/join cycle (tens of microseconds per call).
+//!
+//! Execution model, in the order the guarantees matter:
+//!
+//! * **Scoped borrows.**  [`WorkerPool::run_scoped`] accepts closures that
+//!   borrow from the caller's stack.  Their lifetimes are erased before
+//!   queueing, which is sound because the call does not return — not even by
+//!   unwinding — until every queued task has finished (a completion latch,
+//!   waited on from a drop guard).
+//! * **Caller participation.**  The calling thread runs the first task
+//!   itself and then helps drain the queue while it waits, so a dispatch
+//!   never idles the caller and the pool needs one thread fewer than the
+//!   target parallelism.
+//! * **Panic containment.**  A panic inside a task is caught before it can
+//!   kill a worker; the latch still completes (drop guard), and the caller
+//!   (see `run_parts` in the crate root) rethrows the first payload after
+//!   all sibling tasks have finished.
+//! * **Nested calls.**  A task that itself invokes a parallel consumer runs
+//!   that consumer sequentially ([`is_pool_worker`]), so workers never block
+//!   waiting on other workers and the pool cannot deadlock on itself.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the submitting threads and the workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+}
+
+/// Counts completed tasks of one `run_scoped` call and wakes the caller
+/// when all of them are done.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self) {
+        let mut remaining = lock(&self.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *lock(&self.remaining) == 0
+    }
+
+    fn wait(&self) {
+        let mut remaining = lock(&self.remaining);
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Completes a latch even when the guarded task panics, so a caller waiting
+/// in [`WorkerPool::run_scoped`] can never be left hanging.
+struct CompleteOnDrop(Arc<Latch>);
+
+impl Drop for CompleteOnDrop {
+    fn drop(&mut self) {
+        self.0.complete_one();
+    }
+}
+
+/// Lock a mutex, ignoring poisoning: the pool's own tasks catch panics
+/// before they can unwind through a locked region, and the queue/latch state
+/// stays consistent either way.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is one of the pool's workers.  Parallel
+/// consumers invoked from a worker run sequentially instead of re-entering
+/// the pool, which keeps nested calls deadlock-free.
+pub(crate) fn is_pool_worker() -> bool {
+    IS_POOL_WORKER.with(|flag| flag.get())
+}
+
+/// Total number of worker threads ever spawned by this process's pool.
+/// Exposed (via [`crate::pool_thread_count`]) so tests can assert the pool
+/// is persistent: the count must not grow with repeated consumer calls.
+static SPAWNED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+pub(crate) fn spawned_workers() -> usize {
+    SPAWNED_WORKERS.load(Ordering::Relaxed)
+}
+
+/// The process-wide persistent pool.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+}
+
+static POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// The lazily-initialized global pool.
+pub(crate) fn global() -> &'static WorkerPool {
+    POOL.get_or_init(|| {
+        // The caller participates in every dispatch, so `threads - 1`
+        // workers give `threads`-way parallelism.
+        WorkerPool::new(crate::current_num_threads().saturating_sub(1).max(1))
+    })
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            // Count on the spawning thread, not inside the worker: readers
+            // of `spawned_workers()` must see the final count as soon as
+            // `new` returns, not whenever the OS schedules each thread.
+            SPAWNED_WORKERS.fetch_add(1, Ordering::Relaxed);
+            std::thread::Builder::new()
+                .name(format!("lsm-par-{i}"))
+                .spawn(move || {
+                    IS_POOL_WORKER.with(|flag| flag.set(true));
+                    worker_loop(&shared);
+                })
+                .expect("spawn pool worker");
+        }
+        WorkerPool { shared }
+    }
+
+    /// Run every task to completion, using the pool for all but the first
+    /// task (which the caller runs itself).  Returns only after every task
+    /// has finished, even if one of them panics — which is what makes the
+    /// lifetime erasure below sound.
+    pub(crate) fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let Some(queued) = tasks.len().checked_sub(1) else {
+            return;
+        };
+        let latch = Arc::new(Latch::new(queued));
+        let mut tasks = tasks.into_iter();
+        let first = tasks.next().expect("non-empty task list");
+        {
+            let mut queue = lock(&self.shared.queue);
+            for task in tasks {
+                // SAFETY: the wait guard below blocks this call (on the
+                // normal path and during unwinding alike) until the latch
+                // reports every queued task finished, so the borrows inside
+                // `task` strictly outlive its execution.
+                let task: Job = unsafe { erase_lifetime(task) };
+                let complete = CompleteOnDrop(Arc::clone(&latch));
+                queue.push_back(Box::new(move || {
+                    let _complete = complete;
+                    task();
+                }));
+            }
+        }
+        self.shared.job_ready.notify_all();
+
+        // Wait via a drop guard so that an unwinding first task still
+        // blocks until the queue has drained our scope.
+        let _wait = WaitScope {
+            latch: &latch,
+            shared: &self.shared,
+        };
+        first();
+    }
+}
+
+/// Erase a scoped task's lifetime for queueing.  Callers must guarantee the
+/// task finishes before the scope ends (see [`WorkerPool::run_scoped`]).
+unsafe fn erase_lifetime<'scope>(
+    task: Box<dyn FnOnce() + Send + 'scope>,
+) -> Box<dyn FnOnce() + Send + 'static> {
+    std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send + 'static>>(
+        task,
+    )
+}
+
+/// Help-then-wait guard: on drop, the caller drains queued jobs (its own or
+/// other scopes') until its latch completes, then parks on the latch.
+struct WaitScope<'a> {
+    latch: &'a Latch,
+    shared: &'a Shared,
+}
+
+impl Drop for WaitScope<'_> {
+    fn drop(&mut self) {
+        while !self.latch.is_done() {
+            let job = lock(&self.shared.queue).pop_front();
+            match job {
+                // Panics are contained exactly as in `worker_loop`; the
+                // payload (if any) is carried through the task's own slot.
+                Some(job) => {
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                }
+                None => {
+                    self.latch.wait();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// A worker: pop a job or park until one arrives.  Workers live for the
+/// rest of the process; there is deliberately no shutdown path, since the
+/// pool is a process-wide singleton.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared
+                    .job_ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Contain panics: the task wrapper (run_parts) records the payload
+        // in its result slot, and `CompleteOnDrop` keeps the latch honest,
+        // so the worker itself must survive to serve the next caller.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
