@@ -1,0 +1,39 @@
+//! Shard-scaling sweep: mixed open-loop update/query traffic against the
+//! single-lock `ConcurrentGpuLsm` and the `ShardedLsm` at 1, 2, 4 and 8
+//! shards.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin sharded_scaling -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::sharded;
+use lsm_bench::HarnessOptions;
+use lsm_workloads::MixedWorkloadConfig;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    // --scale shrinks the per-writer batch count: the default (scale 8)
+    // drives each writer with 4 batches of 1Ki operations; --scale 2
+    // raises that to 16, --scale 0 to 64.
+    let batches = (64usize >> opts.scale.min(6)).max(4);
+    let config = MixedWorkloadConfig {
+        writer_threads: 2,
+        reader_threads: 2,
+        batches_per_writer: batches,
+        batch_size: 1 << 10,
+        delete_fraction: 0.2,
+        lookups_per_round: 1 << 10,
+        intervals_per_round: 32,
+        interval_width: 1 << 14,
+        key_domain: 1 << 24,
+        seed: opts.seed,
+    };
+    let result = sharded::run(&[1, 2, 4, 8], &config);
+    let table = sharded::render(&result);
+    println!("{}", table.render());
+    if let Some(path) = &opts.csv {
+        lsm_bench::write_csv(&table, path).expect("write csv");
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "Note: shard speedups require a multi-core host; on one core the sweep measures sharding overhead only."
+    );
+}

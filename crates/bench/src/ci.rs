@@ -22,7 +22,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use gpu_lsm::GpuLsm;
+use gpu_lsm::{GpuLsm, ShardedLsm};
 use gpu_primitives::{merge::merge_by, radix_sort::sort_pairs};
 use gpu_sim::Device;
 use lsm_workloads::unique_random_pairs;
@@ -60,6 +60,26 @@ fn lsm_insert_rate(batch_size: usize, num_batches: usize) -> f64 {
     let device = ci_device();
     let pairs = unique_random_pairs(batch_size * num_batches, CI_SEED);
     let mut lsm = GpuLsm::new(device, batch_size).expect("valid batch size");
+    let mut rates = Vec::with_capacity(num_batches);
+    for chunk in pairs.chunks(batch_size) {
+        let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
+        rates.push(elements_per_sec_m(batch_size, elapsed));
+    }
+    harmonic_mean(&rates)
+}
+
+/// Harmonic-mean per-batch insert rate of the *sharded* service on one
+/// host thread: each batch pays the router's split pass plus one sub-batch
+/// insert per touched shard.  At `num_shards = 1` this is the sharding
+/// layer's pure overhead over `lsm_insert_*`; at higher shard counts it
+/// additionally tracks the split/fan-out cost the shard-scaling experiment
+/// relies on (the parallel win itself needs multiple cores and threads,
+/// which CI runners don't reliably have — rates here are single-threaded
+/// on purpose so the gate stays stable).
+fn sharded_insert_rate(num_shards: usize, batch_size: usize, num_batches: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(batch_size * num_batches, CI_SEED ^ 0x5AAD);
+    let lsm = ShardedLsm::new(device, batch_size, num_shards).expect("valid shard count");
     let mut rates = Vec::with_capacity(num_batches);
     for chunk in pairs.chunks(batch_size) {
         let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
@@ -119,6 +139,10 @@ fn measure_once() -> Vec<Metric> {
         m("sort_pairs_64k", sort_pairs_rate(1 << 16)),
         m("merge_64k", merge_rate(1 << 16)),
         m("lookup_4k", lookup_rate(1 << 12)),
+        // Sharded-service insert path: shards=1 tracks the routing layer's
+        // overhead, shards=4 the split/fan-out cost as shards multiply.
+        m("sharded_insert_s1", sharded_insert_rate(1, 1 << 10, 16)),
+        m("sharded_insert_s4", sharded_insert_rate(4, 1 << 10, 16)),
     ]
 }
 
@@ -332,7 +356,7 @@ mod tests {
     fn suite_runs_and_produces_positive_rates() {
         // One repeat keeps this test cheap; it exercises every metric once.
         let metrics = run_suite(1);
-        assert_eq!(metrics.len(), 6);
+        assert_eq!(metrics.len(), 8);
         for m in &metrics {
             assert!(m.rate > 0.0, "metric {} must be positive", m.name);
         }

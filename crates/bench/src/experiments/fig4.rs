@@ -8,7 +8,7 @@ use gpu_lsm::GpuLsm;
 use lsm_workloads::unique_random_pairs;
 
 use super::experiment_device;
-use crate::measure::{elements_per_sec_m, time_once};
+use crate::measure::{elements_per_sec_m, modelled_time_once, rate_m_from_seconds, time_once};
 use crate::report::{fmt_rate, Table};
 
 /// One point of Fig. 4a: the time to insert the `r`-th batch.
@@ -16,8 +16,11 @@ use crate::report::{fmt_rate, Table};
 pub struct Fig4aPoint {
     /// Number of resident batches *after* this insertion.
     pub resident_batches: usize,
-    /// Time to insert this batch, in milliseconds.
+    /// Wall-clock time to insert this batch, in milliseconds.
     pub insertion_ms: f64,
+    /// Modelled device time of this batch (cost model over the recorded
+    /// traffic), in milliseconds — deterministic, host-load-immune.
+    pub modelled_ms: f64,
 }
 
 /// Run Fig. 4a: insert `num_batches` batches of `batch_size` and record each
@@ -25,15 +28,17 @@ pub struct Fig4aPoint {
 pub fn run_fig4a(batch_size: usize, num_batches: usize, seed: u64) -> Vec<Fig4aPoint> {
     let device = experiment_device();
     let pairs = unique_random_pairs(batch_size * num_batches, seed);
-    let mut lsm = GpuLsm::new(device, batch_size).expect("valid batch size");
+    let mut lsm = GpuLsm::new(device.clone(), batch_size).expect("valid batch size");
     pairs
         .chunks(batch_size)
         .enumerate()
         .map(|(i, chunk)| {
-            let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
+            let ((_, elapsed), modelled) =
+                modelled_time_once(&device, || time_once(|| lsm.insert(chunk).expect("insert")));
             Fig4aPoint {
                 resident_batches: i + 1,
                 insertion_ms: elapsed.as_secs_f64() * 1e3,
+                modelled_ms: modelled * 1e3,
             }
         })
         .collect()
@@ -44,8 +49,11 @@ pub fn run_fig4a(batch_size: usize, num_batches: usize, seed: u64) -> Vec<Fig4aP
 pub struct Fig4bPoint {
     /// Total elements inserted so far.
     pub total_elements: usize,
-    /// Effective insertion rate so far (M elements/s).
+    /// Effective insertion rate so far (M elements/s, wall clock).
     pub effective_rate: f64,
+    /// Effective insertion rate so far in modelled device time
+    /// (M elements/s) — deterministic, host-load-immune.
+    pub modelled_rate: f64,
 }
 
 /// One Fig. 4b series (a data structure at one batch size).
@@ -61,17 +69,21 @@ pub struct Fig4bSeries {
 pub fn run_fig4b_lsm(batch_size: usize, num_batches: usize, seed: u64) -> Fig4bSeries {
     let device = experiment_device();
     let pairs = unique_random_pairs(batch_size * num_batches, seed);
-    let mut lsm = GpuLsm::new(device, batch_size).expect("valid batch size");
+    let mut lsm = GpuLsm::new(device.clone(), batch_size).expect("valid batch size");
     let mut cumulative = std::time::Duration::ZERO;
+    let mut cumulative_modelled = 0.0f64;
     let points = pairs
         .chunks(batch_size)
         .enumerate()
         .map(|(i, chunk)| {
-            let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
+            let ((_, elapsed), modelled) =
+                modelled_time_once(&device, || time_once(|| lsm.insert(chunk).expect("insert")));
             cumulative += elapsed;
+            cumulative_modelled += modelled;
             Fig4bPoint {
                 total_elements: (i + 1) * batch_size,
                 effective_rate: elements_per_sec_m((i + 1) * batch_size, cumulative),
+                modelled_rate: rate_m_from_seconds((i + 1) * batch_size, cumulative_modelled),
             }
         })
         .collect();
@@ -85,17 +97,21 @@ pub fn run_fig4b_lsm(batch_size: usize, num_batches: usize, seed: u64) -> Fig4bS
 pub fn run_fig4b_sa(batch_size: usize, num_batches: usize, seed: u64) -> Fig4bSeries {
     let device = experiment_device();
     let pairs = unique_random_pairs(batch_size * num_batches, seed);
-    let mut sa = SortedArray::new(device);
+    let mut sa = SortedArray::new(device.clone());
     let mut cumulative = std::time::Duration::ZERO;
+    let mut cumulative_modelled = 0.0f64;
     let points = pairs
         .chunks(batch_size)
         .enumerate()
         .map(|(i, chunk)| {
-            let (_, elapsed) = time_once(|| sa.insert_batch(chunk));
+            let ((_, elapsed), modelled) =
+                modelled_time_once(&device, || time_once(|| sa.insert_batch(chunk)));
             cumulative += elapsed;
+            cumulative_modelled += modelled;
             Fig4bPoint {
                 total_elements: (i + 1) * batch_size,
                 effective_rate: elements_per_sec_m((i + 1) * batch_size, cumulative),
+                modelled_rate: rate_m_from_seconds((i + 1) * batch_size, cumulative_modelled),
             }
         })
         .collect();
@@ -160,21 +176,25 @@ mod tests {
 
     #[test]
     fn fig4a_shows_the_carry_chain_sawtooth() {
+        // Assert on modelled device time: it is a pure function of the
+        // traffic each insertion records, so the sawtooth is exact.
         let points = run_fig4a(256, 16, 1);
         assert_eq!(points.len(), 16);
         // Batch 16 (r: 15 -> 16) merges every level; batch 2 merges one.
         // The worst case should be clearly slower than the best case.
-        let max = points.iter().map(|p| p.insertion_ms).fold(0.0, f64::max);
+        let max = points.iter().map(|p| p.modelled_ms).fold(0.0, f64::max);
         let min = points
             .iter()
-            .map(|p| p.insertion_ms)
+            .map(|p| p.modelled_ms)
             .fold(f64::MAX, f64::min);
         assert!(max > min);
+        // Wall time was measured too (it is what the figure reports).
+        assert!(points.iter().all(|p| p.insertion_ms > 0.0));
         // The most expensive insertions are those with the longest carry
         // chains: r = 8 and r = 16 (all lower levels full before them).
         let worst = points
             .iter()
-            .max_by(|a, b| a.insertion_ms.total_cmp(&b.insertion_ms))
+            .max_by(|a, b| a.modelled_ms.total_cmp(&b.modelled_ms))
             .unwrap();
         assert_eq!(
             worst.resident_batches % 4,
@@ -188,12 +208,13 @@ mod tests {
     fn fig4b_lsm_rate_degrades_slower_than_sa() {
         let lsm = run_fig4b_lsm(256, 24, 2);
         let sa = run_fig4b_sa(256, 24, 2);
-        // Compare the final effective rates: the LSM should be higher.
-        let lsm_final = lsm.points.last().unwrap().effective_rate;
-        let sa_final = sa.points.last().unwrap().effective_rate;
+        // Compare the final effective rates in modelled device time (exact;
+        // the wall-clock rates track the same shape but with host noise).
+        let lsm_final = lsm.points.last().unwrap().modelled_rate;
+        let sa_final = sa.points.last().unwrap().modelled_rate;
         assert!(
             lsm_final > sa_final,
-            "LSM effective rate {lsm_final} should exceed SA {sa_final}"
+            "LSM modelled effective rate {lsm_final} should exceed SA {sa_final}"
         );
     }
 

@@ -9,10 +9,12 @@
 //! | [`fig4`] | Fig. 4a — batch insertion time; Fig. 4b — effective rate |
 //! | [`bulk_build`] | §V-B — bulk build rates (LSM / SA / cuckoo) |
 //! | [`cleanup`] | §V-D — cleanup rate and post-cleanup query speed-up |
+//! | [`sharded`] | beyond the paper — shard scaling under mixed traffic |
 
 pub mod bulk_build;
 pub mod cleanup;
 pub mod fig4;
+pub mod sharded;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,127 @@
+//! Shard-scaling experiment: service throughput of the sharded LSM under
+//! concurrent mixed update/query traffic, versus the single-lock wrapper.
+//!
+//! This is beyond the paper (whose experiments are single-phase on one
+//! structure): it measures the serving-system question — how does sustained
+//! mixed-traffic throughput change as the key space is split across more
+//! independently locked shards?  On a multi-core host, update throughput
+//! should grow with the shard count until the core count or the batch split
+//! overhead binds; on a single-core host the curve is flat and the
+//! experiment degrades to a shard-overhead measurement (both outcomes are
+//! informative, which is why the CI gate tracks the single-thread sharded
+//! insert rate rather than this concurrent sweep).
+
+use gpu_lsm::{ConcurrentGpuLsm, ShardedLsm};
+use lsm_workloads::{run_mixed_workload, MixedWorkloadConfig, MixedWorkloadReport};
+
+use super::experiment_device;
+use crate::report::{fmt_rate, Table};
+
+/// One row of the shard-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ShardedRow {
+    /// Shard count (0 denotes the single-lock `ConcurrentGpuLsm` baseline).
+    pub shards: usize,
+    /// The mixed-workload report for this configuration.
+    pub report: MixedWorkloadReport,
+}
+
+/// Full shard-scaling result.
+#[derive(Debug, Clone)]
+pub struct ShardedResult {
+    /// Baseline (single-lock wrapper) followed by one row per shard count.
+    pub rows: Vec<ShardedRow>,
+    /// The workload every row was driven with.
+    pub config: MixedWorkloadConfig,
+}
+
+/// Run the shard-scaling sweep: the same mixed open-loop workload against
+/// the single-lock wrapper and against the sharded service at each of
+/// `shard_counts`.
+pub fn run(shard_counts: &[usize], config: &MixedWorkloadConfig) -> ShardedResult {
+    let mut rows = Vec::with_capacity(shard_counts.len() + 1);
+
+    let baseline =
+        ConcurrentGpuLsm::create(experiment_device(), config.batch_size).expect("valid batch size");
+    rows.push(ShardedRow {
+        shards: 0,
+        report: run_mixed_workload(&baseline, config),
+    });
+
+    for &n in shard_counts {
+        let sharded =
+            ShardedLsm::new(experiment_device(), config.batch_size, n).expect("valid shard count");
+        let report = run_mixed_workload(&sharded, config);
+        sharded
+            .check_invariants()
+            .expect("sharded invariants after workload");
+        rows.push(ShardedRow { shards: n, report });
+    }
+
+    ShardedResult {
+        rows,
+        config: config.clone(),
+    }
+}
+
+/// Render the sweep as a table.
+pub fn render(result: &ShardedResult) -> Table {
+    let mut table = Table::new(
+        &format!(
+            "Shard scaling: mixed open-loop traffic ({}w/{}r threads, b = {})",
+            result.config.writer_threads, result.config.reader_threads, result.config.batch_size
+        ),
+        &[
+            "backend",
+            "update M ops/s",
+            "query M q/s",
+            "lookups",
+            "interval queries",
+        ],
+    );
+    for row in &result.rows {
+        table.add_row(vec![
+            row.report.backend.clone(),
+            fmt_rate(row.report.update_rate_m),
+            fmt_rate(row.report.query_rate_m),
+            row.report.lookups.to_string(),
+            row.report.interval_queries.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> MixedWorkloadConfig {
+        MixedWorkloadConfig {
+            writer_threads: 2,
+            reader_threads: 1,
+            batches_per_writer: 3,
+            batch_size: 64,
+            delete_fraction: 0.2,
+            lookups_per_round: 32,
+            intervals_per_round: 4,
+            interval_width: 1 << 8,
+            key_domain: 1 << 14,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn sweep_produces_baseline_plus_one_row_per_shard_count() {
+        let result = run(&[1, 4], &tiny_config());
+        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.rows[0].shards, 0);
+        assert_eq!(result.rows[0].report.backend, "concurrent-lsm");
+        assert_eq!(result.rows[1].shards, 1);
+        assert_eq!(result.rows[2].shards, 4);
+        for row in &result.rows {
+            assert!(row.report.update_rate_m > 0.0, "{}", row.report.backend);
+            assert_eq!(row.report.update_ops, 2 * 3 * 64);
+        }
+        assert_eq!(render(&result).num_rows(), 3);
+    }
+}

@@ -12,10 +12,13 @@ use gpu_lsm::GpuLsm;
 use lsm_workloads::{existing_lookups, unique_random_pairs};
 
 use super::experiment_device;
-use crate::measure::time_once;
+use crate::measure::{modelled_time_once, time_once};
 use crate::report::Table;
 
-/// Measured per-item costs at one structure size.
+/// Measured per-item costs at one structure size.  Every cost is recorded
+/// twice: host wall-clock and modelled device time (the cost model applied
+/// to the recorded memory traffic).  The modelled costs are deterministic,
+/// so the shape tests fit their growth exponents against those.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalingPoint {
     /// Resident elements when the measurement was taken.
@@ -30,6 +33,16 @@ pub struct ScalingPoint {
     pub sa_lookup_us_per_query: f64,
     /// Microseconds per lookup (cuckoo hash).
     pub cuckoo_lookup_us_per_query: f64,
+    /// Modelled µs per inserted element (LSM).
+    pub lsm_insert_modelled_us: f64,
+    /// Modelled µs per inserted element (SA).
+    pub sa_insert_modelled_us: f64,
+    /// Modelled µs per lookup (LSM).
+    pub lsm_lookup_modelled_us: f64,
+    /// Modelled µs per lookup (SA).
+    pub sa_lookup_modelled_us: f64,
+    /// Modelled µs per lookup (cuckoo hash).
+    pub cuckoo_lookup_modelled_us: f64,
 }
 
 /// Full scaling study.
@@ -47,6 +60,16 @@ pub struct Table1Result {
     pub sa_lookup_exponent: f64,
     /// Growth exponent of cuckoo lookup cost.
     pub cuckoo_lookup_exponent: f64,
+    /// Growth exponent of modelled LSM insertion cost.
+    pub lsm_insert_modelled_exponent: f64,
+    /// Growth exponent of modelled SA insertion cost.
+    pub sa_insert_modelled_exponent: f64,
+    /// Growth exponent of modelled LSM lookup cost.
+    pub lsm_lookup_modelled_exponent: f64,
+    /// Growth exponent of modelled SA lookup cost.
+    pub sa_lookup_modelled_exponent: f64,
+    /// Growth exponent of modelled cuckoo lookup cost.
+    pub cuckoo_lookup_modelled_exponent: f64,
 }
 
 /// Least-squares slope of `log2(y)` against `log2(x)`.
@@ -80,10 +103,13 @@ pub fn run(sizes: &[usize], batch_size: usize, num_queries: usize, seed: u64) ->
 
         // Insertion cost at size n.
         let mut lsm = GpuLsm::bulk_build(device.clone(), batch_size, resident).expect("bulk build");
-        let (_, t) = time_once(|| lsm.insert(incoming).expect("insert"));
+        let ((_, t), m_lsm_ins) = modelled_time_once(&device, || {
+            time_once(|| lsm.insert(incoming).expect("insert"))
+        });
         let lsm_insert_us_per_item = t.as_secs_f64() * 1e6 / batch_size as f64;
         let mut sa = SortedArray::bulk_build(device.clone(), resident);
-        let (_, t) = time_once(|| sa.insert_batch(incoming));
+        let ((_, t), m_sa_ins) =
+            modelled_time_once(&device, || time_once(|| sa.insert_batch(incoming)));
         let sa_insert_us_per_item = t.as_secs_f64() * 1e6 / batch_size as f64;
 
         // Lookup cost at size n (structures rebuilt without the extra batch
@@ -91,9 +117,12 @@ pub fn run(sizes: &[usize], batch_size: usize, num_queries: usize, seed: u64) ->
         let lsm = GpuLsm::bulk_build(device.clone(), batch_size, resident).expect("bulk build");
         let sa = SortedArray::bulk_build(device.clone(), resident);
         let cuckoo = CuckooHashTable::bulk_build(device.clone(), resident);
-        let (_, t_lsm) = time_once(|| lsm.lookup(&queries));
-        let (_, t_sa) = time_once(|| sa.lookup(&queries));
-        let (_, t_ck) = time_once(|| cuckoo.lookup(&queries));
+        let ((_, t_lsm), m_lsm_lk) =
+            modelled_time_once(&device, || time_once(|| lsm.lookup(&queries)));
+        let ((_, t_sa), m_sa_lk) =
+            modelled_time_once(&device, || time_once(|| sa.lookup(&queries)));
+        let ((_, t_ck), m_ck_lk) =
+            modelled_time_once(&device, || time_once(|| cuckoo.lookup(&queries)));
 
         points.push(ScalingPoint {
             n,
@@ -102,6 +131,11 @@ pub fn run(sizes: &[usize], batch_size: usize, num_queries: usize, seed: u64) ->
             lsm_lookup_us_per_query: t_lsm.as_secs_f64() * 1e6 / num_queries as f64,
             sa_lookup_us_per_query: t_sa.as_secs_f64() * 1e6 / num_queries as f64,
             cuckoo_lookup_us_per_query: t_ck.as_secs_f64() * 1e6 / num_queries as f64,
+            lsm_insert_modelled_us: m_lsm_ins * 1e6 / batch_size as f64,
+            sa_insert_modelled_us: m_sa_ins * 1e6 / batch_size as f64,
+            lsm_lookup_modelled_us: m_lsm_lk * 1e6 / num_queries as f64,
+            sa_lookup_modelled_us: m_sa_lk * 1e6 / num_queries as f64,
+            cuckoo_lookup_modelled_us: m_ck_lk * 1e6 / num_queries as f64,
         });
     }
 
@@ -119,6 +153,11 @@ pub fn run(sizes: &[usize], batch_size: usize, num_queries: usize, seed: u64) ->
         lsm_lookup_exponent: fit(&|p| p.lsm_lookup_us_per_query),
         sa_lookup_exponent: fit(&|p| p.sa_lookup_us_per_query),
         cuckoo_lookup_exponent: fit(&|p| p.cuckoo_lookup_us_per_query),
+        lsm_insert_modelled_exponent: fit(&|p| p.lsm_insert_modelled_us),
+        sa_insert_modelled_exponent: fit(&|p| p.sa_insert_modelled_us),
+        lsm_lookup_modelled_exponent: fit(&|p| p.lsm_lookup_modelled_us),
+        sa_lookup_modelled_exponent: fit(&|p| p.sa_lookup_modelled_us),
+        cuckoo_lookup_modelled_exponent: fit(&|p| p.cuckoo_lookup_modelled_us),
         points,
     }
 }
@@ -178,11 +217,12 @@ mod tests {
         // ~linear in n while the LSM's is polylogarithmic; the fitted
         // exponents should reflect a clear separation.
         let result = run(&[1 << 12, 1 << 14, 1 << 16], 1 << 9, 2048, 33);
+        // Modelled exponents are deterministic, so the separation is exact.
         assert!(
-            result.sa_insert_exponent > result.lsm_insert_exponent + 0.3,
-            "SA exponent {} vs LSM exponent {}",
-            result.sa_insert_exponent,
-            result.lsm_insert_exponent
+            result.sa_insert_modelled_exponent > result.lsm_insert_modelled_exponent + 0.3,
+            "SA modelled exponent {} vs LSM modelled exponent {}",
+            result.sa_insert_modelled_exponent,
+            result.lsm_insert_modelled_exponent
         );
         assert_eq!(render(&result).num_rows(), 4);
     }

@@ -18,7 +18,9 @@ use gpu_lsm::GpuLsm;
 use lsm_workloads::{unique_random_pairs, SweepConfig};
 
 use super::{experiment_device, sample_resident_batches};
-use crate::measure::{elements_per_sec_m, time_once, RateStats};
+use crate::measure::{
+    elements_per_sec_m, modelled_time_once, rate_m_from_seconds, time_once, RateStats,
+};
 use crate::report::{fmt_rate, Table};
 
 /// Result row for one batch size.
@@ -26,10 +28,14 @@ use crate::report::{fmt_rate, Table};
 pub struct Table2Row {
     /// Batch size `b`.
     pub batch_size: usize,
-    /// GPU LSM per-batch insertion-rate statistics.
+    /// GPU LSM per-batch insertion-rate statistics (wall clock).
     pub lsm: RateStats,
-    /// GPU SA per-batch insertion-rate statistics.
+    /// GPU SA per-batch insertion-rate statistics (wall clock).
     pub sa: RateStats,
+    /// LSM rates in modelled device time (deterministic).
+    pub lsm_modelled: RateStats,
+    /// SA rates in modelled device time (deterministic).
+    pub sa_modelled: RateStats,
 }
 
 /// Full Table II result.
@@ -42,46 +48,62 @@ pub struct Table2Result {
     pub lsm_overall_mean: f64,
     /// Same for the sorted array.
     pub sa_overall_mean: f64,
+    /// LSM overall mean in modelled device time.
+    pub lsm_overall_modelled_mean: f64,
+    /// SA overall mean in modelled device time.
+    pub sa_overall_modelled_mean: f64,
     /// Cuckoo hash bulk-build rate (M elements/s) at 80 % load factor.
     pub cuckoo_build_rate: f64,
     /// Number of SA sample points per batch size.
     pub sa_samples: usize,
 }
 
-/// Measure the per-batch LSM insertion rates for every `r` in `1..=n/b`.
-pub fn lsm_insertion_rates(batch_size: usize, num_batches: usize, seed: u64) -> Vec<f64> {
+/// Measure the per-batch LSM insertion rates for every `r` in `1..=n/b`,
+/// returning `(wall_rates, modelled_rates)` in M elements/s.
+pub fn lsm_insertion_rates(
+    batch_size: usize,
+    num_batches: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
     let device = experiment_device();
     let pairs = unique_random_pairs(batch_size * num_batches, seed);
-    let mut lsm = GpuLsm::new(device, batch_size).expect("valid batch size");
+    let mut lsm = GpuLsm::new(device.clone(), batch_size).expect("valid batch size");
     let mut rates = Vec::with_capacity(num_batches);
+    let mut modelled_rates = Vec::with_capacity(num_batches);
     for chunk in pairs.chunks(batch_size) {
-        let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
+        let ((_, elapsed), modelled) =
+            modelled_time_once(&device, || time_once(|| lsm.insert(chunk).expect("insert")));
         rates.push(elements_per_sec_m(batch_size, elapsed));
+        modelled_rates.push(rate_m_from_seconds(batch_size, modelled));
     }
-    rates
+    (rates, modelled_rates)
 }
 
-/// Measure SA insertion rates at a sample of resident sizes.
+/// Measure SA insertion rates at a sample of resident sizes, returning
+/// `(wall_rates, modelled_rates)` in M elements/s.
 pub fn sa_insertion_rates(
     batch_size: usize,
     num_batches: usize,
     samples: usize,
     seed: u64,
-) -> Vec<f64> {
+) -> (Vec<f64>, Vec<f64>) {
     let device = experiment_device();
     let pairs = unique_random_pairs(batch_size * (num_batches + 1), seed);
     let sampled_r = sample_resident_batches(num_batches, samples);
     let mut rates = Vec::with_capacity(sampled_r.len());
+    let mut modelled_rates = Vec::with_capacity(sampled_r.len());
     for r in sampled_r {
         // Reproduce the state after r - 1 batches with a bulk build, then
         // time the insertion of batch r.
         let resident = &pairs[..(r - 1) * batch_size];
         let incoming = &pairs[(r - 1) * batch_size..r * batch_size];
         let mut sa = SortedArray::bulk_build(device.clone(), resident);
-        let (_, elapsed) = time_once(|| sa.insert_batch(incoming));
+        let ((_, elapsed), modelled) =
+            modelled_time_once(&device, || time_once(|| sa.insert_batch(incoming)));
         rates.push(elements_per_sec_m(batch_size, elapsed));
+        modelled_rates.push(rate_m_from_seconds(batch_size, modelled));
     }
-    rates
+    (rates, modelled_rates)
 }
 
 /// Run the full Table II experiment.
@@ -92,12 +114,14 @@ pub fn run(config: &SweepConfig, sa_samples: usize) -> Table2Result {
         if num_batches == 0 {
             continue;
         }
-        let lsm_rates = lsm_insertion_rates(b, num_batches, config.seed);
-        let sa_rates = sa_insertion_rates(b, num_batches, sa_samples, config.seed);
+        let (lsm_rates, lsm_modelled) = lsm_insertion_rates(b, num_batches, config.seed);
+        let (sa_rates, sa_modelled) = sa_insertion_rates(b, num_batches, sa_samples, config.seed);
         rows.push(Table2Row {
             batch_size: b,
             lsm: RateStats::from_rates(&lsm_rates),
             sa: RateStats::from_rates(&sa_rates),
+            lsm_modelled: RateStats::from_rates(&lsm_modelled),
+            sa_modelled: RateStats::from_rates(&sa_modelled),
         });
     }
 
@@ -107,16 +131,15 @@ pub fn run(config: &SweepConfig, sa_samples: usize) -> Table2Result {
     let (_, elapsed) = time_once(|| CuckooHashTable::bulk_build(device, &pairs));
     let cuckoo_build_rate = elements_per_sec_m(pairs.len(), elapsed);
 
-    let lsm_overall_mean = crate::measure::harmonic_mean(
-        &rows.iter().map(|r| r.lsm.harmonic_mean).collect::<Vec<_>>(),
-    );
-    let sa_overall_mean =
-        crate::measure::harmonic_mean(&rows.iter().map(|r| r.sa.harmonic_mean).collect::<Vec<_>>());
-
+    let overall = |f: &dyn Fn(&Table2Row) -> f64| {
+        crate::measure::harmonic_mean(&rows.iter().map(f).collect::<Vec<_>>())
+    };
     Table2Result {
+        lsm_overall_mean: overall(&|r| r.lsm.harmonic_mean),
+        sa_overall_mean: overall(&|r| r.sa.harmonic_mean),
+        lsm_overall_modelled_mean: overall(&|r| r.lsm_modelled.harmonic_mean),
+        sa_overall_modelled_mean: overall(&|r| r.sa_modelled.harmonic_mean),
         rows,
-        lsm_overall_mean,
-        sa_overall_mean,
         cuckoo_build_rate,
         sa_samples,
     }
@@ -192,11 +215,12 @@ mod tests {
         };
         let result = run(&config, 12);
         let row = &result.rows[0];
+        // Modelled device time: deterministic, so the margin is exact.
         assert!(
-            row.lsm.harmonic_mean > row.sa.harmonic_mean,
-            "LSM mean {} should exceed SA mean {}",
-            row.lsm.harmonic_mean,
-            row.sa.harmonic_mean
+            row.lsm_modelled.harmonic_mean > row.sa_modelled.harmonic_mean,
+            "LSM modelled mean {} should exceed SA modelled mean {}",
+            row.lsm_modelled.harmonic_mean,
+            row.sa_modelled.harmonic_mean
         );
     }
 

@@ -21,5 +21,8 @@ pub mod measure;
 pub mod report;
 
 pub use cli::HarnessOptions;
-pub use measure::{elements_per_sec_m, harmonic_mean, queries_per_sec_m, time_once, RateStats};
+pub use measure::{
+    elements_per_sec_m, harmonic_mean, modelled_time_once, queries_per_sec_m, rate_m_from_seconds,
+    time_once, RateStats,
+};
 pub use report::{write_csv, Table};

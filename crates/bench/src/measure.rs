@@ -7,6 +7,8 @@
 
 use std::time::{Duration, Instant};
 
+use gpu_sim::Device;
+
 /// Minimum / maximum / harmonic-mean statistics of a set of rates,
 /// the summary the paper reports per batch size.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +56,31 @@ pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     let start = Instant::now();
     let result = f();
     (result, start.elapsed())
+}
+
+/// Measure a closure's *modelled device time* in seconds: the growth of the
+/// device's estimated time (cost model applied to the recorded memory
+/// traffic) across the call.
+///
+/// Unlike wall-clock time this is a pure function of the traffic the
+/// operation records, so it is deterministic and immune to host load —
+/// which is why the shape tests assert on it (see
+/// `tests/experiment_shapes.rs`).  Traffic recorded by *other* threads
+/// touching the same device during `f` would be attributed to `f`, so
+/// callers measure on a device they exclusively own (every experiment
+/// creates its own).
+pub fn modelled_time_once<R>(device: &Device, f: impl FnOnce() -> R) -> (R, f64) {
+    let before = device.estimated_time().total_seconds;
+    let result = f();
+    (result, device.estimated_time().total_seconds - before)
+}
+
+/// Convert an element count and modelled seconds into "M elements/s".
+pub fn rate_m_from_seconds(elements: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return f64::INFINITY;
+    }
+    elements as f64 / seconds / 1.0e6
 }
 
 /// Convert an element count and duration into "M elements/s".
@@ -113,6 +140,29 @@ mod tests {
             queries_per_sec_m(500_000, Duration::from_millis(500)),
             elements_per_sec_m(500_000, Duration::from_millis(500))
         );
+    }
+
+    #[test]
+    fn modelled_time_tracks_recorded_traffic_only() {
+        let device = Device::new(gpu_sim::DeviceConfig::small());
+        let ((), idle) = modelled_time_once(&device, || {
+            std::thread::sleep(Duration::from_millis(2)); // no device traffic
+        });
+        assert_eq!(idle, 0.0, "wall time without traffic is not modelled time");
+        let data: Vec<u64> = (0..1 << 12).collect();
+        let (sum1, t1) = modelled_time_once(&device, || device.map("m", &data, |_, &x| x).len());
+        let (sum2, t2) = modelled_time_once(&device, || {
+            device.map("m", &data, |_, &x| x).len() + device.map("m", &data, |_, &x| x).len()
+        });
+        assert_eq!(sum1, 1 << 12);
+        assert_eq!(sum2, 2 << 12);
+        assert!(t1 > 0.0);
+        assert!(
+            (t2 / t1 - 2.0).abs() < 1e-9,
+            "twice the traffic, twice the time"
+        );
+        assert!(rate_m_from_seconds(1_000_000, 1.0) == 1.0);
+        assert!(rate_m_from_seconds(5, 0.0).is_infinite());
     }
 
     #[test]

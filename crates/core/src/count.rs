@@ -78,11 +78,23 @@ impl GpuLsm {
         let bounds: Vec<(usize, usize)> = queries
             .par_iter()
             .flat_map_iter(|&(k1, k2)| {
+                // Clamp the upper bound into the 31-bit domain (no stored
+                // key can exceed it, and `k2 << 1` would wrap past it).
+                // After the clamp, k1 > k2 covers both genuinely inverted
+                // bounds and a lower bound above the domain — either way
+                // the interval can contain no storable key and is empty
+                // (shifting an out-of-domain k1 would wrap and silently
+                // select everything instead).
+                let k2 = k2.min(crate::key::MAX_KEY);
+                let empty = k1 > k2;
                 levels.iter().map(move |level| {
+                    if empty {
+                        return (0, 0);
+                    }
                     let keys = level.keys();
                     let lo = lower_bound_by(keys, &(k1 << 1), |a, b| (a >> 1) < (b >> 1));
                     let hi = upper_bound_by(keys, &((k2 << 1) | 1), |a, b| (a >> 1) < (b >> 1));
-                    (lo, hi)
+                    (lo, hi.max(lo))
                 })
             })
             .collect();

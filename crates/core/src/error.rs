@@ -28,6 +28,12 @@ pub enum LsmError {
         /// The offending key.
         key: u32,
     },
+    /// The requested shard count is not a power of two in `1..=2³¹`
+    /// (key-range shards must divide the 31-bit domain evenly).
+    InvalidShardCount {
+        /// The offending shard count.
+        num_shards: usize,
+    },
 }
 
 impl fmt::Display for LsmError {
@@ -48,6 +54,10 @@ impl fmt::Display for LsmError {
                 f,
                 "key {key} exceeds the 31-bit key domain (max {})",
                 crate::key::MAX_KEY
+            ),
+            LsmError::InvalidShardCount { num_shards } => write!(
+                f,
+                "invalid shard count {num_shards}: must be a power of two between 1 and 2^31"
             ),
         }
     }

@@ -56,6 +56,8 @@ pub mod lookup;
 pub mod lsm;
 pub mod order;
 pub mod range;
+pub mod router;
+pub mod shard;
 pub mod stats;
 pub mod validate;
 
@@ -66,4 +68,6 @@ pub use error::{LsmError, Result};
 pub use key::{Entry, Key, Value, MAX_KEY};
 pub use lsm::GpuLsm;
 pub use range::RangeResult;
+pub use router::{ShardRouter, SubQuery};
+pub use shard::{ShardedLsm, ShardedStats};
 pub use stats::LsmStats;

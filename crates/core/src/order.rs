@@ -45,6 +45,12 @@ impl GpuLsm {
 
     /// Successor of a single key.
     pub fn successor_one(&self, query: Key) -> Option<(Key, Value)> {
+        if query > MAX_KEY {
+            // No storable key exceeds the 31-bit domain, so nothing is
+            // strictly greater than an out-of-domain query (probing with
+            // it would wrap `query << 1` and select arbitrary keys).
+            return None;
+        }
         let mut probe = query;
         loop {
             // Smallest key strictly greater than `probe` in any level.
@@ -71,6 +77,16 @@ impl GpuLsm {
 
     /// Predecessor of a single key.
     pub fn predecessor_one(&self, query: Key) -> Option<(Key, Value)> {
+        if query > MAX_KEY {
+            // Every storable key is strictly below an out-of-domain query,
+            // so MAX_KEY itself is a candidate (the in-domain loop below
+            // only ever looks strictly below its probe; shifting the raw
+            // query would wrap and miss keys instead).
+            if let Some(v) = self.lookup_one(MAX_KEY) {
+                return Some((MAX_KEY, v));
+            }
+            return self.predecessor_one(MAX_KEY);
+        }
         let mut probe = query;
         loop {
             // Largest key strictly smaller than `probe` in any level.

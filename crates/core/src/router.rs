@@ -1,0 +1,309 @@
+//! Key-range routing for the sharded LSM service.
+//!
+//! The 31-bit key domain is partitioned into `N` equal, contiguous ranges
+//! (`N` a power of two): shard `s` owns `[s · 2^(31-log2 N),
+//! (s+1) · 2^(31-log2 N) − 1]`.  Range partitioning — rather than hashing —
+//! preserves the *global* key order across shards, which is what keeps
+//! `count` answers summable and `range` answers concatenable in shard order
+//! (see [`crate::shard::ShardedLsm`]).
+//!
+//! Routing an update batch is a stable `N`-bucket multisplit over the
+//! operations: one counting pass over the shard ids, an exclusive scan of
+//! the per-shard counts, and an order-preserving scatter — the same
+//! histogram/scan/scatter structure as the multisplit primitive the cleanup
+//! uses, specialised to the power-of-two bucket function `key >> shift`.
+//! Stability matters: the paper's within-batch semantics (rules 4 and 6 of
+//! §III-A) are order-dependent, and every same-key operation routes to the
+//! same shard, so a stable split preserves them exactly.
+
+use crate::batch::UpdateBatch;
+use crate::error::{LsmError, Result};
+use crate::key::{Key, MAX_KEY};
+
+/// Routes keys, update batches and interval queries to key-range shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    num_shards: usize,
+    /// Right-shift that maps a key to its shard index: `31 - log2(N)`.
+    shift: u32,
+}
+
+/// One clamped sub-interval of a cross-shard query: the target shard, the
+/// originating query index, and the query bounds restricted to that shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubQuery {
+    /// Index of the shard this piece routes to.
+    pub shard: usize,
+    /// Index of the original query in the caller's batch.
+    pub query: usize,
+    /// Lower bound, clamped into the shard's key range.
+    pub lo: Key,
+    /// Upper bound, clamped into the shard's key range.
+    pub hi: Key,
+}
+
+impl ShardRouter {
+    /// Create a router over `num_shards` key-range shards.  The shard count
+    /// must be a power of two between 1 and 2³¹ so ranges divide evenly.
+    pub fn new(num_shards: usize) -> Result<Self> {
+        if num_shards == 0 || !num_shards.is_power_of_two() || num_shards > 1 << 31 {
+            return Err(LsmError::InvalidShardCount { num_shards });
+        }
+        Ok(ShardRouter {
+            num_shards,
+            shift: 31 - num_shards.trailing_zeros(),
+        })
+    }
+
+    /// Number of shards this router partitions the key domain into.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard owning `key`.
+    #[inline]
+    pub fn shard_of(&self, key: Key) -> usize {
+        debug_assert!(key <= MAX_KEY);
+        (key >> self.shift) as usize
+    }
+
+    /// The inclusive key range `[lo, hi]` owned by shard `s`.
+    pub fn shard_bounds(&self, s: usize) -> (Key, Key) {
+        debug_assert!(s < self.num_shards);
+        let lo = (s as u64) << self.shift;
+        let hi = ((s as u64 + 1) << self.shift) - 1;
+        (lo as Key, hi as Key)
+    }
+
+    /// The `N − 1` interior split points: the smallest key of every shard
+    /// except shard 0.  Useful for boundary-straddling tests and for
+    /// reporting the partition.
+    pub fn split_points(&self) -> Vec<Key> {
+        (1..self.num_shards)
+            .map(|s| self.shard_bounds(s).0)
+            .collect()
+    }
+
+    /// Stable multisplit of an update batch into one (possibly empty)
+    /// sub-batch per shard.  The relative order of operations within each
+    /// shard is the order they were pushed, so per-batch semantics are
+    /// preserved shard-locally.
+    ///
+    /// The caller is expected to have validated keys (≤ [`MAX_KEY`]);
+    /// this routine only routes.
+    pub fn split_updates(&self, batch: &UpdateBatch) -> Vec<UpdateBatch> {
+        let ops = batch.ops();
+        if self.num_shards == 1 {
+            return vec![batch.clone()];
+        }
+        // Pass 1: shard ids + histogram.
+        let mut counts = vec![0usize; self.num_shards];
+        let shard_ids: Vec<usize> = ops
+            .iter()
+            .map(|op| {
+                let s = self.shard_of(op.key());
+                counts[s] += 1;
+                s
+            })
+            .collect();
+        // Allocate exactly; scatter in order (stable by construction:
+        // operations are visited in batch order and appended).
+        let mut out: Vec<UpdateBatch> = counts
+            .iter()
+            .map(|&c| UpdateBatch::with_capacity(c))
+            .collect();
+        for (op, &s) in ops.iter().zip(shard_ids.iter()) {
+            out[s].push(*op);
+        }
+        out
+    }
+
+    /// Split point-lookup keys by shard, remembering each key's position in
+    /// the input so answers can be reassembled in input order.  Returns, per
+    /// shard, the routed keys and their original positions (both in input
+    /// order, preserving duplicates).
+    pub fn split_lookups(&self, queries: &[Key]) -> Vec<(Vec<Key>, Vec<usize>)> {
+        let mut out: Vec<(Vec<Key>, Vec<usize>)> = vec![(Vec::new(), Vec::new()); self.num_shards];
+        for (i, &q) in queries.iter().enumerate() {
+            let s = self.shard_of(q.min(MAX_KEY));
+            out[s].0.push(q);
+            out[s].1.push(i);
+        }
+        out
+    }
+
+    /// Decompose interval queries `(k1, k2)` into per-shard sub-queries.
+    ///
+    /// * Inverted bounds (`k1 > k2`) produce no sub-queries (the query is
+    ///   empty by definition).
+    /// * Bounds above [`MAX_KEY`] are clamped to it — no stored key can
+    ///   exceed the 31-bit domain, so the clamp never changes an answer.
+    /// * A query spanning `k` shards contributes `k` sub-queries, each
+    ///   clamped to its shard's range; sub-queries are emitted query-major,
+    ///   shard-ascending, so concatenating a query's per-shard answers in
+    ///   emission order yields a globally key-sorted result.
+    pub fn split_intervals(&self, queries: &[(Key, Key)]) -> Vec<SubQuery> {
+        let mut out = Vec::with_capacity(queries.len());
+        for (qi, &(k1, k2)) in queries.iter().enumerate() {
+            let k2 = k2.min(MAX_KEY);
+            if k1 > k2 {
+                continue;
+            }
+            let first = self.shard_of(k1);
+            let last = self.shard_of(k2);
+            for s in first..=last {
+                let (lo, hi) = self.shard_bounds(s);
+                out.push(SubQuery {
+                    shard: s,
+                    query: qi,
+                    lo: k1.max(lo),
+                    hi: k2.min(hi),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Op;
+
+    #[test]
+    fn rejects_non_power_of_two_shard_counts() {
+        for bad in [0usize, 3, 6, 12, 100] {
+            assert_eq!(
+                ShardRouter::new(bad).unwrap_err(),
+                LsmError::InvalidShardCount { num_shards: bad }
+            );
+        }
+        for good in [1usize, 2, 4, 8, 1 << 10] {
+            assert!(ShardRouter::new(good).is_ok());
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_the_whole_domain() {
+        let r = ShardRouter::new(1).unwrap();
+        assert_eq!(r.shard_bounds(0), (0, MAX_KEY));
+        assert_eq!(r.shard_of(0), 0);
+        assert_eq!(r.shard_of(MAX_KEY), 0);
+        assert!(r.split_points().is_empty());
+    }
+
+    #[test]
+    fn shard_bounds_tile_the_domain_exactly() {
+        for n in [2usize, 4, 8, 64] {
+            let r = ShardRouter::new(n).unwrap();
+            let mut expected_lo = 0u32;
+            for s in 0..n {
+                let (lo, hi) = r.shard_bounds(s);
+                assert_eq!(lo, expected_lo, "{n} shards, shard {s}");
+                assert_eq!(r.shard_of(lo), s);
+                assert_eq!(r.shard_of(hi), s);
+                if s + 1 < n {
+                    assert_eq!(r.shard_of(hi + 1), s + 1);
+                }
+                expected_lo = hi.wrapping_add(1);
+            }
+            assert_eq!(r.shard_bounds(n - 1).1, MAX_KEY);
+            assert_eq!(r.split_points().len(), n - 1);
+        }
+    }
+
+    #[test]
+    fn split_updates_is_a_stable_partition() {
+        let r = ShardRouter::new(4).unwrap();
+        let quarter = 1u32 << 29;
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(3 * quarter, 1) // shard 3
+            .insert(1, 2) // shard 0
+            .delete(3 * quarter + 5) // shard 3
+            .insert(2, 3) // shard 0
+            .delete(1); // shard 0
+        let parts = r.split_updates(&batch);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(
+            parts[0].ops(),
+            &[Op::Insert(1, 2), Op::Insert(2, 3), Op::Delete(1)]
+        );
+        assert!(parts[1].is_empty());
+        assert!(parts[2].is_empty());
+        assert_eq!(
+            parts[3].ops(),
+            &[Op::Insert(3 * quarter, 1), Op::Delete(3 * quarter + 5)]
+        );
+        // Total operations conserved.
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, batch.len());
+    }
+
+    #[test]
+    fn split_lookups_remembers_positions() {
+        let r = ShardRouter::new(2).unwrap();
+        let half = 1u32 << 30;
+        let queries = [half + 1, 0, half + 2, 7];
+        let parts = r.split_lookups(&queries);
+        assert_eq!(parts[0].0, vec![0, 7]);
+        assert_eq!(parts[0].1, vec![1, 3]);
+        assert_eq!(parts[1].0, vec![half + 1, half + 2]);
+        assert_eq!(parts[1].1, vec![0, 2]);
+    }
+
+    #[test]
+    fn split_intervals_clamps_and_orders() {
+        let r = ShardRouter::new(4).unwrap();
+        let q = 1u32 << 29; // shard width
+        let subs = r.split_intervals(&[(q - 10, 2 * q + 5), (5, 2), (0, u32::MAX)]);
+        // Query 0 spans shards 0, 1 and 2.
+        assert_eq!(
+            &subs[..3],
+            &[
+                SubQuery {
+                    shard: 0,
+                    query: 0,
+                    lo: q - 10,
+                    hi: q - 1
+                },
+                SubQuery {
+                    shard: 1,
+                    query: 0,
+                    lo: q,
+                    hi: 2 * q - 1
+                },
+                SubQuery {
+                    shard: 2,
+                    query: 0,
+                    lo: 2 * q,
+                    hi: 2 * q + 5
+                },
+            ]
+        );
+        // Query 1 is inverted: contributes nothing.  Query 2 is clamped to
+        // the domain and spans all four shards.
+        assert_eq!(subs.len(), 3 + 4);
+        for (i, sub) in subs[3..].iter().enumerate() {
+            assert_eq!(sub.query, 2);
+            assert_eq!(sub.shard, i);
+            assert_eq!((sub.lo, sub.hi), r.shard_bounds(i));
+        }
+    }
+
+    #[test]
+    fn interval_on_a_single_shard_stays_unsplit() {
+        let r = ShardRouter::new(8).unwrap();
+        let (lo, hi) = r.shard_bounds(5);
+        let subs = r.split_intervals(&[(lo + 1, hi - 1)]);
+        assert_eq!(
+            subs,
+            vec![SubQuery {
+                shard: 5,
+                query: 0,
+                lo: lo + 1,
+                hi: hi - 1
+            }]
+        );
+    }
+}

@@ -1,0 +1,622 @@
+//! [`ShardedLsm`]: a key-range sharded LSM service.
+//!
+//! The paper scales a *single* LSM's batch throughput; a serving system
+//! wants many clients issuing mixed update/query traffic with throughput
+//! limited only by hardware.  [`crate::ConcurrentGpuLsm`] funnels every
+//! operation through one reader–writer lock, so one update batch blocks the
+//! whole key space.  `ShardedLsm` removes that bottleneck by partitioning
+//! the key domain into `N` power-of-two key ranges (see
+//! [`crate::router::ShardRouter`]), each an independent [`GpuLsm`] behind
+//! its own lock:
+//!
+//! * **Updates** are split by shard in one stable multisplit-style pass and
+//!   applied to distinct shards in parallel; updates touching disjoint
+//!   shards no longer serialise against each other.
+//! * **Queries** fan out to the owning shards and are reassembled in input
+//!   order; because the partition is by key *range*, per-shard `count`
+//!   answers sum and per-shard `range` answers concatenate in shard order
+//!   into a globally key-sorted result.
+//!
+//! ## Consistency model
+//!
+//! Each shard individually keeps the paper's phase semantics (§III-A rule
+//! 2): per shard, a query observes the state after some prefix of the
+//! update batches routed to that shard, never a partially applied batch.
+//! Across shards there is **no** global snapshot: a cross-shard query may
+//! observe different prefixes on different shards.  With `num_shards = 1`
+//! the structure degenerates to exactly one `GpuLsm` and every answer is
+//! byte-identical to the unsharded structure's.
+
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use crate::batch::UpdateBatch;
+use crate::cleanup::CleanupReport;
+use crate::concurrent::ConcurrentGpuLsm;
+use crate::error::{LsmError, Result};
+use crate::key::{is_tombstone, original_key, Key, Value, MAX_KEY};
+use crate::lsm::GpuLsm;
+use crate::range::RangeResult;
+use crate::router::ShardRouter;
+use crate::stats::LsmStats;
+use crate::validate::InvariantViolation;
+
+/// Per-shard routed point queries: the keys and their input positions.
+type RoutedLookups = (Vec<Key>, Vec<usize>);
+/// Per-shard routed interval queries: the clamped intervals and their
+/// originating query indices.
+type RoutedIntervals = (Vec<(Key, Key)>, Vec<usize>);
+
+/// A key-range sharded, thread-safe LSM service handle.
+///
+/// Cloning is cheap (shards are shared `Arc`s); all clones address the same
+/// underlying shards, so a handle can be passed to every client thread.
+#[derive(Debug, Clone)]
+pub struct ShardedLsm {
+    router: ShardRouter,
+    shards: Vec<ConcurrentGpuLsm>,
+    batch_size: usize,
+}
+
+/// Aggregated statistics of a sharded LSM: per-shard snapshots plus the
+/// service-wide totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// One [`LsmStats`] per shard, in shard order.
+    pub per_shard: Vec<LsmStats>,
+    /// Sum of resident elements over all shards (stale included).
+    pub total_elements: usize,
+    /// Sum of valid elements over all shards.
+    pub valid_elements: usize,
+    /// `total_elements - valid_elements`.
+    pub stale_elements: usize,
+    /// Sum of occupied levels over all shards.
+    pub occupied_levels: usize,
+    /// Sum of device memory bytes over all shards.
+    pub memory_bytes: usize,
+}
+
+impl ShardedStats {
+    /// Fraction of resident elements that are stale (0.0 when empty).
+    pub fn stale_fraction(&self) -> f64 {
+        if self.total_elements == 0 {
+            0.0
+        } else {
+            self.stale_elements as f64 / self.total_elements as f64
+        }
+    }
+}
+
+impl ShardedLsm {
+    /// Create an empty sharded LSM with `num_shards` power-of-two shards of
+    /// batch size `batch_size`, all on `device`.
+    pub fn new(device: Arc<gpu_sim::Device>, batch_size: usize, num_shards: usize) -> Result<Self> {
+        let router = ShardRouter::new(num_shards)?;
+        let shards = (0..num_shards)
+            .map(|_| ConcurrentGpuLsm::create(device.clone(), batch_size))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedLsm {
+            router,
+            shards,
+            batch_size,
+        })
+    }
+
+    /// Bulk-build a sharded LSM from arbitrary key–value pairs: the pairs
+    /// are partitioned by shard and each shard is bulk-built independently
+    /// (in parallel).
+    pub fn bulk_build(
+        device: Arc<gpu_sim::Device>,
+        batch_size: usize,
+        num_shards: usize,
+        pairs: &[(Key, Value)],
+    ) -> Result<Self> {
+        let router = ShardRouter::new(num_shards)?;
+        if batch_size == 0 {
+            return Err(LsmError::InvalidBatchSize { batch_size });
+        }
+        if let Some(&(k, _)) = pairs.iter().find(|(k, _)| *k > MAX_KEY) {
+            return Err(LsmError::KeyOutOfRange { key: k });
+        }
+        let mut per_shard: Vec<Vec<(Key, Value)>> = vec![Vec::new(); num_shards];
+        for &(k, v) in pairs {
+            per_shard[router.shard_of(k)].push((k, v));
+        }
+        let shards: Vec<Result<ConcurrentGpuLsm>> = per_shard
+            .par_iter()
+            .map(|shard_pairs| {
+                GpuLsm::bulk_build(device.clone(), batch_size, shard_pairs)
+                    .map(ConcurrentGpuLsm::new)
+            })
+            .collect();
+        Ok(ShardedLsm {
+            router,
+            shards: shards.into_iter().collect::<Result<Vec<_>>>()?,
+            batch_size,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The fixed per-shard batch size `b`.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The router mapping keys to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Direct handle to shard `s` (for diagnostics and tests).
+    pub fn shard(&self, s: usize) -> &ConcurrentGpuLsm {
+        &self.shards[s]
+    }
+
+    // ------------------------------------------------------------------
+    // Updates (per-shard exclusive phases)
+    // ------------------------------------------------------------------
+
+    /// Apply a mixed update batch: validated as a whole, split by shard in
+    /// one stable pass, then applied to the owning shards in parallel.
+    ///
+    /// Validation happens *before* any shard is touched, so an invalid
+    /// batch mutates nothing.  Each shard receives at most one sub-batch
+    /// and applies it under its own write lock; shards not named by the
+    /// batch are never locked.
+    pub fn update(&self, batch: &UpdateBatch) -> Result<()> {
+        if self.shards.len() == 1 {
+            // Degenerate sharding: no split, no clone — the single shard
+            // performs the identical validation itself.
+            return self.shards[0].update(batch);
+        }
+        if batch.is_empty() {
+            return Err(LsmError::EmptyBatch);
+        }
+        if batch.len() > self.batch_size {
+            return Err(LsmError::BatchTooLarge {
+                supplied: batch.len(),
+                batch_size: self.batch_size,
+            });
+        }
+        if let Some(op) = batch.ops().iter().find(|op| op.key() > MAX_KEY) {
+            return Err(LsmError::KeyOutOfRange { key: op.key() });
+        }
+
+        let parts = self.router.split_updates(batch);
+        let work: Vec<(usize, UpdateBatch)> = parts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .collect();
+        // Sub-batches passed validation above (non-empty, within b, keys in
+        // domain), so per-shard updates cannot fail; the expect documents
+        // that invariant rather than handling a reachable error.
+        work.par_iter().for_each(|(s, part)| {
+            self.shards[*s]
+                .update(part)
+                .expect("validated sub-batch cannot be rejected");
+        });
+        Ok(())
+    }
+
+    /// Insert key–value pairs (at most `b`).
+    pub fn insert(&self, pairs: &[(Key, Value)]) -> Result<()> {
+        self.update(&UpdateBatch::from_pairs(pairs))
+    }
+
+    /// Delete keys (at most `b`) by inserting tombstones.
+    pub fn delete(&self, keys: &[Key]) -> Result<()> {
+        self.update(&UpdateBatch::from_deletions(keys))
+    }
+
+    /// Remove stale elements from every shard (each under its own write
+    /// lock, in parallel) and return the aggregated report.
+    pub fn cleanup(&self) -> CleanupReport {
+        let reports: Vec<CleanupReport> = self.shards.par_iter().map(|s| s.cleanup()).collect();
+        reports.into_iter().fold(
+            CleanupReport {
+                elements_before: 0,
+                valid_elements: 0,
+                removed_elements: 0,
+                placebos_added: 0,
+                levels_before: 0,
+                levels_after: 0,
+            },
+            |acc, r| CleanupReport {
+                elements_before: acc.elements_before + r.elements_before,
+                valid_elements: acc.valid_elements + r.valid_elements,
+                removed_elements: acc.removed_elements + r.removed_elements,
+                placebos_added: acc.placebos_added + r.placebos_added,
+                levels_before: acc.levels_before + r.levels_before,
+                levels_after: acc.levels_after + r.levels_after,
+            },
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (per-shard shared phases, fan-out + reassembly)
+    // ------------------------------------------------------------------
+
+    /// Bulk point lookups: routed to the owning shards, executed per shard
+    /// in parallel, reassembled in input order.
+    pub fn lookup(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        let parts = self.router.split_lookups(queries);
+        let work: Vec<(usize, &RoutedLookups)> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, (keys, _))| !keys.is_empty())
+            .collect();
+        let shard_answers: Vec<(&[usize], Vec<Option<Value>>)> = work
+            .par_iter()
+            .map(|(s, (keys, positions))| (positions.as_slice(), self.shards[*s].lookup(keys)))
+            .collect();
+        let mut out = vec![None; queries.len()];
+        for (positions, answers) in shard_answers {
+            for (&pos, ans) in positions.iter().zip(answers) {
+                out[pos] = ans;
+            }
+        }
+        out
+    }
+
+    /// Bulk count queries: each interval is decomposed into per-shard
+    /// sub-intervals; sub-counts are disjoint by construction (shards own
+    /// disjoint key ranges) so they sum to the global answer.
+    pub fn count(&self, queries: &[(Key, Key)]) -> Vec<u32> {
+        let subs = self.router.split_intervals(queries);
+        // Group sub-queries by shard, remembering the originating query.
+        let mut per_shard: Vec<RoutedIntervals> = vec![(Vec::new(), Vec::new()); self.num_shards()];
+        for sub in &subs {
+            per_shard[sub.shard].0.push((sub.lo, sub.hi));
+            per_shard[sub.shard].1.push(sub.query);
+        }
+        let work: Vec<(usize, &RoutedIntervals)> = per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, (qs, _))| !qs.is_empty())
+            .collect();
+        let shard_answers: Vec<(&[usize], Vec<u32>)> = work
+            .par_iter()
+            .map(|(s, (qs, origins))| (origins.as_slice(), self.shards[*s].count(qs)))
+            .collect();
+        let mut out = vec![0u32; queries.len()];
+        for (origins, counts) in shard_answers {
+            for (&q, c) in origins.iter().zip(counts) {
+                out[q] += c;
+            }
+        }
+        out
+    }
+
+    /// Bulk range queries: per-shard sub-results are concatenated in shard
+    /// order per query, which yields each query's pairs globally sorted by
+    /// key (the partition is by key range).
+    pub fn range(&self, queries: &[(Key, Key)]) -> RangeResult {
+        let subs = self.router.split_intervals(queries);
+        let mut per_shard: Vec<Vec<(Key, Key)>> = vec![Vec::new(); self.num_shards()];
+        // For each input query, the (shard slot, index within that shard's
+        // sub-query list) pairs, in shard-ascending order — split_intervals
+        // emits them that way.
+        let mut assembly: Vec<Vec<(usize, usize)>> = vec![Vec::new(); queries.len()];
+        for sub in &subs {
+            assembly[sub.query].push((sub.shard, per_shard[sub.shard].len()));
+            per_shard[sub.shard].push((sub.lo, sub.hi));
+        }
+        let work: Vec<(usize, &Vec<(Key, Key)>)> = per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, qs)| !qs.is_empty())
+            .collect();
+        let shard_results: Vec<(usize, RangeResult)> = work
+            .par_iter()
+            .map(|(s, qs)| (*s, self.shards[*s].range(qs)))
+            .collect();
+        // Shard slot -> its RangeResult (shards without work stay None).
+        let mut by_shard: Vec<Option<RangeResult>> = (0..self.num_shards()).map(|_| None).collect();
+        for (s, r) in shard_results {
+            by_shard[s] = Some(r);
+        }
+        RangeResult::from_query_parts(queries.len(), |q| {
+            assembly[q]
+                .iter()
+                .map(|&(s, local)| {
+                    let r = by_shard[s].as_ref().expect("shard with sub-queries ran");
+                    r.query(local)
+                })
+                .collect()
+        })
+    }
+
+    /// Bulk successor queries (smallest valid key strictly greater than
+    /// each query key).  The owning shard is asked first; if it has no
+    /// successor the scan walks the higher shards in key order.
+    pub fn successor(&self, queries: &[Key]) -> Vec<Option<(Key, Value)>> {
+        queries.par_iter().map(|&q| self.successor_one(q)).collect()
+    }
+
+    /// Bulk predecessor queries (largest valid key strictly smaller than
+    /// each query key).
+    pub fn predecessor(&self, queries: &[Key]) -> Vec<Option<(Key, Value)>> {
+        queries
+            .par_iter()
+            .map(|&q| self.predecessor_one(q))
+            .collect()
+    }
+
+    /// Successor of a single key across shards.
+    pub fn successor_one(&self, query: Key) -> Option<(Key, Value)> {
+        let first = self.router.shard_of(query.min(MAX_KEY));
+        for s in first..self.num_shards() {
+            // For shards above the owner, any resident key is greater than
+            // the query, so probing with the key just below the shard's
+            // range yields the shard's smallest valid key.
+            let probe = if s == first {
+                query
+            } else {
+                self.router.shard_bounds(s).0 - 1
+            };
+            let found = self.shards[s].with_read(|lsm| lsm.successor_one(probe));
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    /// Predecessor of a single key across shards.
+    pub fn predecessor_one(&self, query: Key) -> Option<(Key, Value)> {
+        let first = self.router.shard_of(query.min(MAX_KEY));
+        for s in (0..=first).rev() {
+            let probe = if s == first {
+                query
+            } else {
+                // The key just above the shard's range: its predecessor is
+                // the shard's largest valid key.
+                self.router.shard_bounds(s).1 + 1
+            };
+            let found = self.shards[s].with_read(|lsm| lsm.predecessor_one(probe));
+            if found.is_some() {
+                return found;
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics
+    // ------------------------------------------------------------------
+
+    /// Aggregated statistics: per-shard snapshots plus service totals.
+    pub fn stats(&self) -> ShardedStats {
+        let per_shard: Vec<LsmStats> = self.shards.par_iter().map(|s| s.stats()).collect();
+        let mut agg = ShardedStats {
+            total_elements: 0,
+            valid_elements: 0,
+            stale_elements: 0,
+            occupied_levels: 0,
+            memory_bytes: 0,
+            per_shard: Vec::new(),
+        };
+        for s in &per_shard {
+            agg.total_elements += s.total_elements;
+            agg.valid_elements += s.valid_elements;
+            agg.stale_elements += s.stale_elements;
+            agg.occupied_levels += s.occupied_levels;
+            agg.memory_bytes += s.memory_bytes;
+        }
+        agg.per_shard = per_shard;
+        agg
+    }
+
+    /// Check every shard's structural invariants plus the sharding
+    /// invariant: every non-placebo element resides in the shard that owns
+    /// its key.  (Placebo padding elements are max-key tombstones by
+    /// construction and are exempt — every shard pads with them.)
+    pub fn check_invariants(&self) -> std::result::Result<(), InvariantViolation> {
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.with_read(|lsm| {
+                lsm.check_invariants().map_err(|InvariantViolation(msg)| {
+                    InvariantViolation(format!("shard {s}: {msg}"))
+                })?;
+                let (lo, hi) = self.router.shard_bounds(s);
+                for (i, level) in lsm.levels().iter_occupied() {
+                    for &enc in level.keys() {
+                        let key = original_key(enc);
+                        let placebo = key == MAX_KEY && is_tombstone(enc);
+                        if !placebo && (key < lo || key > hi) {
+                            return Err(InvariantViolation(format!(
+                                "shard {s} level {i} holds key {key} outside its range [{lo}, {hi}]"
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Device, DeviceConfig};
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::small()))
+    }
+
+    fn sharded(batch_size: usize, num_shards: usize) -> ShardedLsm {
+        ShardedLsm::new(device(), batch_size, num_shards).unwrap()
+    }
+
+    /// Keys that land in shard `s` of `n` shards: the shard's low bound
+    /// plus small offsets.
+    fn key_in(n: usize, s: usize, offset: u32) -> u32 {
+        let router = ShardRouter::new(n).unwrap();
+        router.shard_bounds(s).0 + offset
+    }
+
+    #[test]
+    fn rejects_invalid_shard_counts_and_batch_sizes() {
+        assert!(matches!(
+            ShardedLsm::new(device(), 8, 3).unwrap_err(),
+            LsmError::InvalidShardCount { num_shards: 3 }
+        ));
+        assert!(matches!(
+            ShardedLsm::new(device(), 0, 2).unwrap_err(),
+            LsmError::InvalidBatchSize { batch_size: 0 }
+        ));
+    }
+
+    #[test]
+    fn basic_crud_across_shards() {
+        let lsm = sharded(8, 4);
+        let keys: Vec<u32> = (0..4).map(|s| key_in(4, s, 7)).collect();
+        let pairs: Vec<(u32, u32)> = keys.iter().map(|&k| (k, k % 1000)).collect();
+        lsm.insert(&pairs).unwrap();
+        assert_eq!(
+            lsm.lookup(&keys),
+            pairs.iter().map(|&(_, v)| Some(v)).collect::<Vec<_>>()
+        );
+        lsm.delete(&[keys[2]]).unwrap();
+        assert_eq!(lsm.lookup(&[keys[2]]), vec![None]);
+        assert_eq!(lsm.count(&[(0, MAX_KEY)]), vec![3]);
+        lsm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_validation_mutates_nothing() {
+        let lsm = sharded(2, 2);
+        assert_eq!(
+            lsm.update(&UpdateBatch::new()).unwrap_err(),
+            LsmError::EmptyBatch
+        );
+        let err = lsm.insert(&[(1, 1), (2, 2), (3, 3)]).unwrap_err();
+        assert!(matches!(err, LsmError::BatchTooLarge { .. }));
+        let mut batch = UpdateBatch::new();
+        batch.insert(1, 1).insert(MAX_KEY + 1, 0);
+        assert_eq!(
+            lsm.update(&batch).unwrap_err(),
+            LsmError::KeyOutOfRange { key: MAX_KEY + 1 }
+        );
+        // Nothing was applied, not even the valid prefix.
+        assert_eq!(lsm.stats().total_elements, 0);
+        assert_eq!(lsm.lookup(&[1]), vec![None]);
+    }
+
+    #[test]
+    fn cross_shard_range_concatenates_in_key_order() {
+        let lsm = sharded(16, 4);
+        // Three keys per shard, clustered at each shard's low boundary.
+        let mut pairs = Vec::new();
+        for s in 0..4 {
+            for off in 0..3u32 {
+                let k = key_in(4, s, off);
+                pairs.push((k, s as u32 * 10 + off));
+            }
+        }
+        lsm.insert(&pairs).unwrap();
+        let result = lsm.range(&[(0, MAX_KEY)]);
+        let (keys, values) = result.query(0);
+        let mut expected = pairs.clone();
+        expected.sort_unstable();
+        assert_eq!(keys, expected.iter().map(|&(k, _)| k).collect::<Vec<_>>());
+        assert_eq!(values, expected.iter().map(|&(_, v)| v).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_shard_matches_plain_lsm_byte_for_byte() {
+        let sharded = sharded(8, 1);
+        let mut plain = GpuLsm::new(device(), 8).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..8).map(|i| (i * 1000, i)).collect();
+        sharded.insert(&pairs).unwrap();
+        plain.insert(&pairs).unwrap();
+        sharded.delete(&[2000, 5000]).unwrap();
+        plain.delete(&[2000, 5000]).unwrap();
+
+        let lookups: Vec<u32> = (0..9000).step_by(500).collect();
+        assert_eq!(sharded.lookup(&lookups), plain.lookup(&lookups));
+        let intervals = vec![(0, 3500), (3500, 3500), (9000, 1), (0, MAX_KEY)];
+        assert_eq!(sharded.count(&intervals), plain.count(&intervals));
+        assert_eq!(sharded.range(&intervals), plain.range(&intervals));
+        assert_eq!(sharded.successor(&[0, 2000]), plain.successor(&[0, 2000]));
+        assert_eq!(
+            sharded.predecessor(&[7000, 1]),
+            plain.predecessor(&[7000, 1])
+        );
+    }
+
+    #[test]
+    fn successor_and_predecessor_cross_shard_boundaries() {
+        let lsm = sharded(4, 4);
+        // One key in shard 0 and one in shard 3; shards 1 and 2 are empty.
+        let a = key_in(4, 0, 5);
+        let b = key_in(4, 3, 9);
+        lsm.insert(&[(a, 1), (b, 2)]).unwrap();
+        assert_eq!(lsm.successor(&[a]), vec![Some((b, 2))]);
+        assert_eq!(lsm.predecessor(&[b]), vec![Some((a, 1))]);
+        assert_eq!(lsm.successor(&[b]), vec![None]);
+        assert_eq!(lsm.predecessor(&[a]), vec![None]);
+        // A query inside an empty middle shard sees across both boundaries.
+        let mid = key_in(4, 1, 3);
+        assert_eq!(lsm.successor(&[mid]), vec![Some((b, 2))]);
+        assert_eq!(lsm.predecessor(&[mid]), vec![Some((a, 1))]);
+    }
+
+    #[test]
+    fn cleanup_and_stats_aggregate_across_shards() {
+        let lsm = sharded(4, 2);
+        let low = key_in(2, 0, 1);
+        let high = key_in(2, 1, 1);
+        lsm.insert(&[(low, 1), (high, 2)]).unwrap();
+        lsm.insert(&[(low, 3), (high + 1, 4)]).unwrap();
+        lsm.delete(&[high]).unwrap();
+        let stats = lsm.stats();
+        assert_eq!(stats.per_shard.len(), 2);
+        assert_eq!(stats.valid_elements, 2); // low (=3), high+1
+        assert!(stats.stale_fraction() > 0.0);
+        let report = lsm.cleanup();
+        assert_eq!(report.valid_elements, 2);
+        let after = lsm.stats();
+        assert_eq!(after.valid_elements, 2);
+        assert!(after.total_elements <= stats.total_elements);
+        assert_eq!(
+            lsm.lookup(&[low, high, high + 1]),
+            vec![Some(3), None, Some(4)]
+        );
+        lsm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_build_distributes_by_key_range() {
+        let pairs: Vec<(u32, u32)> = (0..100).map(|i| (i * (MAX_KEY / 100), i)).collect();
+        let lsm = ShardedLsm::bulk_build(device(), 16, 4, &pairs).unwrap();
+        lsm.check_invariants().unwrap();
+        let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+        assert_eq!(
+            lsm.lookup(&keys),
+            pairs.iter().map(|&(_, v)| Some(v)).collect::<Vec<_>>()
+        );
+        assert_eq!(lsm.count(&[(0, MAX_KEY)]), vec![100]);
+        // Every shard received some of the evenly spread keys.
+        assert!(lsm.stats().per_shard.iter().all(|s| s.total_elements > 0));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let lsm = sharded(4, 2);
+        let clone = lsm.clone();
+        lsm.insert(&[(1, 10)]).unwrap();
+        assert_eq!(clone.lookup(&[1]), vec![Some(10)]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Edge cases the sharded `count` / `range` merge must preserve exactly:
+//! empty intervals, inverted bounds, the full-universe query, and queries
+//! whose bounds coincide with shard split points.  Every case is checked
+//! against the plain [`GpuLsm`] on identical contents, at several shard
+//! counts, so the fan-out/merge layer can never drift from the single
+//! structure's semantics.
+
+use std::sync::Arc;
+
+use gpu_lsm::{GpuLsm, ShardRouter, ShardedLsm, UpdateBatch, MAX_KEY};
+use gpu_sim::{Device, DeviceConfig};
+
+fn device() -> Arc<Device> {
+    Arc::new(Device::new(DeviceConfig::small()))
+}
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 64;
+
+/// Build identical contents in a plain LSM and in sharded LSMs at every
+/// tested shard count: keys clustered tightly around every 8-way split
+/// point (including the split points themselves), some deleted again.
+fn build_all() -> (GpuLsm, Vec<ShardedLsm>) {
+    let dev = device();
+    let router = ShardRouter::new(8).unwrap();
+    let mut batch = UpdateBatch::new();
+    for &s in &router.split_points() {
+        // s - 2, s - 1, s, s + 1: straddle the boundary.
+        batch.insert(s - 2, s % 1000);
+        batch.insert(s - 1, s % 1000 + 1);
+        batch.insert(s, s % 1000 + 2);
+        batch.insert(s + 1, s % 1000 + 3);
+    }
+    // Domain extremes.
+    batch.insert(0, 11).insert(MAX_KEY, 22);
+    let mut deletions = UpdateBatch::new();
+    for &s in &router.split_points() {
+        // Tombstone one key per boundary cluster.
+        deletions.delete(s - 1);
+    }
+
+    let mut plain = GpuLsm::new(dev.clone(), BATCH).unwrap();
+    plain.update(&batch).unwrap();
+    plain.update(&deletions).unwrap();
+
+    let sharded = SHARD_COUNTS
+        .iter()
+        .map(|&n| {
+            let s = ShardedLsm::new(dev.clone(), BATCH, n).unwrap();
+            s.update(&batch).unwrap();
+            s.update(&deletions).unwrap();
+            s.check_invariants().unwrap();
+            s
+        })
+        .collect();
+    (plain, sharded)
+}
+
+/// Assert that every sharded instance answers `queries` exactly like the
+/// plain LSM (counts and full range results, offsets included).
+fn assert_agreement(plain: &GpuLsm, sharded: &[ShardedLsm], queries: &[(u32, u32)], what: &str) {
+    let expected_counts = plain.count(queries);
+    let expected_ranges = plain.range(queries);
+    // Counts and range lengths agree inside the plain structure itself.
+    for (q, &c) in expected_counts.iter().enumerate() {
+        assert_eq!(
+            expected_ranges.len(q),
+            c as usize,
+            "{what}: plain count/range query {q}"
+        );
+    }
+    for s in sharded {
+        let n = s.num_shards();
+        assert_eq!(
+            s.count(queries),
+            expected_counts,
+            "{what}: counts at {n} shards"
+        );
+        assert_eq!(
+            s.range(queries),
+            expected_ranges,
+            "{what}: ranges at {n} shards"
+        );
+    }
+}
+
+#[test]
+fn empty_intervals_everywhere() {
+    let (plain, sharded) = build_all();
+    let router = ShardRouter::new(8).unwrap();
+    let mut queries = vec![(5u32, 5u32), (1, 1), (MAX_KEY, MAX_KEY)];
+    // Empty gaps away from any stored key, including gaps that span
+    // boundaries but contain nothing.
+    for &s in &router.split_points() {
+        queries.push((s + 10, s + 10));
+        queries.push((s + 2, s + 100));
+    }
+    assert_agreement(&plain, &sharded, &queries, "empty intervals");
+    // All of these must actually be empty except boundary clusters.
+    assert_eq!(plain.count(&[(5, 5)]), vec![0]);
+}
+
+#[test]
+fn inverted_bounds_return_empty_not_panic() {
+    let (plain, sharded) = build_all();
+    let router = ShardRouter::new(8).unwrap();
+    let mut queries = vec![(MAX_KEY, 0u32), (10, 5), (1, 0)];
+    for &s in &router.split_points() {
+        // Inverted across a boundary in both directions.
+        queries.push((s + 1, s - 1));
+        queries.push((s, s - 1));
+    }
+    let counts = plain.count(&queries);
+    assert!(
+        counts.iter().all(|&c| c == 0),
+        "inverted bounds count nothing"
+    );
+    let ranges = plain.range(&queries);
+    assert_eq!(ranges.total_len(), 0);
+    assert_agreement(&plain, &sharded, &queries, "inverted bounds");
+}
+
+#[test]
+fn full_universe_query_sees_everything_once() {
+    let (plain, sharded) = build_all();
+    let queries = [(0u32, MAX_KEY)];
+    // 7 boundary clusters of 4 keys each, one deleted per cluster, plus the
+    // two extremes: 7 * 3 + 2 valid keys.
+    assert_eq!(plain.count(&queries), vec![7 * 3 + 2]);
+    assert_agreement(&plain, &sharded, &queries, "full universe");
+    // The concatenated full-universe range is globally key-sorted.
+    for s in &sharded {
+        let r = s.range(&queries);
+        let (keys, _) = r.query(0);
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "sorted, distinct keys"
+        );
+    }
+}
+
+#[test]
+fn bounds_equal_to_split_points() {
+    let (plain, sharded) = build_all();
+    let router = ShardRouter::new(8).unwrap();
+    let mut queries = Vec::new();
+    for &s in &router.split_points() {
+        queries.push((s, s)); // the split point alone
+        queries.push((s - 2, s)); // upper bound on the boundary
+        queries.push((s, s + 1)); // lower bound on the boundary
+        queries.push((s - 2, s + 1)); // straddling, both clusters
+    }
+    // Also every pair of *adjacent* split points (a whole shard, inclusive).
+    let splits = router.split_points();
+    for w in splits.windows(2) {
+        queries.push((w[0], w[1]));
+        queries.push((w[0], w[1] - 1));
+    }
+    assert_agreement(&plain, &sharded, &queries, "split-point bounds");
+    // Spot-check one straddling query by hand: s-2 (present), s-1
+    // (deleted), s (present), s+1 (present).
+    let s = splits[0];
+    assert_eq!(plain.count(&[(s - 2, s + 1)]), vec![3]);
+}
+
+#[test]
+fn lookups_and_order_queries_on_split_points() {
+    let (plain, sharded) = build_all();
+    let router = ShardRouter::new(8).unwrap();
+    let mut keys = vec![0u32, MAX_KEY];
+    for &s in &router.split_points() {
+        keys.extend_from_slice(&[s - 2, s - 1, s, s + 1]);
+    }
+    let expected = plain.lookup(&keys);
+    let expected_succ = plain.successor(&keys);
+    let expected_pred = plain.predecessor(&keys);
+    for s in &sharded {
+        let n = s.num_shards();
+        assert_eq!(s.lookup(&keys), expected, "lookups at {n} shards");
+        assert_eq!(
+            s.successor(&keys),
+            expected_succ,
+            "successors at {n} shards"
+        );
+        assert_eq!(
+            s.predecessor(&keys),
+            expected_pred,
+            "predecessors at {n} shards"
+        );
+    }
+    // The deleted boundary neighbour reads as absent; the split point reads
+    // through to its value.
+    let sp = router.split_points()[3];
+    assert_eq!(plain.lookup(&[sp - 1]), vec![None]);
+    assert!(plain.lookup(&[sp])[0].is_some());
+}
+
+#[test]
+fn out_of_domain_bounds_agree_between_plain_and_sharded() {
+    // Bounds above MAX_KEY cannot contain a storable key; every backend
+    // must treat them identically instead of letting `k << 1` wrap.
+    let (plain, sharded) = build_all();
+    let queries = vec![
+        (MAX_KEY + 1, u32::MAX), // entirely above the domain: empty
+        (u32::MAX, u32::MAX),
+        (0, u32::MAX),       // upper bound clamps to MAX_KEY
+        (MAX_KEY, u32::MAX), // exactly the domain's top key
+        (u32::MAX, 0),       // inverted and out of domain
+    ];
+    assert_eq!(plain.count(&queries), vec![0, 0, 7 * 3 + 2, 1, 0]);
+    assert_agreement(&plain, &sharded, &queries, "out-of-domain bounds");
+
+    // Order queries beyond the domain: no successor exists; the
+    // predecessor is the largest valid key (MAX_KEY here, it is live).
+    let probes = [MAX_KEY, MAX_KEY + 1, u32::MAX];
+    assert_eq!(plain.successor(&probes), vec![None, None, None]);
+    let pred = plain.predecessor(&[MAX_KEY + 1, u32::MAX]);
+    assert_eq!(pred, vec![Some((MAX_KEY, 22)), Some((MAX_KEY, 22))]);
+    for s in &sharded {
+        let n = s.num_shards();
+        assert_eq!(s.successor(&probes), plain.successor(&probes), "{n} shards");
+        assert_eq!(s.predecessor(&[MAX_KEY + 1, u32::MAX]), pred, "{n} shards");
+        // Lookups beyond the domain miss everywhere.
+        assert_eq!(s.lookup(&[MAX_KEY + 1, u32::MAX]), vec![None, None]);
+    }
+}
+
+#[test]
+fn cleanup_preserves_every_edge_case_answer() {
+    let (mut plain, sharded) = build_all();
+    let router = ShardRouter::new(8).unwrap();
+    let mut queries = vec![(0, MAX_KEY), (MAX_KEY, 0)];
+    for &s in &router.split_points() {
+        queries.push((s, s));
+        queries.push((s - 2, s + 1));
+    }
+    let before_counts = plain.count(&queries);
+    let before_ranges = plain.range(&queries);
+    plain.cleanup();
+    assert_eq!(plain.count(&queries), before_counts);
+    assert_eq!(plain.range(&queries), before_ranges);
+    for s in &sharded {
+        s.cleanup();
+        s.check_invariants().unwrap();
+        assert_eq!(
+            s.count(&queries),
+            before_counts,
+            "{} shards",
+            s.num_shards()
+        );
+        assert_eq!(
+            s.range(&queries),
+            before_ranges,
+            "{} shards",
+            s.num_shards()
+        );
+    }
+}

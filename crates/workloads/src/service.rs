@@ -1,0 +1,329 @@
+//! Open-loop mixed update/query workload driver.
+//!
+//! The paper's experiments drive one structure from one host thread, one
+//! phase at a time.  A serving system sees the opposite: many client
+//! threads issuing update batches and query batches concurrently, with the
+//! readers not waiting for the writers.  This module drives any
+//! [`LsmBackend`] (the single-lock [`ConcurrentGpuLsm`] or the sharded
+//! [`ShardedLsm`]) with exactly that traffic shape and reports sustained
+//! throughput, so shard-scaling experiments and the CI gate can measure
+//! service-level rates rather than single-phase kernel rates.
+//!
+//! Writers each apply a deterministic, seeded sequence of mixed
+//! insert/delete batches as fast as the backend admits them.  Readers run
+//! *open loop*: they issue lookup / count / range batches continuously
+//! until every writer has drained, never synchronising with updates.  All
+//! workload generation is seeded per thread, so two runs against the same
+//! backend replay identical operation streams.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use gpu_lsm::{ConcurrentGpuLsm, Key, RangeResult, ShardedLsm, UpdateBatch, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A thread-safe LSM service a mixed workload can be driven against.
+///
+/// Both the single-lock wrapper and the sharded service implement this, so
+/// experiments can compare them under identical traffic.
+pub trait LsmBackend: Clone + Send + Sync + 'static {
+    /// Short label for reports.
+    fn label(&self) -> String;
+    /// Apply one mixed update batch (exclusive phase on the touched state).
+    fn apply(&self, batch: &UpdateBatch) -> gpu_lsm::Result<()>;
+    /// Bulk point lookups.
+    fn lookup(&self, keys: &[Key]) -> Vec<Option<Value>>;
+    /// Bulk count queries.
+    fn count(&self, intervals: &[(Key, Key)]) -> Vec<u32>;
+    /// Bulk range queries.
+    fn range(&self, intervals: &[(Key, Key)]) -> RangeResult;
+}
+
+impl LsmBackend for ConcurrentGpuLsm {
+    fn label(&self) -> String {
+        "concurrent-lsm".to_string()
+    }
+    fn apply(&self, batch: &UpdateBatch) -> gpu_lsm::Result<()> {
+        self.update(batch)
+    }
+    fn lookup(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        ConcurrentGpuLsm::lookup(self, keys)
+    }
+    fn count(&self, intervals: &[(Key, Key)]) -> Vec<u32> {
+        ConcurrentGpuLsm::count(self, intervals)
+    }
+    fn range(&self, intervals: &[(Key, Key)]) -> RangeResult {
+        ConcurrentGpuLsm::range(self, intervals)
+    }
+}
+
+impl LsmBackend for ShardedLsm {
+    fn label(&self) -> String {
+        format!("sharded-lsm x{}", self.num_shards())
+    }
+    fn apply(&self, batch: &UpdateBatch) -> gpu_lsm::Result<()> {
+        self.update(batch)
+    }
+    fn lookup(&self, keys: &[Key]) -> Vec<Option<Value>> {
+        ShardedLsm::lookup(self, keys)
+    }
+    fn count(&self, intervals: &[(Key, Key)]) -> Vec<u32> {
+        ShardedLsm::count(self, intervals)
+    }
+    fn range(&self, intervals: &[(Key, Key)]) -> RangeResult {
+        ShardedLsm::range(self, intervals)
+    }
+}
+
+/// Shape of a mixed open-loop run.
+#[derive(Debug, Clone)]
+pub struct MixedWorkloadConfig {
+    /// Concurrent writer (update) threads; must be at least 1.
+    pub writer_threads: usize,
+    /// Concurrent reader (query) threads.
+    pub reader_threads: usize,
+    /// Update batches each writer applies.
+    pub batches_per_writer: usize,
+    /// Operations per update batch (the service's fixed `b`).
+    pub batch_size: usize,
+    /// Fraction of each batch that is deletions of previously usable keys.
+    pub delete_fraction: f64,
+    /// Point lookups per reader iteration.
+    pub lookups_per_round: usize,
+    /// Interval (count + range) queries per reader iteration.
+    pub intervals_per_round: usize,
+    /// Width of generated query intervals.
+    pub interval_width: u32,
+    /// Keys are drawn from `0..key_domain`.
+    pub key_domain: u32,
+    /// Master seed; every thread derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for MixedWorkloadConfig {
+    fn default() -> Self {
+        MixedWorkloadConfig {
+            writer_threads: 2,
+            reader_threads: 2,
+            batches_per_writer: 16,
+            batch_size: 256,
+            delete_fraction: 0.2,
+            lookups_per_round: 256,
+            intervals_per_round: 16,
+            interval_width: 1 << 12,
+            key_domain: 1 << 20,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// What a mixed open-loop run did and how fast.
+#[derive(Debug, Clone)]
+pub struct MixedWorkloadReport {
+    /// Backend label the run was driven against.
+    pub backend: String,
+    /// Update batches applied (writers × batches each).
+    pub update_batches: usize,
+    /// Total update operations applied.
+    pub update_ops: usize,
+    /// Point lookups answered.
+    pub lookups: usize,
+    /// Interval queries (counts + ranges) answered.
+    pub interval_queries: usize,
+    /// Total elements returned by range queries.
+    pub range_elements: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_seconds: f64,
+    /// Update throughput in M operations/s.
+    pub update_rate_m: f64,
+    /// Query throughput (lookups + interval queries) in M queries/s.
+    pub query_rate_m: f64,
+}
+
+/// Generate one writer batch: distinct keys, a `delete_fraction` of them
+/// deletions, the rest insertions.  Distinct keys keep per-batch semantics
+/// order-independent, so differential checks against a sequential model
+/// stay exact.
+pub fn generate_update_batch(
+    rng: &mut StdRng,
+    batch_size: usize,
+    key_domain: u32,
+    delete_fraction: f64,
+) -> UpdateBatch {
+    let mut batch = UpdateBatch::with_capacity(batch_size);
+    let mut used = std::collections::HashSet::with_capacity(batch_size * 2);
+    while used.len() < batch_size {
+        let key = rng.gen_range(0..key_domain);
+        if !used.insert(key) {
+            continue;
+        }
+        if rng.gen_bool(delete_fraction) {
+            batch.delete(key);
+        } else {
+            batch.insert(key, rng.gen::<u32>());
+        }
+    }
+    batch
+}
+
+/// Drive `backend` with the configured concurrent mixed traffic and report
+/// sustained service throughput.
+pub fn run_mixed_workload<B: LsmBackend>(
+    backend: &B,
+    config: &MixedWorkloadConfig,
+) -> MixedWorkloadReport {
+    assert!(config.writer_threads >= 1, "need at least one writer");
+    assert!(config.batch_size >= 1, "need a positive batch size");
+    let writers_done = AtomicBool::new(false);
+    let start = Instant::now();
+
+    // (lookups, interval queries, range elements) per reader.
+    let mut reader_tallies: Vec<(usize, usize, usize)> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut writer_handles = Vec::new();
+        for w in 0..config.writer_threads {
+            let backend = backend.clone();
+            let config = config.clone();
+            writer_handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (0xA110 + w as u64));
+                for _ in 0..config.batches_per_writer {
+                    let batch = generate_update_batch(
+                        &mut rng,
+                        config.batch_size,
+                        config.key_domain,
+                        config.delete_fraction,
+                    );
+                    backend.apply(&batch).expect("valid generated batch");
+                }
+            }));
+        }
+
+        let mut reader_handles = Vec::new();
+        for r in 0..config.reader_threads {
+            let backend = backend.clone();
+            let config = config.clone();
+            let writers_done = &writers_done;
+            reader_handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (0xBEAD + r as u64));
+                let mut lookups = 0usize;
+                let mut intervals = 0usize;
+                let mut range_elements = 0usize;
+                // Open loop: keep issuing query batches until the writers
+                // have drained, then finish the round in flight.
+                while !writers_done.load(Ordering::Acquire) {
+                    let keys: Vec<Key> = (0..config.lookups_per_round)
+                        .map(|_| rng.gen_range(0..config.key_domain))
+                        .collect();
+                    let answers = backend.lookup(&keys);
+                    assert_eq!(answers.len(), keys.len());
+                    lookups += keys.len();
+
+                    let spans: Vec<(Key, Key)> = (0..config.intervals_per_round)
+                        .map(|_| {
+                            let lo = rng.gen_range(0..config.key_domain);
+                            (lo, lo.saturating_add(config.interval_width))
+                        })
+                        .collect();
+                    let counts = backend.count(&spans);
+                    assert_eq!(counts.len(), spans.len());
+                    let ranges = backend.range(&spans);
+                    // Counts and ranges see different states under
+                    // concurrent updates, but both answer every query.
+                    assert_eq!(ranges.num_queries(), spans.len());
+                    range_elements += ranges.total_len();
+                    intervals += 2 * spans.len();
+                }
+                (lookups, intervals, range_elements)
+            }));
+        }
+
+        for h in writer_handles {
+            h.join().expect("writer thread");
+        }
+        writers_done.store(true, Ordering::Release);
+        for h in reader_handles {
+            reader_tallies.push(h.join().expect("reader thread"));
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let update_batches = config.writer_threads * config.batches_per_writer;
+    let update_ops = update_batches * config.batch_size;
+    let lookups: usize = reader_tallies.iter().map(|t| t.0).sum();
+    let interval_queries: usize = reader_tallies.iter().map(|t| t.1).sum();
+    let range_elements: usize = reader_tallies.iter().map(|t| t.2).sum();
+    let queries = lookups + interval_queries;
+    MixedWorkloadReport {
+        backend: backend.label(),
+        update_batches,
+        update_ops,
+        lookups,
+        interval_queries,
+        range_elements,
+        elapsed_seconds: elapsed,
+        update_rate_m: update_ops as f64 / elapsed / 1.0e6,
+        query_rate_m: queries as f64 / elapsed / 1.0e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use gpu_sim::{Device, DeviceConfig};
+
+    fn small_config() -> MixedWorkloadConfig {
+        MixedWorkloadConfig {
+            writer_threads: 2,
+            reader_threads: 2,
+            batches_per_writer: 4,
+            batch_size: 64,
+            delete_fraction: 0.25,
+            lookups_per_round: 64,
+            intervals_per_round: 4,
+            interval_width: 1 << 8,
+            key_domain: 1 << 12,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn drives_the_concurrent_wrapper() {
+        let device = Arc::new(Device::new(DeviceConfig::small()));
+        let backend = ConcurrentGpuLsm::create(device, 64).unwrap();
+        let report = run_mixed_workload(&backend, &small_config());
+        assert_eq!(report.backend, "concurrent-lsm");
+        assert_eq!(report.update_batches, 8);
+        assert_eq!(report.update_ops, 8 * 64);
+        assert!(report.lookups > 0, "readers issued at least one round");
+        assert!(report.elapsed_seconds > 0.0);
+        assert!(report.update_rate_m > 0.0);
+        assert!(report.query_rate_m > 0.0);
+    }
+
+    #[test]
+    fn drives_the_sharded_service_and_state_is_consistent() {
+        let device = Arc::new(Device::new(DeviceConfig::small()));
+        let backend = ShardedLsm::new(device, 64, 4).unwrap();
+        let report = run_mixed_workload(&backend, &small_config());
+        assert_eq!(report.backend, "sharded-lsm x4");
+        assert_eq!(report.update_ops, 8 * 64);
+        // After the run the structure satisfies its invariants and the
+        // service-wide count is bounded by the key domain.
+        backend.check_invariants().unwrap();
+        let total = backend.count(&[(0, gpu_lsm::MAX_KEY)])[0];
+        assert!(total as usize <= 1 << 12);
+    }
+
+    #[test]
+    fn workload_generation_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let ba = generate_update_batch(&mut a, 32, 1000, 0.3);
+        let bb = generate_update_batch(&mut b, 32, 1000, 0.3);
+        assert_eq!(ba, bb);
+        assert_eq!(ba.len(), 32);
+    }
+}

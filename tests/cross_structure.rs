@@ -2,15 +2,25 @@
 //! cuckoo hash table must give identical answers on the workloads they all
 //! support, since the paper's tables compare their performance on the same
 //! query streams.
+//!
+//! The second half of the file is the *sharded* differential suite: random
+//! mixed update/delete/cleanup/query sequences replayed against
+//! [`ShardedLsm`] at several shard counts, the plain [`GpuLsm`], and a
+//! sequential `BTreeMap` reference model — with `shards = 1` required to be
+//! byte-identical to the unsharded structure.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use gpu_baselines::{CuckooHashTable, SortedArray};
-use gpu_lsm::GpuLsm;
+use gpu_lsm::{GpuLsm, ShardRouter, ShardedLsm, UpdateBatch, MAX_KEY};
 use gpu_sim::{Device, DeviceConfig};
 use lsm_workloads::{
     existing_lookups, missing_lookups, range_queries_with_expected_width, unique_random_pairs,
 };
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn device() -> Arc<Device> {
     Arc::new(Device::new(DeviceConfig::small()))
@@ -93,6 +103,187 @@ fn structures_agree_after_equivalent_updates() {
     lsm.cleanup();
     assert_eq!(lsm.lookup(&queries), sa.lookup(&queries));
     assert_eq!(lsm.count(&intervals), sa.count(&intervals));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded differential suite
+// ---------------------------------------------------------------------------
+
+/// Shard counts every differential scenario runs at.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Draw a key that frequently lands on or next to a shard split point (of
+/// the largest tested shard count), so ranges and batches straddle shard
+/// boundaries constantly instead of almost never (uniform 31-bit keys would
+/// hit a boundary with probability ~2⁻²⁸).
+fn boundary_biased_key(rng: &mut StdRng, router: &ShardRouter) -> u32 {
+    if rng.gen_bool(0.5) {
+        // On / just around a split point (split point itself included).
+        let splits = router.split_points();
+        let s = splits[rng.gen_range(0..splits.len())];
+        let delta = rng.gen_range(0..8u32) as i64 - 4;
+        (s as i64 + delta).clamp(0, MAX_KEY as i64) as u32
+    } else {
+        rng.gen_range(0..=MAX_KEY)
+    }
+}
+
+/// One random mixed batch with distinct keys (distinctness keeps the batch
+/// semantics order-independent, so the sequential reference model is exact).
+fn random_batch(rng: &mut StdRng, router: &ShardRouter, size: usize) -> UpdateBatch {
+    let mut batch = UpdateBatch::with_capacity(size);
+    let mut used = std::collections::HashSet::new();
+    while used.len() < size {
+        let key = boundary_biased_key(rng, router);
+        if !used.insert(key) {
+            continue;
+        }
+        if rng.gen_bool(0.3) {
+            batch.delete(key);
+        } else {
+            batch.insert(key, rng.gen::<u32>());
+        }
+    }
+    batch
+}
+
+/// Interval queries that straddle shard boundaries: anchored on split
+/// points, plus empties, inverted bounds and the full universe.
+fn boundary_intervals(rng: &mut StdRng, router: &ShardRouter) -> Vec<(u32, u32)> {
+    let splits = router.split_points();
+    let mut queries = vec![(0, MAX_KEY), (MAX_KEY, 0), (5, 5)];
+    for &s in &splits {
+        let w = rng.gen_range(0..1 << 20);
+        queries.push((s.saturating_sub(w), s.saturating_add(w).min(MAX_KEY)));
+        queries.push((s, s)); // bounds equal to the split point
+    }
+    queries
+}
+
+/// Replay `batches` (with a cleanup after batch `cleanup_after`, if any)
+/// against the sharded structures, the plain LSM and the reference model,
+/// checking agreement after every batch.
+fn check_differential(batches: &[UpdateBatch], cleanup_after: Option<usize>, seed: u64) {
+    let device = Arc::new(Device::new(DeviceConfig::small()));
+    let batch_size = batches.iter().map(|b| b.len()).max().unwrap_or(1);
+    let router = ShardRouter::new(*SHARD_COUNTS.last().unwrap()).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut plain = GpuLsm::new(device.clone(), batch_size).unwrap();
+    let sharded: Vec<ShardedLsm> = SHARD_COUNTS
+        .iter()
+        .map(|&n| ShardedLsm::new(device.clone(), batch_size, n).unwrap())
+        .collect();
+    let mut model: BTreeMap<u32, u32> = BTreeMap::new();
+
+    for (i, batch) in batches.iter().enumerate() {
+        plain.update(batch).unwrap();
+        for s in &sharded {
+            s.update(batch).unwrap();
+        }
+        for op in batch.ops() {
+            match *op {
+                gpu_lsm::Op::Insert(k, v) => {
+                    model.insert(k, v);
+                }
+                gpu_lsm::Op::Delete(k) => {
+                    model.remove(&k);
+                }
+            }
+        }
+        if cleanup_after == Some(i) {
+            plain.cleanup();
+            for s in &sharded {
+                s.cleanup();
+            }
+        }
+
+        // Lookups: every key the batch touched (tombstone-shadowed keys
+        // included) plus boundary-biased probes.
+        let mut lookups: Vec<u32> = batch.ops().iter().map(|op| op.key()).collect();
+        lookups.extend((0..32).map(|_| boundary_biased_key(&mut rng, &router)));
+        let expected_lookups: Vec<Option<u32>> =
+            lookups.iter().map(|k| model.get(k).copied()).collect();
+        let plain_lookups = plain.lookup(&lookups);
+        assert_eq!(plain_lookups, expected_lookups, "plain lookup, batch {i}");
+
+        let intervals = boundary_intervals(&mut rng, &router);
+        let expected_counts: Vec<u32> = intervals
+            .iter()
+            .map(|&(lo, hi)| {
+                if lo > hi {
+                    0
+                } else {
+                    model.range(lo..=hi).count() as u32
+                }
+            })
+            .collect();
+        let plain_counts = plain.count(&intervals);
+        assert_eq!(plain_counts, expected_counts, "plain count, batch {i}");
+        let plain_ranges = plain.range(&intervals);
+
+        for (s, n) in sharded.iter().zip(SHARD_COUNTS) {
+            let got_lookups = s.lookup(&lookups);
+            assert_eq!(got_lookups, expected_lookups, "{n}-shard lookup, batch {i}");
+            let got_counts = s.count(&intervals);
+            assert_eq!(got_counts, expected_counts, "{n}-shard count, batch {i}");
+            let got_ranges = s.range(&intervals);
+            for (qi, &(lo, hi)) in intervals.iter().enumerate() {
+                let expected: Vec<(u32, u32)> = if lo > hi {
+                    Vec::new()
+                } else {
+                    model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
+                };
+                let got: Vec<(u32, u32)> = got_ranges.iter_query(qi).collect();
+                assert_eq!(got, expected, "{n}-shard range query {qi}, batch {i}");
+            }
+            if n == 1 {
+                // The degenerate sharding must be byte-identical to the
+                // unsharded structure, offsets included.
+                assert_eq!(got_lookups, plain_lookups, "1-shard vs plain, batch {i}");
+                assert_eq!(got_counts, plain_counts);
+                assert_eq!(got_ranges, plain_ranges);
+            }
+            s.check_invariants().unwrap();
+        }
+    }
+}
+
+#[test]
+fn sharded_differential_10k_operations() {
+    // The acceptance-scale run: > 10k mixed operations with continuous
+    // boundary-straddling queries, a mid-sequence cleanup, all shard
+    // counts, the plain LSM and the reference model in lockstep.
+    let router = ShardRouter::new(*SHARD_COUNTS.last().unwrap()).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let batches: Vec<UpdateBatch> = (0..42)
+        .map(|_| random_batch(&mut rng, &router, 256))
+        .collect();
+    let total_ops: usize = batches.iter().map(|b| b.len()).sum();
+    assert!(total_ops >= 10_000, "suite must replay at least 10k ops");
+    check_differential(&batches, Some(20), 0xFACE);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomised variant: arbitrary batch counts/sizes and cleanup point.
+    #[test]
+    fn sharded_differential_random_sequences(
+        seed in any::<u64>(),
+        num_batches in 1usize..8,
+        batch_size in 1usize..48,
+        cleanup_at in 0usize..9,
+    ) {
+        let router = ShardRouter::new(*SHARD_COUNTS.last().unwrap()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batches: Vec<UpdateBatch> = (0..num_batches)
+            .map(|_| random_batch(&mut rng, &router, batch_size))
+            .collect();
+        // 8 encodes "no cleanup"; 0..=7 cleans up after that batch.
+        let cleanup = (cleanup_at < 8).then_some(cleanup_at);
+        check_differential(&batches, cleanup, seed ^ 0x51AB);
+    }
 }
 
 #[test]

@@ -1,0 +1,272 @@
+//! Concurrency stress: reader threads hammer `lookup` / `count` / `range`
+//! while writer threads apply update batches (and a janitor thread runs
+//! cleanups), against both the sharded service and the single-lock wrapper.
+//!
+//! The checked property is the paper's phase semantics (§III-A rule 2)
+//! applied per shard: every answer a reader observes must correspond to the
+//! state after *some prefix* of the update batches applied to the queried
+//! shard — never a torn batch, and never a state that later runs backwards.
+//! The workload is constructed so prefixes are recognisable:
+//!
+//! * each writer owns a disjoint, single-shard block of keys;
+//! * round `r` writes value `r` into the block (odd rounds insert every
+//!   key; even rounds delete the block's first half and re-insert the
+//!   second half), so each reachable state is exactly characterised by its
+//!   round number;
+//! * a single-block query therefore must observe one of the reachable
+//!   states, and per-key values must be non-decreasing over time from any
+//!   one reader's perspective (a shard's state only moves forward).
+//!
+//! Run with `LSM_PAR_CUTOFF=1` (the CI matrix does) to force every
+//! internally parallel path through the worker pool even at these small
+//! sizes, stressing nested-parallelism and pool reentrancy underneath the
+//! shard locks.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use gpu_lsm::{ConcurrentGpuLsm, GpuLsm, ShardRouter, ShardedLsm, UpdateBatch};
+use gpu_sim::{Device, DeviceConfig};
+
+/// Keys per writer block (must be even; first half gets deleted on even
+/// rounds).
+const BLOCK: u32 = 64;
+/// Update rounds per writer.
+const ROUNDS: u32 = 24;
+/// Reader threads per backend.
+const READERS: usize = 3;
+/// Writer threads (= key blocks) per backend.
+const WRITERS: usize = 4;
+
+/// The per-shard update/query surface both backends expose.
+trait Backend: Clone + Send + Sync + 'static {
+    fn apply(&self, batch: &UpdateBatch);
+    fn lookup(&self, keys: &[u32]) -> Vec<Option<u32>>;
+    fn count(&self, intervals: &[(u32, u32)]) -> Vec<u32>;
+    fn range_pairs(&self, lo: u32, hi: u32) -> Vec<(u32, u32)>;
+    fn cleanup(&self);
+}
+
+impl Backend for ShardedLsm {
+    fn apply(&self, batch: &UpdateBatch) {
+        self.update(batch).expect("valid batch");
+    }
+    fn lookup(&self, keys: &[u32]) -> Vec<Option<u32>> {
+        ShardedLsm::lookup(self, keys)
+    }
+    fn count(&self, intervals: &[(u32, u32)]) -> Vec<u32> {
+        ShardedLsm::count(self, intervals)
+    }
+    fn range_pairs(&self, lo: u32, hi: u32) -> Vec<(u32, u32)> {
+        ShardedLsm::range(self, &[(lo, hi)]).iter_query(0).collect()
+    }
+    fn cleanup(&self) {
+        ShardedLsm::cleanup(self);
+    }
+}
+
+impl Backend for ConcurrentGpuLsm {
+    fn apply(&self, batch: &UpdateBatch) {
+        self.update(batch).expect("valid batch");
+    }
+    fn lookup(&self, keys: &[u32]) -> Vec<Option<u32>> {
+        ConcurrentGpuLsm::lookup(self, keys)
+    }
+    fn count(&self, intervals: &[(u32, u32)]) -> Vec<u32> {
+        ConcurrentGpuLsm::count(self, intervals)
+    }
+    fn range_pairs(&self, lo: u32, hi: u32) -> Vec<(u32, u32)> {
+        ConcurrentGpuLsm::range(self, &[(lo, hi)])
+            .iter_query(0)
+            .collect()
+    }
+    fn cleanup(&self) {
+        ConcurrentGpuLsm::cleanup(self);
+    }
+}
+
+/// Low key of writer `w`'s block.  Blocks sit at distinct shard low bounds
+/// (8-way sharding), so each block lives entirely inside one shard and
+/// single-block queries are per-shard atomic.
+fn block_base(w: usize) -> u32 {
+    let router = ShardRouter::new(8).unwrap();
+    router.shard_bounds(2 * w).0
+}
+
+/// The batch of round `r` (1-based) for the block at `base`:
+/// odd rounds insert all `BLOCK` keys with value `r`; even rounds delete
+/// the first half and re-insert the second half with value `r`.
+fn round_batch(base: u32, r: u32) -> UpdateBatch {
+    let mut batch = UpdateBatch::with_capacity(BLOCK as usize);
+    if r % 2 == 1 {
+        for k in 0..BLOCK {
+            batch.insert(base + k, r);
+        }
+    } else {
+        for k in 0..BLOCK / 2 {
+            batch.delete(base + k);
+        }
+        for k in BLOCK / 2..BLOCK {
+            batch.insert(base + k, r);
+        }
+    }
+    batch
+}
+
+/// Check a single-block observation against the reachable round states.
+/// Returns the round the observation corresponds to (0 = before round 1).
+///
+/// State after round `r`: odd `r` → all keys present with value `r`; even
+/// `r` → first half absent, second half value `r`; `r = 0` → empty.
+fn classify_block_state(pairs: &[(u32, u32)], base: u32) -> u32 {
+    if pairs.is_empty() {
+        return 0;
+    }
+    let values: Vec<u32> = pairs.iter().map(|&(_, v)| v).collect();
+    let r = values[0];
+    assert!(
+        values.iter().all(|&v| v == r),
+        "block {base}: a single-shard snapshot must be one round, got {values:?}"
+    );
+    assert!(
+        (1..=ROUNDS).contains(&r),
+        "block {base}: impossible round {r}"
+    );
+    let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    if r % 2 == 1 {
+        let expected: Vec<u32> = (0..BLOCK).map(|k| base + k).collect();
+        assert_eq!(
+            keys, expected,
+            "block {base}: odd round {r} must show every key"
+        );
+    } else {
+        let expected: Vec<u32> = (BLOCK / 2..BLOCK).map(|k| base + k).collect();
+        assert_eq!(
+            keys, expected,
+            "block {base}: even round {r} must show exactly the second half"
+        );
+    }
+    r
+}
+
+fn stress<B: Backend>(backend: B) {
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Writers: one block each, ROUNDS batches, applied in order.
+        let mut writer_handles = Vec::new();
+        for w in 0..WRITERS {
+            let backend = backend.clone();
+            writer_handles.push(scope.spawn(move || {
+                let base = block_base(w);
+                for r in 1..=ROUNDS {
+                    backend.apply(&round_batch(base, r));
+                }
+            }));
+        }
+
+        // Janitor: cleanups interleave with everything else; cleanup is an
+        // exclusive phase and must be invisible to query answers.
+        let janitor = {
+            let backend = backend.clone();
+            let done = &done;
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    backend.cleanup();
+                    std::thread::yield_now();
+                }
+            })
+        };
+
+        // Readers: validate every observation against the reachable states
+        // and require per-key monotonicity (states never run backwards).
+        let mut reader_handles = Vec::new();
+        for _ in 0..READERS {
+            let backend = backend.clone();
+            let done = &done;
+            reader_handles.push(scope.spawn(move || {
+                // Last observed round per block (observations are made
+                // under a single shard's read lock, so they're ordered).
+                let mut last_round = [0u32; WRITERS];
+                let mut last_value: std::collections::HashMap<u32, u32> =
+                    std::collections::HashMap::new();
+                let mut observations = 0usize;
+                loop {
+                    for (w, last) in last_round.iter_mut().enumerate() {
+                        let base = block_base(w);
+
+                        // Range: a full single-shard snapshot of the block.
+                        let pairs = backend.range_pairs(base, base + BLOCK - 1);
+                        let r = classify_block_state(&pairs, base);
+                        assert!(
+                            r >= *last,
+                            "block {w} ran backwards: round {r} after {last}"
+                        );
+                        *last = r;
+
+                        // Count: must match a reachable state's cardinality.
+                        let c = backend.count(&[(base, base + BLOCK - 1)])[0];
+                        assert!(
+                            c == 0 || c == BLOCK / 2 || c == BLOCK,
+                            "block {w}: count {c} matches no round prefix"
+                        );
+
+                        // Lookups: per-key values only ever increase.
+                        let keys: Vec<u32> = (0..BLOCK).map(|k| base + k).collect();
+                        for (k, v) in keys.iter().zip(backend.lookup(&keys)) {
+                            if let Some(v) = v {
+                                assert!((1..=ROUNDS).contains(&v), "key {k}: bad value {v}");
+                                let prev = last_value.entry(*k).or_insert(0);
+                                assert!(v >= *prev, "key {k} ran backwards: {v} after {prev}");
+                                *prev = v;
+                            }
+                        }
+                        observations += 1;
+                    }
+                    // Check for shutdown only after a full sweep so every
+                    // reader validates each block at least once, even when
+                    // the writers drain before the readers get scheduled.
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                }
+                observations
+            }));
+        }
+
+        for h in writer_handles {
+            h.join().expect("writer thread panicked");
+        }
+        done.store(true, Ordering::Release);
+        janitor.join().expect("janitor thread panicked");
+        for h in reader_handles {
+            let obs = h.join().expect("reader thread panicked");
+            assert!(obs > 0, "reader never got to observe anything");
+        }
+    });
+
+    // Quiescent end state: every block at its final round (ROUNDS is even:
+    // first half deleted, second half = ROUNDS).
+    for w in 0..WRITERS {
+        let base = block_base(w);
+        let pairs = backend.range_pairs(base, base + BLOCK - 1);
+        assert_eq!(classify_block_state(&pairs, base), ROUNDS);
+        assert_eq!(backend.count(&[(base, base + BLOCK - 1)])[0], BLOCK / 2);
+    }
+}
+
+fn device() -> Arc<Device> {
+    Arc::new(Device::new(DeviceConfig::small()))
+}
+
+#[test]
+fn sharded_lsm_under_concurrent_mixed_fire() {
+    let lsm = ShardedLsm::new(device(), BLOCK as usize, 8).unwrap();
+    stress(lsm.clone());
+    lsm.check_invariants().unwrap();
+}
+
+#[test]
+fn single_lock_wrapper_under_concurrent_mixed_fire() {
+    let lsm = ConcurrentGpuLsm::new(GpuLsm::new(device(), BLOCK as usize).unwrap());
+    stress(lsm);
+}
