@@ -25,7 +25,7 @@ use std::sync::Arc;
 use gpu_lsm::{GpuLsm, ShardedLsm};
 use gpu_primitives::{merge::merge_by, radix_sort::sort_pairs};
 use gpu_sim::Device;
-use lsm_workloads::unique_random_pairs;
+use lsm_workloads::{missing_lookups, range_queries_with_expected_width, unique_random_pairs};
 
 use crate::measure::{elements_per_sec_m, harmonic_mean, time_once};
 
@@ -123,6 +123,43 @@ fn lookup_rate(n: usize) -> f64 {
     elements_per_sec_m(n, elapsed)
 }
 
+/// Rate of looking up `n` *absent* keys in a multi-level LSM of `11 n`
+/// elements (11 batches occupy levels 0, 1 and 3).  Misses are the
+/// query-path worst case — every occupied level is probed — so this is the
+/// metric per-level filters and fences exist to move.
+fn lookup_miss_rate(n: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(11 * n, CI_SEED ^ 0x11);
+    let lsm = GpuLsm::bulk_build(device, n, &pairs).expect("bulk build");
+    let resident: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    let queries = missing_lookups(&resident, n, CI_SEED ^ 0x31);
+    let (_, elapsed) = time_once(|| lsm.lookup(&queries));
+    elements_per_sec_m(n, elapsed)
+}
+
+/// Rate of `num_queries` count queries (expected width L = 8, the paper's
+/// Table IV small-interval case) against a multi-level LSM of 11 · 4Ki
+/// elements.  Rates are in M queries/s.
+fn count_rate(num_queries: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(11 << 12, CI_SEED ^ 0xC0);
+    let lsm = GpuLsm::bulk_build(device, 1 << 12, &pairs).expect("bulk build");
+    let queries = range_queries_with_expected_width(pairs.len(), 8, num_queries, CI_SEED ^ 0xC1);
+    let (_, elapsed) = time_once(|| lsm.count(&queries));
+    elements_per_sec_m(num_queries, elapsed)
+}
+
+/// Rate of `num_queries` range queries over the same workload as
+/// [`count_rate`] (stages 1–4 shared, plus the compaction stage 5).
+fn range_rate(num_queries: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(11 << 12, CI_SEED ^ 0xD0);
+    let lsm = GpuLsm::bulk_build(device, 1 << 12, &pairs).expect("bulk build");
+    let queries = range_queries_with_expected_width(pairs.len(), 8, num_queries, CI_SEED ^ 0xD1);
+    let (_, elapsed) = time_once(|| lsm.range(&queries));
+    elements_per_sec_m(num_queries, elapsed)
+}
+
 /// Run one measurement of every metric in the suite.
 fn measure_once() -> Vec<Metric> {
     let m = |name: &str, rate: f64| Metric {
@@ -139,6 +176,12 @@ fn measure_once() -> Vec<Metric> {
         m("sort_pairs_64k", sort_pairs_rate(1 << 16)),
         m("merge_64k", merge_rate(1 << 16)),
         m("lookup_4k", lookup_rate(1 << 12)),
+        // Query-path coverage beyond the single hit metric: all-miss
+        // lookups (the filter/fence showcase) and small-interval
+        // count/range queries (fence-clamped candidate gathering).
+        m("lookup_miss_4k", lookup_miss_rate(1 << 12)),
+        m("count_1k", count_rate(1 << 10)),
+        m("range_1k", range_rate(1 << 10)),
         // Sharded-service insert path: shards=1 tracks the routing layer's
         // overhead, shards=4 the split/fan-out cost as shards multiply.
         m("sharded_insert_s1", sharded_insert_rate(1, 1 << 10, 16)),
@@ -356,7 +399,7 @@ mod tests {
     fn suite_runs_and_produces_positive_rates() {
         // One repeat keeps this test cheap; it exercises every metric once.
         let metrics = run_suite(1);
-        assert_eq!(metrics.len(), 8);
+        assert_eq!(metrics.len(), 11);
         for m in &metrics {
             assert!(m.rate > 0.0, "metric {} must be positive", m.name);
         }

@@ -16,7 +16,6 @@
 //!    regular element, not a tombstone.
 
 use gpu_primitives::scan::exclusive_scan;
-use gpu_primitives::search::{lower_bound_by, upper_bound_by};
 use gpu_primitives::segmented_sort::segmented_sort_pairs_by;
 use gpu_sim::AccessPattern;
 use rayon::prelude::*;
@@ -64,17 +63,15 @@ impl GpuLsm {
             };
         }
 
-        // Stage 1: per-(query, level) candidate bounds.  Laid out
-        // query-major, level-minor so each query's groups are contiguous.
-        let probes_per_query: u64 = levels
-            .iter()
-            .map(|l| 2 * (usize::BITS - l.len().leading_zeros()) as u64)
-            .sum();
-        self.device().metrics().record_scattered_probes(
-            kernel,
-            probes_per_query * num_queries as u64,
-            std::mem::size_of::<EncodedKey>() as u64,
-        );
+        // Stage 1: per-(query, level) candidate bounds, fence-narrowed (the
+        // level's fence array brackets both binary searches to one ≤ 256
+        // element window each, and its min/max clamp lets disjoint levels
+        // answer (0, 0) with no search at all).  Laid out query-major,
+        // level-minor so each query's groups are contiguous.  Scattered
+        // probes are charged for the searches that actually ran — pairs the
+        // min/max clamp skipped cost nothing, so modelled device time
+        // reflects the pruning win.
+        let probes_done = std::sync::atomic::AtomicU64::new(0);
         let bounds: Vec<(usize, usize)> = queries
             .par_iter()
             .flat_map_iter(|&(k1, k2)| {
@@ -87,17 +84,26 @@ impl GpuLsm {
                 // select everything instead).
                 let k2 = k2.min(crate::key::MAX_KEY);
                 let empty = k1 > k2;
+                let probes_done = &probes_done;
                 levels.iter().map(move |level| {
-                    if empty {
+                    if empty || !level.interval_intersects(k1, k2) {
                         return (0, 0);
                     }
-                    let keys = level.keys();
-                    let lo = lower_bound_by(keys, &(k1 << 1), |a, b| (a >> 1) < (b >> 1));
-                    let hi = upper_bound_by(keys, &((k2 << 1) | 1), |a, b| (a >> 1) < (b >> 1));
+                    probes_done.fetch_add(
+                        2 * u64::from(level.search_probe_depth()),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                    let lo = level.lower_bound(k1);
+                    let hi = level.upper_bound(k2);
                     (lo, hi.max(lo))
                 })
             })
             .collect();
+        self.device().metrics().record_scattered_probes(
+            kernel,
+            probes_done.into_inner(),
+            std::mem::size_of::<EncodedKey>() as u64,
+        );
         let estimates: Vec<u64> = bounds.iter().map(|&(lo, hi)| (hi - lo) as u64).collect();
 
         // Stage 2: exclusive scan of the estimates gives output offsets.

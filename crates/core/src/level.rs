@@ -5,25 +5,237 @@
 //! encoded keys and values as two parallel arrays (structure-of-arrays, the
 //! layout the real implementation uses for coalesced access), sorted by the
 //! original key with same-key elements ordered newest-first.
+//!
+//! ## Query acceleration
+//!
+//! Alongside the arrays, every level carries two read-only side structures
+//! built **once** when the level is constructed (i.e. during the insert
+//! path's sort/merge or a bulk rebuild, never on the query path):
+//!
+//! * a blocked **Bloom filter** over the level's original keys
+//!   ([`gpu_primitives::filter`], sized by `LSM_BLOOM_BITS`), and
+//! * a **fence array** ([`gpu_primitives::fence`]) sampling every 256th
+//!   key, which narrows every binary search to one ≤ 256-element window and
+//!   exposes the level's min/max key for level/shard skipping.
+//!
+//! Fences cost ~0.4 % of the level's memory and a `len / 256`-sample pass,
+//! so every level gets them.  Filter construction hashes every key, which
+//! is comparable to the cost of merging it, so whether a filter is built
+//! depends on how long the level will live (how many queries will amortize
+//! the build): levels produced by a **bulk rebuild** (bulk build, cleanup)
+//! are long-lived and get filters from [`FILTER_MIN_LEN`] elements up,
+//! while **carry-chain** levels — level `i` is consumed by a merge after at
+//! most `2^i` further batches — only get filters from
+//! [`CARRY_FILTER_MIN_LEN`] up, where the lifetime is long enough for the
+//! build to pay for itself and short-lived small levels keep the insert
+//! path untaxed.
+//!
+//! Both structures are conservative: a filter negative or an empty fence
+//! window proves the level cannot affect a query, and otherwise the
+//! narrowed search returns exactly the index a full search would.  Query
+//! results are therefore bit-identical with the acceleration on or off.
 
-use crate::key::{key_less, EncodedKey, Value};
+use gpu_primitives::fence::FenceArray;
+use gpu_primitives::filter::{config_bits_per_key, BloomFilter};
+
+use crate::key::{key_less, original_key, EncodedKey, Key, Value};
+
+/// Minimum level length for a Bloom filter on long-lived (bulk-rebuilt)
+/// levels: below this a fence-narrowed search is already about as cheap as
+/// a filter probe.
+pub const FILTER_MIN_LEN: usize = 1 << 10;
+
+/// Minimum level length for a Bloom filter on carry-chain levels, which are
+/// consumed by a future merge after ~`len / b` more batches: the build
+/// (one hash per key) only amortizes once the level lives long enough.
+pub const CARRY_FILTER_MIN_LEN: usize = 1 << 17;
+
+/// Outcome of probing a level for one key (see [`Level::find`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelProbe {
+    /// The newest element with the queried key, if the level holds one.
+    pub entry: Option<(EncodedKey, Value)>,
+    /// Whether a Bloom filter membership test ran (one block read).
+    pub filter_probed: bool,
+    /// Whether the Bloom filter answered "definitely absent" (in which case
+    /// no binary search ran).
+    pub filter_skipped: bool,
+    /// Scattered binary-search probes the lookup performed.
+    pub probes: u32,
+}
 
 /// One occupied level of the LSM.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Level {
     keys: Vec<EncodedKey>,
     values: Vec<Value>,
+    filter: Option<BloomFilter>,
+    fences: Option<FenceArray>,
 }
 
+/// Level equality is over contents only; the filter and fences are a pure
+/// function of the keys (plus process-wide sizing) and are excluded so that
+/// filters-on and filters-off structures holding the same data compare equal.
+impl PartialEq for Level {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys == other.keys && self.values == other.values
+    }
+}
+
+impl Eq for Level {}
+
 impl Level {
-    /// Build a level from already-sorted parallel key/value arrays.
+    /// Build a long-lived level (bulk build, cleanup redistribution) from
+    /// already-sorted parallel key/value arrays: fences always, a Bloom
+    /// filter from [`FILTER_MIN_LEN`] elements up.
     pub fn from_sorted(keys: Vec<EncodedKey>, values: Vec<Value>) -> Self {
+        Self::build(keys, values, FILTER_MIN_LEN)
+    }
+
+    /// Build a carry-chain level (placed by a batch insert) from
+    /// already-sorted arrays: fences always, a Bloom filter only from
+    /// [`CARRY_FILTER_MIN_LEN`] elements up (see the module docs for the
+    /// lifetime-amortization argument).
+    pub fn from_sorted_transient(keys: Vec<EncodedKey>, values: Vec<Value>) -> Self {
+        Self::build(keys, values, CARRY_FILTER_MIN_LEN)
+    }
+
+    /// Shared constructor: the query-acceleration structures are built
+    /// here, in one streaming pass over the freshly produced keys, and are
+    /// never touched again until the level is consumed by a merge.
+    fn build(keys: Vec<EncodedKey>, values: Vec<Value>, filter_min_len: usize) -> Self {
         debug_assert_eq!(keys.len(), values.len());
         debug_assert!(
             keys.windows(2).all(|w| !key_less(&w[1], &w[0])),
             "level keys must be sorted by original key"
         );
-        Level { keys, values }
+        let filter = if keys.len() >= filter_min_len {
+            BloomFilter::build(keys.iter().map(|&k| original_key(k)), config_bits_per_key())
+        } else {
+            None
+        };
+        let fences = FenceArray::build_with(
+            keys.len(),
+            gpu_primitives::fence::DEFAULT_FENCE_INTERVAL,
+            |i| original_key(keys[i]),
+        );
+        Level {
+            keys,
+            values,
+            filter,
+            fences,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accelerated searches
+    // ------------------------------------------------------------------
+
+    /// Probe the level for `query`: consult the Bloom filter (if present),
+    /// then run a fence-narrowed lower-bound search.  Returns the newest
+    /// element with the queried original key, if any, plus the probe's
+    /// modelled cost (see [`LevelProbe`]).
+    ///
+    /// Exactly equivalent to a full binary search: the filter can only skip
+    /// keys that are provably absent, and the fence window provably
+    /// brackets the lower bound.
+    pub fn find(&self, query: Key) -> LevelProbe {
+        let filter_probed = self.filter.is_some();
+        if let Some(filter) = &self.filter {
+            if !filter.contains(query) {
+                return LevelProbe {
+                    entry: None,
+                    filter_probed,
+                    filter_skipped: true,
+                    probes: 0,
+                };
+            }
+        }
+        let idx = self.lower_bound(query);
+        let entry = (idx < self.keys.len() && original_key(self.keys[idx]) == query)
+            .then(|| (self.keys[idx], self.values[idx]));
+        LevelProbe {
+            entry,
+            filter_probed,
+            filter_skipped: false,
+            probes: self.search_probe_depth(),
+        }
+    }
+
+    /// Index of the first element whose original key is `>= query`
+    /// (fence-narrowed; identical to a full-array lower bound).
+    pub fn lower_bound(&self, query: Key) -> usize {
+        let (lo, hi) = match &self.fences {
+            Some(f) => f.lower_bound_window(query),
+            None => (0, self.keys.len()),
+        };
+        lo + gpu_primitives::search::lower_bound_by(&self.keys[lo..hi], &(query << 1), |a, b| {
+            (a >> 1) < (b >> 1)
+        })
+    }
+
+    /// Index of the first element whose original key is `> query`
+    /// (fence-narrowed; identical to a full-array upper bound).
+    pub fn upper_bound(&self, query: Key) -> usize {
+        let (lo, hi) = match &self.fences {
+            Some(f) => f.upper_bound_window(query),
+            None => (0, self.keys.len()),
+        };
+        lo + gpu_primitives::search::upper_bound_by(
+            &self.keys[lo..hi],
+            &((query << 1) | 1),
+            |a, b| (a >> 1) < (b >> 1),
+        )
+    }
+
+    /// Smallest original key resident in the level (tombstones included —
+    /// a tombstone inside a query interval still decides queries).
+    pub fn min_key(&self) -> Key {
+        match &self.fences {
+            Some(f) => f.min_key(),
+            None => self.keys.first().map_or(Key::MAX, |&k| original_key(k)),
+        }
+    }
+
+    /// Largest original key resident in the level (tombstones and placebo
+    /// padding included, so pruning against it is always conservative).
+    pub fn max_key(&self) -> Key {
+        match &self.fences {
+            Some(f) => f.max_key(),
+            None => self.keys.last().map_or(0, |&k| original_key(k)),
+        }
+    }
+
+    /// Worst-case scattered probes of one fence-narrowed search: the hot
+    /// top of the Eytzinger fence tree is modelled as one cached touch,
+    /// plus a binary search of one ≤ interval window (never more than the
+    /// un-narrowed search would pay).
+    pub fn search_probe_depth(&self) -> u32 {
+        let full = usize::BITS - self.keys.len().leading_zeros();
+        match &self.fences {
+            Some(f) => (1 + f.window_probe_depth()).min(full.max(1)),
+            None => full,
+        }
+    }
+
+    /// Whether the closed interval `[k1, k2]` overlaps the level's resident
+    /// key range — the single source of the fence min/max skip predicate
+    /// used by count/range gathering and its traffic accounting.
+    pub fn interval_intersects(&self, k1: Key, k2: Key) -> bool {
+        k2 >= self.min_key() && k1 <= self.max_key()
+    }
+
+    /// The level's Bloom filter, when one was built.
+    pub fn filter(&self) -> Option<&BloomFilter> {
+        self.filter.as_ref()
+    }
+
+    /// Memory of the query-acceleration structures (filter + fences).
+    pub fn accel_bytes(&self) -> (usize, usize) {
+        (
+            self.filter.as_ref().map_or(0, |f| f.size_bytes()),
+            self.fences.as_ref().map_or(0, |f| f.size_bytes()),
+        )
     }
 
     /// Number of elements in the level.
@@ -216,5 +428,72 @@ mod tests {
         set.clear();
         assert_eq!(set.total_elements(), 0);
         assert_eq!(set.num_slots(), 0);
+    }
+
+    #[test]
+    fn accelerated_bounds_match_full_search() {
+        let keys: Vec<u32> = (0..3000u32).map(|i| i / 2 * 3).collect(); // dups + gaps
+        let level = level_of(&keys);
+        let origs: Vec<u32> = keys.clone();
+        for q in (0..4600).step_by(7) {
+            assert_eq!(
+                level.lower_bound(q),
+                origs.partition_point(|&k| k < q),
+                "lower_bound({q})"
+            );
+            assert_eq!(
+                level.upper_bound(q),
+                origs.partition_point(|&k| k <= q),
+                "upper_bound({q})"
+            );
+        }
+        assert_eq!(level.min_key(), 0);
+        assert_eq!(level.max_key(), origs[origs.len() - 1]);
+    }
+
+    #[test]
+    fn find_reports_hits_misses_and_filter_skips() {
+        // Large enough for a long-lived level to build its filter.
+        let keys: Vec<u32> = (0..(super::FILTER_MIN_LEN as u32)).map(|i| i * 2).collect();
+        let level = level_of(&keys);
+        if gpu_primitives::filter::config_bits_per_key() > 0 {
+            assert!(level.filter().is_some(), "long-lived level builds a filter");
+        }
+        let hit = level.find(10);
+        assert_eq!(hit.entry, Some((encode_regular(10), 100)));
+        assert!(!hit.filter_skipped);
+        let miss = level.find(11);
+        assert!(miss.entry.is_none());
+        // A transient level this small builds no filter; find still works.
+        let transient = Level::from_sorted_transient(
+            keys.iter().map(|&k| encode_regular(k)).collect(),
+            keys.iter().map(|&k| k * 10).collect(),
+        );
+        assert!(transient.filter().is_none());
+        assert_eq!(transient.find(10).entry, Some((encode_regular(10), 100)));
+        assert!(level.search_probe_depth() <= 10);
+        let (filter_bytes, fence_bytes) = level.accel_bytes();
+        assert!(fence_bytes > 0);
+        if level.filter().is_some() {
+            assert!(filter_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn tombstones_and_newest_first_order_are_respected_by_find() {
+        use crate::key::encode_tombstone;
+        // Key 5: tombstone (newest) then regular (older) — find must return
+        // the tombstone, which is how deletions hide older insertions.
+        let keys = vec![
+            encode_regular(1),
+            encode_tombstone(5),
+            encode_regular(5),
+            encode_regular(9),
+        ];
+        let level = Level::from_sorted(keys, vec![10, 0, 50, 90]);
+        let probe = level.find(5);
+        assert_eq!(probe.entry, Some((encode_tombstone(5), 0)));
+        assert_eq!(level.min_key(), 1);
+        assert_eq!(level.max_key(), 9);
     }
 }

@@ -2,23 +2,188 @@
 //!
 //! Each query is independent (the paper's "individual approach", §IV-B): a
 //! thread walks the occupied levels from the smallest (most recent) to the
-//! largest, performing a lower-bound binary search per level on the original
-//! key.  The first element found with a matching key decides the outcome —
-//! a regular element returns its value, a tombstone means the key was
-//! deleted — because the building invariants of §III-D order equal keys
-//! newest-first within a level and newer levels are searched first.
+//! largest, probing each level for the key.  The first element found with a
+//! matching key decides the outcome — a regular element returns its value,
+//! a tombstone means the key was deleted — because the building invariants
+//! of §III-D order equal keys newest-first within a level and newer levels
+//! are searched first.
+//!
+//! ## Query acceleration
+//!
+//! Per-level probes are accelerated by the structures every [`Level`]
+//! carries (see [`crate::level`]): a blocked Bloom filter answers
+//! "definitely absent" with a single cache-line read — the common case for
+//! misses, which otherwise pay the full `O(levels · log n)` — and a fence
+//! array narrows the remaining binary searches to one ≤ 256-element window.
+//! Both are conservative, so results are bit-identical to plain searches.
+//!
+//! [`GpuLsm::lookup`] additionally **adapts between the two batch
+//! strategies** the paper compares: below a calibrated query-count
+//! threshold it runs the individual approach; above it, it switches to
+//! [`GpuLsm::lookup_bulk_sorted`], which sorts the queries once and then
+//! streams every level with coalesced accesses — profitable exactly when
+//! the batch is large relative to the structure
+//! (see [`GpuLsm::bulk_lookup_threshold`]).
+//!
+//! [`Level`]: crate::level::Level
 
+use std::sync::OnceLock;
+
+use gpu_primitives::filter::BLOCK_BYTES;
 use gpu_sim::AccessPattern;
 use rayon::prelude::*;
 
 use crate::key::{is_regular, original_key, Key, Value};
 use crate::lsm::GpuLsm;
 
+/// Never dispatch to the bulk sorted path below this many queries: the
+/// query sort has a fixed per-launch cost that tiny batches cannot win
+/// back, whatever the structure size.
+const MIN_BULK_QUERIES: usize = 256;
+
+/// Per-query cost trace of one individual lookup, accumulated into the
+/// device's traffic metrics and the structure's filter counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct LookupTrace {
+    /// Bloom filter blocks read (one coalesced cache-line read each).
+    pub filter_blocks: u64,
+    /// Levels skipped outright by a filter negative.
+    pub filter_skips: u64,
+    /// Scattered binary-search probes performed.
+    pub search_probes: u64,
+}
+
+/// Calibrated per-scattered-probe and per-streamed-element costs (ns),
+/// measured once per process the same way the worker pool's sequential
+/// cutoff is (PR 2): tiny representative kernels timed at startup, pinned
+/// behind a `OnceLock`.
+fn lookup_costs() -> (f64, f64) {
+    static COSTS: OnceLock<(f64, f64)> = OnceLock::new();
+    *COSTS.get_or_init(|| {
+        let n: usize = 1 << 16;
+        let data: Vec<u32> = (0..n as u32).map(|i| i * 2).collect();
+        // Scattered cost: data-dependent binary searches with pseudo-random
+        // probes, charged per probe (log2 n probes per search).
+        let searches = 1usize << 12;
+        let mut acc = 0usize;
+        let mut x = 0x9E37_79B9u32;
+        let start = std::time::Instant::now();
+        for _ in 0..searches {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            acc += data.partition_point(|&k| k < (x >> 15));
+        }
+        std::hint::black_box(acc);
+        let probes = searches as u32 * (usize::BITS - n.leading_zeros());
+        let probe_ns = start.elapsed().as_nanos() as f64 / f64::from(probes);
+        // Streaming cost: one linear reduction pass, charged per element.
+        let start = std::time::Instant::now();
+        let sum: u64 = std::hint::black_box(data.as_slice())
+            .iter()
+            .map(|&k| u64::from(k))
+            .sum();
+        std::hint::black_box(sum);
+        let stream_ns = start.elapsed().as_nanos() as f64 / n as f64;
+        (probe_ns.max(0.1), stream_ns.max(0.01))
+    })
+}
+
+/// Calibrated per-element cost (ns) of radix-sorting a query batch — the
+/// bulk path's dominant per-query toll, paid before it streams any level —
+/// measured directly on a throwaway device.
+fn sort_cost_ns() -> f64 {
+    static COST: OnceLock<f64> = OnceLock::new();
+    *COST.get_or_init(|| {
+        let device = gpu_sim::Device::new(gpu_sim::DeviceConfig::small());
+        let n: usize = 1 << 13;
+        let mut keys: Vec<u32> = (0..n as u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        let mut values: Vec<u32> = (0..n as u32).collect();
+        let start = std::time::Instant::now();
+        gpu_primitives::radix_sort::sort_pairs(&device, &mut keys, &mut values);
+        std::hint::black_box(&keys);
+        (start.elapsed().as_nanos() as f64 / n as f64).max(0.5)
+    })
+}
+
+/// The `LSM_BULK_LOOKUP_FRAC` override: when set, the bulk path engages at
+/// `frac · resident elements` queries instead of the calibrated threshold.
+fn bulk_frac_override() -> Option<f64> {
+    static FRAC: OnceLock<Option<f64>> = OnceLock::new();
+    *FRAC.get_or_init(|| {
+        std::env::var("LSM_BULK_LOOKUP_FRAC")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|f| *f > 0.0)
+    })
+}
+
 impl GpuLsm {
     /// Look up a batch of keys in parallel.  Returns, for each query key,
     /// `Some(value)` of the most recent insertion if the key is present and
     /// not deleted, `None` otherwise.
+    ///
+    /// Dispatches adaptively: batches smaller than
+    /// [`GpuLsm::bulk_lookup_threshold`] run the individual per-thread
+    /// binary-search approach ([`GpuLsm::lookup_individual`]); larger
+    /// batches switch to the sorted bulk approach
+    /// ([`GpuLsm::lookup_bulk_sorted`]).  Both return identical results.
     pub fn lookup(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        if queries.len() >= self.bulk_lookup_threshold() {
+            self.lookup_bulk_sorted(queries)
+        } else {
+            self.lookup_individual(queries)
+        }
+    }
+
+    /// The query count at which [`GpuLsm::lookup`] switches to the bulk
+    /// sorted path for the structure's *current* shape.
+    ///
+    /// Derived from the same style of per-process calibration as the worker
+    /// pool's sequential cutoff: with calibrated scattered-probe, streaming
+    /// and query-sort costs, the individual approach costs about
+    /// `Σ per-level probe depth · c_probe` per query while the bulk
+    /// approach costs `n · c_stream` once plus sort/stream work per query —
+    /// the threshold is where the two lines cross, floored at a minimum
+    /// batch size and overridable with `LSM_BULK_LOOKUP_FRAC` (a fraction
+    /// of the resident element count).
+    pub fn bulk_lookup_threshold(&self) -> usize {
+        let n = self.num_resident_elements();
+        if n == 0 {
+            return usize::MAX;
+        }
+        if let Some(frac) = bulk_frac_override() {
+            return (((n as f64) * frac) as usize).max(MIN_BULK_QUERIES);
+        }
+        let levels = self.num_occupied_levels();
+        let (probe_ns, stream_ns) = lookup_costs();
+        // Individual per-query cost: filtered levels are usually decided by
+        // one cache-line filter read (modelled as ~2 probe-equivalents to
+        // cover false positives); unfiltered levels pay a fence-narrowed
+        // binary search.
+        let per_query_individual: f64 = self
+            .levels()
+            .iter_occupied()
+            .map(|(_, l)| {
+                if l.filter().is_some() {
+                    2.0 * probe_ns
+                } else {
+                    f64::from(l.search_probe_depth()) * probe_ns
+                }
+            })
+            .sum();
+        // Bulk per-query cost: the query sort plus one streamed needle pass
+        // and result reconciliation per level.
+        let per_query_bulk = sort_cost_ns() + (levels as f64 + 2.0) * stream_ns;
+        let margin = per_query_individual - per_query_bulk;
+        if margin <= 0.0 {
+            return usize::MAX; // individual is never beaten for this shape
+        }
+        (((n as f64) * stream_ns / margin) as usize).max(MIN_BULK_QUERIES)
+    }
+
+    /// The individual (per-thread binary search) batch lookup.
+    pub fn lookup_individual(&self, queries: &[Key]) -> Vec<Option<Value>> {
         let kernel = "lsm_lookup";
         self.device().metrics().record_launch(kernel);
         self.device().metrics().record_read(
@@ -26,43 +191,66 @@ impl GpuLsm {
             std::mem::size_of_val(queries) as u64,
             AccessPattern::Coalesced,
         );
-        // Traffic accounting: each query performs a binary search in every
-        // occupied level until it finds a hit; the worst case (miss) probes
-        // every level.  Each probe is a scattered (random) access.
-        let probes: u64 = self
-            .levels()
-            .iter_occupied()
-            .map(|(_, level)| (usize::BITS - level.len().leading_zeros()) as u64)
-            .sum();
+        let traced: Vec<(Option<Value>, LookupTrace)> =
+            self.device().timer().time("lookup", || {
+                queries
+                    .par_iter()
+                    .map(|&q| self.lookup_one_traced(q))
+                    .collect()
+            });
+        // Traffic accounting from what the batch actually did: every filter
+        // consultation is a single coalesced cache-line block read; only
+        // the searches that survived the filters pay scattered probes.
+        let mut total = LookupTrace::default();
+        let mut results = Vec::with_capacity(traced.len());
+        for (value, trace) in traced {
+            results.push(value);
+            total.filter_blocks += trace.filter_blocks;
+            total.filter_skips += trace.filter_skips;
+            total.search_probes += trace.search_probes;
+        }
+        self.device()
+            .metrics()
+            .record_block_reads(kernel, total.filter_blocks, BLOCK_BYTES as u64);
         self.device().metrics().record_scattered_probes(
             kernel,
-            probes * queries.len() as u64,
+            total.search_probes,
             std::mem::size_of::<Key>() as u64,
         );
-
-        self.device().timer().time("lookup", || {
-            queries.par_iter().map(|&q| self.lookup_one(q)).collect()
-        })
+        self.record_filter_activity(total.filter_blocks, total.filter_skips);
+        results
     }
 
-    /// Look up a single key (the per-thread body of [`GpuLsm::lookup`],
-    /// usable on its own for asynchronous individual queries).
+    /// Look up a single key (the per-thread body of the individual batch
+    /// lookup, usable on its own for asynchronous individual queries).
     pub fn lookup_one(&self, query: Key) -> Option<Value> {
+        let (value, trace) = self.lookup_one_traced(query);
+        self.record_filter_activity(trace.filter_blocks, trace.filter_skips);
+        value
+    }
+
+    /// The traced lookup body: walk levels newest-first, let the first
+    /// probe that returns an element decide.
+    pub(crate) fn lookup_one_traced(&self, query: Key) -> (Option<Value>, LookupTrace) {
+        let mut trace = LookupTrace::default();
         for (_, level) in self.levels().iter_occupied() {
-            let keys = level.keys();
-            // Lower bound on the original key: first element with key >= query.
-            let idx = gpu_primitives::search::lower_bound_by(keys, &(query << 1), |a, b| {
-                (a >> 1) < (b >> 1)
-            });
-            if idx < keys.len() && original_key(keys[idx]) == query {
-                return if is_regular(keys[idx]) {
-                    Some(level.values()[idx])
+            let probe = level.find(query);
+            trace.filter_blocks += u64::from(probe.filter_probed);
+            trace.search_probes += u64::from(probe.probes);
+            if probe.filter_skipped {
+                trace.filter_skips += 1;
+                continue;
+            }
+            if let Some((encoded, value)) = probe.entry {
+                let result = if is_regular(encoded) {
+                    Some(value)
                 } else {
                     None // most recent instance is a tombstone: deleted
                 };
+                return (result, trace);
             }
         }
-        None
+        (None, trace)
     }
 
     /// Whether `key` is currently present (not deleted).
@@ -78,7 +266,8 @@ impl GpuLsm {
     /// [`GpuLsm::lookup`].  The trade-off it exists to expose: the query
     /// sort is an extra bulk pass, but each level is then scanned with
     /// coalesced accesses rather than probed randomly — profitable when
-    /// there are many queries relative to the structure size.
+    /// there are many queries relative to the structure size, which is
+    /// exactly when [`GpuLsm::lookup`] dispatches here.
     pub fn lookup_bulk_sorted(&self, queries: &[Key]) -> Vec<Option<Value>> {
         let kernel = "lsm_lookup_bulk";
         self.device().metrics().record_launch(kernel);
@@ -98,11 +287,20 @@ impl GpuLsm {
             // comparator applies uniformly to needles and haystack.
             let probes: Vec<u32> = sorted_queries.iter().map(|&q| q << 1).collect();
 
-            // Resolve levels newest-first; the first level that decides a
-            // query (hit or tombstone) wins.
-            let mut results: Vec<Option<Value>> = vec![None; queries.len()];
+            // Resolve levels newest-first, tracking results and decisions in
+            // *sorted query order* so the per-level reconciliation is a
+            // perfectly aligned zip — embarrassingly parallel over the
+            // vendored pool — rather than a serial scatter.  A query decided
+            // by a newer level is never overwritten (newest-level-wins).
+            let mut sorted_results: Vec<Option<Value>> = vec![None; queries.len()];
             let mut decided: Vec<bool> = vec![false; queries.len()];
+            let (lo_q, hi_q) = (sorted_queries[0], sorted_queries[queries.len() - 1]);
             for (_, level) in self.levels().iter_occupied() {
+                // Fence min/max pruning: a level whose key range is disjoint
+                // from the whole (sorted) query range cannot decide anything.
+                if level.max_key() < lo_q || level.min_key() > hi_q {
+                    continue;
+                }
                 let keys = level.keys();
                 let lower_bounds = gpu_primitives::sorted_search::sorted_lower_bound(
                     self.device(),
@@ -110,20 +308,29 @@ impl GpuLsm {
                     &probes,
                     |a, b| (a >> 1) < (b >> 1),
                 );
-                for (qi, &idx) in lower_bounds.iter().enumerate() {
-                    let original = positions[qi] as usize;
-                    if decided[original] {
-                        continue;
-                    }
-                    if idx < keys.len() && original_key(keys[idx]) == sorted_queries[qi] {
-                        decided[original] = true;
-                        results[original] = if is_regular(keys[idx]) {
-                            Some(level.values()[idx])
-                        } else {
-                            None
-                        };
-                    }
-                }
+                sorted_results
+                    .par_iter_mut()
+                    .zip(decided.par_iter_mut())
+                    .zip(lower_bounds.par_iter())
+                    .zip(sorted_queries.par_iter())
+                    .for_each(|(((result, decided), &idx), &query)| {
+                        if *decided {
+                            return;
+                        }
+                        if idx < keys.len() && original_key(keys[idx]) == query {
+                            *decided = true;
+                            *result = if is_regular(keys[idx]) {
+                                Some(level.values()[idx])
+                            } else {
+                                None
+                            };
+                        }
+                    });
+            }
+            // Scatter back to the callers' query order.
+            let mut results: Vec<Option<Value>> = vec![None; queries.len()];
+            for (sorted_idx, &original) in positions.iter().enumerate() {
+                results[original as usize] = sorted_results[sorted_idx];
             }
             results
         })
@@ -250,18 +457,32 @@ mod tests {
             lsm.update(&batch).unwrap();
         }
         let queries: Vec<u32> = (0..2500).map(|i| (i * 17) % 2600).collect();
-        assert_eq!(lsm.lookup_bulk_sorted(&queries), lsm.lookup(&queries));
+        assert_eq!(
+            lsm.lookup_bulk_sorted(&queries),
+            lsm.lookup_individual(&queries)
+        );
+        // The adaptive entry point agrees with both, whichever it picked.
+        assert_eq!(lsm.lookup(&queries), lsm.lookup_individual(&queries));
         // Empty query set and empty structure are handled.
         assert!(lsm.lookup_bulk_sorted(&[]).is_empty());
         let empty = GpuLsm::new(device(), 8).unwrap();
         assert_eq!(empty.lookup_bulk_sorted(&[1, 2]), vec![None, None]);
+        assert_eq!(empty.bulk_lookup_threshold(), usize::MAX);
     }
 
     #[test]
     fn lookup_records_traffic() {
         let mut lsm = GpuLsm::new(device(), 8).unwrap();
         lsm.insert(&[(1, 1)]).unwrap();
-        let _ = lsm.lookup(&[1, 2, 3]);
+        let _ = lsm.lookup_individual(&[1, 2, 3]);
         assert!(lsm.device().metrics().snapshot().contains_key("lsm_lookup"));
+    }
+
+    #[test]
+    fn bulk_threshold_respects_env_floor_and_shape() {
+        let mut lsm = GpuLsm::new(device(), 8).unwrap();
+        lsm.insert(&[(1, 1)]).unwrap();
+        // Whatever the calibration says, tiny batches stay individual.
+        assert!(lsm.bulk_lookup_threshold() >= super::MIN_BULK_QUERIES);
     }
 }

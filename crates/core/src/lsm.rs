@@ -29,6 +29,9 @@ pub struct GpuLsm {
     batch_size: usize,
     num_batches: usize,
     pub(crate) levels: LevelSet,
+    /// Lifetime filter hit/skip counters (shared across clones, reported by
+    /// [`crate::stats::LsmStats`]).
+    pub(crate) filter_activity: Arc<crate::stats::FilterActivity>,
 }
 
 impl GpuLsm {
@@ -46,6 +49,7 @@ impl GpuLsm {
             batch_size,
             num_batches: 0,
             levels: LevelSet::new(),
+            filter_activity: Arc::default(),
         })
     }
 
@@ -70,6 +74,7 @@ impl GpuLsm {
             batch_size,
             num_batches: 0,
             levels: LevelSet::new(),
+            filter_activity: Arc::default(),
         };
         if pairs.is_empty() {
             return Ok(lsm);
@@ -94,6 +99,10 @@ impl GpuLsm {
     /// Slice an already-sorted array into levels following the set bits of
     /// `self.num_batches`, smallest level first (smaller keys end up in
     /// smaller levels, as in the paper's cleanup).
+    ///
+    /// Levels placed here come from a bulk rebuild and are long-lived, so
+    /// they get the full query-acceleration treatment (fences + filters,
+    /// see [`Level::from_sorted`]).
     fn distribute_sorted(&mut self, keys: Vec<EncodedKey>, values: Vec<Value>) {
         debug_assert_eq!(keys.len(), self.num_batches * self.batch_size);
         self.levels.clear();
@@ -103,12 +112,36 @@ impl GpuLsm {
                 let len = self.batch_size << bit;
                 let level_keys = keys[offset..offset + len].to_vec();
                 let level_values = values[offset..offset + len].to_vec();
-                self.levels
-                    .place(bit as usize, Level::from_sorted(level_keys, level_values));
+                let level = Level::from_sorted(level_keys, level_values);
+                self.record_accel_build(&level);
+                self.levels.place(bit as usize, level);
                 offset += len;
             }
         }
         debug_assert_eq!(offset, keys.len());
+    }
+
+    /// Account the one-time construction traffic of a level's
+    /// query-acceleration structures: one coalesced read pass over the
+    /// level's keys and coalesced writes of the filter + fence arrays.
+    fn record_accel_build(&self, level: &Level) {
+        let (filter_bytes, fence_bytes) = level.accel_bytes();
+        if filter_bytes + fence_bytes == 0 {
+            return;
+        }
+        let kernel = "lsm_accel_build";
+        let metrics = self.device.metrics();
+        metrics.record_launch(kernel);
+        metrics.record_read(
+            kernel,
+            (level.len() * std::mem::size_of::<EncodedKey>()) as u64,
+            gpu_sim::AccessPattern::Coalesced,
+        );
+        metrics.record_write(
+            kernel,
+            (filter_bytes + fence_bytes) as u64,
+            gpu_sim::AccessPattern::Coalesced,
+        );
     }
 
     /// Apply a mixed batch of insertions and deletions (at most `b`
@@ -185,7 +218,12 @@ impl GpuLsm {
             values = merged_values;
             i += 1;
         }
-        self.levels.place(i, Level::from_sorted(keys, values));
+        // Carry-chain levels churn (level i is consumed after ≤ 2^i more
+        // batches), so the transient constructor applies the higher filter
+        // threshold — fences are always built.
+        let level = Level::from_sorted_transient(keys, values);
+        self.record_accel_build(&level);
+        self.levels.place(i, level);
         self.num_batches += 1;
     }
 

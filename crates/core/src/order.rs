@@ -15,7 +15,6 @@
 
 use rayon::prelude::*;
 
-use gpu_primitives::search::{lower_bound_by, upper_bound_by};
 use gpu_sim::AccessPattern;
 
 use crate::key::{original_key, Key, Value, MAX_KEY};
@@ -53,11 +52,16 @@ impl GpuLsm {
         }
         let mut probe = query;
         loop {
-            // Smallest key strictly greater than `probe` in any level.
+            // Smallest key strictly greater than `probe` in any level.  A
+            // level whose max fence key is <= probe cannot contribute a
+            // candidate and is skipped without a search.
             let mut candidate: Option<Key> = None;
             for (_, level) in self.levels().iter_occupied() {
+                if level.max_key() <= probe {
+                    continue;
+                }
                 let keys = level.keys();
-                let idx = upper_bound_by(keys, &(probe << 1 | 1), |a, b| (a >> 1) < (b >> 1));
+                let idx = level.upper_bound(probe);
                 if idx < keys.len() {
                     let k = original_key(keys[idx]);
                     candidate = Some(candidate.map_or(k, |c: Key| c.min(k)));
@@ -89,11 +93,16 @@ impl GpuLsm {
         }
         let mut probe = query;
         loop {
-            // Largest key strictly smaller than `probe` in any level.
+            // Largest key strictly smaller than `probe` in any level.  A
+            // level whose min fence key is >= probe cannot contribute a
+            // candidate and is skipped without a search.
             let mut candidate: Option<Key> = None;
             for (_, level) in self.levels().iter_occupied() {
+                if level.min_key() >= probe {
+                    continue;
+                }
                 let keys = level.keys();
-                let idx = lower_bound_by(keys, &(probe << 1), |a, b| (a >> 1) < (b >> 1));
+                let idx = level.lower_bound(probe);
                 if idx > 0 {
                     let k = original_key(keys[idx - 1]);
                     candidate = Some(candidate.map_or(k, |c: Key| c.max(k)));
@@ -112,10 +121,14 @@ impl GpuLsm {
 
     fn record_order_traffic(&self, kernel: &str, num_queries: usize) {
         self.device().metrics().record_launch(kernel);
+        // Static one-round estimate: the walk may skip levels via the
+        // min/max fences (fewer probes) or need extra rounds to step over
+        // stale keys (more); one fence-narrowed search per level per query
+        // is the expected-case middle ground.
         let probes: u64 = self
             .levels()
             .iter_occupied()
-            .map(|(_, level)| (usize::BITS - level.len().leading_zeros()) as u64)
+            .map(|(_, level)| u64::from(level.search_probe_depth()))
             .sum();
         self.device().metrics().record_scattered_probes(
             kernel,

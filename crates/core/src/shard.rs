@@ -75,6 +75,14 @@ pub struct ShardedStats {
     pub occupied_levels: usize,
     /// Sum of device memory bytes over all shards.
     pub memory_bytes: usize,
+    /// Sum of Bloom-filter bytes over all shards.
+    pub filter_bytes: usize,
+    /// Sum of fence-array bytes over all shards.
+    pub fence_bytes: usize,
+    /// Sum of lifetime filter probes over all shards.
+    pub filter_probes: u64,
+    /// Sum of lifetime filter skips over all shards.
+    pub filter_skips: u64,
 }
 
 impl ShardedStats {
@@ -248,6 +256,11 @@ impl ShardedLsm {
 
     /// Bulk point lookups: routed to the owning shards, executed per shard
     /// in parallel, reassembled in input order.
+    ///
+    /// Each shard's sub-batch goes through [`GpuLsm::lookup`]'s adaptive
+    /// dispatch, so a large fan-out lands on the bulk sorted path exactly
+    /// when the sub-batch is big relative to that shard (shards hold
+    /// `1/N`-th of the data, so sharding *lowers* the crossover).
     pub fn lookup(&self, queries: &[Key]) -> Vec<Option<Value>> {
         let parts = self.router.split_lookups(queries);
         let work: Vec<(usize, &RoutedLookups)> = parts
@@ -353,6 +366,12 @@ impl ShardedLsm {
     }
 
     /// Successor of a single key across shards.
+    ///
+    /// Before a shard's levels are searched, its per-level min/max fences
+    /// (aggregated by [`GpuLsm::max_resident_key`]) are consulted under the
+    /// same read lock: a shard whose largest resident key is `<= probe` —
+    /// in particular an empty shard — provably has no candidate and is
+    /// skipped without any binary searches.
     pub fn successor_one(&self, query: Key) -> Option<(Key, Value)> {
         let first = self.router.shard_of(query.min(MAX_KEY));
         for s in first..self.num_shards() {
@@ -364,7 +383,12 @@ impl ShardedLsm {
             } else {
                 self.router.shard_bounds(s).0 - 1
             };
-            let found = self.shards[s].with_read(|lsm| lsm.successor_one(probe));
+            let found = self.shards[s].with_read(|lsm| {
+                if lsm.max_resident_key().is_none_or(|max| max <= probe) {
+                    return None; // no resident key can exceed the probe
+                }
+                lsm.successor_one(probe)
+            });
             if found.is_some() {
                 return found;
             }
@@ -372,7 +396,9 @@ impl ShardedLsm {
         None
     }
 
-    /// Predecessor of a single key across shards.
+    /// Predecessor of a single key across shards (fence-skipping the
+    /// shards whose smallest resident key is `>= probe`, see
+    /// [`ShardedLsm::successor_one`]).
     pub fn predecessor_one(&self, query: Key) -> Option<(Key, Value)> {
         let first = self.router.shard_of(query.min(MAX_KEY));
         for s in (0..=first).rev() {
@@ -383,7 +409,12 @@ impl ShardedLsm {
                 // the shard's largest valid key.
                 self.router.shard_bounds(s).1 + 1
             };
-            let found = self.shards[s].with_read(|lsm| lsm.predecessor_one(probe));
+            let found = self.shards[s].with_read(|lsm| {
+                if lsm.min_resident_key().is_none_or(|min| min >= probe) {
+                    return None; // no resident key can undercut the probe
+                }
+                lsm.predecessor_one(probe)
+            });
             if found.is_some() {
                 return found;
             }
@@ -404,6 +435,10 @@ impl ShardedLsm {
             stale_elements: 0,
             occupied_levels: 0,
             memory_bytes: 0,
+            filter_bytes: 0,
+            fence_bytes: 0,
+            filter_probes: 0,
+            filter_skips: 0,
             per_shard: Vec::new(),
         };
         for s in &per_shard {
@@ -412,6 +447,10 @@ impl ShardedLsm {
             agg.stale_elements += s.stale_elements;
             agg.occupied_levels += s.occupied_levels;
             agg.memory_bytes += s.memory_bytes;
+            agg.filter_bytes += s.filter_bytes;
+            agg.fence_bytes += s.fence_bytes;
+            agg.filter_probes += s.filter_probes;
+            agg.filter_skips += s.filter_skips;
         }
         agg.per_shard = per_shard;
         agg

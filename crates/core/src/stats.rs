@@ -6,8 +6,37 @@
 //! applications (and the experiment harness) can decide when a cleanup pays
 //! off.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::key::is_regular;
 use crate::lsm::GpuLsm;
+
+/// Lifetime Bloom-filter activity counters of one structure, shared across
+/// clones of its handle (lock-free; updated by the lookup paths).
+#[derive(Debug, Default)]
+pub struct FilterActivity {
+    probes: AtomicU64,
+    skips: AtomicU64,
+}
+
+impl FilterActivity {
+    /// Add a batch's worth of probes and skips.
+    pub(crate) fn record(&self, probes: u64, skips: u64) {
+        if probes > 0 {
+            self.probes.fetch_add(probes, Ordering::Relaxed);
+        }
+        if skips > 0 {
+            self.skips.fetch_add(skips, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> (u64, u64) {
+        (
+            self.probes.load(Ordering::Relaxed),
+            self.skips.load(Ordering::Relaxed),
+        )
+    }
+}
 
 /// A snapshot of the GPU LSM's shape and contents.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +58,16 @@ pub struct LsmStats {
     pub valid_elements: usize,
     /// `total_elements - valid_elements`.
     pub stale_elements: usize,
+    /// Bytes of device memory used by the per-level Bloom filters.
+    pub filter_bytes: usize,
+    /// Bytes of device memory used by the per-level fence arrays.
+    pub fence_bytes: usize,
+    /// Lifetime count of Bloom-filter membership tests performed by
+    /// lookups on this structure (each one cache-line block read).
+    pub filter_probes: u64,
+    /// Lifetime count of level searches skipped outright because the
+    /// filter proved the key absent.
+    pub filter_skips: u64,
 }
 
 impl LsmStats {
@@ -54,6 +93,12 @@ impl GpuLsm {
         let memory_bytes = self.levels().size_bytes();
         let valid_elements = self.count_valid_elements();
         let total_elements = self.num_resident_elements();
+        let (filter_bytes, fence_bytes) = self
+            .levels()
+            .iter_occupied()
+            .map(|(_, l)| l.accel_bytes())
+            .fold((0, 0), |(f, s), (df, ds)| (f + df, s + ds));
+        let (filter_probes, filter_skips) = self.filter_activity.snapshot();
         LsmStats {
             batch_size: self.batch_size(),
             num_batches: self.num_batches(),
@@ -63,6 +108,10 @@ impl GpuLsm {
             memory_bytes,
             valid_elements,
             stale_elements: total_elements - valid_elements,
+            filter_bytes,
+            fence_bytes,
+            filter_probes,
+            filter_skips,
         }
     }
 
@@ -96,6 +145,32 @@ impl GpuLsm {
     /// Total bytes of device memory used by the structure's levels.
     pub fn memory_bytes(&self) -> usize {
         self.levels().size_bytes()
+    }
+
+    /// Record Bloom-filter activity from a lookup path (no-op when no
+    /// filter was consulted).
+    pub(crate) fn record_filter_activity(&self, probes: u64, skips: u64) {
+        self.filter_activity.record(probes, skips);
+    }
+
+    /// Smallest original key resident in any level (tombstones and placebo
+    /// padding included), `None` when the structure is empty.  O(levels),
+    /// read straight off the per-level fences — this is what lets a
+    /// sharded service skip whole shards in order queries.
+    pub fn min_resident_key(&self) -> Option<crate::key::Key> {
+        self.levels()
+            .iter_occupied()
+            .map(|(_, l)| l.min_key())
+            .min()
+    }
+
+    /// Largest original key resident in any level (tombstones and placebo
+    /// padding included), `None` when the structure is empty.
+    pub fn max_resident_key(&self) -> Option<crate::key::Key> {
+        self.levels()
+            .iter_occupied()
+            .map(|(_, l)| l.max_key())
+            .max()
     }
 
     /// Per-level element counts, keyed by level index.
@@ -168,6 +243,30 @@ mod tests {
         assert_eq!(occ, vec![(0, 2), (2, 8)]);
         assert!(lsm.worst_case_lookup_probes() >= 2);
         assert!(lsm.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn accel_memory_and_counters_are_reported() {
+        // Bulk-built levels at this size carry filters (when enabled) and
+        // always carry fences.
+        let pairs: Vec<(u32, u32)> = (0..4096).map(|k| (k * 2, k)).collect();
+        let lsm = GpuLsm::bulk_build(device(), 1 << 12, &pairs).unwrap();
+        let before = lsm.stats();
+        assert!(before.fence_bytes > 0);
+        assert_eq!(before.filter_probes, 0);
+        let _ = lsm.lookup_individual(&[1, 3, 5, 4096 * 2]);
+        let after = lsm.stats();
+        if after.filter_bytes > 0 {
+            // All four queries miss; each consults the single level's filter.
+            assert!(after.filter_probes >= 4);
+            assert!(after.filter_skips > 0);
+        }
+        assert!(lsm.min_resident_key().is_some());
+        assert_eq!(lsm.min_resident_key(), Some(0));
+        assert_eq!(lsm.max_resident_key(), Some(4095 * 2));
+        let empty = GpuLsm::new(device(), 8).unwrap();
+        assert_eq!(empty.min_resident_key(), None);
+        assert_eq!(empty.max_resident_key(), None);
     }
 
     #[test]

@@ -67,6 +67,30 @@ impl GpuLsm {
                     "level {i} is not sorted by original key at index {pos}"
                 )));
             }
+            // The fence min/max must bracket the level exactly — queries
+            // prune levels and shards against them, so a stale fence would
+            // silently drop results.
+            if level.min_key() != keys[0] >> 1 || level.max_key() != keys[keys.len() - 1] >> 1 {
+                return Err(InvariantViolation(format!(
+                    "level {i} fence min/max ({}, {}) disagree with its keys ({}, {})",
+                    level.min_key(),
+                    level.max_key(),
+                    keys[0] >> 1,
+                    keys[keys.len() - 1] >> 1
+                )));
+            }
+            // A level's filter must never produce a false negative: spot
+            // check a deterministic sample of resident keys.
+            if let Some(filter) = level.filter() {
+                for &k in keys.iter().step_by((keys.len() / 64).max(1)) {
+                    if !filter.contains(k >> 1) {
+                        return Err(InvariantViolation(format!(
+                            "level {i} filter reports resident key {} absent",
+                            k >> 1
+                        )));
+                    }
+                }
+            }
         }
         Ok(())
     }

@@ -176,6 +176,20 @@ impl MetricsRegistry {
         m.scattered_transactions.fetch_add(count, Ordering::Relaxed);
     }
 
+    /// Record `count` single-block reads of `block_bytes` each (convenience
+    /// for blocked Bloom-filter probes: every membership test touches
+    /// exactly one cache-line-aligned block, which a warp of queries reads
+    /// as wide coalesced transactions rather than per-bit scattered ones —
+    /// the access pattern the blocked layout exists to buy).
+    pub fn record_block_reads(&self, kernel: &str, count: u64, block_bytes: u64) {
+        if count == 0 {
+            return;
+        }
+        self.kernel(kernel)
+            .coalesced_read_bytes
+            .fetch_add(count * block_bytes, Ordering::Relaxed);
+    }
+
     /// Snapshot all per-kernel counters (for reports).
     pub fn snapshot(&self) -> BTreeMap<String, KernelMetricsSnapshot> {
         self.kernels
@@ -240,6 +254,16 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap["binary_search"].scattered_read_bytes, 192);
         assert_eq!(snap["binary_search"].scattered_transactions, 24);
+    }
+
+    #[test]
+    fn block_reads_are_coalesced_not_scattered() {
+        let reg = MetricsRegistry::new();
+        reg.record_block_reads("filter_probe", 10, 64);
+        reg.record_block_reads("filter_probe", 0, 64); // no-op
+        let snap = reg.snapshot();
+        assert_eq!(snap["filter_probe"].coalesced_read_bytes, 640);
+        assert_eq!(snap["filter_probe"].scattered_transactions, 0);
     }
 
     #[test]

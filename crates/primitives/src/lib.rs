@@ -20,6 +20,11 @@
 //!   preserving the temporal (index) order of equal keys.
 //! * [`multisplit`] is a stable two-bucket partition (valid/stale) used by
 //!   cleanup and range compaction.
+//! * [`filter`] and [`fence`] are the query-acceleration structures built
+//!   once per level on the insert path: a blocked Bloom filter (one
+//!   cache-line block per membership test) and a fence array (sparse sorted
+//!   samples in Eytzinger layout) that let queries skip levels or narrow
+//!   their binary searches without ever changing results.
 //!
 //! ```
 //! use gpu_sim::Device;
@@ -36,6 +41,8 @@
 #![warn(missing_docs)]
 
 pub mod compact;
+pub mod fence;
+pub mod filter;
 pub mod histogram;
 pub mod merge;
 pub mod multisplit;
@@ -48,6 +55,8 @@ pub mod sorted_search;
 pub(crate) mod util;
 
 pub use compact::{compact_by_flag, compact_pairs_by_flag};
+pub use fence::FenceArray;
+pub use filter::BloomFilter;
 pub use merge::{merge_by, merge_pairs_by};
 pub use multisplit::{multisplit_in_place, multisplit_pairs_in_place};
 pub use radix_sort::{sort_keys, sort_pairs};

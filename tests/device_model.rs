@@ -44,7 +44,10 @@ fn lookups_are_charged_as_scattered_probes() {
     let lsm = GpuLsm::bulk_build(dev.clone(), 1024, &pairs).unwrap();
     dev.reset_counters();
     let queries: Vec<u32> = pairs.iter().take(2048).map(|&(k, _)| k).collect();
-    let _ = lsm.lookup(&queries);
+    // Pin the individual path: the adaptive `lookup` may legitimately
+    // reroute a batch this large through the bulk sorted kernel, whose
+    // traffic is charged under a different name.
+    let _ = lsm.lookup_individual(&queries);
     let snapshot = dev.metrics().snapshot();
     let lookup = &snapshot["lsm_lookup"];
     assert!(
@@ -52,9 +55,47 @@ fn lookups_are_charged_as_scattered_probes() {
         "lookups must pay random-access probes"
     );
     assert!(lookup.scattered_read_bytes > 0);
-    // Probes per query are bounded by levels × log2(level size).
+    // Probes per query are bounded by levels × log2(level size); the
+    // fence-narrowed searches must come in at or under that.
     let max_probes = lsm.worst_case_lookup_probes() as u64 * queries.len() as u64;
     assert!(lookup.scattered_transactions <= max_probes);
+}
+
+#[test]
+fn filter_probes_are_charged_as_coalesced_block_reads() {
+    let dev = device();
+    // Bulk-built levels of this size carry Bloom filters; an all-miss
+    // batch must be answered mostly by single-block filter reads, with far
+    // fewer scattered probes than the unfiltered worst case.
+    let pairs = unique_random_pairs(8 * 1024, 7);
+    let lsm = GpuLsm::bulk_build(dev.clone(), 1024, &pairs).unwrap();
+    let resident: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
+    let misses = lsm_workloads::missing_lookups(&resident, 2048, 8);
+    dev.reset_counters();
+    let results = lsm.lookup_individual(&misses);
+    assert!(results.iter().all(|r| r.is_none()));
+    let snapshot = dev.metrics().snapshot();
+    let lookup = &snapshot["lsm_lookup"];
+    let stats = lsm.stats();
+    if stats.filter_bytes > 0 {
+        assert!(
+            lookup.coalesced_read_bytes >= misses.len() as u64 * 64,
+            "each filter consultation is one coalesced cache-line read"
+        );
+        assert!(stats.filter_probes >= misses.len() as u64);
+        assert!(
+            stats.filter_skips > 0,
+            "misses should be skipped by filters"
+        );
+        // Only false positives fall through to binary searches.
+        let max_probes = lsm.worst_case_lookup_probes() as u64 * misses.len() as u64;
+        assert!(
+            lookup.scattered_transactions < max_probes / 2,
+            "filters must absorb most miss probes: {} vs worst case {}",
+            lookup.scattered_transactions,
+            max_probes
+        );
+    }
 }
 
 #[test]

@@ -945,7 +945,18 @@ mod tests {
     fn calibrated_cutoff_is_within_clamp() {
         let _lock = cutoff_lock();
         let cutoff = super::sequential_cutoff();
-        assert!((1 << 11..=1 << 18).contains(&cutoff), "cutoff {cutoff}");
+        // An explicit LSM_PAR_CUTOFF pin (the forced-parallel CI jobs set 1)
+        // bypasses the clamp by design; only the *calibrated* value is
+        // required to land inside it.
+        if let Some(pinned) = std::env::var("LSM_PAR_CUTOFF")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            assert_eq!(cutoff, pinned, "pinned cutoff must be honoured");
+        } else {
+            assert!((1 << 11..=1 << 18).contains(&cutoff), "cutoff {cutoff}");
+        }
     }
 
     #[test]
