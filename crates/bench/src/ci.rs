@@ -22,7 +22,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use gpu_lsm::{GpuLsm, ShardedLsm};
+use gpu_lsm::{AdmittedLsm, GpuLsm, ShardedLsm};
 use gpu_primitives::{merge::merge_by, radix_sort::sort_pairs};
 use gpu_sim::Device;
 use lsm_workloads::{missing_lookups, range_queries_with_expected_width, unique_random_pairs};
@@ -86,6 +86,45 @@ fn sharded_insert_rate(num_shards: usize, batch_size: usize, num_batches: usize)
         rates.push(elements_per_sec_m(batch_size, elapsed));
     }
     harmonic_mean(&rates)
+}
+
+/// Steady-state carry-chain insert rate: bulk-prefill `prefill` batches
+/// (occupying every level below the first empty one), then time the next
+/// `timed` inserts, which run real merge cascades — including the deep
+/// carry right after the prefill — through a ~`prefill · b`-element
+/// structure.  This isolates the carry chain (merges + incremental
+/// fence/filter maintenance) from the empty-structure regime
+/// `lsm_insert_*` measures.
+fn carry_merge_rate(batch_size: usize, prefill: usize, timed: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(batch_size * (prefill + timed), CI_SEED ^ 0xCA44);
+    let mut lsm =
+        GpuLsm::bulk_build(device, batch_size, &pairs[..batch_size * prefill]).expect("bulk build");
+    let mut rates = Vec::with_capacity(timed);
+    for chunk in pairs[batch_size * prefill..].chunks(batch_size) {
+        let (_, elapsed) = time_once(|| lsm.insert(chunk).expect("insert"));
+        rates.push(elements_per_sec_m(batch_size, elapsed));
+    }
+    harmonic_mean(&rates)
+}
+
+/// Admitted (pipelined) insert rate on one submitter thread: submit
+/// `num_batches` quarter-size batches through the admission queue of a
+/// 4-shard service and include the final drain barrier, so the rate counts
+/// *applied* work.  Queue handoff plus coalescing (sub-batches merge into
+/// fuller shard batches) is what this measures against `sharded_insert_*`.
+fn admitted_insert_rate(batch_size: usize, num_batches: usize) -> f64 {
+    let device = ci_device();
+    let submit_size = batch_size / 4;
+    let pairs = unique_random_pairs(submit_size * num_batches, CI_SEED ^ 0xAD41);
+    let lsm = AdmittedLsm::new(ShardedLsm::new(device, batch_size, 4).expect("valid shards"));
+    let (_, elapsed) = time_once(|| {
+        for chunk in pairs.chunks(submit_size) {
+            lsm.insert(chunk).expect("submit");
+        }
+        lsm.flush();
+    });
+    elements_per_sec_m(submit_size * num_batches, elapsed)
 }
 
 /// Rate of radix-sorting `n` random key–value pairs.
@@ -186,6 +225,11 @@ fn measure_once() -> Vec<Metric> {
         // overhead, shards=4 the split/fan-out cost as shards multiply.
         m("sharded_insert_s1", sharded_insert_rate(1, 1 << 10, 16)),
         m("sharded_insert_s4", sharded_insert_rate(4, 1 << 10, 16)),
+        // Write-path restructuring coverage: steady-state carries through a
+        // ~128Ki structure (planner/executor + incremental fence/filter
+        // maintenance) and pipelined admission incl. the drain barrier.
+        m("carry_merge_128k", carry_merge_rate(1 << 11, 63, 32)),
+        m("admitted_insert_4k", admitted_insert_rate(1 << 12, 16)),
     ]
 }
 
@@ -399,7 +443,7 @@ mod tests {
     fn suite_runs_and_produces_positive_rates() {
         // One repeat keeps this test cheap; it exercises every metric once.
         let metrics = run_suite(1);
-        assert_eq!(metrics.len(), 11);
+        assert_eq!(metrics.len(), 13);
         for m in &metrics {
             assert!(m.rate > 0.0, "metric {} must be positive", m.name);
         }

@@ -11,7 +11,7 @@
 //! informative, which is why the CI gate tracks the single-thread sharded
 //! insert rate rather than this concurrent sweep).
 
-use gpu_lsm::{ConcurrentGpuLsm, ShardedLsm};
+use gpu_lsm::{AdmittedLsm, ConcurrentGpuLsm, ShardedLsm};
 use lsm_workloads::{run_mixed_workload, MixedWorkloadConfig, MixedWorkloadReport};
 
 use super::experiment_device;
@@ -55,6 +55,19 @@ pub fn run(shard_counts: &[usize], config: &MixedWorkloadConfig) -> ShardedResul
         sharded
             .check_invariants()
             .expect("sharded invariants after workload");
+        rows.push(ShardedRow { shards: n, report });
+
+        // The same shard count behind the pipelined admission queue:
+        // writers hand batches to the background applier (which coalesces
+        // adjacent same-shard sub-batches) instead of driving the carry
+        // chains themselves.
+        let admitted = AdmittedLsm::new(
+            ShardedLsm::new(experiment_device(), config.batch_size, n).expect("valid shard count"),
+        );
+        let report = run_mixed_workload(&admitted, config);
+        admitted
+            .check_invariants()
+            .expect("admitted invariants after workload");
         rows.push(ShardedRow { shards: n, report });
     }
 
@@ -111,17 +124,20 @@ mod tests {
     }
 
     #[test]
-    fn sweep_produces_baseline_plus_one_row_per_shard_count() {
+    fn sweep_produces_baseline_plus_two_rows_per_shard_count() {
         let result = run(&[1, 4], &tiny_config());
-        assert_eq!(result.rows.len(), 3);
+        // Baseline, then a synchronous and an admitted row per shard count.
+        assert_eq!(result.rows.len(), 5);
         assert_eq!(result.rows[0].shards, 0);
         assert_eq!(result.rows[0].report.backend, "concurrent-lsm");
-        assert_eq!(result.rows[1].shards, 1);
-        assert_eq!(result.rows[2].shards, 4);
+        assert_eq!(result.rows[1].report.backend, "sharded-lsm x1");
+        assert_eq!(result.rows[2].report.backend, "admitted-lsm x1");
+        assert_eq!(result.rows[3].report.backend, "sharded-lsm x4");
+        assert_eq!(result.rows[4].report.backend, "admitted-lsm x4");
         for row in &result.rows {
             assert!(row.report.update_rate_m > 0.0, "{}", row.report.backend);
             assert_eq!(row.report.update_ops, 2 * 3 * 64);
         }
-        assert_eq!(render(&result).num_rows(), 3);
+        assert_eq!(render(&result).num_rows(), 5);
     }
 }

@@ -1,0 +1,819 @@
+//! Pipelined batch admission in front of the sharded service.
+//!
+//! [`crate::ShardedLsm`] removed the cross-shard serialization of updates,
+//! but a writer still blocks for the whole carry chain of every batch it
+//! applies.  [`AdmittedLsm`] decouples the two: writers **validate and
+//! enqueue** batches (split per shard, bounded queues) and return
+//! immediately; a background **applier** drains the queues, **coalesces**
+//! adjacent batches headed for the same shard into fewer, fuller batches,
+//! and applies them through the service.  A `b`-sized batch split over `k`
+//! shards otherwise pads each `b/k`-op sub-batch back to a full `b`
+//! elements inside the shard — coalescing recovers exactly that waste under
+//! sustained traffic, on top of taking the carry chain off the writers'
+//! critical path.
+//!
+//! ## Ordering and exactness
+//!
+//! Admission never reorders: sub-batches preserve within-batch op order
+//! (the split is stable) and per-shard queues are FIFO, so cross-batch
+//! order per key is intact.  Coalescing `w` adjacent batches replaces them
+//! with batches that are *visibly equivalent* to applying the `w` batches
+//! in sequence: for every key, the **last** batch touching it decides —
+//! a batch containing any deletion of the key deletes it (rule 6 exactly:
+//! the tombstone shadows same-batch insertions), otherwise the batch's
+//! first insertion wins (rule 4 exactly).  Queries therefore return
+//! byte-identical answers to the synchronous path; the physical layout may
+//! differ (fewer resident batches, fewer stale elements — coalescing is
+//! also a micro-cleanup).  With coalescing disabled (`LSM_ADMIT_COALESCE=0`)
+//! even the physical per-shard layout is byte-identical to synchronous
+//! [`crate::ShardedLsm::update`] calls.
+//!
+//! ## Visibility
+//!
+//! The admitted view is eventually consistent: a query may miss batches
+//! still in the queues.  [`AdmittedLsm::flush`] is the drain barrier
+//! (returns once every previously enqueued batch is applied).  The
+//! **read-your-writes** mode makes queued state visible without waiting:
+//! point lookups overlay the pending per-shard queues (newest batch wins,
+//! exactly the rules above) in front of the applied state, and interval /
+//! order queries drain first.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::batch::{Op, UpdateBatch};
+use crate::cleanup::CleanupReport;
+use crate::error::{LsmError, Result};
+use crate::key::{Key, Value, MAX_KEY};
+use crate::range::RangeResult;
+use crate::shard::{ShardedLsm, ShardedStats};
+use crate::validate::InvariantViolation;
+
+/// Default bound of each shard's admission queue, in batches.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Most batches the applier pulls from one shard's queue per drain step —
+/// the coalescing window.
+pub const COALESCE_WINDOW: usize = 16;
+
+/// The `LSM_ADMIT_QUEUE` environment knob: per-shard queue capacity in
+/// batches (minimum 1, default [`DEFAULT_QUEUE_CAPACITY`]).
+fn env_queue_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("LSM_ADMIT_QUEUE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map_or(DEFAULT_QUEUE_CAPACITY, |c| c.max(1))
+    })
+}
+
+/// The `LSM_ADMIT_COALESCE` environment knob: `0` disables coalescing (the
+/// applier replays batches exactly as submitted), anything else (default)
+/// enables it.
+fn env_coalesce() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| {
+        std::env::var("LSM_ADMIT_COALESCE")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .is_none_or(|v| v != 0)
+    })
+}
+
+/// Tuning of one admission layer (see the `LSM_ADMIT_*` environment knobs
+/// for the process-wide defaults).
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Bound of each shard's queue, in batches; submitters block when the
+    /// target shard's queue is full (backpressure).
+    pub queue_capacity: usize,
+    /// Whether the applier coalesces adjacent same-shard batches.
+    pub coalesce: bool,
+    /// Whether queries observe queued (not yet applied) state: lookups
+    /// overlay the queues, interval/order queries drain first.
+    pub read_your_writes: bool,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_capacity: env_queue_capacity(),
+            coalesce: env_coalesce(),
+            read_your_writes: false,
+        }
+    }
+}
+
+/// Lifetime admission counters (monotonic except the two depth gauges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Batches currently sitting in the per-shard queues.
+    pub queued_batches: usize,
+    /// Batches popped by the applier but not yet applied.
+    pub in_flight_batches: usize,
+    /// Whole batches accepted by [`AdmittedLsm::submit`].
+    pub submitted_batches: u64,
+    /// Operations across all submitted batches.
+    pub submitted_ops: u64,
+    /// Per-shard sub-batches enqueued (a batch spanning `k` shards counts
+    /// `k` times).
+    pub enqueued_sub_batches: u64,
+    /// Batches the applier actually pushed into the shards.
+    pub applied_batches: u64,
+    /// Operations across all applied batches (after coalescing dropped
+    /// superseded ops).
+    pub applied_ops: u64,
+    /// Sub-batches absorbed by coalescing (enqueued minus applied, counted
+    /// as they happen).
+    pub coalesced_batches: u64,
+    /// Completed [`AdmittedLsm::flush`] barriers.
+    pub flushes: u64,
+}
+
+/// Everything the submitters, the applier and the queries share.
+#[derive(Debug)]
+struct Shared {
+    service: ShardedLsm,
+    config: AdmissionConfig,
+    state: Mutex<QueueState>,
+    /// Applier waits here for queued work.
+    work: Condvar,
+    /// Submitters wait here for queue space.
+    space: Condvar,
+    /// Flush barriers wait here for full drain.
+    drained: Condvar,
+    submitted_batches: AtomicU64,
+    submitted_ops: AtomicU64,
+    enqueued_sub_batches: AtomicU64,
+    applied_batches: AtomicU64,
+    applied_ops: AtomicU64,
+    coalesced_batches: AtomicU64,
+    flushes: AtomicU64,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    /// FIFO of validated, shard-routed sub-batches, one queue per shard.
+    queues: Vec<VecDeque<UpdateBatch>>,
+    /// Batches the applier has popped but not yet applied, per shard —
+    /// still pending, so the read-your-writes overlay must see them.
+    /// Populated only when read-your-writes is on (nothing else reads it).
+    applying: Vec<Vec<UpdateBatch>>,
+    /// Total batches across `queues`.
+    queued: usize,
+    /// Total batches across `applying`.
+    in_flight: usize,
+    /// Lifetime batches enqueued per shard (`submit` side of the flush
+    /// barrier's per-shard epochs).
+    enqueued_seq: Vec<u64>,
+    /// Lifetime batches fully applied per shard.  Queues are FIFO, so
+    /// `applied_seq[s] >= e` proves the first `e` batches enqueued to
+    /// shard `s` are durable — what `flush` actually waits for.
+    applied_seq: Vec<u64>,
+    /// Round-robin cursor so no shard's queue starves.
+    next_shard: usize,
+    /// Set once, by the last handle's drop; the applier drains and exits.
+    shutdown: bool,
+}
+
+/// Joins the applier thread when the last user handle drops (the applier
+/// drains all queued work first, so dropping implies a final flush).
+#[derive(Debug)]
+struct Lifecycle {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Drop for Lifecycle {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("admission lock").shutdown = true;
+        self.shared.work.notify_all();
+        if let Some(handle) = self.handle.lock().expect("lifecycle lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A pipelined-admission handle over a [`ShardedLsm`].
+///
+/// Cloning is cheap; all clones share the queues, the applier and the
+/// underlying service.  The applier thread shuts down (after draining)
+/// when the last handle is dropped.
+#[derive(Debug, Clone)]
+pub struct AdmittedLsm {
+    shared: Arc<Shared>,
+    _lifecycle: Arc<Lifecycle>,
+}
+
+impl AdmittedLsm {
+    /// Wrap `service` with the environment-configured admission layer.
+    pub fn new(service: ShardedLsm) -> Self {
+        Self::with_config(service, AdmissionConfig::default())
+    }
+
+    /// Wrap `service` with an explicit admission configuration.
+    pub fn with_config(service: ShardedLsm, config: AdmissionConfig) -> Self {
+        let num_shards = service.num_shards();
+        let shared = Arc::new(Shared {
+            service,
+            config,
+            state: Mutex::new(QueueState {
+                queues: (0..num_shards).map(|_| VecDeque::new()).collect(),
+                applying: vec![Vec::new(); num_shards],
+                queued: 0,
+                in_flight: 0,
+                enqueued_seq: vec![0; num_shards],
+                applied_seq: vec![0; num_shards],
+                next_shard: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            drained: Condvar::new(),
+            submitted_batches: AtomicU64::new(0),
+            submitted_ops: AtomicU64::new(0),
+            enqueued_sub_batches: AtomicU64::new(0),
+            applied_batches: AtomicU64::new(0),
+            applied_ops: AtomicU64::new(0),
+            coalesced_batches: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+        });
+        let applier_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("lsm-admission".into())
+            .spawn(move || applier_loop(&applier_shared))
+            .expect("spawn admission applier");
+        AdmittedLsm {
+            _lifecycle: Arc::new(Lifecycle {
+                shared: Arc::clone(&shared),
+                handle: Mutex::new(Some(handle)),
+            }),
+            shared,
+        }
+    }
+
+    /// The wrapped sharded service (answers reflect only *applied* state).
+    pub fn service(&self) -> &ShardedLsm {
+        &self.shared.service
+    }
+
+    /// The admission configuration in effect.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.shared.config
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Validate a mixed update batch and enqueue it, blocking only when a
+    /// target shard's queue is at capacity.  An invalid batch is rejected
+    /// in full before anything is enqueued, exactly like the synchronous
+    /// path.
+    pub fn submit(&self, batch: &UpdateBatch) -> Result<()> {
+        if batch.is_empty() {
+            return Err(LsmError::EmptyBatch);
+        }
+        if batch.len() > self.shared.service.batch_size() {
+            return Err(LsmError::BatchTooLarge {
+                supplied: batch.len(),
+                batch_size: self.shared.service.batch_size(),
+            });
+        }
+        if let Some(op) = batch.ops().iter().find(|op| op.key() > MAX_KEY) {
+            return Err(LsmError::KeyOutOfRange { key: op.key() });
+        }
+        let parts = self.shared.service.router().split_updates(batch);
+        let mut enqueued = 0u64;
+        let mut state = self.shared.state.lock().expect("admission lock");
+        for (s, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            while state.queues[s].len() >= self.shared.config.queue_capacity {
+                state = self.shared.space.wait(state).expect("admission lock");
+            }
+            state.queues[s].push_back(part);
+            state.queued += 1;
+            state.enqueued_seq[s] += 1;
+            enqueued += 1;
+        }
+        drop(state);
+        self.shared
+            .submitted_batches
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .submitted_ops
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.shared
+            .enqueued_sub_batches
+            .fetch_add(enqueued, Ordering::Relaxed);
+        self.shared.work.notify_all();
+        Ok(())
+    }
+
+    /// Enqueue key–value insertions (at most `b`).
+    pub fn insert(&self, pairs: &[(Key, Value)]) -> Result<()> {
+        self.submit(&UpdateBatch::from_pairs(pairs))
+    }
+
+    /// Enqueue deletions (at most `b`).
+    pub fn delete(&self, keys: &[Key]) -> Result<()> {
+        self.submit(&UpdateBatch::from_deletions(keys))
+    }
+
+    /// Drain barrier: returns once every batch enqueued **before the
+    /// call** has been applied to the shards.  The wait is against
+    /// per-shard epochs snapshotted at entry, so concurrent submitters can
+    /// keep the queues busy without starving the barrier (each shard's
+    /// queue is FIFO, so `applied >= snapshot` proves the snapshot prefix
+    /// is durable).
+    pub fn flush(&self) {
+        let mut state = self.shared.state.lock().expect("admission lock");
+        let targets = state.enqueued_seq.clone();
+        while state
+            .applied_seq
+            .iter()
+            .zip(targets.iter())
+            .any(|(applied, target)| applied < target)
+        {
+            state = self.shared.drained.wait(state).expect("admission lock");
+        }
+        drop(state);
+        self.shared.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Flush, then run the service's cleanup on every shard.
+    pub fn cleanup(&self) -> CleanupReport {
+        self.flush();
+        self.shared.service.cleanup()
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Bulk point lookups.  In read-your-writes mode the pending queues are
+    /// overlaid in front of the applied state (newest pending batch wins);
+    /// otherwise only applied state is visible.
+    pub fn lookup(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        if !self.shared.config.read_your_writes {
+            return self.shared.service.lookup(queries);
+        }
+        // Decide what the pending (queued + in-flight) ops say about each
+        // query under one short lock; undecided keys fall through to the
+        // applied state.  Each touched shard's pending batches are folded
+        // into one key → decision map in a single pass, so the lock is
+        // held for O(pending ops + queries), not their product.
+        let overlay: Vec<Option<Option<Value>>> = {
+            let state = self.shared.state.lock().expect("admission lock");
+            let mut maps: Vec<Option<HashMap<Key, Option<Value>>>> =
+                vec![None; self.shared.service.num_shards()];
+            queries
+                .iter()
+                .map(|&q| {
+                    let s = self.shared.service.router().shard_of(q.min(MAX_KEY));
+                    maps[s]
+                        .get_or_insert_with(|| pending_decisions(&state, s))
+                        .get(&q)
+                        .copied()
+                })
+                .collect()
+        };
+        let undecided: Vec<Key> = queries
+            .iter()
+            .zip(&overlay)
+            .filter(|(_, o)| o.is_none())
+            .map(|(&q, _)| q)
+            .collect();
+        let applied = self.shared.service.lookup(&undecided);
+        let mut applied_iter = applied.into_iter();
+        overlay
+            .into_iter()
+            .map(|o| match o {
+                Some(decided) => decided,
+                None => applied_iter.next().expect("one applied answer per miss"),
+            })
+            .collect()
+    }
+
+    /// Bulk count queries (read-your-writes mode drains first).
+    pub fn count(&self, queries: &[(Key, Key)]) -> Vec<u32> {
+        if self.shared.config.read_your_writes {
+            self.flush();
+        }
+        self.shared.service.count(queries)
+    }
+
+    /// Bulk range queries (read-your-writes mode drains first).
+    pub fn range(&self, queries: &[(Key, Key)]) -> RangeResult {
+        if self.shared.config.read_your_writes {
+            self.flush();
+        }
+        self.shared.service.range(queries)
+    }
+
+    /// Bulk successor queries (read-your-writes mode drains first).
+    pub fn successor(&self, queries: &[Key]) -> Vec<Option<(Key, Value)>> {
+        if self.shared.config.read_your_writes {
+            self.flush();
+        }
+        self.shared.service.successor(queries)
+    }
+
+    /// Bulk predecessor queries (read-your-writes mode drains first).
+    pub fn predecessor(&self, queries: &[Key]) -> Vec<Option<(Key, Value)>> {
+        if self.shared.config.read_your_writes {
+            self.flush();
+        }
+        self.shared.service.predecessor(queries)
+    }
+
+    // ------------------------------------------------------------------
+    // Diagnostics
+    // ------------------------------------------------------------------
+
+    /// Admission-layer counters and queue gauges.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        let (queued, in_flight) = {
+            let state = self.shared.state.lock().expect("admission lock");
+            (state.queued, state.in_flight)
+        };
+        AdmissionStats {
+            queued_batches: queued,
+            in_flight_batches: in_flight,
+            submitted_batches: self.shared.submitted_batches.load(Ordering::Relaxed),
+            submitted_ops: self.shared.submitted_ops.load(Ordering::Relaxed),
+            enqueued_sub_batches: self.shared.enqueued_sub_batches.load(Ordering::Relaxed),
+            applied_batches: self.shared.applied_batches.load(Ordering::Relaxed),
+            applied_ops: self.shared.applied_ops.load(Ordering::Relaxed),
+            coalesced_batches: self.shared.coalesced_batches.load(Ordering::Relaxed),
+            flushes: self.shared.flushes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Service-wide statistics with the admission gauges folded in.
+    pub fn stats(&self) -> ShardedStats {
+        let mut stats = self.shared.service.stats();
+        let admission = self.admission_stats();
+        stats.admission_queued_batches = admission.queued_batches as u64;
+        stats.admission_coalesced_batches = admission.coalesced_batches;
+        stats.admission_applied_batches = admission.applied_batches;
+        stats
+    }
+
+    /// Flush, then check every shard's invariants.
+    pub fn check_invariants(&self) -> std::result::Result<(), InvariantViolation> {
+        self.flush();
+        self.shared.service.check_invariants()
+    }
+}
+
+/// Fold shard `s`'s pending batches — in-flight first (older), then the
+/// queue oldest-to-newest — into one key → visible-outcome map: per batch
+/// any deletion of a key shadows its insertions (rule 6) else the first
+/// insertion wins (rule 4), and later batches overwrite earlier ones
+/// (newest batch decides).
+fn pending_decisions(state: &QueueState, s: usize) -> HashMap<Key, Option<Value>> {
+    let mut decisions = HashMap::new();
+    for batch in state.applying[s].iter().chain(state.queues[s].iter()) {
+        for op in resolve_batch(batch) {
+            let outcome = match op {
+                Op::Insert(_, v) => Some(v),
+                Op::Delete(_) => None,
+            };
+            decisions.insert(op.key(), outcome);
+        }
+    }
+    decisions
+}
+
+/// The background applier: drain queues round-robin, coalesce, apply.
+fn applier_loop(shared: &Arc<Shared>) {
+    loop {
+        // Pop one shard's coalescing window under the lock.  With
+        // read-your-writes on, the popped batches stay visible to the
+        // overlay via `applying` until they are applied; otherwise nothing
+        // reads `applying` and the clone is skipped.
+        let (shard, window) = {
+            let mut state = shared.state.lock().expect("admission lock");
+            loop {
+                if state.queued > 0 {
+                    break;
+                }
+                if state.shutdown {
+                    return; // queues fully drained: drop implies flush
+                }
+                state = shared.work.wait(state).expect("admission lock");
+            }
+            let num_shards = state.queues.len();
+            let mut s = state.next_shard;
+            while state.queues[s].is_empty() {
+                s = (s + 1) % num_shards;
+            }
+            state.next_shard = (s + 1) % num_shards;
+            let take = if shared.config.coalesce {
+                COALESCE_WINDOW.min(state.queues[s].len())
+            } else {
+                1
+            };
+            let window: Vec<UpdateBatch> = state.queues[s].drain(..take).collect();
+            state.queued -= take;
+            state.in_flight += take;
+            if shared.config.read_your_writes {
+                state.applying[s] = window.clone();
+            }
+            (s, window)
+        };
+        shared.space.notify_all();
+
+        let taken = window.len();
+        let to_apply = if shared.config.coalesce {
+            coalesce_batches(&window, shared.service.batch_size())
+        } else {
+            window // replay mode applies the popped batch as-is
+        };
+        shared
+            .coalesced_batches
+            .fetch_add((taken - to_apply.len()) as u64, Ordering::Relaxed);
+        for part in &to_apply {
+            // Sub-batches were validated at submit time and coalescing
+            // keeps them non-empty and within `b`.
+            shared
+                .service
+                .shard(shard)
+                .update(part)
+                .expect("validated admitted batch cannot be rejected");
+            shared.applied_batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .applied_ops
+                .fetch_add(part.len() as u64, Ordering::Relaxed);
+        }
+
+        let mut state = shared.state.lock().expect("admission lock");
+        state.applying[shard].clear();
+        state.in_flight -= taken;
+        state.applied_seq[shard] += taken as u64;
+        // Every completed window can release a flush barrier (barriers
+        // wait on per-shard epochs, not on full quiescence).
+        shared.drained.notify_all();
+    }
+}
+
+/// Replace a run of adjacent batches with visibly equivalent coalesced
+/// batches of at most `batch_size` ops each: for every key the **last**
+/// batch touching it decides (a deletion anywhere in that batch deletes,
+/// otherwise its first insertion wins), and a new output batch starts
+/// whenever the accumulated distinct keys would exceed `batch_size` —
+/// so each output batch is exactly equivalent to a contiguous sub-run.
+fn coalesce_batches(window: &[UpdateBatch], batch_size: usize) -> Vec<UpdateBatch> {
+    let mut out = Vec::new();
+    let mut acc: Vec<Op> = Vec::new();
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    for batch in window {
+        let resolved = resolve_batch(batch);
+        let new_keys = resolved
+            .iter()
+            .filter(|op| !index.contains_key(&op.key()))
+            .count();
+        if !acc.is_empty() && acc.len() + new_keys > batch_size {
+            let mut flushed = UpdateBatch::with_capacity(acc.len());
+            for op in acc.drain(..) {
+                flushed.push(op);
+            }
+            index.clear();
+            out.push(flushed);
+        }
+        for op in resolved {
+            match index.entry(op.key()) {
+                std::collections::hash_map::Entry::Occupied(slot) => acc[*slot.get()] = op,
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(acc.len());
+                    acc.push(op);
+                }
+            }
+        }
+    }
+    if !acc.is_empty() {
+        let mut flushed = UpdateBatch::with_capacity(acc.len());
+        for op in acc {
+            flushed.push(op);
+        }
+        out.push(flushed);
+    }
+    out
+}
+
+/// One batch reduced to a single op per key, per the batch semantics: any
+/// deletion of a key shadows the batch's insertions of it (rule 6), among
+/// insertions the first wins (rule 4).  Op order follows first appearance,
+/// keeping the reduction deterministic.
+fn resolve_batch(batch: &UpdateBatch) -> Vec<Op> {
+    let mut order: Vec<Key> = Vec::with_capacity(batch.len());
+    let mut decision: HashMap<Key, Op> = HashMap::with_capacity(batch.len());
+    for op in batch.ops() {
+        match decision.entry(op.key()) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                order.push(op.key());
+                slot.insert(*op);
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if matches!(op, Op::Delete(_)) {
+                    slot.insert(Op::Delete(op.key()));
+                }
+            }
+        }
+    }
+    order.into_iter().map(|k| decision[&k]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use gpu_sim::{Device, DeviceConfig};
+
+    use super::*;
+
+    fn device() -> Arc<Device> {
+        Arc::new(Device::new(DeviceConfig::small()))
+    }
+
+    fn admitted(batch_size: usize, shards: usize, config: AdmissionConfig) -> AdmittedLsm {
+        AdmittedLsm::with_config(
+            ShardedLsm::new(device(), batch_size, shards).unwrap(),
+            config,
+        )
+    }
+
+    fn config(coalesce: bool, ryw: bool) -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: 8,
+            coalesce,
+            read_your_writes: ryw,
+        }
+    }
+
+    #[test]
+    fn submit_flush_query_round_trip() {
+        let lsm = admitted(8, 2, config(true, false));
+        lsm.insert(&[(1, 10), (1 << 30, 20)]).unwrap();
+        lsm.delete(&[1 << 30]).unwrap();
+        lsm.flush();
+        assert_eq!(lsm.lookup(&[1, 1 << 30]), vec![Some(10), None]);
+        let stats = lsm.admission_stats();
+        assert_eq!(stats.submitted_batches, 2);
+        assert_eq!(stats.queued_batches, 0);
+        assert!(stats.applied_batches >= 1);
+        lsm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_before_enqueueing() {
+        let lsm = admitted(2, 2, config(true, false));
+        assert_eq!(
+            lsm.submit(&UpdateBatch::new()).unwrap_err(),
+            LsmError::EmptyBatch
+        );
+        assert!(matches!(
+            lsm.insert(&[(1, 1), (2, 2), (3, 3)]).unwrap_err(),
+            LsmError::BatchTooLarge { .. }
+        ));
+        let mut batch = UpdateBatch::new();
+        batch.insert(MAX_KEY + 1, 0);
+        assert_eq!(
+            lsm.submit(&batch).unwrap_err(),
+            LsmError::KeyOutOfRange { key: MAX_KEY + 1 }
+        );
+        lsm.flush();
+        assert_eq!(lsm.admission_stats().submitted_batches, 0);
+        assert_eq!(lsm.stats().total_elements, 0);
+    }
+
+    #[test]
+    fn read_your_writes_sees_queued_state() {
+        let lsm = admitted(4, 1, config(true, true));
+        // Stall nothing: even before any flush, the overlay answers.
+        lsm.insert(&[(5, 50), (6, 60)]).unwrap();
+        assert_eq!(lsm.lookup(&[5, 6, 7]), vec![Some(50), Some(60), None]);
+        lsm.delete(&[5]).unwrap();
+        assert_eq!(lsm.lookup(&[5]), vec![None]);
+        lsm.insert(&[(5, 51)]).unwrap();
+        assert_eq!(lsm.lookup(&[5]), vec![Some(51)]);
+        // Interval queries drain first in this mode.
+        assert_eq!(lsm.count(&[(0, 100)]), vec![2]);
+        assert_eq!(lsm.admission_stats().queued_batches, 0);
+    }
+
+    #[test]
+    fn coalescing_preserves_rules_4_and_6() {
+        // Same submissions through a coalescing and a replaying layer must
+        // give identical answers (insert-after-delete, delete-after-insert,
+        // duplicate inserts across and within batches).
+        let a = admitted(8, 1, config(true, false));
+        let b = admitted(8, 1, config(false, false));
+        for lsm in [&a, &b] {
+            lsm.insert(&[(1, 1), (2, 1), (3, 1)]).unwrap();
+            lsm.delete(&[2]).unwrap();
+            lsm.insert(&[(2, 7), (4, 7)]).unwrap();
+            let mut mixed = UpdateBatch::new();
+            mixed.insert(5, 9).delete(3).insert(5, 8).delete(5);
+            lsm.submit(&mixed).unwrap();
+            lsm.insert(&[(5, 42)]).unwrap();
+            lsm.flush();
+        }
+        let queries: Vec<u32> = (0..8).collect();
+        assert_eq!(a.lookup(&queries), b.lookup(&queries));
+        assert_eq!(a.count(&[(0, 100)]), b.count(&[(0, 100)]));
+        assert_eq!(a.range(&[(0, 100)]), b.range(&[(0, 100)]));
+        // The coalescing side actually coalesced something.
+        assert!(a.admission_stats().coalesced_batches > 0);
+        assert_eq!(b.admission_stats().coalesced_batches, 0);
+    }
+
+    #[test]
+    fn coalesce_batches_respects_capacity_and_semantics() {
+        let mut b1 = UpdateBatch::new();
+        b1.insert(1, 10).insert(2, 20).delete(3);
+        let mut b2 = UpdateBatch::new();
+        b2.insert(3, 30).delete(1).insert(4, 40);
+        let out = coalesce_batches(&[b1.clone(), b2.clone()], 8);
+        assert_eq!(out.len(), 1);
+        let ops = out[0].ops();
+        // Last batch wins per key: 1 deleted, 3 re-inserted; 2 and 4 kept.
+        assert!(ops.contains(&Op::Delete(1)));
+        assert!(ops.contains(&Op::Insert(2, 20)));
+        assert!(ops.contains(&Op::Insert(3, 30)));
+        assert!(ops.contains(&Op::Insert(4, 40)));
+        assert_eq!(ops.len(), 4);
+        // A tight capacity splits instead of overflowing.
+        let out = coalesce_batches(&[b1, b2], 3);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|b| b.len() <= 3));
+    }
+
+    #[test]
+    fn resolve_batch_applies_rule_6() {
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(7, 1)
+            .insert(7, 2)
+            .delete(8)
+            .insert(8, 3)
+            .delete(7);
+        let resolved = resolve_batch(&batch);
+        assert_eq!(resolved, vec![Op::Delete(7), Op::Delete(8)]);
+    }
+
+    #[test]
+    fn backpressure_blocks_then_drains() {
+        let lsm = admitted(
+            4,
+            1,
+            AdmissionConfig {
+                queue_capacity: 2,
+                coalesce: true,
+                read_your_writes: false,
+            },
+        );
+        // Many more batches than the queue holds: submitters must block on
+        // backpressure and still drain to a consistent end state.
+        for i in 0..64u32 {
+            lsm.insert(&[(i % 16, i)]).unwrap();
+        }
+        lsm.flush();
+        let got = lsm.lookup(&(0..16u32).collect::<Vec<_>>());
+        for (k, v) in got.into_iter().enumerate() {
+            // Key k was last written by batch 48 + k.
+            assert_eq!(v, Some(48 + k as u32), "key {k}");
+        }
+    }
+
+    #[test]
+    fn drop_drains_pending_work() {
+        let service = ShardedLsm::new(device(), 4, 2).unwrap();
+        {
+            let lsm = AdmittedLsm::with_config(service.clone(), config(true, false));
+            for i in 0..20u32 {
+                lsm.insert(&[(i, i), ((1 << 30) + i, i)]).unwrap();
+            }
+            // No flush: dropping the last handle must drain the queues.
+        }
+        assert_eq!(
+            service.lookup(&[19, (1 << 30) + 19]),
+            vec![Some(19), Some(19)]
+        );
+    }
+
+    #[test]
+    fn clones_share_queues_and_counters() {
+        let lsm = admitted(4, 1, config(true, false));
+        let clone = lsm.clone();
+        lsm.insert(&[(1, 1)]).unwrap();
+        clone.flush();
+        assert_eq!(clone.lookup(&[1]), vec![Some(1)]);
+        assert_eq!(clone.admission_stats().submitted_batches, 1);
+    }
+}

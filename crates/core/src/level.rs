@@ -28,12 +28,17 @@
 //! most `2^i` further batches — only get filters from
 //! [`CARRY_FILTER_MIN_LEN`] up, where the lifetime is long enough for the
 //! build to pay for itself and short-lived small levels keep the insert
-//! path untaxed.
+//! path untaxed.  The carry-chain policy decision is made by the
+//! compaction planner ([`crate::compaction::CompactionPlan`]), whose
+//! executor assembles the output through the crate-internal
+//! `Level::from_sorted_with_aux` with incrementally maintained structures.
 //!
 //! Both structures are conservative: a filter negative or an empty fence
 //! window proves the level cannot affect a query, and otherwise the
 //! narrowed search returns exactly the index a full search would.  Query
 //! results are therefore bit-identical with the acceleration on or off.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use gpu_primitives::fence::FenceArray;
 use gpu_primitives::filter::{config_bits_per_key, BloomFilter};
@@ -49,6 +54,30 @@ pub const FILTER_MIN_LEN: usize = 1 << 10;
 /// consumed by a future merge after ~`len / b` more batches: the build
 /// (one hash per key) only amortizes once the level lives long enough.
 pub const CARRY_FILTER_MIN_LEN: usize = 1 << 17;
+
+/// `usize::MAX` = no override; anything else replaces
+/// [`CARRY_FILTER_MIN_LEN`] (tests force the carry-chain filter paths at
+/// small sizes with this).
+static CARRY_MIN_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// The effective carry-chain filter threshold: a test override if one is
+/// set, otherwise [`CARRY_FILTER_MIN_LEN`].
+pub fn carry_filter_min_len() -> usize {
+    let o = CARRY_MIN_OVERRIDE.load(Ordering::Relaxed);
+    if o == usize::MAX {
+        CARRY_FILTER_MIN_LEN
+    } else {
+        o
+    }
+}
+
+/// Test-only override of the carry-chain filter threshold; `None` restores
+/// the default.  Lets differential tests exercise the incremental filter
+/// maintenance paths without building 128Ki-element structures.
+#[doc(hidden)]
+pub fn set_carry_filter_min_len_override(len: Option<usize>) {
+    CARRY_MIN_OVERRIDE.store(len.unwrap_or(usize::MAX), Ordering::Relaxed);
+}
 
 /// Outcome of probing a level for one key (see [`Level::find`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,12 +121,36 @@ impl Level {
         Self::build(keys, values, FILTER_MIN_LEN)
     }
 
-    /// Build a carry-chain level (placed by a batch insert) from
-    /// already-sorted arrays: fences always, a Bloom filter only from
-    /// [`CARRY_FILTER_MIN_LEN`] elements up (see the module docs for the
-    /// lifetime-amortization argument).
-    pub fn from_sorted_transient(keys: Vec<EncodedKey>, values: Vec<Value>) -> Self {
-        Self::build(keys, values, CARRY_FILTER_MIN_LEN)
+    /// Assemble a level from already-sorted arrays **and** pre-built
+    /// acceleration structures — the carry-chain executor's constructor,
+    /// which maintains filters and fences incrementally across merges
+    /// instead of rebuilding them here (see [`crate::compaction`]).
+    ///
+    /// The caller guarantees the aux structures describe exactly these
+    /// keys: the fences' min/max and window invariants and the filter's
+    /// no-false-negative property are what queries rely on.
+    pub(crate) fn from_sorted_with_aux(
+        keys: Vec<EncodedKey>,
+        values: Vec<Value>,
+        filter: Option<BloomFilter>,
+        fences: Option<FenceArray>,
+    ) -> Self {
+        debug_assert_eq!(keys.len(), values.len());
+        debug_assert!(
+            keys.windows(2).all(|w| !key_less(&w[1], &w[0])),
+            "level keys must be sorted by original key"
+        );
+        if let Some(f) = &fences {
+            debug_assert_eq!(f.indexed_len(), keys.len());
+            debug_assert_eq!(f.min_key(), original_key(keys[0]));
+            debug_assert_eq!(f.max_key(), original_key(keys[keys.len() - 1]));
+        }
+        Level {
+            keys,
+            values,
+            filter,
+            fences,
+        }
     }
 
     /// Shared constructor: the query-acceleration structures are built
@@ -228,6 +281,11 @@ impl Level {
     /// The level's Bloom filter, when one was built.
     pub fn filter(&self) -> Option<&BloomFilter> {
         self.filter.as_ref()
+    }
+
+    /// The level's fence array (absent only for empty levels).
+    pub fn fences(&self) -> Option<&FenceArray> {
+        self.fences.as_ref()
     }
 
     /// Memory of the query-acceleration structures (filter + fences).
@@ -464,13 +522,22 @@ mod tests {
         assert!(!hit.filter_skipped);
         let miss = level.find(11);
         assert!(miss.entry.is_none());
-        // A transient level this small builds no filter; find still works.
-        let transient = Level::from_sorted_transient(
-            keys.iter().map(|&k| encode_regular(k)).collect(),
-            keys.iter().map(|&k| k * 10).collect(),
+        // A filterless level (aux constructor, as the carry chain builds
+        // small outputs) still answers through the fence-narrowed search.
+        let encoded: Vec<u32> = keys.iter().map(|&k| encode_regular(k)).collect();
+        let fences = gpu_primitives::fence::FenceArray::build_with(
+            encoded.len(),
+            gpu_primitives::fence::DEFAULT_FENCE_INTERVAL,
+            |i| encoded[i] >> 1,
         );
-        assert!(transient.filter().is_none());
-        assert_eq!(transient.find(10).entry, Some((encode_regular(10), 100)));
+        let filterless = Level::from_sorted_with_aux(
+            encoded,
+            keys.iter().map(|&k| k * 10).collect(),
+            None,
+            fences,
+        );
+        assert!(filterless.filter().is_none());
+        assert_eq!(filterless.find(10).entry, Some((encode_regular(10), 100)));
         assert!(level.search_probe_depth() <= 10);
         let (filter_bytes, fence_bytes) = level.accel_bytes();
         assert!(fence_bytes > 0);

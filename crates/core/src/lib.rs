@@ -45,8 +45,10 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod batch;
 pub mod cleanup;
+pub mod compaction;
 pub mod concurrent;
 pub mod count;
 pub mod error;
@@ -61,8 +63,10 @@ pub mod shard;
 pub mod stats;
 pub mod validate;
 
+pub use admission::{AdmissionConfig, AdmissionStats, AdmittedLsm};
 pub use batch::{Op, UpdateBatch};
 pub use cleanup::CleanupReport;
+pub use compaction::CompactionPlan;
 pub use concurrent::ConcurrentGpuLsm;
 pub use error::{LsmError, Result};
 pub use key::{Entry, Key, Value, MAX_KEY};
@@ -70,4 +74,4 @@ pub use lsm::GpuLsm;
 pub use range::RangeResult;
 pub use router::{ShardRouter, SubQuery};
 pub use shard::{ShardedLsm, ShardedStats};
-pub use stats::LsmStats;
+pub use stats::{LsmStats, MergeCounters};

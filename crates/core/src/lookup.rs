@@ -268,6 +268,12 @@ impl GpuLsm {
     /// coalesced accesses rather than probed randomly — profitable when
     /// there are many queries relative to the structure size, which is
     /// exactly when [`GpuLsm::lookup`] dispatches here.
+    ///
+    /// Levels carrying a Bloom filter get a **filter-aware pre-pass**: the
+    /// still-undecided needles are tested against the filter first (one
+    /// coalesced block read each) and only the survivors enter the
+    /// streaming search, so a mostly-missing batch skips whole levels
+    /// instead of streaming them.
     pub fn lookup_bulk_sorted(&self, queries: &[Key]) -> Vec<Option<Value>> {
         let kernel = "lsm_lookup_bulk";
         self.device().metrics().record_launch(kernel);
@@ -295,6 +301,8 @@ impl GpuLsm {
             let mut sorted_results: Vec<Option<Value>> = vec![None; queries.len()];
             let mut decided: Vec<bool> = vec![false; queries.len()];
             let (lo_q, hi_q) = (sorted_queries[0], sorted_queries[queries.len() - 1]);
+            let mut filter_blocks = 0u64;
+            let mut filter_skips = 0u64;
             for (_, level) in self.levels().iter_occupied() {
                 // Fence min/max pruning: a level whose key range is disjoint
                 // from the whole (sorted) query range cannot decide anything.
@@ -302,6 +310,52 @@ impl GpuLsm {
                     continue;
                 }
                 let keys = level.keys();
+                if let Some(filter) = level.filter() {
+                    // Filter-aware pre-pass: test every still-undecided
+                    // needle against the level's Bloom filter (one coalesced
+                    // block read each) and stream only the survivors.  The
+                    // filter is conservative, so dropped needles provably
+                    // have no match in this level.
+                    let passes: Vec<bool> = sorted_queries
+                        .par_iter()
+                        .zip(decided.par_iter())
+                        .map(|(&q, &done)| !done && filter.contains(q))
+                        .collect();
+                    let mut survivor_queries: Vec<usize> = Vec::new();
+                    let mut survivor_probes: Vec<u32> = Vec::new();
+                    for (qi, &pass) in passes.iter().enumerate() {
+                        if decided[qi] {
+                            continue;
+                        }
+                        filter_blocks += 1;
+                        if pass {
+                            survivor_queries.push(qi);
+                            survivor_probes.push(probes[qi]);
+                        } else {
+                            filter_skips += 1;
+                        }
+                    }
+                    if survivor_queries.is_empty() {
+                        continue; // the whole level is proven irrelevant
+                    }
+                    let lower_bounds = gpu_primitives::sorted_search::sorted_lower_bound(
+                        self.device(),
+                        keys,
+                        &survivor_probes,
+                        |a, b| (a >> 1) < (b >> 1),
+                    );
+                    for (&qi, &idx) in survivor_queries.iter().zip(lower_bounds.iter()) {
+                        if idx < keys.len() && original_key(keys[idx]) == sorted_queries[qi] {
+                            decided[qi] = true;
+                            sorted_results[qi] = if is_regular(keys[idx]) {
+                                Some(level.values()[idx])
+                            } else {
+                                None
+                            };
+                        }
+                    }
+                    continue;
+                }
                 let lower_bounds = gpu_primitives::sorted_search::sorted_lower_bound(
                     self.device(),
                     keys,
@@ -327,6 +381,12 @@ impl GpuLsm {
                         }
                     });
             }
+            // Each filter consultation is one coalesced cache-line block
+            // read; the skips it earned never reached the streaming pass.
+            self.device()
+                .metrics()
+                .record_block_reads(kernel, filter_blocks, BLOCK_BYTES as u64);
+            self.record_filter_activity(filter_blocks, filter_skips);
             // Scatter back to the callers' query order.
             let mut results: Vec<Option<Value>> = vec![None; queries.len()];
             for (sorted_idx, &original) in positions.iter().enumerate() {
@@ -468,6 +528,34 @@ mod tests {
         let empty = GpuLsm::new(device(), 8).unwrap();
         assert_eq!(empty.lookup_bulk_sorted(&[1, 2]), vec![None, None]);
         assert_eq!(empty.bulk_lookup_threshold(), usize::MAX);
+    }
+
+    #[test]
+    fn bulk_lookup_prefilters_with_level_filters() {
+        // A bulk-built structure large enough to carry a filter; all-miss
+        // needles must be decided by the pre-pass (filter skips recorded)
+        // and results must stay identical to the individual path.
+        let pairs: Vec<(u32, u32)> = (0..4096u32).map(|k| (k * 4, k)).collect();
+        let lsm = GpuLsm::bulk_build(device(), 1 << 12, &pairs).unwrap();
+        let queries: Vec<u32> = (0..2048u32).map(|i| i * 8 + 2).collect(); // all absent
+        let before = lsm.stats();
+        let bulk = lsm.lookup_bulk_sorted(&queries);
+        assert_eq!(bulk, lsm.lookup_individual(&queries));
+        assert!(bulk.iter().all(Option::is_none));
+        let after = lsm.stats();
+        if after.filter_bytes > 0 {
+            assert!(
+                after.filter_probes > before.filter_probes,
+                "bulk path must consult the level filters"
+            );
+            assert!(
+                after.filter_skips > before.filter_skips,
+                "all-miss needles must be skipped by the pre-pass"
+            );
+        }
+        // Present keys still resolve through the pre-pass.
+        let hits: Vec<u32> = (0..512u32).map(|k| k * 8).collect();
+        assert_eq!(lsm.lookup_bulk_sorted(&hits), lsm.lookup_individual(&hits));
     }
 
     #[test]

@@ -10,15 +10,21 @@
 //!
 //! Deletion is the insertion of tombstones, so a mixed batch of insertions
 //! and deletions costs the same as a pure-insert batch.
+//!
+//! The carry chain itself lives in [`crate::compaction`], split into a
+//! planner (which levels participate, where the output lands, which
+//! acceleration structures it needs — all computed before any data moves)
+//! and an executor that maintains fences and filters *incrementally*
+//! across the merges.
 
 use std::sync::Arc;
 
-use gpu_primitives::{merge::merge_pairs_by, radix_sort::sort_pairs};
+use gpu_primitives::radix_sort::sort_pairs;
 use gpu_sim::Device;
 
 use crate::batch::UpdateBatch;
 use crate::error::{LsmError, Result};
-use crate::key::{encode_regular, key_less, placebo, EncodedKey, Key, Value, MAX_KEY};
+use crate::key::{encode_regular, placebo, EncodedKey, Key, Value, MAX_KEY};
 use crate::level::{Level, LevelSet};
 
 /// The GPU LSM: a dynamic dictionary with batched updates and parallel
@@ -27,11 +33,14 @@ use crate::level::{Level, LevelSet};
 pub struct GpuLsm {
     device: Arc<Device>,
     batch_size: usize,
-    num_batches: usize,
+    pub(crate) num_batches: usize,
     pub(crate) levels: LevelSet,
     /// Lifetime filter hit/skip counters (shared across clones, reported by
     /// [`crate::stats::LsmStats`]).
     pub(crate) filter_activity: Arc<crate::stats::FilterActivity>,
+    /// Lifetime carry-merge counters (shared across clones): how often the
+    /// write path maintained fences/filters incrementally vs. rebuilt.
+    pub(crate) merge_activity: Arc<crate::stats::MergeActivity>,
 }
 
 impl GpuLsm {
@@ -50,6 +59,7 @@ impl GpuLsm {
             num_batches: 0,
             levels: LevelSet::new(),
             filter_activity: Arc::default(),
+            merge_activity: Arc::default(),
         })
     }
 
@@ -75,6 +85,7 @@ impl GpuLsm {
             num_batches: 0,
             levels: LevelSet::new(),
             filter_activity: Arc::default(),
+            merge_activity: Arc::default(),
         };
         if pairs.is_empty() {
             return Ok(lsm);
@@ -124,7 +135,7 @@ impl GpuLsm {
     /// Account the one-time construction traffic of a level's
     /// query-acceleration structures: one coalesced read pass over the
     /// level's keys and coalesced writes of the filter + fence arrays.
-    fn record_accel_build(&self, level: &Level) {
+    pub(crate) fn record_accel_build(&self, level: &Level) {
         let (filter_bytes, fence_bytes) = level.accel_bytes();
         if filter_bytes + fence_bytes == 0 {
             return;
@@ -194,39 +205,6 @@ impl GpuLsm {
         self.update(&UpdateBatch::from_deletions(keys))
     }
 
-    /// The carry chain: merge the sorted buffer with full levels until an
-    /// empty level is found, then place it there.
-    fn push_sorted_buffer(&mut self, mut keys: Vec<EncodedKey>, mut values: Vec<Value>) {
-        let mut i = 0usize;
-        while self.levels.is_full(i) {
-            let (level_keys, level_values) =
-                self.levels.take(i).expect("level is full").into_parts();
-            // Merge comparing original keys only (status bit ignored), with
-            // the more recent buffer as the first argument so it wins ties
-            // and the §III-D ordering invariants hold.
-            let (merged_keys, merged_values) = self.device.timer().time("insert::merge", || {
-                merge_pairs_by(
-                    &self.device,
-                    &keys,
-                    &values,
-                    &level_keys,
-                    &level_values,
-                    key_less,
-                )
-            });
-            keys = merged_keys;
-            values = merged_values;
-            i += 1;
-        }
-        // Carry-chain levels churn (level i is consumed after ≤ 2^i more
-        // batches), so the transient constructor applies the higher filter
-        // threshold — fences are always built.
-        let level = Level::from_sorted_transient(keys, values);
-        self.record_accel_build(&level);
-        self.levels.place(i, level);
-        self.num_batches += 1;
-    }
-
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -262,8 +240,10 @@ impl GpuLsm {
         &self.device
     }
 
-    /// Read-only access to the level set (used by queries and validation).
-    pub(crate) fn levels(&self) -> &LevelSet {
+    /// Read-only access to the level set (used by queries, validation and
+    /// the differential test suites inspecting per-level acceleration
+    /// structures).
+    pub fn levels(&self) -> &LevelSet {
         &self.levels
     }
 

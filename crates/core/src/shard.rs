@@ -83,6 +83,17 @@ pub struct ShardedStats {
     pub filter_probes: u64,
     /// Sum of lifetime filter skips over all shards.
     pub filter_skips: u64,
+    /// Sum of write-path merge counters over all shards (carry steps,
+    /// incremental vs. rebuilt fence/filter maintenance).
+    pub merges: crate::stats::MergeCounters,
+    /// Batches currently queued in the admission layer (0 without one —
+    /// filled in by [`crate::AdmittedLsm::stats`]).
+    pub admission_queued_batches: u64,
+    /// Sub-batches absorbed by admission coalescing (0 without a layer).
+    pub admission_coalesced_batches: u64,
+    /// Batches the admission applier pushed into the shards (0 without a
+    /// layer).
+    pub admission_applied_batches: u64,
 }
 
 impl ShardedStats {
@@ -439,6 +450,10 @@ impl ShardedLsm {
             fence_bytes: 0,
             filter_probes: 0,
             filter_skips: 0,
+            merges: crate::stats::MergeCounters::default(),
+            admission_queued_batches: 0,
+            admission_coalesced_batches: 0,
+            admission_applied_batches: 0,
             per_shard: Vec::new(),
         };
         for s in &per_shard {
@@ -451,6 +466,7 @@ impl ShardedLsm {
             agg.fence_bytes += s.fence_bytes;
             agg.filter_probes += s.filter_probes;
             agg.filter_skips += s.filter_skips;
+            agg.merges.add(&s.merges);
         }
         agg.per_shard = per_shard;
         agg

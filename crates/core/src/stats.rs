@@ -38,6 +38,85 @@ impl FilterActivity {
     }
 }
 
+/// Lifetime write-path counters of one structure: how many carry-chain
+/// merge steps ran and, for each, whether the output's fence array and
+/// Bloom filter were maintained *incrementally* (merged / re-hashed from
+/// the inputs' structures) or fell back to a full rebuild.  Shared across
+/// clones of the handle; the observable proof that the incremental
+/// write path of [`crate::compaction`] is actually taken.
+#[derive(Debug, Default)]
+pub struct MergeActivity {
+    carry_merge_steps: AtomicU64,
+    fence_merges: AtomicU64,
+    fence_rebuilds: AtomicU64,
+    filter_rehashes: AtomicU64,
+    filter_rebuilds: AtomicU64,
+}
+
+/// A point-in-time copy of [`MergeActivity`], embedded in [`LsmStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeCounters {
+    /// Carry-chain merge steps executed (one per consumed level).
+    pub carry_merge_steps: u64,
+    /// Fence arrays produced by merging the inputs' samples (incremental).
+    pub fence_merges: u64,
+    /// Fence arrays rebuilt from the merged key array (fallback).
+    pub fence_rebuilds: u64,
+    /// Filters produced by re-hashing only the buffer's keys into a copy
+    /// of the consumed level's filter (half the hashing of a rebuild).
+    pub filter_rehashes: u64,
+    /// Filters rebuilt from scratch over the merged key array (fallback).
+    pub filter_rebuilds: u64,
+}
+
+impl MergeCounters {
+    /// Element-wise sum (used by the sharded aggregation).
+    pub(crate) fn add(&mut self, other: &MergeCounters) {
+        self.carry_merge_steps += other.carry_merge_steps;
+        self.fence_merges += other.fence_merges;
+        self.fence_rebuilds += other.fence_rebuilds;
+        self.filter_rehashes += other.filter_rehashes;
+        self.filter_rebuilds += other.filter_rebuilds;
+    }
+
+    /// Fence and filter maintenance events that took the incremental path.
+    pub fn incremental_events(&self) -> u64 {
+        self.fence_merges + self.filter_rehashes
+    }
+}
+
+impl MergeActivity {
+    pub(crate) fn record_carry_step(&self) {
+        self.carry_merge_steps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fence(&self, incremental: bool) {
+        if incremental {
+            self.fence_merges.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.fence_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_filter_rehash(&self) {
+        self.filter_rehashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_filter_rebuild(&self) {
+        self.filter_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> MergeCounters {
+        MergeCounters {
+            carry_merge_steps: self.carry_merge_steps.load(Ordering::Relaxed),
+            fence_merges: self.fence_merges.load(Ordering::Relaxed),
+            fence_rebuilds: self.fence_rebuilds.load(Ordering::Relaxed),
+            filter_rehashes: self.filter_rehashes.load(Ordering::Relaxed),
+            filter_rebuilds: self.filter_rebuilds.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A snapshot of the GPU LSM's shape and contents.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LsmStats {
@@ -68,6 +147,9 @@ pub struct LsmStats {
     /// Lifetime count of level searches skipped outright because the
     /// filter proved the key absent.
     pub filter_skips: u64,
+    /// Lifetime write-path merge counters: carry steps and how their fence
+    /// / filter structures were produced (incremental vs. rebuilt).
+    pub merges: MergeCounters,
 }
 
 impl LsmStats {
@@ -112,6 +194,7 @@ impl GpuLsm {
             fence_bytes,
             filter_probes,
             filter_skips,
+            merges: self.merge_activity.snapshot(),
         }
     }
 

@@ -15,6 +15,19 @@
 //! `lower_bound`/`upper_bound` position provably lies inside the returned
 //! window, so fence-accelerated searches return bit-identical indices to
 //! full-array searches.
+//!
+//! ## Merging fences
+//!
+//! When two sorted runs are merged (the LSM carry chain), the output's
+//! fences need not be resampled from the merged array: every input sample
+//! lands at a computable position in the merged output (its own position
+//! plus the count of the *other* run's elements placed before it), and the
+//! union of the two sample sets — now at mildly irregular spacing — is a
+//! valid fence array for the output.  [`FenceArray::merge_with`] implements
+//! exactly that; samples therefore carry an explicit position array rather
+//! than assuming uniform `t · interval` spacing.  Windows stay exact; their
+//! worst-case width after a merge is the *sum* of the inputs' widths, which
+//! callers bound by rebuilding when it grows past their tolerance.
 
 use std::sync::Arc;
 
@@ -24,7 +37,7 @@ pub const DEFAULT_FENCE_INTERVAL: usize = 256;
 
 #[derive(Debug)]
 struct FenceShared {
-    /// Sampling interval (number of indexed elements per fence).
+    /// Nominal sampling interval (for merged fences: the larger input's).
     interval: usize,
     /// Length of the indexed (full) array.
     len: usize,
@@ -36,8 +49,15 @@ struct FenceShared {
     eytz: Vec<u32>,
     /// Sorted rank of the sample stored at each Eytzinger slot.
     ranks: Vec<u32>,
-    /// Number of samples (`ceil(len / interval)`).
+    /// Position in the indexed array of each sample, in sorted order
+    /// (`positions[t]` is where the rank-`t` sample lives; strictly
+    /// increasing, `positions[0]` need not be 0 only for merged fences).
+    positions: Vec<u32>,
+    /// Number of samples.
     num_samples: usize,
+    /// Worst-case search-window width (uniform build: the interval;
+    /// merged fences: the widest gap between adjacent samples).
+    max_window: usize,
 }
 
 /// A fence array over a sorted sequence of `u32` keys.
@@ -73,23 +93,58 @@ impl FenceArray {
             sorted.windows(2).all(|w| w[0] <= w[1]),
             "fence samples must be non-decreasing"
         );
+        let positions: Vec<u32> = (0..len).step_by(interval).map(|p| p as u32).collect();
+        Some(Self::assemble(
+            sorted,
+            positions,
+            len,
+            key_at(0),
+            key_at(len - 1),
+            interval,
+        ))
+    }
+
+    /// Shared assembly: Eytzinger-fill the sorted samples, derive the
+    /// worst-case window width from the (possibly irregular) positions.
+    fn assemble(
+        sorted: Vec<u32>,
+        positions: Vec<u32>,
+        len: usize,
+        min_key: u32,
+        max_key: u32,
+        interval: usize,
+    ) -> FenceArray {
+        debug_assert_eq!(sorted.len(), positions.len());
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "fence sample positions must be strictly increasing"
+        );
         let num_samples = sorted.len();
+        // Widest window any bound search can be handed: before the first
+        // sample, between adjacent samples, or after the last one.
+        let mut max_window = positions[0] as usize;
+        for w in positions.windows(2) {
+            max_window = max_window.max((w[1] - w[0]) as usize);
+        }
+        max_window = max_window.max(len - positions[num_samples - 1] as usize);
         let mut eytz = vec![0u32; num_samples + 1];
         let mut ranks = vec![0u32; num_samples + 1];
         let mut next = 0usize;
         eytzinger_fill(&sorted, &mut eytz, &mut ranks, 1, &mut next);
         debug_assert_eq!(next, num_samples);
-        Some(FenceArray {
+        FenceArray {
             shared: Arc::new(FenceShared {
                 interval,
                 len,
-                min_key: key_at(0),
-                max_key: key_at(len - 1),
+                min_key,
+                max_key,
                 eytz,
                 ranks,
+                positions,
                 num_samples,
+                max_window,
             }),
-        })
+        }
     }
 
     /// Build fences over a slice at the default interval.
@@ -124,11 +179,15 @@ impl FenceArray {
     #[inline]
     fn window_from(&self, t: usize) -> (usize, usize) {
         let s = &*self.shared;
-        let lo = if t == 0 { 0 } else { (t - 1) * s.interval + 1 };
+        let lo = if t == 0 {
+            0
+        } else {
+            s.positions[t - 1] as usize + 1
+        };
         let hi = if t == s.num_samples {
             s.len
         } else {
-            t * s.interval
+            s.positions[t] as usize
         };
         (lo, hi)
     }
@@ -157,9 +216,16 @@ impl FenceArray {
         self.shared.max_key
     }
 
-    /// The sampling interval.
+    /// The nominal sampling interval (for merged fences, the larger of the
+    /// inputs' intervals; actual spacing may be irregular — see
+    /// [`FenceArray::max_window`]).
     pub fn interval(&self) -> usize {
         self.shared.interval
+    }
+
+    /// Length of the indexed (full) array.
+    pub fn indexed_len(&self) -> usize {
+        self.shared.len
     }
 
     /// Number of sampled fences.
@@ -167,15 +233,92 @@ impl FenceArray {
         self.shared.num_samples
     }
 
-    /// Memory footprint of the samples (Eytzinger array + ranks).
-    pub fn size_bytes(&self) -> usize {
-        (self.shared.eytz.len() + self.shared.ranks.len()) * std::mem::size_of::<u32>()
+    /// Worst-case width of a search window (uniform build: the interval).
+    pub fn max_window(&self) -> usize {
+        self.shared.max_window
     }
 
-    /// Worst-case binary-search probes inside a fence window (the window
-    /// never exceeds one interval), used for traffic accounting.
+    /// Memory footprint of the samples (Eytzinger array + ranks +
+    /// positions).
+    pub fn size_bytes(&self) -> usize {
+        (self.shared.eytz.len() + self.shared.ranks.len() + self.shared.positions.len())
+            * std::mem::size_of::<u32>()
+    }
+
+    /// Worst-case binary-search probes inside a fence window, used for
+    /// traffic accounting.
     pub fn window_probe_depth(&self) -> u32 {
-        usize::BITS - self.shared.interval.leading_zeros()
+        usize::BITS - self.shared.max_window.leading_zeros()
+    }
+
+    /// The samples in sorted order as `(key, position)` pairs — the raw
+    /// material for [`FenceArray::merge_with`].
+    pub fn sorted_samples(&self) -> Vec<(u32, u32)> {
+        let s = &*self.shared;
+        let mut out = vec![(0u32, 0u32); s.num_samples];
+        for k in 1..=s.num_samples {
+            let t = s.ranks[k] as usize;
+            out[t] = (s.eytz[k], s.positions[t]);
+        }
+        out
+    }
+
+    /// Build the fence array of the sorted merge of two runs `A` and `B`
+    /// **without touching the merged array**, from the inputs' fences alone
+    /// plus two rank oracles into the pre-merge runs:
+    ///
+    /// * `b_rank_before(k)` — number of `B` elements with key `< k`
+    ///   (a lower bound in `B`);
+    /// * `a_rank_through(k)` — number of `A` elements with key `<= k`
+    ///   (an upper bound in `A`).
+    ///
+    /// The merge is assumed stable with ties taken from `A` first (the LSM
+    /// carry chain's newest-buffer-wins order): an `A` element at position
+    /// `i` lands at `i + b_rank_before(key)` in the output, a `B` element
+    /// at position `j` lands at `j + a_rank_through(key)`.  Every input
+    /// sample is therefore a sample of the output at a known position, and
+    /// the union of the two sample sets (merged by output position) is an
+    /// exact fence array for the output: windows still provably bracket
+    /// every bound, they are just up to `a.max_window() + b.max_window()`
+    /// wide instead of one interval.
+    pub fn merge_with(
+        a: &FenceArray,
+        b: &FenceArray,
+        b_rank_before: impl Fn(u32) -> usize,
+        a_rank_through: impl Fn(u32) -> usize,
+    ) -> FenceArray {
+        let sa = a.sorted_samples();
+        let sb = b.sorted_samples();
+        // Translate both sample lists into output positions, then merge by
+        // position (positions are distinct: each sample is a distinct
+        // element of the output).
+        let ta: Vec<(u32, u32)> = sa
+            .into_iter()
+            .map(|(k, p)| (k, p + b_rank_before(k) as u32))
+            .collect();
+        let tb: Vec<(u32, u32)> = sb
+            .into_iter()
+            .map(|(k, p)| (k, p + a_rank_through(k) as u32))
+            .collect();
+        let mut keys = Vec::with_capacity(ta.len() + tb.len());
+        let mut positions = Vec::with_capacity(ta.len() + tb.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ta.len() || j < tb.len() {
+            let take_a = j == tb.len() || (i < ta.len() && ta[i].1 < tb[j].1);
+            let (k, p) = if take_a { ta[i] } else { tb[j] };
+            i += usize::from(take_a);
+            j += usize::from(!take_a);
+            keys.push(k);
+            positions.push(p);
+        }
+        Self::assemble(
+            keys,
+            positions,
+            a.shared.len + b.shared.len,
+            a.min_key().min(b.min_key()),
+            a.max_key().max(b.max_key()),
+            a.shared.interval.max(b.shared.interval),
+        )
     }
 }
 
@@ -268,5 +411,106 @@ mod tests {
         let fences = FenceArray::from_sorted(&keys).unwrap();
         assert!(fences.size_bytes() > 0);
         assert_eq!(fences.window_probe_depth(), 9); // log2(256) + 1
+        assert_eq!(fences.max_window(), DEFAULT_FENCE_INTERVAL);
+        assert_eq!(fences.indexed_len(), 5000);
+    }
+
+    #[test]
+    fn sorted_samples_round_trip() {
+        let keys: Vec<u32> = (0..1000u32).map(|i| i * 2).collect();
+        let fences = FenceArray::build_with(keys.len(), 64, |i| keys[i]).unwrap();
+        let samples = fences.sorted_samples();
+        assert_eq!(samples.len(), fences.num_samples());
+        for (t, &(k, p)) in samples.iter().enumerate() {
+            assert_eq!(p as usize, t * 64);
+            assert_eq!(k, keys[p as usize]);
+        }
+    }
+
+    /// Stable merge with ties taken from `a` first — the carry chain's
+    /// newest-buffer-wins order the rank oracles of `merge_with` assume.
+    fn ref_merge(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            if j == b.len() || (i < a.len() && a[i] <= b[j]) {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out
+    }
+
+    fn check_merge(a: &[u32], b: &[u32], interval: usize) {
+        let fa = FenceArray::build_with(a.len(), interval, |i| a[i]).unwrap();
+        let fb = FenceArray::build_with(b.len(), interval, |i| b[i]).unwrap();
+        let merged = ref_merge(a, b);
+        let fences = FenceArray::merge_with(
+            &fa,
+            &fb,
+            |k| b.partition_point(|&x| x < k),
+            |k| a.partition_point(|&x| x <= k),
+        );
+        assert_eq!(fences.indexed_len(), merged.len());
+        assert_eq!(fences.min_key(), merged[0]);
+        assert_eq!(fences.max_key(), *merged.last().unwrap());
+        assert!(fences.max_window() <= fa.max_window() + fb.max_window());
+        // Every sample really is the key at its claimed position.
+        for (k, p) in fences.sorted_samples() {
+            assert_eq!(merged[p as usize], k, "sample at position {p}");
+        }
+        let max_probe = merged.last().unwrap().saturating_add(3);
+        check_windows(&merged, &fences, (0..max_probe).step_by(7).chain([0]));
+    }
+
+    #[test]
+    fn merged_fences_reproduce_full_array_bounds() {
+        // Interleaved, disjoint, duplicate-heavy and skewed run pairs.
+        let a: Vec<u32> = (0..3000u32).map(|i| i * 4).collect();
+        let b: Vec<u32> = (0..2000u32).map(|i| i * 6 + 1).collect();
+        check_merge(&a, &b, 256);
+        check_merge(&a, &b, 64);
+        let lo: Vec<u32> = (0..1500u32).collect();
+        let hi: Vec<u32> = (5000..6000u32).collect();
+        check_merge(&lo, &hi, 128);
+        check_merge(&hi, &lo, 128);
+        let dups_a = vec![7u32; 900];
+        let mut dups_b = vec![7u32; 500];
+        dups_b.extend((8..900u32).collect::<Vec<_>>());
+        check_merge(&dups_a, &dups_b, 64);
+        let tiny = vec![42u32];
+        check_merge(&tiny, &a, 256);
+        check_merge(&a, &tiny, 256);
+    }
+
+    #[test]
+    fn chained_merges_stay_exact() {
+        // Three carry steps: ((a + b) + c) with the intermediate fences
+        // merged, never rebuilt — windows must stay exact throughout.
+        let a: Vec<u32> = (0..500u32).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..500u32).map(|i| i * 3 + 1).collect();
+        let c: Vec<u32> = (0..1000u32).map(|i| i * 2).collect();
+        let fa = FenceArray::build_with(a.len(), 64, |i| a[i]).unwrap();
+        let fb = FenceArray::build_with(b.len(), 64, |i| b[i]).unwrap();
+        let ab = ref_merge(&a, &b);
+        let fab = FenceArray::merge_with(
+            &fa,
+            &fb,
+            |k| b.partition_point(|&x| x < k),
+            |k| a.partition_point(|&x| x <= k),
+        );
+        let fc = FenceArray::build_with(c.len(), 64, |i| c[i]).unwrap();
+        let abc = ref_merge(&ab, &c);
+        let fabc = FenceArray::merge_with(
+            &fab,
+            &fc,
+            |k| c.partition_point(|&x| x < k),
+            |k| ab.partition_point(|&x| x <= k),
+        );
+        assert!(fabc.max_window() <= 3 * 64);
+        check_windows(&abc, &fabc, (0..2010).step_by(3));
     }
 }

@@ -91,6 +91,10 @@ pub struct BloomFilter {
     num_blocks: u64,
     probes: u32,
     bits_per_key: u32,
+    /// Number of keys hashed into the bit array over the filter's whole
+    /// history (build + unions + insertions) — the denominator of
+    /// [`BloomFilter::effective_bits_per_key`].
+    keys_covered: u64,
 }
 
 /// Mix a key into 64 well-distributed bits (splitmix64 finalizer).
@@ -120,22 +124,92 @@ impl BloomFilter {
         let probes = probes_for_bits(bits_per_key);
         let mut blocks = vec![0u64; num_blocks as usize * BLOCK_WORDS];
         for key in keys {
-            let h = mix(key);
-            let base = Self::block_of(h, num_blocks) * BLOCK_WORDS;
-            let block: &mut [u64; BLOCK_WORDS] = (&mut blocks[base..base + BLOCK_WORDS])
-                .try_into()
-                .expect("block slice has BLOCK_WORDS words");
-            for i in 0..probes {
-                let bit = Self::probe_bit(h, i);
-                block[(bit >> 6) as usize] |= 1u64 << (bit & 63);
-            }
+            Self::set_bits(&mut blocks, num_blocks, probes, key);
         }
         Some(BloomFilter {
             blocks: blocks.into(),
             num_blocks,
             probes,
             bits_per_key,
+            keys_covered: n as u64,
         })
+    }
+
+    /// Set one key's probe bits in a mutable block array (the build /
+    /// insertion kernel body).
+    #[inline]
+    fn set_bits(blocks: &mut [u64], num_blocks: u64, probes: u32, key: u32) {
+        let h = mix(key);
+        let base = Self::block_of(h, num_blocks) * BLOCK_WORDS;
+        let block: &mut [u64; BLOCK_WORDS] = (&mut blocks[base..base + BLOCK_WORDS])
+            .try_into()
+            .expect("block slice has BLOCK_WORDS words");
+        for i in 0..probes {
+            let bit = Self::probe_bit(h, i);
+            block[(bit >> 6) as usize] |= 1u64 << (bit & 63);
+        }
+    }
+
+    /// Union two filters of **identical geometry** (same block count and
+    /// probe count) by OR-ing their bit arrays: the result answers `true`
+    /// for every key either input covered — exactly the filter the union
+    /// key set would hash to at this size, i.e. still no false negatives.
+    ///
+    /// Returns `None` when the geometries differ (the bit patterns are not
+    /// compatible; callers fall back to a rebuild).  The union's false
+    /// positive rate is that of the doubled load: check
+    /// [`BloomFilter::effective_bits_per_key`] before accepting it.
+    pub fn try_union(&self, other: &Self) -> Option<Self> {
+        if self.num_blocks != other.num_blocks || self.probes != other.probes {
+            return None;
+        }
+        let blocks: Vec<u64> = self
+            .blocks
+            .iter()
+            .zip(other.blocks.iter())
+            .map(|(&a, &b)| a | b)
+            .collect();
+        Some(BloomFilter {
+            blocks: blocks.into(),
+            num_blocks: self.num_blocks,
+            probes: self.probes,
+            bits_per_key: self.bits_per_key.min(other.bits_per_key),
+            keys_covered: self.keys_covered + other.keys_covered,
+        })
+    }
+
+    /// A copy of this filter with `keys` additionally hashed in (the
+    /// one-sided *re-hash* merge: when only one of two merged runs carries
+    /// a filter, cloning it and inserting the other run's keys hashes half
+    /// the keys a full rebuild would).  Geometry is unchanged, so the load
+    /// — and the false-positive rate — grows with every key added; callers
+    /// police [`BloomFilter::effective_bits_per_key`].
+    pub fn with_keys_inserted(&self, keys: impl ExactSizeIterator<Item = u32>) -> Self {
+        let mut blocks: Vec<u64> = self.blocks.to_vec();
+        let added = keys.len() as u64;
+        for key in keys {
+            Self::set_bits(&mut blocks, self.num_blocks, self.probes, key);
+        }
+        BloomFilter {
+            blocks: blocks.into(),
+            num_blocks: self.num_blocks,
+            probes: self.probes,
+            bits_per_key: self.bits_per_key,
+            keys_covered: self.keys_covered + added,
+        }
+    }
+
+    /// Bits of filter memory per covered key — the quantity that actually
+    /// governs the false-positive rate after unions and insertions have
+    /// raised the load beyond the build-time sizing.
+    pub fn effective_bits_per_key(&self) -> f64 {
+        let total_bits = (self.blocks.len() * 64) as f64;
+        total_bits / self.keys_covered.max(1) as f64
+    }
+
+    /// Number of keys hashed into the filter over its whole history.
+    pub fn keys_covered(&self) -> u64 {
+        self.keys_covered
     }
 
     /// Fast unbiased-enough range reduction of the hash's high half.
@@ -257,6 +331,38 @@ mod tests {
         assert_eq!(probes_for_bits(1), 1);
         assert_eq!(probes_for_bits(8), 3);
         assert!(probes_for_bits(64) <= 6);
+    }
+
+    #[test]
+    fn union_covers_both_key_sets_and_tracks_load() {
+        let a = keys(8_192, 11);
+        let b = keys(8_192, 77);
+        let fa = BloomFilter::build(a.iter().copied(), DEFAULT_BITS_PER_KEY).unwrap();
+        let fb = BloomFilter::build(b.iter().copied(), DEFAULT_BITS_PER_KEY).unwrap();
+        let union = fa.try_union(&fb).expect("same geometry");
+        assert!(a.iter().chain(b.iter()).all(|&k| union.contains(k)));
+        assert_eq!(union.keys_covered(), fa.keys_covered() + fb.keys_covered());
+        assert_eq!(union.num_blocks(), fa.num_blocks());
+        // The load doubled, so the effective sizing halved.
+        assert!(union.effective_bits_per_key() <= fa.effective_bits_per_key() / 2.0 + 0.01);
+        // Mismatched geometry is refused, not silently mangled.
+        let small = BloomFilter::build(a.iter().take(100).copied(), DEFAULT_BITS_PER_KEY).unwrap();
+        assert!(fa.try_union(&small).is_none());
+        let other_probes = BloomFilter::build(a.iter().copied(), 16).unwrap();
+        assert!(fa.try_union(&other_probes).is_none());
+    }
+
+    #[test]
+    fn inserting_keys_preserves_membership_of_both_sides() {
+        let old = keys(4_096, 5);
+        let new = keys(4_096, 123);
+        let filter = BloomFilter::build(old.iter().copied(), DEFAULT_BITS_PER_KEY).unwrap();
+        let grown = filter.with_keys_inserted(new.iter().copied());
+        assert!(old.iter().chain(new.iter()).all(|&k| grown.contains(k)));
+        assert_eq!(grown.keys_covered(), 8_192);
+        assert_eq!(grown.num_blocks(), filter.num_blocks());
+        // The original is untouched (copy-on-write semantics).
+        assert_eq!(filter.keys_covered(), 4_096);
     }
 
     #[test]

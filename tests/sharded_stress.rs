@@ -25,7 +25,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use gpu_lsm::{ConcurrentGpuLsm, GpuLsm, ShardRouter, ShardedLsm, UpdateBatch};
+use gpu_lsm::{
+    AdmissionConfig, AdmittedLsm, ConcurrentGpuLsm, GpuLsm, ShardRouter, ShardedLsm, UpdateBatch,
+};
 use gpu_sim::{Device, DeviceConfig};
 
 /// Keys per writer block (must be even; first half gets deleted on even
@@ -38,13 +40,17 @@ const READERS: usize = 3;
 /// Writer threads (= key blocks) per backend.
 const WRITERS: usize = 4;
 
-/// The per-shard update/query surface both backends expose.
+/// The per-shard update/query surface every backend exposes.
 trait Backend: Clone + Send + Sync + 'static {
     fn apply(&self, batch: &UpdateBatch);
     fn lookup(&self, keys: &[u32]) -> Vec<Option<u32>>;
     fn count(&self, intervals: &[(u32, u32)]) -> Vec<u32>;
     fn range_pairs(&self, lo: u32, hi: u32) -> Vec<(u32, u32)>;
     fn cleanup(&self);
+    /// Drain any asynchronous write pipeline (no-op for synchronous
+    /// backends); called once the writers finish, before the final
+    /// quiescent-state assertions.
+    fn quiesce(&self) {}
 }
 
 impl Backend for ShardedLsm {
@@ -62,6 +68,29 @@ impl Backend for ShardedLsm {
     }
     fn cleanup(&self) {
         ShardedLsm::cleanup(self);
+    }
+}
+
+impl Backend for AdmittedLsm {
+    fn apply(&self, batch: &UpdateBatch) {
+        self.submit(batch).expect("valid batch");
+    }
+    fn lookup(&self, keys: &[u32]) -> Vec<Option<u32>> {
+        AdmittedLsm::lookup(self, keys)
+    }
+    fn count(&self, intervals: &[(u32, u32)]) -> Vec<u32> {
+        AdmittedLsm::count(self, intervals)
+    }
+    fn range_pairs(&self, lo: u32, hi: u32) -> Vec<(u32, u32)> {
+        AdmittedLsm::range(self, &[(lo, hi)])
+            .iter_query(0)
+            .collect()
+    }
+    fn cleanup(&self) {
+        AdmittedLsm::cleanup(self);
+    }
+    fn quiesce(&self) {
+        self.flush();
     }
 }
 
@@ -236,6 +265,7 @@ fn stress<B: Backend>(backend: B) {
         for h in writer_handles {
             h.join().expect("writer thread panicked");
         }
+        backend.quiesce();
         done.store(true, Ordering::Release);
         janitor.join().expect("janitor thread panicked");
         for h in reader_handles {
@@ -269,4 +299,40 @@ fn sharded_lsm_under_concurrent_mixed_fire() {
 fn single_lock_wrapper_under_concurrent_mixed_fire() {
     let lsm = ConcurrentGpuLsm::new(GpuLsm::new(device(), BLOCK as usize).unwrap());
     stress(lsm);
+}
+
+/// The admitted (pipelined) backend under the same fire: queued/coalesced
+/// application must still only expose round-prefix states, with readers in
+/// the eventually consistent mode racing the background applier.
+#[test]
+fn admitted_backend_under_concurrent_mixed_fire() {
+    let lsm = AdmittedLsm::with_config(
+        ShardedLsm::new(device(), BLOCK as usize, 8).unwrap(),
+        AdmissionConfig {
+            queue_capacity: 4,
+            coalesce: true,
+            read_your_writes: false,
+        },
+    );
+    stress(lsm.clone());
+    let stats = lsm.admission_stats();
+    assert_eq!(stats.queued_batches, 0, "stress must end drained");
+    lsm.check_invariants().unwrap();
+}
+
+/// Same fire with read-your-writes on and coalescing off: lookups overlay
+/// the queues while interval queries drain, and the applier replays
+/// batches exactly as submitted.
+#[test]
+fn admitted_read_your_writes_backend_under_concurrent_mixed_fire() {
+    let lsm = AdmittedLsm::with_config(
+        ShardedLsm::new(device(), BLOCK as usize, 8).unwrap(),
+        AdmissionConfig {
+            queue_capacity: 4,
+            coalesce: false,
+            read_your_writes: true,
+        },
+    );
+    stress(lsm.clone());
+    lsm.check_invariants().unwrap();
 }
