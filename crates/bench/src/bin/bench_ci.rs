@@ -36,7 +36,12 @@ fn main() {
     eprintln!("running CI bench suite ({repeats} repeats per metric, median kept)...");
     let metrics = ci::run_suite(repeats);
     for m in &metrics {
-        println!("{:>24}  {:10.3} M elements/s", m.name, m.rate);
+        let unit = if ci::lower_is_better(&m.name) {
+            "us (lower is better)"
+        } else {
+            "M elements/s"
+        };
+        println!("{:>24}  {:10.3} {unit}", m.name, m.rate);
     }
     let json = ci::to_json(&metrics, repeats);
     std::fs::write(&out, json).expect("write bench JSON");

@@ -1,6 +1,7 @@
 //! Compare a current CI bench run against the committed baseline and fail
 //! (exit 1) when any shared metric loses more than the tolerated fraction
-//! of its throughput.
+//! of its throughput — or, for latency (`*_us`) metrics, when its value
+//! grows past the tolerated fraction.
 //!
 //! Usage: `bench_compare <baseline.json> <current.json> [--tolerance 0.2]`
 
@@ -44,7 +45,13 @@ fn main() {
     );
     let mut regressions = 0;
     for c in &report {
-        let flag = if c.regressed { "  REGRESSED" } else { "" };
+        let flag = if c.regressed {
+            "  REGRESSED"
+        } else if ci::lower_is_better(&c.name) {
+            "  (latency: lower is better)"
+        } else {
+            ""
+        };
         println!(
             "{:>24}  {:>12.3}  {:>12.3}  {:>7.2}x{}",
             c.name, c.baseline, c.current, c.ratio, flag

@@ -25,6 +25,7 @@ fn main() {
         interval_width: 1 << 14,
         key_domain: 1 << 24,
         seed: opts.seed,
+        ..MixedWorkloadConfig::default()
     };
     let result = sharded::run(&[1, 2, 4, 8], &config);
     let table = sharded::render(&result);

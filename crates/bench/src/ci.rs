@@ -6,7 +6,9 @@
 //! 4Ki elements): those are the regime where fixed per-call costs — thread
 //! spawning, radix histogram passes, per-kernel bookkeeping — dominate, so
 //! they are the first numbers to move when dispatch overhead regresses.
-//! Every metric is a rate in M elements/s; higher is better.
+//! Most metrics are rates in M elements/s (higher is better); metrics
+//! named `*_us` are latencies in microseconds (lower is better), and the
+//! comparator gates them in the right direction.
 //!
 //! The JSON schema is intentionally flat so the comparator does not need a
 //! real JSON parser (the serde stand-in has no `Deserialize` runtime):
@@ -25,7 +27,10 @@ use std::sync::Arc;
 use gpu_lsm::{AdmittedLsm, GpuLsm, ShardedLsm};
 use gpu_primitives::{merge::merge_by, radix_sort::sort_pairs};
 use gpu_sim::Device;
-use lsm_workloads::{missing_lookups, range_queries_with_expected_width, unique_random_pairs};
+use lsm_workloads::{
+    missing_lookups, range_queries_with_expected_width, run_mixed_workload, unique_random_pairs,
+    MixedWorkloadConfig,
+};
 
 use crate::measure::{elements_per_sec_m, harmonic_mean, time_once};
 
@@ -125,6 +130,45 @@ fn admitted_insert_rate(batch_size: usize, num_batches: usize) -> f64 {
         lsm.flush();
     });
     elements_per_sec_m(submit_size * num_batches, elapsed)
+}
+
+/// Tail latency of the admitted write path: p99 of the admission applier's
+/// per-batch **apply time** (µs) under a closed-loop workload against a
+/// 4-shard admitted service.  Lower is better — the comparator treats
+/// `*_us` metrics as such (see [`lower_is_better`]).  The apply component
+/// is gated (rather than queue wait or client-observed submit time)
+/// because it is the compute cost of the carry chain itself: it regresses
+/// when the write path slows down, while queue wait mostly tracks workload
+/// shape and scheduler noise.  The run is shaped for repeatability, not
+/// load: one writer, no readers, and a one-outstanding-batch window, so
+/// the loop fully serializes generate → submit → apply — nothing preempts
+/// the applier mid-apply, coalesce windows stay uniform, and the p99
+/// tracks the deepest carry in a deterministic batch stream instead of
+/// whichever coalesced mega-batch the scheduler happened to form.  (The
+/// multi-client saturation shape lives in the stress job's closed-loop
+/// tests; a latency *gate* needs the repeatable shape.)
+fn admitted_p99_us() -> f64 {
+    let device = ci_device();
+    let lsm = AdmittedLsm::new(ShardedLsm::new(device, 1 << 10, 4).expect("valid shards"));
+    let config = MixedWorkloadConfig {
+        writer_threads: 1,
+        reader_threads: 0,
+        batches_per_writer: 64,
+        batch_size: 1 << 10,
+        delete_fraction: 0.2,
+        lookups_per_round: 0,
+        intervals_per_round: 0,
+        interval_width: 1 << 12,
+        key_domain: 1 << 20,
+        seed: CI_SEED ^ 0x1A7,
+        closed_loop: true,
+        think_time_us: 0,
+        max_outstanding: 1,
+    };
+    let report = run_mixed_workload(&lsm, &config);
+    debug_assert!(report.latency.update.count() > 0);
+    let (_, apply) = lsm.latency_histograms();
+    apply.p99() as f64 / 1_000.0
 }
 
 /// Rate of radix-sorting `n` random key–value pairs.
@@ -230,6 +274,9 @@ fn measure_once() -> Vec<Metric> {
         // maintenance) and pipelined admission incl. the drain barrier.
         m("carry_merge_128k", carry_merge_rate(1 << 11, 63, 32)),
         m("admitted_insert_4k", admitted_insert_rate(1 << 12, 16)),
+        // Tail latency of the admitted write path under a closed-loop
+        // driver — the one lower-is-better metric in the suite.
+        m("admitted_p99_us", admitted_p99_us()),
     ]
 }
 
@@ -328,17 +375,26 @@ pub struct Comparison {
     pub baseline: f64,
     /// Current rate (M elements/s).
     pub current: f64,
-    /// `current / baseline`; below `1 - tolerance` is a regression.
+    /// `current / baseline`; below `1 - tolerance` is a regression for
+    /// throughput metrics, above `1 + tolerance` for latency (`*_us`)
+    /// metrics.
     pub ratio: f64,
     /// Whether this metric regressed beyond the tolerance.
     pub regressed: bool,
 }
 
+/// Whether a metric is latency-like: for `*_us` metrics **smaller** values
+/// are better, so the gate fails when the value *grows* past the
+/// tolerance instead of when it shrinks.
+pub fn lower_is_better(name: &str) -> bool {
+    name.ends_with("_us")
+}
+
 /// Compare current metrics against a baseline with a relative `tolerance`
-/// (0.2 = fail when a metric loses more than 20 % throughput).  Only
-/// metrics present on *both* sides are compared — use [`unmatched`] to
-/// surface the rest — so the suite can grow without breaking older
-/// baselines.
+/// (0.2 = fail when a throughput metric loses more than 20 %, or a
+/// latency (`*_us`) metric grows by more than 20 %).  Only metrics present
+/// on *both* sides are compared — use [`unmatched`] to surface the rest —
+/// so the suite can grow without breaking older baselines.
 pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<Comparison> {
     let mut out = Vec::new();
     for b in baseline {
@@ -348,12 +404,17 @@ pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<C
             } else {
                 f64::INFINITY
             };
+            let regressed = if lower_is_better(&b.name) {
+                ratio > 1.0 + tolerance
+            } else {
+                ratio < 1.0 - tolerance
+            };
             out.push(Comparison {
                 name: b.name.clone(),
                 baseline: b.rate,
                 current: c.rate,
                 ratio,
-                regressed: ratio < 1.0 - tolerance,
+                regressed,
             });
         }
     }
@@ -424,6 +485,26 @@ mod tests {
     }
 
     #[test]
+    fn latency_metrics_regress_in_the_opposite_direction() {
+        assert!(lower_is_better("admitted_p99_us"));
+        assert!(!lower_is_better("lsm_insert_b1k"));
+        let baseline = vec![metric("tail_us", 100.0), metric("rate", 100.0)];
+        // Latency shrinking is an improvement, not a regression.
+        let faster = vec![metric("tail_us", 60.0), metric("rate", 100.0)];
+        assert!(compare(&baseline, &faster, 0.2)
+            .iter()
+            .all(|c| !c.regressed));
+        // Latency growing past tolerance fails; a rate growing never does.
+        let slower = vec![metric("tail_us", 130.0), metric("rate", 180.0)];
+        let report = compare(&baseline, &slower, 0.2);
+        assert!(report[0].regressed);
+        assert!(!report[1].regressed);
+        // Growth within tolerance passes.
+        let ok = vec![metric("tail_us", 115.0), metric("rate", 100.0)];
+        assert!(compare(&baseline, &ok, 0.2).iter().all(|c| !c.regressed));
+    }
+
+    #[test]
     fn compare_skips_unmatched_metrics_and_unmatched_reports_them() {
         let baseline = vec![metric("gone", 10.0), metric("both", 10.0)];
         let current = vec![metric("new", 10.0), metric("both", 10.0)];
@@ -443,7 +524,7 @@ mod tests {
     fn suite_runs_and_produces_positive_rates() {
         // One repeat keeps this test cheap; it exercises every metric once.
         let metrics = run_suite(1);
-        assert_eq!(metrics.len(), 13);
+        assert_eq!(metrics.len(), 14);
         for m in &metrics {
             assert!(m.rate > 0.0, "metric {} must be positive", m.name);
         }

@@ -89,16 +89,23 @@ pub fn render(result: &ShardedResult) -> Table {
             "update M ops/s",
             "query M q/s",
             "lookups",
-            "interval queries",
+            "counts",
+            "ranges",
+            "upd p99 us",
+            "lkp p99 us",
         ],
     );
     for row in &result.rows {
+        let lat = &row.report.latency;
         table.add_row(vec![
             row.report.backend.clone(),
             fmt_rate(row.report.update_rate_m),
             fmt_rate(row.report.query_rate_m),
             row.report.lookups.to_string(),
-            row.report.interval_queries.to_string(),
+            row.report.count_queries.to_string(),
+            row.report.range_queries.to_string(),
+            lat.update.snapshot_us().p99_us.to_string(),
+            lat.lookup.snapshot_us().p99_us.to_string(),
         ]);
     }
     table
@@ -120,6 +127,9 @@ mod tests {
             interval_width: 1 << 8,
             key_domain: 1 << 14,
             seed: 11,
+            closed_loop: false,
+            think_time_us: 0,
+            max_outstanding: 0,
         }
     }
 

@@ -41,11 +41,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 use crate::batch::{Op, UpdateBatch};
 use crate::cleanup::CleanupReport;
 use crate::error::{LsmError, Result};
 use crate::key::{Key, Value, MAX_KEY};
+use crate::latency::{LatencyHistogram, LatencySnapshot};
 use crate::range::RangeResult;
 use crate::shard::{ShardedLsm, ShardedStats};
 use crate::validate::InvariantViolation;
@@ -132,12 +134,45 @@ pub struct AdmissionStats {
     pub flushes: u64,
 }
 
+/// Per-operation latency attribution of the admission pipeline, split the
+/// way a service needs it for SLO accounting: time a sub-batch spent
+/// **waiting in its shard queue** (admission to applier pop — grows with
+/// queue depth, the backpressure signal) versus time the applier spent
+/// **applying** batches to the shards (the carry-chain cost itself).  Both
+/// histograms record nanoseconds.
+#[derive(Debug, Default)]
+struct AdmissionLatency {
+    queue_wait: LatencyHistogram,
+    apply: LatencyHistogram,
+}
+
+/// Microsecond percentile summaries of the admission pipeline's two
+/// latency components (see [`AdmittedLsm::latency_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionLatencyStats {
+    /// Admission-to-pop wait per enqueued sub-batch.
+    pub queue_wait: LatencySnapshot,
+    /// Shard-apply time per batch the applier pushed (after coalescing).
+    pub apply: LatencySnapshot,
+}
+
+/// A validated, shard-routed sub-batch plus the instant it was admitted —
+/// the timestamp the applier turns into the queue-wait histogram.
+#[derive(Debug)]
+struct QueuedBatch {
+    batch: UpdateBatch,
+    admitted_at: Instant,
+}
+
 /// Everything the submitters, the applier and the queries share.
 #[derive(Debug)]
 struct Shared {
     service: ShardedLsm,
     config: AdmissionConfig,
     state: Mutex<QueueState>,
+    /// Queue-wait and apply-time histograms (applier-written, low rate:
+    /// one short lock per drained window).
+    latency: Mutex<AdmissionLatency>,
     /// Applier waits here for queued work.
     work: Condvar,
     /// Submitters wait here for queue space.
@@ -156,7 +191,7 @@ struct Shared {
 #[derive(Debug)]
 struct QueueState {
     /// FIFO of validated, shard-routed sub-batches, one queue per shard.
-    queues: Vec<VecDeque<UpdateBatch>>,
+    queues: Vec<VecDeque<QueuedBatch>>,
     /// Batches the applier has popped but not yet applied, per shard —
     /// still pending, so the read-your-writes overlay must see them.
     /// Populated only when read-your-writes is on (nothing else reads it).
@@ -229,6 +264,7 @@ impl AdmittedLsm {
                 next_shard: 0,
                 shutdown: false,
             }),
+            latency: Mutex::new(AdmissionLatency::default()),
             work: Condvar::new(),
             space: Condvar::new(),
             drained: Condvar::new(),
@@ -295,7 +331,13 @@ impl AdmittedLsm {
             while state.queues[s].len() >= self.shared.config.queue_capacity {
                 state = self.shared.space.wait(state).expect("admission lock");
             }
-            state.queues[s].push_back(part);
+            // The admission timestamp is taken *after* any backpressure
+            // wait: queue-wait measures time spent in the queue itself,
+            // while a blocked submit is visible to the client's own clock.
+            state.queues[s].push_back(QueuedBatch {
+                batch: part,
+                admitted_at: Instant::now(),
+            });
             state.queued += 1;
             state.enqueued_seq[s] += 1;
             enqueued += 1;
@@ -454,6 +496,23 @@ impl AdmittedLsm {
         }
     }
 
+    /// Microsecond percentile summaries of the pipeline's queue-wait and
+    /// apply-time histograms.
+    pub fn latency_stats(&self) -> AdmissionLatencyStats {
+        let latency = self.shared.latency.lock().expect("latency lock");
+        AdmissionLatencyStats {
+            queue_wait: latency.queue_wait.snapshot_us(),
+            apply: latency.apply.snapshot_us(),
+        }
+    }
+
+    /// Clones of the full queue-wait and apply-time histograms (nanosecond
+    /// samples), for callers that need quantiles beyond the snapshot.
+    pub fn latency_histograms(&self) -> (LatencyHistogram, LatencyHistogram) {
+        let latency = self.shared.latency.lock().expect("latency lock");
+        (latency.queue_wait.clone(), latency.apply.clone())
+    }
+
     /// Service-wide statistics with the admission gauges folded in.
     pub fn stats(&self) -> ShardedStats {
         let mut stats = self.shared.service.stats();
@@ -461,6 +520,9 @@ impl AdmittedLsm {
         stats.admission_queued_batches = admission.queued_batches as u64;
         stats.admission_coalesced_batches = admission.coalesced_batches;
         stats.admission_applied_batches = admission.applied_batches;
+        let latency = self.latency_stats();
+        stats.admission_queue_wait = latency.queue_wait;
+        stats.admission_apply = latency.apply;
         stats
     }
 
@@ -478,7 +540,10 @@ impl AdmittedLsm {
 /// (newest batch decides).
 fn pending_decisions(state: &QueueState, s: usize) -> HashMap<Key, Option<Value>> {
     let mut decisions = HashMap::new();
-    for batch in state.applying[s].iter().chain(state.queues[s].iter()) {
+    for batch in state.applying[s]
+        .iter()
+        .chain(state.queues[s].iter().map(|q| &q.batch))
+    {
         for op in resolve_batch(batch) {
             let outcome = match op {
                 Op::Insert(_, v) => Some(v),
@@ -519,37 +584,60 @@ fn applier_loop(shared: &Arc<Shared>) {
             } else {
                 1
             };
-            let window: Vec<UpdateBatch> = state.queues[s].drain(..take).collect();
+            let window: Vec<QueuedBatch> = state.queues[s].drain(..take).collect();
             state.queued -= take;
             state.in_flight += take;
             if shared.config.read_your_writes {
-                state.applying[s] = window.clone();
+                state.applying[s] = window.iter().map(|q| q.batch.clone()).collect();
             }
             (s, window)
         };
         shared.space.notify_all();
 
-        let taken = window.len();
+        // Queue-wait ends when the applier takes ownership of the window.
+        let popped_at = Instant::now();
+        let mut waits_ns: Vec<u64> = Vec::with_capacity(window.len());
+        let mut batches: Vec<UpdateBatch> = Vec::with_capacity(window.len());
+        for q in window {
+            let wait = popped_at.saturating_duration_since(q.admitted_at);
+            waits_ns.push(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
+            batches.push(q.batch);
+        }
+
+        let taken = batches.len();
         let to_apply = if shared.config.coalesce {
-            coalesce_batches(&window, shared.service.batch_size())
+            coalesce_batches(&batches, shared.service.batch_size())
         } else {
-            window // replay mode applies the popped batch as-is
+            batches // replay mode applies the popped batch as-is
         };
         shared
             .coalesced_batches
             .fetch_add((taken - to_apply.len()) as u64, Ordering::Relaxed);
+        let mut applies_ns: Vec<u64> = Vec::with_capacity(to_apply.len());
         for part in &to_apply {
             // Sub-batches were validated at submit time and coalescing
             // keeps them non-empty and within `b`.
+            let apply_start = Instant::now();
             shared
                 .service
                 .shard(shard)
                 .update(part)
                 .expect("validated admitted batch cannot be rejected");
+            applies_ns.push(u64::try_from(apply_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             shared.applied_batches.fetch_add(1, Ordering::Relaxed);
             shared
                 .applied_ops
                 .fetch_add(part.len() as u64, Ordering::Relaxed);
+        }
+        {
+            // One short lock per window keeps recording off the hot loop.
+            let mut latency = shared.latency.lock().expect("latency lock");
+            for ns in waits_ns {
+                latency.queue_wait.record(ns);
+            }
+            for ns in applies_ns {
+                latency.apply.record(ns);
+            }
         }
 
         let mut state = shared.state.lock().expect("admission lock");

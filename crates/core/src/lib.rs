@@ -53,6 +53,7 @@ pub mod concurrent;
 pub mod count;
 pub mod error;
 pub mod key;
+pub mod latency;
 pub mod level;
 pub mod lookup;
 pub mod lsm;
@@ -63,13 +64,14 @@ pub mod shard;
 pub mod stats;
 pub mod validate;
 
-pub use admission::{AdmissionConfig, AdmissionStats, AdmittedLsm};
+pub use admission::{AdmissionConfig, AdmissionLatencyStats, AdmissionStats, AdmittedLsm};
 pub use batch::{Op, UpdateBatch};
 pub use cleanup::CleanupReport;
 pub use compaction::CompactionPlan;
 pub use concurrent::ConcurrentGpuLsm;
 pub use error::{LsmError, Result};
 pub use key::{Entry, Key, Value, MAX_KEY};
+pub use latency::{LatencyHistogram, LatencySnapshot};
 pub use lsm::GpuLsm;
 pub use range::RangeResult;
 pub use router::{ShardRouter, SubQuery};

@@ -94,6 +94,12 @@ pub struct ShardedStats {
     /// Batches the admission applier pushed into the shards (0 without a
     /// layer).
     pub admission_applied_batches: u64,
+    /// Queue-wait percentiles of the admission layer, µs (zeroed without
+    /// one — filled in by [`crate::AdmittedLsm::stats`]).
+    pub admission_queue_wait: crate::latency::LatencySnapshot,
+    /// Shard-apply-time percentiles of the admission layer, µs (zeroed
+    /// without one).
+    pub admission_apply: crate::latency::LatencySnapshot,
 }
 
 impl ShardedStats {
@@ -454,6 +460,8 @@ impl ShardedLsm {
             admission_queued_batches: 0,
             admission_coalesced_batches: 0,
             admission_applied_batches: 0,
+            admission_queue_wait: crate::latency::LatencySnapshot::default(),
+            admission_apply: crate::latency::LatencySnapshot::default(),
             per_shard: Vec::new(),
         };
         for s in &per_shard {

@@ -1,0 +1,146 @@
+//! Differential suite for the log-bucketed latency histogram: quantiles
+//! must track a sorted-reference implementation within the documented
+//! 1/32 relative quantization bound on adversarial distributions, and
+//! merging histograms must be exactly associative and commutative (the
+//! property the per-thread record-then-fold workflow rests on).
+
+use gpu_lsm::LatencyHistogram;
+use proptest::prelude::*;
+
+/// Reference quantile: the same rank convention the histogram documents —
+/// the smallest sample `v` such that at least `ceil(q · n)` samples are
+/// `<= v`.
+fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let target = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[target - 1]
+}
+
+/// The histogram answer must bracket the reference from above, within one
+/// conservative bucket edge (≤ 1/32 relative) and never past the maximum.
+fn assert_quantile_close(h: &LatencyHistogram, sorted: &[u64], q: f64) {
+    let reference = reference_quantile(sorted, q);
+    let got = h.value_at_quantile(q);
+    assert!(
+        got >= reference,
+        "q={q}: histogram {got} under-reports reference {reference}"
+    );
+    let bound = reference.saturating_add(reference / 32).saturating_add(1);
+    let max = *sorted.last().unwrap();
+    assert!(
+        got <= bound.min(max.max(reference)),
+        "q={q}: histogram {got} exceeds bound {bound} (reference {reference}, max {max})"
+    );
+}
+
+fn histogram_of(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+const QUANTILES: [f64; 7] = [0.0, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0];
+
+#[test]
+fn quantiles_match_reference_on_adversarial_distributions() {
+    let cases: Vec<Vec<u64>> = vec![
+        // Single sample.
+        vec![42],
+        // All equal, small and large magnitudes.
+        vec![7; 1000],
+        vec![123_456_789; 1000],
+        // Bimodal: a tight fast mode and a far tail.
+        (0..990)
+            .map(|_| 1_000u64)
+            .chain((0..10).map(|_| 5_000_000u64))
+            .collect(),
+        // Extreme bimodal: zeros and u64::MAX.
+        (0..99).map(|_| 0u64).chain([u64::MAX]).collect(),
+        // Uniform ramp and a geometric spread crossing many octaves.
+        (0..10_000u64).collect(),
+        (0..63).map(|s| 1u64 << s).collect(),
+    ];
+    for samples in cases {
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let h = histogram_of(&samples);
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.min(), sorted[0]);
+        assert_eq!(h.max(), *sorted.last().unwrap());
+        for q in QUANTILES {
+            assert_quantile_close(&h, &sorted, q);
+        }
+        // Percentile accessors are ordered.
+        assert!(h.p50() <= h.p99());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
+    }
+}
+
+#[test]
+fn all_equal_distribution_is_reported_exactly() {
+    for value in [0u64, 1, 63, 64, 65, 1_000_000, u64::MAX] {
+        let mut h = LatencyHistogram::new();
+        h.record_n(value, 10_000);
+        for q in QUANTILES {
+            assert_eq!(h.value_at_quantile(q), value, "value {value} q {q}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random samples spanning nine orders of magnitude: every quantile
+    /// stays within the documented bound of the sorted reference.
+    #[test]
+    fn quantiles_track_sorted_reference(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..500)
+    ) {
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let h = histogram_of(&samples);
+        for q in QUANTILES {
+            assert_quantile_close(&h, &sorted, q);
+        }
+        // The mean is exact (tracked outside the buckets).
+        let exact: u128 = samples.iter().map(|&s| s as u128).sum();
+        let expected = exact as f64 / samples.len() as f64;
+        prop_assert!((h.mean() - expected).abs() <= expected * 1e-12 + 1e-9);
+    }
+
+    /// Merging is associative and commutative, and merged quantiles equal
+    /// the quantiles of recording everything into one histogram.
+    #[test]
+    fn merge_is_associative_and_order_free(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // c ⊕ b ⊕ a (commutativity)
+        let mut rev = hc.clone();
+        rev.merge(&hb);
+        rev.merge(&ha);
+        prop_assert_eq!(&left, &rev);
+
+        // Equal to one histogram fed every sample directly.
+        let combined: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &histogram_of(&combined));
+        prop_assert_eq!(left.count(), combined.len() as u64);
+    }
+}

@@ -20,5 +20,8 @@ pub use batches::{mixed_batches, pure_insert_batches, BatchSequence};
 pub use distributions::{hot_set_batches, sorted_run, ZipfKeys};
 pub use keygen::{random_pairs, unique_random_keys, unique_random_pairs};
 pub use queries::{existing_lookups, missing_lookups, range_queries_with_expected_width};
-pub use service::{run_mixed_workload, LsmBackend, MixedWorkloadConfig, MixedWorkloadReport};
+pub use service::{
+    generate_query_spans, generate_update_batch, run_mixed_workload, LsmBackend, MixedLatencies,
+    MixedWorkloadConfig, MixedWorkloadReport,
+};
 pub use sweep::{paper_batch_sizes, scaled_batch_sizes, SweepConfig};
