@@ -1,0 +1,42 @@
+//! Shard-imbalance experiment: zipfian mixed traffic against the uniform
+//! router, a learned router fitted from the key distribution, and an
+//! adaptive service that discovers split points by rebalancing online.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin shard_imbalance -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::imbalance;
+use lsm_bench::HarnessOptions;
+use lsm_workloads::MixedWorkloadConfig;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    // --scale shrinks the per-writer batch count, as in sharded_scaling.
+    let batches = (64usize >> opts.scale.min(6)).max(4);
+    let config = MixedWorkloadConfig {
+        writer_threads: 2,
+        reader_threads: 2,
+        batches_per_writer: batches,
+        batch_size: 1 << 10,
+        delete_fraction: 0.2,
+        lookups_per_round: 1 << 10,
+        intervals_per_round: 32,
+        interval_width: 1 << 14,
+        key_domain: 1 << 24,
+        zipf_theta: 0.99,
+        seed: opts.seed,
+        ..MixedWorkloadConfig::default()
+    };
+    let result = imbalance::run(8, &config);
+    let table = imbalance::render(&result);
+    println!("{}", table.render());
+    if let Some(path) = &opts.csv {
+        lsm_bench::write_csv(&table, path).expect("write csv");
+        println!("wrote {}", path.display());
+    }
+    for row in &result.rows {
+        println!(
+            "{}: per-shard update ops {:?}",
+            row.report.backend, row.per_shard_ops
+        );
+    }
+}

@@ -1,8 +1,9 @@
 //! Shard-scaling sweep: mixed open-loop update/query traffic against the
 //! single-lock `ConcurrentGpuLsm` and the `ShardedLsm` at 1, 2, 4 and 8
-//! shards.
+//! shards.  With `--zipf T` the workload keys are zipfian-skewed and the
+//! sweep adds a learned-router row per multi-shard count.
 //!
-//! Usage: `cargo run --release -p lsm-bench --bin sharded_scaling -- [--scale N] [--csv PATH]`
+//! Usage: `cargo run --release -p lsm-bench --bin sharded_scaling -- [--scale N] [--csv PATH] [--zipf T]`
 
 use lsm_bench::experiments::sharded;
 use lsm_bench::HarnessOptions;
@@ -24,6 +25,7 @@ fn main() {
         intervals_per_round: 32,
         interval_width: 1 << 14,
         key_domain: 1 << 24,
+        zipf_theta: opts.zipf_theta,
         seed: opts.seed,
         ..MixedWorkloadConfig::default()
     };

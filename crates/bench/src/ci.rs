@@ -160,6 +160,7 @@ fn admitted_p99_us() -> f64 {
         intervals_per_round: 0,
         interval_width: 1 << 12,
         key_domain: 1 << 20,
+        zipf_theta: 0.0,
         seed: CI_SEED ^ 0x1A7,
         closed_loop: true,
         think_time_us: 0,

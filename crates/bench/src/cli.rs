@@ -8,6 +8,8 @@
 //! * `--seed <u64>` — workload seed (default 0xC0FFEE).
 //! * `--csv <path>` — also write the result table as CSV.
 //! * `--quick` — an aggressive scale for smoke tests (scale 12).
+//! * `--zipf <theta>` — zipfian key skew for the mixed-workload sweeps
+//!   (default 0.0 = uniform; only the service-level binaries consult it).
 
 use std::path::PathBuf;
 
@@ -20,6 +22,8 @@ pub struct HarnessOptions {
     pub seed: u64,
     /// Optional CSV output path.
     pub csv: Option<PathBuf>,
+    /// Zipfian key-skew exponent for service-level sweeps (0.0 = uniform).
+    pub zipf_theta: f64,
 }
 
 impl Default for HarnessOptions {
@@ -28,6 +32,7 @@ impl Default for HarnessOptions {
             scale: 8,
             seed: 0xC0FFEE,
             csv: None,
+            zipf_theta: 0.0,
         }
     }
 }
@@ -54,13 +59,21 @@ impl HarnessOptions {
                     opts.csv = Some(PathBuf::from(v));
                 }
                 "--quick" => opts.scale = 12,
+                "--zipf" => {
+                    let v = iter.next().ok_or("--zipf needs a value")?;
+                    opts.zipf_theta = v.parse().map_err(|_| format!("bad --zipf value: {v}"))?;
+                    if !(0.0..2.0).contains(&opts.zipf_theta) {
+                        return Err(format!("--zipf must be in [0, 2): {v}"));
+                    }
+                }
                 "--help" | "-h" => {
                     return Err(concat!(
-                    "usage: <bin> [--scale N] [--seed S] [--csv PATH] [--quick]\n",
+                    "usage: <bin> [--scale N] [--seed S] [--csv PATH] [--quick] [--zipf T]\n",
                     "  --scale N   shift paper problem sizes down by N powers of two (default 8)\n",
                     "  --seed S    workload seed\n",
                     "  --csv PATH  also write results as CSV\n",
-                    "  --quick     smoke-test scale (equivalent to --scale 12)",
+                    "  --quick     smoke-test scale (equivalent to --scale 12)\n",
+                    "  --zipf T    zipfian key skew for service sweeps (default 0 = uniform)",
                 )
                     .to_string())
                 }
@@ -108,6 +121,14 @@ mod tests {
     #[test]
     fn quick_sets_scale_12() {
         assert_eq!(parse(&["--quick"]).unwrap().scale, 12);
+    }
+
+    #[test]
+    fn parses_and_validates_zipf() {
+        assert_eq!(parse(&["--zipf", "0.99"]).unwrap().zipf_theta, 0.99);
+        assert_eq!(parse(&[]).unwrap().zipf_theta, 0.0);
+        assert!(parse(&["--zipf", "2.5"]).is_err());
+        assert!(parse(&["--zipf"]).is_err());
     }
 
     #[test]

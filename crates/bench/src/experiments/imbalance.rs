@@ -1,0 +1,237 @@
+//! Shard-imbalance experiment: per-shard load balance under zipfian key
+//! skew, comparing the three routing policies the service supports.
+//!
+//! Beyond the paper (whose workloads are uniform): skewed key popularity
+//! concentrates a uniform (bit-shift) router's traffic on the shards that
+//! own the hot prefix of the key space, so added shards stop buying
+//! parallelism.  This experiment drives the same zipfian mixed workload
+//! against
+//!
+//! 1. the **uniform** router (equal key ranges per shard),
+//! 2. a **learned** router whose split points are fitted offline from a
+//!    sample of the key distribution ([`ShardRouter::fit`]), and
+//! 3. an **adaptive** service that starts uniform with online rebalancing
+//!    enabled and lets hot-shard splits discover the boundaries live,
+//!
+//! and reports each run's *imbalance factor* — max over mean per-shard
+//! update operations (1.0 = perfectly balanced, `num_shards` = everything
+//! on one shard) — alongside throughput, so the balance win is visible
+//! next to its cost.
+
+use gpu_lsm::{LsmConfig, RebalanceConfig, ShardRouter, ShardedLsm};
+use lsm_workloads::{run_mixed_workload, MixedWorkloadConfig, MixedWorkloadReport, ZipfKeys};
+
+use super::experiment_device;
+use crate::report::{fmt_rate, Table};
+
+/// How many keys to sample from the workload distribution when fitting the
+/// learned router's split points.
+const FIT_SAMPLE: usize = 1 << 16;
+
+/// One routing policy's run.
+#[derive(Debug, Clone)]
+pub struct ImbalanceRow {
+    /// The mixed-workload report for this policy.
+    pub report: MixedWorkloadReport,
+    /// Final per-shard update-operation counts.
+    pub per_shard_ops: Vec<u64>,
+    /// Max over mean of `per_shard_ops` (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Shard count after the run (adaptive runs may have split).
+    pub final_shards: usize,
+    /// Online splits performed during the run.
+    pub splits: u64,
+    /// Online merges performed during the run.
+    pub merges: u64,
+}
+
+/// Full shard-imbalance result.
+#[derive(Debug, Clone)]
+pub struct ImbalanceResult {
+    /// One row per routing policy: uniform, learned, adaptive.
+    pub rows: Vec<ImbalanceRow>,
+    /// The workload every row was driven with.
+    pub config: MixedWorkloadConfig,
+}
+
+/// Max-over-mean load factor of per-shard operation counts.  Returns 1.0
+/// for degenerate inputs (no shards or no traffic), the balanced ideal.
+pub fn imbalance_factor(per_shard_ops: &[u64]) -> f64 {
+    let total: u64 = per_shard_ops.iter().sum();
+    if per_shard_ops.is_empty() || total == 0 {
+        return 1.0;
+    }
+    let max = *per_shard_ops.iter().max().expect("non-empty") as f64;
+    let mean = total as f64 / per_shard_ops.len() as f64;
+    max / mean
+}
+
+fn measure(service: ShardedLsm, config: &MixedWorkloadConfig) -> ImbalanceRow {
+    let report = run_mixed_workload(&service, config);
+    service
+        .check_invariants()
+        .expect("sharded invariants after workload");
+    let stats = service.stats();
+    let per_shard_ops: Vec<u64> = stats.per_shard.iter().map(|s| s.update_ops).collect();
+    ImbalanceRow {
+        report,
+        imbalance: imbalance_factor(&per_shard_ops),
+        final_shards: per_shard_ops.len(),
+        per_shard_ops,
+        splits: stats.rebalance_splits,
+        merges: stats.rebalance_merges,
+    }
+}
+
+/// Run the shard-imbalance comparison at `num_shards` shards.  The config
+/// must have a positive `zipf_theta` — with uniform keys all three
+/// policies are equivalent and the experiment measures nothing.
+pub fn run(num_shards: usize, config: &MixedWorkloadConfig) -> ImbalanceResult {
+    assert!(
+        config.zipf_theta > 0.0,
+        "shard_imbalance needs a skewed workload (set zipf_theta > 0)"
+    );
+    assert!(num_shards >= 2, "need at least two shards to imbalance");
+    let mut rows = Vec::with_capacity(3);
+
+    // 1. Uniform bit-shift router: equal key ranges per shard.
+    let uniform = ShardedLsm::new(experiment_device(), config.batch_size, num_shards)
+        .expect("valid shard count");
+    rows.push(measure(uniform, config));
+
+    // 2. Learned router fitted offline from a sample of the workload's own
+    //    key distribution (a fresh sampler stream, not the writers').
+    let mut sampler = ZipfKeys::new(config.key_domain, config.zipf_theta, config.seed ^ 0xF17);
+    let sample = sampler.sample_batch(FIT_SAMPLE);
+    let router = ShardRouter::fit(num_shards, &sample).expect("fit learned router");
+    let learned = ShardedLsm::with_router(
+        experiment_device(),
+        config.batch_size,
+        router,
+        LsmConfig::default(),
+    )
+    .expect("valid learned router");
+    rows.push(measure(learned, config));
+
+    // 3. Adaptive: start uniform, let hot-shard splits find the boundaries
+    //    online.  Thresholds are scaled to the workload so several
+    //    evaluations happen within the run.
+    let total_ops = (config.writer_threads * config.batches_per_writer * config.batch_size) as u64;
+    let adaptive_config = LsmConfig::default().rebalance(RebalanceConfig {
+        enabled: true,
+        min_ops: (total_ops / 16).max(config.batch_size as u64),
+        hot_fraction: 1.5 / num_shards as f64,
+        cold_fraction: 0.1 / num_shards as f64,
+        max_shards: num_shards * 4,
+        min_shards: 1,
+        check_interval: 4,
+    });
+    let adaptive = ShardedLsm::with_config(
+        experiment_device(),
+        config.batch_size,
+        num_shards,
+        adaptive_config,
+    )
+    .expect("valid shard count");
+    rows.push(measure(adaptive, config));
+
+    ImbalanceResult {
+        rows,
+        config: config.clone(),
+    }
+}
+
+/// Render the comparison as a table.
+pub fn render(result: &ImbalanceResult) -> Table {
+    let mut table = Table::new(
+        &format!(
+            "Shard imbalance: zipf(theta = {}) mixed traffic ({}w/{}r threads, b = {})",
+            result.config.zipf_theta,
+            result.config.writer_threads,
+            result.config.reader_threads,
+            result.config.batch_size
+        ),
+        &[
+            "backend",
+            "imbalance",
+            "shards",
+            "splits",
+            "merges",
+            "update M ops/s",
+            "query M q/s",
+        ],
+    );
+    for row in &result.rows {
+        table.add_row(vec![
+            row.report.backend.clone(),
+            format!("{:.2}", row.imbalance),
+            row.final_shards.to_string(),
+            row.splits.to_string(),
+            row.merges.to_string(),
+            fmt_rate(row.report.update_rate_m),
+            fmt_rate(row.report.query_rate_m),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> MixedWorkloadConfig {
+        MixedWorkloadConfig {
+            writer_threads: 2,
+            reader_threads: 1,
+            batches_per_writer: 8,
+            batch_size: 64,
+            delete_fraction: 0.1,
+            lookups_per_round: 32,
+            intervals_per_round: 2,
+            interval_width: 1 << 8,
+            key_domain: 1 << 20,
+            zipf_theta: 0.99,
+            seed: 23,
+            closed_loop: false,
+            think_time_us: 0,
+            max_outstanding: 0,
+        }
+    }
+
+    #[test]
+    fn imbalance_factor_is_max_over_mean() {
+        assert_eq!(imbalance_factor(&[]), 1.0);
+        assert_eq!(imbalance_factor(&[0, 0]), 1.0);
+        assert_eq!(imbalance_factor(&[10, 10, 10, 10]), 1.0);
+        assert_eq!(imbalance_factor(&[40, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn learned_router_balances_better_than_uniform_under_skew() {
+        let result = run(4, &tiny_config());
+        assert_eq!(result.rows.len(), 3);
+        let uniform = &result.rows[0];
+        let learned = &result.rows[1];
+        let adaptive = &result.rows[2];
+        assert_eq!(uniform.report.backend, "sharded-lsm x4");
+        assert_eq!(learned.report.backend, "sharded-lsm x4 learned");
+        // Zipf keys over a 2^20 domain land almost entirely in the lowest
+        // uniform shard of the 31-bit key space: heavily imbalanced.
+        assert!(
+            uniform.imbalance > 2.0,
+            "uniform router should be imbalanced under skew: {}",
+            uniform.imbalance
+        );
+        // The fitted split points spread the same traffic.
+        assert!(
+            learned.imbalance < uniform.imbalance,
+            "learned router must balance better: learned {} vs uniform {}",
+            learned.imbalance,
+            uniform.imbalance
+        );
+        // The adaptive run actually split shards to chase the skew.
+        assert!(adaptive.splits >= 1, "adaptive run should split");
+        assert!(adaptive.final_shards > 4);
+        assert_eq!(render(&result).num_rows(), 3);
+    }
+}

@@ -10,10 +10,12 @@
 //! | [`bulk_build`] | §V-B — bulk build rates (LSM / SA / cuckoo) |
 //! | [`cleanup`] | §V-D — cleanup rate and post-cleanup query speed-up |
 //! | [`sharded`] | beyond the paper — shard scaling under mixed traffic |
+//! | [`imbalance`] | beyond the paper — routing policies under zipfian skew |
 
 pub mod bulk_build;
 pub mod cleanup;
 pub mod fig4;
+pub mod imbalance;
 pub mod sharded;
 pub mod table1;
 pub mod table2;

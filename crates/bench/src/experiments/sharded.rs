@@ -11,8 +11,8 @@
 //! informative, which is why the CI gate tracks the single-thread sharded
 //! insert rate rather than this concurrent sweep).
 
-use gpu_lsm::{AdmittedLsm, ConcurrentGpuLsm, ShardedLsm};
-use lsm_workloads::{run_mixed_workload, MixedWorkloadConfig, MixedWorkloadReport};
+use gpu_lsm::{AdmittedLsm, ConcurrentGpuLsm, LsmConfig, ShardRouter, ShardedLsm};
+use lsm_workloads::{run_mixed_workload, MixedWorkloadConfig, MixedWorkloadReport, ZipfKeys};
 
 use super::experiment_device;
 use crate::report::{fmt_rate, Table};
@@ -69,6 +69,30 @@ pub fn run(shard_counts: &[usize], config: &MixedWorkloadConfig) -> ShardedResul
             .check_invariants()
             .expect("admitted invariants after workload");
         rows.push(ShardedRow { shards: n, report });
+
+        // Skewed sweeps additionally measure the learned router at the
+        // same shard count, with split points fitted from a sample of the
+        // workload's key distribution.  Uniform sweeps skip this row: with
+        // uniform keys the fitted router *is* (up to quantile noise) the
+        // uniform one and the comparison measures nothing.
+        if config.zipf_theta > 0.0 && n > 1 {
+            let mut sampler =
+                ZipfKeys::new(config.key_domain, config.zipf_theta, config.seed ^ 0xF17);
+            let sample = sampler.sample_batch(1 << 16);
+            let router = ShardRouter::fit(n, &sample).expect("fit learned router");
+            let learned = ShardedLsm::with_router(
+                experiment_device(),
+                config.batch_size,
+                router,
+                LsmConfig::default(),
+            )
+            .expect("valid learned router");
+            let report = run_mixed_workload(&learned, config);
+            learned
+                .check_invariants()
+                .expect("learned invariants after workload");
+            rows.push(ShardedRow { shards: n, report });
+        }
     }
 
     ShardedResult {
@@ -126,6 +150,7 @@ mod tests {
             intervals_per_round: 4,
             interval_width: 1 << 8,
             key_domain: 1 << 14,
+            zipf_theta: 0.0,
             seed: 11,
             closed_loop: false,
             think_time_us: 0,

@@ -37,6 +37,35 @@
 //! point lookups overlay the pending per-shard queues (newest batch wins,
 //! exactly the rules above) in front of the applied state, and interval /
 //! order queries drain first.
+//!
+//! ## Rebalancing handoff
+//!
+//! The service can split and merge shards online (see
+//! [`crate::ShardedLsm::split_shard`]); with an admission layer in front,
+//! a rebalance must not strand or misroute queued batches.  The layer
+//! therefore mirrors the service's routing table (router + per-shard
+//! **stable queue ids** + epoch) inside its queue state and executes every
+//! rebalance **on the applier thread** as an epoch-based handoff:
+//!
+//! 1. the affected shards' queues are drained inline (a *targeted* flush
+//!    barrier — untouched shards keep queueing and applying),
+//! 2. the service performs the structural split/merge (atomic table swap),
+//! 3. the queue state is re-laid-out against the new table: surviving
+//!    shard ids keep their queues and flush counters, replacement shards
+//!    get fresh empty queues, and the mirrored router/epoch advance.
+//!
+//! Submitters route against the mirrored router under the queue lock, so a
+//! batch is always enqueued consistently with one table generation; a
+//! submitter sleeping on backpressure re-routes its remaining sub-batches
+//! if the epoch moved while it slept.  Rebalances are requested with
+//! [`AdmittedLsm::trigger_split`] / [`AdmittedLsm::trigger_merge`] (the
+//! calls block until the applier has performed the handoff) or planned
+//! automatically from hot-shard detection when the service was built with
+//! [`crate::RebalanceConfig::enabled`].
+//!
+//! [`AdmittedLsm::flush`] stays correct across handoffs because barriers
+//! wait on (queue id, enqueued count) pairs: a queue id that disappeared
+//! was drained before removal, so its target is vacuously satisfied.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,7 +78,8 @@ use crate::error::{LsmError, Result};
 use crate::key::{Key, Value, MAX_KEY};
 use crate::latency::{LatencyHistogram, LatencySnapshot};
 use crate::range::RangeResult;
-use crate::shard::{ShardedLsm, ShardedStats};
+use crate::router::ShardRouter;
+use crate::shard::{RebalanceAction, ShardedLsm, ShardedStats};
 use crate::validate::InvariantViolation;
 
 /// Default bound of each shard's admission queue, in batches.
@@ -85,8 +115,9 @@ fn env_coalesce() -> bool {
 }
 
 /// Tuning of one admission layer (see the `LSM_ADMIT_*` environment knobs
-/// for the process-wide defaults).
-#[derive(Debug, Clone)]
+/// for the process-wide defaults, and [`crate::LsmConfig`] for the
+/// explicit per-instance route).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdmissionConfig {
     /// Bound of each shard's queue, in batches; submitters block when the
     /// target shard's queue is full (backpressure).
@@ -132,6 +163,8 @@ pub struct AdmissionStats {
     pub coalesced_batches: u64,
     /// Completed [`AdmittedLsm::flush`] barriers.
     pub flushes: u64,
+    /// Rebalance handoffs (splits + merges) executed by the applier.
+    pub rebalances: u64,
 }
 
 /// Per-operation latency attribution of the admission pipeline, split the
@@ -164,6 +197,53 @@ struct QueuedBatch {
     admitted_at: Instant,
 }
 
+/// One shard's admission queue, identified by the shard's **stable id** so
+/// a rebalance can re-layout the queue vector without losing queued work or
+/// flush accounting for the shards it did not touch.
+#[derive(Debug)]
+struct ShardQueue {
+    /// The service-assigned shard id this queue feeds (stable across
+    /// rebalances that do not rebuild the shard).
+    id: u64,
+    /// FIFO of validated, shard-routed sub-batches.
+    queue: VecDeque<QueuedBatch>,
+    /// Batches the applier has popped but not yet applied — still pending,
+    /// so the read-your-writes overlay must see them.  Populated only when
+    /// read-your-writes is on (nothing else reads it).
+    applying: Vec<UpdateBatch>,
+    /// Lifetime batches enqueued (`submit` side of the flush barrier).
+    enqueued_seq: u64,
+    /// Lifetime batches fully applied.  The queue is FIFO, so
+    /// `applied_seq >= e` proves the first `e` batches enqueued here are
+    /// durable — what `flush` actually waits for.
+    applied_seq: u64,
+}
+
+impl ShardQueue {
+    fn new(id: u64) -> Self {
+        ShardQueue {
+            id,
+            queue: VecDeque::new(),
+            applying: Vec::new(),
+            enqueued_seq: 0,
+            applied_seq: 0,
+        }
+    }
+}
+
+/// A rebalance request for the applier to execute between drain windows.
+#[derive(Debug, Clone, Copy)]
+enum RebalanceCmd {
+    /// Split shard `s` at a service-fitted key.
+    Split(usize),
+    /// Split shard `s` at an explicit key.
+    SplitAt(usize, Key),
+    /// Merge shards `s` and `s + 1`.
+    Merge(usize),
+    /// Run hot/cold-shard detection and execute its decision, if any.
+    Plan,
+}
+
 /// Everything the submitters, the applier and the queries share.
 #[derive(Debug)]
 struct Shared {
@@ -173,12 +253,14 @@ struct Shared {
     /// Queue-wait and apply-time histograms (applier-written, low rate:
     /// one short lock per drained window).
     latency: Mutex<AdmissionLatency>,
-    /// Applier waits here for queued work.
+    /// Applier waits here for queued work or rebalance requests.
     work: Condvar,
     /// Submitters wait here for queue space.
     space: Condvar,
     /// Flush barriers wait here for full drain.
     drained: Condvar,
+    /// Rebalance requesters wait here for their request's result.
+    rebalanced: Condvar,
     submitted_batches: AtomicU64,
     submitted_ops: AtomicU64,
     enqueued_sub_batches: AtomicU64,
@@ -186,29 +268,38 @@ struct Shared {
     applied_ops: AtomicU64,
     coalesced_batches: AtomicU64,
     flushes: AtomicU64,
+    rebalances: AtomicU64,
 }
 
 #[derive(Debug)]
 struct QueueState {
-    /// FIFO of validated, shard-routed sub-batches, one queue per shard.
-    queues: Vec<VecDeque<QueuedBatch>>,
-    /// Batches the applier has popped but not yet applied, per shard —
-    /// still pending, so the read-your-writes overlay must see them.
-    /// Populated only when read-your-writes is on (nothing else reads it).
-    applying: Vec<Vec<UpdateBatch>>,
-    /// Total batches across `queues`.
+    /// One queue per shard, in shard order — the layout always mirrors
+    /// `router` (and thereby the service's current routing table).
+    queues: Vec<ShardQueue>,
+    /// Mirror of the service's router: submitters route against this under
+    /// the state lock so every enqueue is consistent with one table
+    /// generation.
+    router: ShardRouter,
+    /// Mirror of the service's routing epoch; bumped by every handoff.
+    /// Sleeping submitters use it to detect that their routing went stale.
+    epoch: u64,
+    /// Total batches across the queues.
     queued: usize,
-    /// Total batches across `applying`.
+    /// Total batches popped but not yet applied.
     in_flight: usize,
-    /// Lifetime batches enqueued per shard (`submit` side of the flush
-    /// barrier's per-shard epochs).
-    enqueued_seq: Vec<u64>,
-    /// Lifetime batches fully applied per shard.  Queues are FIFO, so
-    /// `applied_seq[s] >= e` proves the first `e` batches enqueued to
-    /// shard `s` are durable — what `flush` actually waits for.
-    applied_seq: Vec<u64>,
     /// Round-robin cursor so no shard's queue starves.
     next_shard: usize,
+    /// Rebalance requests awaiting the applier.  `None` sequence numbers
+    /// are fire-and-forget (auto-planned); `Some(seq)` has a caller
+    /// blocked in [`AdmittedLsm`] waiting for `rebalance_results[seq]`.
+    pending_rebalances: VecDeque<(Option<u64>, RebalanceCmd)>,
+    /// Completed request results, keyed by sequence number, removed by the
+    /// waiting caller.
+    rebalance_results: HashMap<u64, Result<Option<RebalanceAction>>>,
+    /// Next rebalance request sequence number.
+    next_rebalance_seq: u64,
+    /// Applied windows since the last automatic detection check.
+    windows_since_check: u64,
     /// Set once, by the last handle's drop; the applier drains and exits.
     shutdown: bool,
 }
@@ -236,6 +327,12 @@ impl Drop for Lifecycle {
 /// Cloning is cheap; all clones share the queues, the applier and the
 /// underlying service.  The applier thread shuts down (after draining)
 /// when the last handle is dropped.
+///
+/// While an admission layer is attached, rebalance the service through
+/// [`AdmittedLsm::trigger_split`] / [`AdmittedLsm::trigger_merge`] (or the
+/// automatic planner), **not** by calling [`ShardedLsm::split_shard`]
+/// directly on the wrapped service — the layer must drain the affected
+/// queues first.
 #[derive(Debug, Clone)]
 pub struct AdmittedLsm {
     shared: Arc<Shared>,
@@ -243,31 +340,38 @@ pub struct AdmittedLsm {
 }
 
 impl AdmittedLsm {
-    /// Wrap `service` with the environment-configured admission layer.
+    /// Wrap `service` with the admission configuration derived from the
+    /// service's [`crate::LsmConfig`] (explicit knobs first, `LSM_ADMIT_*`
+    /// environment fallback for the rest).
     pub fn new(service: ShardedLsm) -> Self {
-        Self::with_config(service, AdmissionConfig::default())
+        let config = service.config().admission();
+        Self::with_config(service, config)
     }
 
     /// Wrap `service` with an explicit admission configuration.
     pub fn with_config(service: ShardedLsm, config: AdmissionConfig) -> Self {
-        let num_shards = service.num_shards();
+        let table = service.table_snapshot();
         let shared = Arc::new(Shared {
-            service,
             config,
             state: Mutex::new(QueueState {
-                queues: (0..num_shards).map(|_| VecDeque::new()).collect(),
-                applying: vec![Vec::new(); num_shards],
+                queues: table.ids.iter().map(|&id| ShardQueue::new(id)).collect(),
+                router: table.router.clone(),
+                epoch: table.epoch,
                 queued: 0,
                 in_flight: 0,
-                enqueued_seq: vec![0; num_shards],
-                applied_seq: vec![0; num_shards],
                 next_shard: 0,
+                pending_rebalances: VecDeque::new(),
+                rebalance_results: HashMap::new(),
+                next_rebalance_seq: 0,
+                windows_since_check: 0,
                 shutdown: false,
             }),
+            service,
             latency: Mutex::new(AdmissionLatency::default()),
             work: Condvar::new(),
             space: Condvar::new(),
             drained: Condvar::new(),
+            rebalanced: Condvar::new(),
             submitted_batches: AtomicU64::new(0),
             submitted_ops: AtomicU64::new(0),
             enqueued_sub_batches: AtomicU64::new(0),
@@ -275,6 +379,7 @@ impl AdmittedLsm {
             applied_ops: AtomicU64::new(0),
             coalesced_batches: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
         });
         let applier_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -307,7 +412,11 @@ impl AdmittedLsm {
     /// Validate a mixed update batch and enqueue it, blocking only when a
     /// target shard's queue is at capacity.  An invalid batch is rejected
     /// in full before anything is enqueued, exactly like the synchronous
-    /// path.
+    /// path.  Routing happens against the mirrored table under the queue
+    /// lock; if a rebalance lands while the submitter sleeps on
+    /// backpressure, the not-yet-enqueued remainder is re-routed against
+    /// the new table (per-key op order is unaffected: all ops on one key
+    /// travel in one sub-batch).
     pub fn submit(&self, batch: &UpdateBatch) -> Result<()> {
         if batch.is_empty() {
             return Err(LsmError::EmptyBatch);
@@ -321,28 +430,49 @@ impl AdmittedLsm {
         if let Some(op) = batch.ops().iter().find(|op| op.key() > MAX_KEY) {
             return Err(LsmError::KeyOutOfRange { key: op.key() });
         }
-        let parts = self.shared.service.router().split_updates(batch);
         let mut enqueued = 0u64;
-        let mut state = self.shared.state.lock().expect("admission lock");
-        for (s, part) in parts.into_iter().enumerate() {
-            if part.is_empty() {
-                continue;
+        {
+            let mut state = self.shared.state.lock().expect("admission lock");
+            let mut parts = route_parts(&state.router, batch);
+            'parts: while let Some((s, part)) = parts.pop_front() {
+                loop {
+                    if state.queues[s].queue.len() < self.shared.config.queue_capacity {
+                        // The admission timestamp is taken *after* any
+                        // backpressure wait: queue-wait measures time spent
+                        // in the queue itself, while a blocked submit is
+                        // visible to the client's own clock.
+                        state.queues[s].queue.push_back(QueuedBatch {
+                            batch: part,
+                            admitted_at: Instant::now(),
+                        });
+                        state.queued += 1;
+                        state.queues[s].enqueued_seq += 1;
+                        enqueued += 1;
+                        continue 'parts;
+                    }
+                    let epoch = state.epoch;
+                    state = self.shared.space.wait(state).expect("admission lock");
+                    if state.epoch != epoch {
+                        // The routing table changed while we slept:
+                        // re-route this part and everything not yet
+                        // enqueued against the new router.
+                        let rest_len =
+                            part.len() + parts.iter().map(|(_, p)| p.len()).sum::<usize>();
+                        let mut rest = UpdateBatch::with_capacity(rest_len);
+                        for op in part.ops() {
+                            rest.push(*op);
+                        }
+                        for (_, p) in &parts {
+                            for op in p.ops() {
+                                rest.push(*op);
+                            }
+                        }
+                        parts = route_parts(&state.router, &rest);
+                        continue 'parts;
+                    }
+                }
             }
-            while state.queues[s].len() >= self.shared.config.queue_capacity {
-                state = self.shared.space.wait(state).expect("admission lock");
-            }
-            // The admission timestamp is taken *after* any backpressure
-            // wait: queue-wait measures time spent in the queue itself,
-            // while a blocked submit is visible to the client's own clock.
-            state.queues[s].push_back(QueuedBatch {
-                batch: part,
-                admitted_at: Instant::now(),
-            });
-            state.queued += 1;
-            state.enqueued_seq[s] += 1;
-            enqueued += 1;
         }
-        drop(state);
         self.shared
             .submitted_batches
             .fetch_add(1, Ordering::Relaxed);
@@ -368,19 +498,25 @@ impl AdmittedLsm {
 
     /// Drain barrier: returns once every batch enqueued **before the
     /// call** has been applied to the shards.  The wait is against
-    /// per-shard epochs snapshotted at entry, so concurrent submitters can
-    /// keep the queues busy without starving the barrier (each shard's
-    /// queue is FIFO, so `applied >= snapshot` proves the snapshot prefix
-    /// is durable).
+    /// per-queue (id, enqueued) pairs snapshotted at entry, so concurrent
+    /// submitters can keep the queues busy without starving the barrier
+    /// (each queue is FIFO, so `applied >= snapshot` proves the snapshot
+    /// prefix is durable).  A queue id that disappears was drained by a
+    /// rebalance handoff before removal, satisfying its target.
     pub fn flush(&self) {
         let mut state = self.shared.state.lock().expect("admission lock");
-        let targets = state.enqueued_seq.clone();
-        while state
-            .applied_seq
+        let targets: Vec<(u64, u64)> = state
+            .queues
             .iter()
-            .zip(targets.iter())
-            .any(|(applied, target)| applied < target)
-        {
+            .map(|q| (q.id, q.enqueued_seq))
+            .collect();
+        while targets.iter().any(|&(id, target)| {
+            state
+                .queues
+                .iter()
+                .find(|q| q.id == id)
+                .is_some_and(|q| q.applied_seq < target)
+        }) {
             state = self.shared.drained.wait(state).expect("admission lock");
         }
         drop(state);
@@ -391,6 +527,51 @@ impl AdmittedLsm {
     pub fn cleanup(&self) -> CleanupReport {
         self.flush();
         self.shared.service.cleanup()
+    }
+
+    // ------------------------------------------------------------------
+    // Rebalancing
+    // ------------------------------------------------------------------
+
+    /// Ask the applier to split shard `s` at a service-fitted key (see
+    /// [`ShardedLsm::split_shard`]), draining the shard's queue first.
+    /// Blocks until the handoff completes; returns the action taken.
+    pub fn trigger_split(&self, s: usize) -> Result<Option<RebalanceAction>> {
+        self.request_rebalance(RebalanceCmd::Split(s))
+    }
+
+    /// Ask the applier to split shard `s` at an explicit `key` (see
+    /// [`ShardedLsm::split_shard_at`]), draining the shard's queue first.
+    pub fn trigger_split_at(&self, s: usize, key: Key) -> Result<Option<RebalanceAction>> {
+        self.request_rebalance(RebalanceCmd::SplitAt(s, key))
+    }
+
+    /// Ask the applier to merge shards `s` and `s + 1` (see
+    /// [`ShardedLsm::merge_shards`]), draining both queues first.
+    pub fn trigger_merge(&self, s: usize) -> Result<Option<RebalanceAction>> {
+        self.request_rebalance(RebalanceCmd::Merge(s))
+    }
+
+    /// Ask the applier to run hot/cold-shard detection now and execute its
+    /// decision, if any.  Returns the action taken (`Ok(None)` when no
+    /// threshold tripped).
+    pub fn trigger_rebalance_check(&self) -> Result<Option<RebalanceAction>> {
+        self.request_rebalance(RebalanceCmd::Plan)
+    }
+
+    /// Enqueue a rebalance request and block until the applier executed it.
+    fn request_rebalance(&self, cmd: RebalanceCmd) -> Result<Option<RebalanceAction>> {
+        let mut state = self.shared.state.lock().expect("admission lock");
+        let seq = state.next_rebalance_seq;
+        state.next_rebalance_seq += 1;
+        state.pending_rebalances.push_back((Some(seq), cmd));
+        self.shared.work.notify_all();
+        loop {
+            if let Some(result) = state.rebalance_results.remove(&seq) {
+                return result;
+            }
+            state = self.shared.rebalanced.wait(state).expect("admission lock");
+        }
     }
 
     // ------------------------------------------------------------------
@@ -408,15 +589,16 @@ impl AdmittedLsm {
         // query under one short lock; undecided keys fall through to the
         // applied state.  Each touched shard's pending batches are folded
         // into one key → decision map in a single pass, so the lock is
-        // held for O(pending ops + queries), not their product.
+        // held for O(pending ops + queries), not their product.  Routing
+        // uses the mirrored router so the overlay matches the enqueue
+        // layout even across rebalances.
         let overlay: Vec<Option<Option<Value>>> = {
             let state = self.shared.state.lock().expect("admission lock");
-            let mut maps: Vec<Option<HashMap<Key, Option<Value>>>> =
-                vec![None; self.shared.service.num_shards()];
+            let mut maps: Vec<Option<HashMap<Key, Option<Value>>>> = vec![None; state.queues.len()];
             queries
                 .iter()
                 .map(|&q| {
-                    let s = self.shared.service.router().shard_of(q.min(MAX_KEY));
+                    let s = state.router.shard_of(q.min(MAX_KEY));
                     maps[s]
                         .get_or_insert_with(|| pending_decisions(&state, s))
                         .get(&q)
@@ -493,6 +675,7 @@ impl AdmittedLsm {
             applied_ops: self.shared.applied_ops.load(Ordering::Relaxed),
             coalesced_batches: self.shared.coalesced_batches.load(Ordering::Relaxed),
             flushes: self.shared.flushes.load(Ordering::Relaxed),
+            rebalances: self.shared.rebalances.load(Ordering::Relaxed),
         }
     }
 
@@ -533,6 +716,16 @@ impl AdmittedLsm {
     }
 }
 
+/// Split a batch by shard and keep the non-empty parts in shard order.
+fn route_parts(router: &ShardRouter, batch: &UpdateBatch) -> VecDeque<(usize, UpdateBatch)> {
+    router
+        .split_updates(batch)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, p)| !p.is_empty())
+        .collect()
+}
+
 /// Fold shard `s`'s pending batches — in-flight first (older), then the
 /// queue oldest-to-newest — into one key → visible-outcome map: per batch
 /// any deletion of a key shadows its insertions (rule 6) else the first
@@ -540,9 +733,10 @@ impl AdmittedLsm {
 /// (newest batch decides).
 fn pending_decisions(state: &QueueState, s: usize) -> HashMap<Key, Option<Value>> {
     let mut decisions = HashMap::new();
-    for batch in state.applying[s]
+    for batch in state.queues[s]
+        .applying
         .iter()
-        .chain(state.queues[s].iter().map(|q| &q.batch))
+        .chain(state.queues[s].queue.iter().map(|q| &q.batch))
     {
         for op in resolve_batch(batch) {
             let outcome = match op {
@@ -555,16 +749,27 @@ fn pending_decisions(state: &QueueState, s: usize) -> HashMap<Key, Option<Value>
     decisions
 }
 
-/// The background applier: drain queues round-robin, coalesce, apply.
+/// The background applier: drain queues round-robin, coalesce, apply;
+/// execute rebalance handoffs between windows.
 fn applier_loop(shared: &Arc<Shared>) {
     loop {
-        // Pop one shard's coalescing window under the lock.  With
+        // Pop one shard's coalescing window under the lock; rebalance
+        // requests take priority and run entirely under the lock (they
+        // are a barrier for the affected shards by design).  With
         // read-your-writes on, the popped batches stay visible to the
         // overlay via `applying` until they are applied; otherwise nothing
         // reads `applying` and the clone is skipped.
         let (shard, window) = {
             let mut state = shared.state.lock().expect("admission lock");
             loop {
+                if let Some((seq, cmd)) = state.pending_rebalances.pop_front() {
+                    let result = execute_rebalance(shared, &mut state, cmd);
+                    if let Some(seq) = seq {
+                        state.rebalance_results.insert(seq, result);
+                        shared.rebalanced.notify_all();
+                    }
+                    continue;
+                }
                 if state.queued > 0 {
                     break;
                 }
@@ -574,80 +779,168 @@ fn applier_loop(shared: &Arc<Shared>) {
                 state = shared.work.wait(state).expect("admission lock");
             }
             let num_shards = state.queues.len();
-            let mut s = state.next_shard;
-            while state.queues[s].is_empty() {
+            let mut s = state.next_shard % num_shards;
+            while state.queues[s].queue.is_empty() {
                 s = (s + 1) % num_shards;
             }
             state.next_shard = (s + 1) % num_shards;
             let take = if shared.config.coalesce {
-                COALESCE_WINDOW.min(state.queues[s].len())
+                COALESCE_WINDOW.min(state.queues[s].queue.len())
             } else {
                 1
             };
-            let window: Vec<QueuedBatch> = state.queues[s].drain(..take).collect();
+            let window: Vec<QueuedBatch> = state.queues[s].queue.drain(..take).collect();
             state.queued -= take;
             state.in_flight += take;
             if shared.config.read_your_writes {
-                state.applying[s] = window.iter().map(|q| q.batch.clone()).collect();
+                state.queues[s].applying = window.iter().map(|q| q.batch.clone()).collect();
             }
             (s, window)
         };
         shared.space.notify_all();
 
-        // Queue-wait ends when the applier takes ownership of the window.
-        let popped_at = Instant::now();
-        let mut waits_ns: Vec<u64> = Vec::with_capacity(window.len());
-        let mut batches: Vec<UpdateBatch> = Vec::with_capacity(window.len());
-        for q in window {
-            let wait = popped_at.saturating_duration_since(q.admitted_at);
-            waits_ns.push(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
-            batches.push(q.batch);
-        }
-
-        let taken = batches.len();
-        let to_apply = if shared.config.coalesce {
-            coalesce_batches(&batches, shared.service.batch_size())
-        } else {
-            batches // replay mode applies the popped batch as-is
-        };
-        shared
-            .coalesced_batches
-            .fetch_add((taken - to_apply.len()) as u64, Ordering::Relaxed);
-        let mut applies_ns: Vec<u64> = Vec::with_capacity(to_apply.len());
-        for part in &to_apply {
-            // Sub-batches were validated at submit time and coalescing
-            // keeps them non-empty and within `b`.
-            let apply_start = Instant::now();
-            shared
-                .service
-                .shard(shard)
-                .update(part)
-                .expect("validated admitted batch cannot be rejected");
-            applies_ns.push(u64::try_from(apply_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-            shared.applied_batches.fetch_add(1, Ordering::Relaxed);
-            shared
-                .applied_ops
-                .fetch_add(part.len() as u64, Ordering::Relaxed);
-        }
-        {
-            // One short lock per window keeps recording off the hot loop.
-            let mut latency = shared.latency.lock().expect("latency lock");
-            for ns in waits_ns {
-                latency.queue_wait.record(ns);
-            }
-            for ns in applies_ns {
-                latency.apply.record(ns);
-            }
-        }
+        let taken = apply_window(shared, shard, window);
 
         let mut state = shared.state.lock().expect("admission lock");
-        state.applying[shard].clear();
+        state.queues[shard].applying.clear();
         state.in_flight -= taken;
-        state.applied_seq[shard] += taken as u64;
+        state.queues[shard].applied_seq += taken as u64;
         // Every completed window can release a flush barrier (barriers
-        // wait on per-shard epochs, not on full quiescence).
+        // wait on per-queue epochs, not on full quiescence).
         shared.drained.notify_all();
+        // Automatic hot/cold detection: piggybacked on the applier cadence
+        // so it needs no extra thread and naturally sees applied traffic.
+        let rebalance_cfg = &shared.service.config().rebalance;
+        if rebalance_cfg.enabled {
+            state.windows_since_check += 1;
+            if state.windows_since_check >= rebalance_cfg.check_interval {
+                state.windows_since_check = 0;
+                // Planning failure (e.g. a lost race) is not fatal: the
+                // next window plans again.
+                let _ = execute_rebalance(shared, &mut state, RebalanceCmd::Plan);
+            }
+        }
     }
+}
+
+/// Coalesce (per config) and apply one popped window to `shard`, recording
+/// the queue-wait and apply-time histograms and the lifetime counters.
+/// Returns the number of batches consumed from the queue.
+fn apply_window(shared: &Shared, shard: usize, window: Vec<QueuedBatch>) -> usize {
+    // Queue-wait ends when the applier takes ownership of the window.
+    let popped_at = Instant::now();
+    let mut waits_ns: Vec<u64> = Vec::with_capacity(window.len());
+    let mut batches: Vec<UpdateBatch> = Vec::with_capacity(window.len());
+    for q in window {
+        let wait = popped_at.saturating_duration_since(q.admitted_at);
+        waits_ns.push(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
+        batches.push(q.batch);
+    }
+
+    let taken = batches.len();
+    let to_apply = if shared.config.coalesce {
+        coalesce_batches(&batches, shared.service.batch_size())
+    } else {
+        batches // replay mode applies the popped batch as-is
+    };
+    shared
+        .coalesced_batches
+        .fetch_add((taken - to_apply.len()) as u64, Ordering::Relaxed);
+    let mut applies_ns: Vec<u64> = Vec::with_capacity(to_apply.len());
+    for part in &to_apply {
+        // Sub-batches were validated at submit time and coalescing keeps
+        // them non-empty and within `b`; the apply holds the service's
+        // table read lock so it cannot interleave with a table swap.
+        let apply_start = Instant::now();
+        shared
+            .service
+            .apply_routed(shard, part)
+            .expect("validated admitted batch cannot be rejected");
+        applies_ns.push(u64::try_from(apply_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        shared.applied_batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .applied_ops
+            .fetch_add(part.len() as u64, Ordering::Relaxed);
+    }
+    {
+        // One short lock per window keeps recording off the hot loop.
+        let mut latency = shared.latency.lock().expect("latency lock");
+        for ns in waits_ns {
+            latency.queue_wait.record(ns);
+        }
+        for ns in applies_ns {
+            latency.apply.record(ns);
+        }
+    }
+    taken
+}
+
+/// Execute one rebalance handoff on the applier thread, with the queue
+/// state lock held throughout: drain the affected shards' queues (a
+/// targeted flush barrier), perform the structural change on the service,
+/// then re-layout the queues against the new routing table.
+fn execute_rebalance(
+    shared: &Shared,
+    state: &mut QueueState,
+    cmd: RebalanceCmd,
+) -> Result<Option<RebalanceAction>> {
+    let action = match cmd {
+        RebalanceCmd::Plan => match shared.service.plan_rebalance() {
+            Some(action) => action,
+            None => return Ok(None),
+        },
+        RebalanceCmd::Split(s) | RebalanceCmd::SplitAt(s, _) => RebalanceAction::Split(s),
+        RebalanceCmd::Merge(s) => RebalanceAction::Merge(s),
+    };
+    let affected: Vec<usize> = match action {
+        RebalanceAction::Split(s) => vec![s],
+        RebalanceAction::Merge(s) => vec![s, s + 1],
+    };
+    if let Some(&bad) = affected.iter().find(|&&s| s >= state.queues.len()) {
+        return Err(LsmError::InvalidRebalance {
+            reason: format!("shard {bad} out of range for {} shards", state.queues.len()),
+        });
+    }
+    // Targeted drain: every batch admitted for the affected shards must be
+    // applied before the rebuild snapshots their contents.
+    for &s in &affected {
+        if state.queues[s].queue.is_empty() {
+            continue;
+        }
+        let drained: Vec<QueuedBatch> = state.queues[s].queue.drain(..).collect();
+        state.queued -= drained.len();
+        let taken = apply_window(shared, s, drained);
+        state.queues[s].applied_seq += taken as u64;
+    }
+    match cmd {
+        RebalanceCmd::SplitAt(s, key) => shared.service.split_shard_at(s, key)?,
+        RebalanceCmd::Split(s) => {
+            shared.service.split_shard(s)?;
+        }
+        RebalanceCmd::Merge(s) => shared.service.merge_shards(s)?,
+        RebalanceCmd::Plan => shared.service.apply_rebalance(action)?,
+    }
+    // Re-layout against the new table: surviving ids keep their queues and
+    // flush counters, replacement shards start fresh.  The dropped queues
+    // were just drained, so no admitted batch is lost.
+    let table = shared.service.table_snapshot();
+    let mut old: HashMap<u64, ShardQueue> = state.queues.drain(..).map(|q| (q.id, q)).collect();
+    state.queues = table
+        .ids
+        .iter()
+        .map(|&id| old.remove(&id).unwrap_or_else(|| ShardQueue::new(id)))
+        .collect();
+    debug_assert!(old.values().all(|q| q.queue.is_empty()));
+    state.router = table.router.clone();
+    state.epoch = table.epoch;
+    state.queued = state.queues.iter().map(|q| q.queue.len()).sum();
+    state.next_shard %= state.queues.len().max(1);
+    shared.rebalances.fetch_add(1, Ordering::Relaxed);
+    // Wake sleeping submitters (they must re-route) and flush barriers
+    // (drained ids satisfy their targets).
+    shared.space.notify_all();
+    shared.drained.notify_all();
+    Ok(Some(action))
 }
 
 /// Replace a run of adjacent batches with visibly equivalent coalesced
@@ -724,6 +1017,7 @@ mod tests {
     use gpu_sim::{Device, DeviceConfig};
 
     use super::*;
+    use crate::config::{LsmConfig, RebalanceConfig};
 
     fn device() -> Arc<Device> {
         Arc::new(Device::new(DeviceConfig::small()))
@@ -903,5 +1197,70 @@ mod tests {
         clone.flush();
         assert_eq!(clone.lookup(&[1]), vec![Some(1)]);
         assert_eq!(clone.admission_stats().submitted_batches, 1);
+    }
+
+    #[test]
+    fn triggered_split_and_merge_preserve_admitted_state() {
+        let lsm = admitted(8, 1, config(true, false));
+        for i in 0..8u32 {
+            lsm.insert(&[(i * 100, i), (i * 100 + 1, i)]).unwrap();
+        }
+        // Split mid-stream, without flushing first: the handoff drains the
+        // affected queue itself.
+        let action = lsm.trigger_split_at(0, 350).unwrap();
+        assert_eq!(action, Some(RebalanceAction::Split(0)));
+        assert_eq!(lsm.service().num_shards(), 2);
+        assert_eq!(lsm.admission_stats().rebalances, 1);
+        // Traffic keeps flowing on both sides of the new boundary.
+        lsm.insert(&[(349, 99), (351, 99)]).unwrap();
+        lsm.flush();
+        let keys: Vec<u32> = (0..8).map(|i| i * 100).collect();
+        assert_eq!(
+            lsm.lookup(&keys),
+            (0..8).map(Some).collect::<Vec<Option<u32>>>()
+        );
+        assert_eq!(lsm.lookup(&[349, 351]), vec![Some(99), Some(99)]);
+        lsm.check_invariants().unwrap();
+        // Merge back; answers unchanged.
+        let action = lsm.trigger_merge(0).unwrap();
+        assert_eq!(action, Some(RebalanceAction::Merge(0)));
+        assert_eq!(lsm.service().num_shards(), 1);
+        lsm.flush();
+        assert_eq!(
+            lsm.lookup(&keys),
+            (0..8).map(Some).collect::<Vec<Option<u32>>>()
+        );
+        // Invalid requests surface the service's error to the caller.
+        assert!(lsm.trigger_merge(5).is_err());
+        assert!(lsm.trigger_split_at(0, 0).is_err());
+        lsm.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn auto_rebalance_splits_hot_shard_behind_admission() {
+        let lsm_config = LsmConfig::default().rebalance(RebalanceConfig {
+            enabled: true,
+            min_ops: 32,
+            hot_fraction: 0.5,
+            cold_fraction: 0.0,
+            max_shards: 4,
+            min_shards: 1,
+            check_interval: 1,
+        });
+        let service = ShardedLsm::with_config(device(), 16, 1, lsm_config).unwrap();
+        let lsm = AdmittedLsm::with_config(service, config(true, false));
+        for round in 0..16u32 {
+            let pairs: Vec<(u32, u32)> = (0..16u32).map(|i| (round * 16 + i, i)).collect();
+            lsm.insert(&pairs).unwrap();
+        }
+        lsm.flush();
+        assert!(
+            lsm.service().num_shards() > 1,
+            "hot shard should have been split behind admission, still at {}",
+            lsm.service().num_shards()
+        );
+        assert!(lsm.stats().rebalance_splits >= 1);
+        lsm.check_invariants().unwrap();
+        assert_eq!(lsm.count(&[(0, MAX_KEY)]), vec![256]);
     }
 }

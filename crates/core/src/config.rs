@@ -1,0 +1,232 @@
+//! Typed configuration for the LSM stack.
+//!
+//! [`LsmConfig`] is the explicit, programmatic way to set every knob that
+//! was historically an `LSM_*` environment variable, plus the thresholds
+//! for online shard rebalancing ([`RebalanceConfig`]).  The environment
+//! variables still work — [`LsmConfig::from_env`] reads them into a config,
+//! and the per-module env fallbacks remain in place for fields left unset —
+//! but they are now the *fallback* layer: an explicit config always wins.
+//!
+//! Scope of each knob:
+//!
+//! * `bulk_lookup_frac`, admission knobs and `rebalance` are **per
+//!   instance**: they only affect the structure constructed with this
+//!   config.
+//! * `bloom_bits` and `par_cutoff` are **process-wide**: the Bloom filter
+//!   sizing and the parallel-dispatch cutoff live in global calibration
+//!   state shared by every LSM in the process.  Constructing a structure
+//!   with these fields set installs the corresponding global override
+//!   (fields left `None` touch nothing).
+
+use crate::admission::AdmissionConfig;
+
+/// Thresholds governing online shard split/merge (see
+/// [`crate::ShardedLsm::maybe_rebalance`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceConfig {
+    /// Master switch: when `false` the service never rebalances on its own
+    /// (explicit [`crate::ShardedLsm::split_shard`] /
+    /// [`crate::ShardedLsm::merge_shards`] calls still work).
+    pub enabled: bool,
+    /// Minimum update operations observed across all shards since the last
+    /// evaluation before a rebalance decision is considered at all; below
+    /// this the traffic sample is too small to act on.
+    pub min_ops: u64,
+    /// A shard is *hot* — and gets split — when its share of the update
+    /// operations since the last evaluation exceeds this fraction.
+    pub hot_fraction: f64,
+    /// An adjacent shard pair is *cold* — and gets merged — when its
+    /// combined share of recent update operations is below this fraction.
+    pub cold_fraction: f64,
+    /// Never split beyond this many shards.
+    pub max_shards: usize,
+    /// Never merge below this many shards.
+    pub min_shards: usize,
+    /// Evaluate the hot/cold thresholds every this many update batches.
+    pub check_interval: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            enabled: false,
+            min_ops: 4096,
+            hot_fraction: 0.5,
+            cold_fraction: 0.05,
+            max_shards: 64,
+            min_shards: 1,
+            check_interval: 16,
+        }
+    }
+}
+
+/// Typed configuration for [`crate::GpuLsm`], [`crate::ShardedLsm`] and
+/// [`crate::AdmittedLsm`].  `None` fields fall back to the corresponding
+/// `LSM_*` environment variable (if set) and then to the built-in default;
+/// see the crate README's knob table for the mapping.
+///
+/// ```
+/// use gpu_lsm::{LsmConfig, RebalanceConfig};
+///
+/// let config = LsmConfig::default()
+///     .bulk_lookup_frac(0.25)
+///     .admit_queue_capacity(32)
+///     .rebalance(RebalanceConfig {
+///         enabled: true,
+///         ..RebalanceConfig::default()
+///     });
+/// assert_eq!(config.admit_queue_capacity, Some(32));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LsmConfig {
+    /// Bloom filter bits per key (`LSM_BLOOM_BITS`); 0 disables filters.
+    /// **Process-wide** — installs a global override when set.
+    pub bloom_bits: Option<u32>,
+    /// Sequential cutoff for the worker pool (`LSM_PAR_CUTOFF`); inputs
+    /// shorter than this run sequentially.  **Process-wide**.
+    pub par_cutoff: Option<usize>,
+    /// Fraction of resident elements above which a lookup batch dispatches
+    /// to the bulk sorted path (`LSM_BULK_LOOKUP_FRAC`).  Per instance.
+    pub bulk_lookup_frac: Option<f64>,
+    /// Admission queue capacity per shard (`LSM_ADMIT_QUEUE`).
+    pub admit_queue_capacity: Option<usize>,
+    /// Whether the admission applier coalesces queued batches
+    /// (`LSM_ADMIT_COALESCE`; 0 disables).
+    pub admit_coalesce: Option<bool>,
+    /// Online shard split/merge thresholds.  Per instance; no env
+    /// equivalent (rebalancing is opt-in via explicit config).
+    pub rebalance: RebalanceConfig,
+}
+
+impl LsmConfig {
+    /// Read every `LSM_*` knob this config covers from the environment.
+    /// Unset or unparsable variables leave the field `None`.  This is the
+    /// documented fallback layer: prefer explicit configs in new code.
+    ///
+    /// | field | variable |
+    /// |---|---|
+    /// | `bloom_bits` | `LSM_BLOOM_BITS` |
+    /// | `par_cutoff` | `LSM_PAR_CUTOFF` |
+    /// | `bulk_lookup_frac` | `LSM_BULK_LOOKUP_FRAC` |
+    /// | `admit_queue_capacity` | `LSM_ADMIT_QUEUE` |
+    /// | `admit_coalesce` | `LSM_ADMIT_COALESCE` (0 = off) |
+    pub fn from_env() -> Self {
+        fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+            std::env::var(var).ok()?.trim().parse().ok()
+        }
+        LsmConfig {
+            bloom_bits: parse("LSM_BLOOM_BITS"),
+            par_cutoff: parse("LSM_PAR_CUTOFF"),
+            bulk_lookup_frac: parse::<f64>("LSM_BULK_LOOKUP_FRAC").filter(|f| *f > 0.0),
+            admit_queue_capacity: parse::<usize>("LSM_ADMIT_QUEUE").map(|c| c.max(1)),
+            admit_coalesce: parse::<u32>("LSM_ADMIT_COALESCE").map(|v| v != 0),
+            rebalance: RebalanceConfig::default(),
+        }
+    }
+
+    /// Set the Bloom filter bits per key (process-wide; 0 disables).
+    pub fn bloom_bits(mut self, bits: u32) -> Self {
+        self.bloom_bits = Some(bits);
+        self
+    }
+
+    /// Set the worker-pool sequential cutoff (process-wide).
+    pub fn par_cutoff(mut self, cutoff: usize) -> Self {
+        self.par_cutoff = Some(cutoff);
+        self
+    }
+
+    /// Set the bulk-lookup dispatch fraction for this instance.
+    pub fn bulk_lookup_frac(mut self, frac: f64) -> Self {
+        self.bulk_lookup_frac = Some(frac);
+        self
+    }
+
+    /// Set the per-shard admission queue capacity (min 1).
+    pub fn admit_queue_capacity(mut self, capacity: usize) -> Self {
+        self.admit_queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Enable or disable admission coalescing.
+    pub fn admit_coalesce(mut self, coalesce: bool) -> Self {
+        self.admit_coalesce = Some(coalesce);
+        self
+    }
+
+    /// Set the rebalance thresholds.
+    pub fn rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+
+    /// Install the process-wide overrides this config carries (`bloom_bits`
+    /// and `par_cutoff`); fields left `None` change nothing.  Called by the
+    /// `with_config` constructors; safe to call directly when only the
+    /// global knobs are wanted.
+    pub fn apply_process_overrides(&self) {
+        if let Some(bits) = self.bloom_bits {
+            gpu_primitives::filter::set_bloom_bits_override(Some(bits));
+        }
+        if let Some(cutoff) = self.par_cutoff {
+            rayon::set_sequential_cutoff(cutoff);
+        }
+    }
+
+    /// The admission configuration this config implies: explicit fields
+    /// win, unset fields fall back to the env-derived defaults.
+    pub fn admission(&self) -> AdmissionConfig {
+        let mut ac = AdmissionConfig::default();
+        if let Some(capacity) = self.admit_queue_capacity {
+            ac.queue_capacity = capacity;
+        }
+        if let Some(coalesce) = self.admit_coalesce {
+            ac.coalesce = coalesce;
+        }
+        ac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_all_fallback() {
+        let c = LsmConfig::default();
+        assert_eq!(c.bloom_bits, None);
+        assert_eq!(c.par_cutoff, None);
+        assert_eq!(c.bulk_lookup_frac, None);
+        assert_eq!(c.admit_queue_capacity, None);
+        assert_eq!(c.admit_coalesce, None);
+        assert!(!c.rebalance.enabled);
+        // A default config installs no process overrides and its admission
+        // view matches the env-derived default.
+        assert_eq!(c.admission(), AdmissionConfig::default());
+    }
+
+    #[test]
+    fn builder_methods_set_fields() {
+        let c = LsmConfig::default()
+            .bloom_bits(8)
+            .par_cutoff(1)
+            .bulk_lookup_frac(0.5)
+            .admit_queue_capacity(0) // clamped to 1
+            .admit_coalesce(false)
+            .rebalance(RebalanceConfig {
+                enabled: true,
+                max_shards: 16,
+                ..RebalanceConfig::default()
+            });
+        assert_eq!(c.bloom_bits, Some(8));
+        assert_eq!(c.par_cutoff, Some(1));
+        assert_eq!(c.bulk_lookup_frac, Some(0.5));
+        assert_eq!(c.admit_queue_capacity, Some(1));
+        assert_eq!(c.admit_coalesce, Some(false));
+        assert!(c.rebalance.enabled);
+        assert_eq!(c.rebalance.max_shards, 16);
+        let ac = c.admission();
+        assert_eq!(ac.queue_capacity, 1);
+        assert!(!ac.coalesce);
+    }
+}

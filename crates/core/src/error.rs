@@ -34,6 +34,20 @@ pub enum LsmError {
         /// The offending shard count.
         num_shards: usize,
     },
+    /// Learned router boundaries must be strictly increasing keys in
+    /// `1..=MAX_KEY` (shard 0 always starts at key 0, so a boundary of 0
+    /// would create an empty shard).
+    InvalidSplitPoints {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// An online shard split or merge request could not be honoured
+    /// (index out of range, too few shards to merge, or no interior key
+    /// to split the shard's range at).
+    InvalidRebalance {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for LsmError {
@@ -59,6 +73,12 @@ impl fmt::Display for LsmError {
                 f,
                 "invalid shard count {num_shards}: must be a power of two between 1 and 2^31"
             ),
+            LsmError::InvalidSplitPoints { reason } => {
+                write!(f, "invalid split points: {reason}")
+            }
+            LsmError::InvalidRebalance { reason } => {
+                write!(f, "invalid shard rebalance request: {reason}")
+            }
         }
     }
 }
@@ -84,6 +104,16 @@ mod tests {
         assert!(LsmError::KeyOutOfRange { key: u32::MAX }
             .to_string()
             .contains("31-bit"));
+        assert!(LsmError::InvalidSplitPoints {
+            reason: "boundary 0".into()
+        }
+        .to_string()
+        .contains("boundary 0"));
+        assert!(LsmError::InvalidRebalance {
+            reason: "only one shard".into()
+        }
+        .to_string()
+        .contains("only one shard"));
     }
 
     #[test]

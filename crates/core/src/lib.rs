@@ -50,6 +50,7 @@ pub mod batch;
 pub mod cleanup;
 pub mod compaction;
 pub mod concurrent;
+pub mod config;
 pub mod count;
 pub mod error;
 pub mod key;
@@ -69,11 +70,12 @@ pub use batch::{Op, UpdateBatch};
 pub use cleanup::CleanupReport;
 pub use compaction::CompactionPlan;
 pub use concurrent::ConcurrentGpuLsm;
+pub use config::{LsmConfig, RebalanceConfig};
 pub use error::{LsmError, Result};
 pub use key::{Entry, Key, Value, MAX_KEY};
 pub use latency::{LatencyHistogram, LatencySnapshot};
 pub use lsm::GpuLsm;
 pub use range::RangeResult;
-pub use router::{ShardRouter, SubQuery};
-pub use shard::{ShardedLsm, ShardedStats};
+pub use router::{RouterKind, ShardRouter, SubQuery};
+pub use shard::{RebalanceAction, ShardedLsm, ShardedStats};
 pub use stats::{LsmStats, MergeCounters};

@@ -152,7 +152,7 @@ impl GpuLsm {
         if n == 0 {
             return usize::MAX;
         }
-        if let Some(frac) = bulk_frac_override() {
+        if let Some(frac) = self.bulk_lookup_frac.or_else(bulk_frac_override) {
             return (((n as f64) * frac) as usize).max(MIN_BULK_QUERIES);
         }
         let levels = self.num_occupied_levels();
@@ -185,6 +185,7 @@ impl GpuLsm {
     /// The individual (per-thread binary search) batch lookup.
     pub fn lookup_individual(&self, queries: &[Key]) -> Vec<Option<Value>> {
         let kernel = "lsm_lookup";
+        self.op_activity.record_lookups(queries.len() as u64);
         self.device().metrics().record_launch(kernel);
         self.device().metrics().record_read(
             kernel,
@@ -276,6 +277,7 @@ impl GpuLsm {
     /// instead of streaming them.
     pub fn lookup_bulk_sorted(&self, queries: &[Key]) -> Vec<Option<Value>> {
         let kernel = "lsm_lookup_bulk";
+        self.op_activity.record_lookups(queries.len() as u64);
         self.device().metrics().record_launch(kernel);
         if queries.is_empty() {
             return Vec::new();
@@ -572,5 +574,21 @@ mod tests {
         lsm.insert(&[(1, 1)]).unwrap();
         // Whatever the calibration says, tiny batches stay individual.
         assert!(lsm.bulk_lookup_threshold() >= super::MIN_BULK_QUERIES);
+    }
+
+    #[test]
+    fn per_instance_config_frac_controls_bulk_dispatch() {
+        // The explicit-config route to the dispatch fraction: no env var
+        // involved, and the override is scoped to this instance.
+        let config = crate::config::LsmConfig::default().bulk_lookup_frac(0.5);
+        let mut lsm = GpuLsm::with_config(device(), 1 << 12, &config).unwrap();
+        let pairs: Vec<(u32, u32)> = (0..4096u32).map(|k| (k, k)).collect();
+        lsm.insert(&pairs).unwrap();
+        assert_eq!(lsm.bulk_lookup_threshold(), 2048);
+        // An unconfigured instance of the same shape keeps the calibrated
+        // (or env-driven) threshold, which at minimum honours the floor.
+        let mut plain = GpuLsm::new(device(), 1 << 12).unwrap();
+        plain.insert(&pairs).unwrap();
+        assert!(plain.bulk_lookup_threshold() >= super::MIN_BULK_QUERIES);
     }
 }

@@ -41,6 +41,12 @@ pub struct GpuLsm {
     /// Lifetime carry-merge counters (shared across clones): how often the
     /// write path maintained fences/filters incrementally vs. rebuilt.
     pub(crate) merge_activity: Arc<crate::stats::MergeActivity>,
+    /// Lifetime update/lookup operation counters (shared across clones);
+    /// feeds the sharded service's hot-shard detection.
+    pub(crate) op_activity: Arc<crate::stats::OpActivity>,
+    /// Per-instance override of the bulk-lookup dispatch fraction; `None`
+    /// falls back to `LSM_BULK_LOOKUP_FRAC` and then the cost model.
+    pub(crate) bulk_lookup_frac: Option<f64>,
 }
 
 impl GpuLsm {
@@ -60,7 +66,25 @@ impl GpuLsm {
             levels: LevelSet::new(),
             filter_activity: Arc::default(),
             merge_activity: Arc::default(),
+            op_activity: Arc::default(),
+            bulk_lookup_frac: None,
         })
+    }
+
+    /// Create an empty GPU LSM configured by an explicit [`crate::LsmConfig`]
+    /// instead of the `LSM_*` env fallbacks.  Per-instance knobs
+    /// (`bulk_lookup_frac`) apply only to this structure; the process-wide
+    /// knobs the config carries (`bloom_bits`, `par_cutoff`) are installed
+    /// globally — see [`crate::LsmConfig::apply_process_overrides`].
+    pub fn with_config(
+        device: Arc<Device>,
+        batch_size: usize,
+        config: &crate::config::LsmConfig,
+    ) -> Result<Self> {
+        config.apply_process_overrides();
+        let mut lsm = GpuLsm::new(device, batch_size)?;
+        lsm.bulk_lookup_frac = config.bulk_lookup_frac;
+        Ok(lsm)
     }
 
     /// Bulk-build an LSM from an arbitrary set of key–value pairs
@@ -79,14 +103,7 @@ impl GpuLsm {
         if let Some(&(k, _)) = pairs.iter().find(|(k, _)| *k > MAX_KEY) {
             return Err(LsmError::KeyOutOfRange { key: k });
         }
-        let mut lsm = GpuLsm {
-            device,
-            batch_size,
-            num_batches: 0,
-            levels: LevelSet::new(),
-            filter_activity: Arc::default(),
-            merge_activity: Arc::default(),
-        };
+        let mut lsm = GpuLsm::new(device, batch_size)?;
         if pairs.is_empty() {
             return Ok(lsm);
         }
@@ -159,6 +176,7 @@ impl GpuLsm {
     /// operations; shorter batches are padded, see [`UpdateBatch`]).
     pub fn update(&mut self, batch: &UpdateBatch) -> Result<()> {
         let (keys, values) = batch.encode_padded(self.batch_size)?;
+        self.op_activity.record_updates(batch.len() as u64);
         self.sort_and_push(keys, values, None);
         Ok(())
     }
@@ -194,6 +212,7 @@ impl GpuLsm {
     /// the hot path for small-batch workloads.
     pub fn insert(&mut self, pairs: &[(Key, Value)]) -> Result<()> {
         let (keys, values, sorted) = UpdateBatch::encode_pairs_padded(pairs, self.batch_size)?;
+        self.op_activity.record_updates(pairs.len() as u64);
         // The sortedness probe rode along with the encode loop, so pass it
         // as a known fact instead of re-probing.
         self.sort_and_push(keys, values, Some(sorted));

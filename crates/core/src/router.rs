@@ -1,31 +1,59 @@
 //! Key-range routing for the sharded LSM service.
 //!
-//! The 31-bit key domain is partitioned into `N` equal, contiguous ranges
-//! (`N` a power of two): shard `s` owns `[s · 2^(31-log2 N),
-//! (s+1) · 2^(31-log2 N) − 1]`.  Range partitioning — rather than hashing —
-//! preserves the *global* key order across shards, which is what keeps
-//! `count` answers summable and `range` answers concatenable in shard order
-//! (see [`crate::shard::ShardedLsm`]).
+//! The 31-bit key domain is partitioned into `N` contiguous ranges.  Two
+//! partition shapes are supported:
+//!
+//! * **Uniform** (the original mask router): `N` equal ranges for a
+//!   power-of-two `N`; shard `s` owns `[s · 2^(31-log2 N),
+//!   (s+1) · 2^(31-log2 N) − 1]` and routing is a single shift.
+//! * **Learned**: an ordered array of `N − 1` split-point keys fitted from
+//!   observed data (fence samples of the resident levels plus recent batch
+//!   keys); shard `s` owns `[boundary[s-1], boundary[s] − 1]` and routing is
+//!   a binary search over the boundaries.  This is what lets a zipfian
+//!   workload spread its hot range across shards instead of melting one.
+//!
+//! Range partitioning — rather than hashing — preserves the *global* key
+//! order across shards, which is what keeps `count` answers summable and
+//! `range` answers concatenable in shard order (see
+//! [`crate::shard::ShardedLsm`]).
 //!
 //! Routing an update batch is a stable `N`-bucket multisplit over the
 //! operations: one counting pass over the shard ids, an exclusive scan of
 //! the per-shard counts, and an order-preserving scatter — the same
 //! histogram/scan/scatter structure as the multisplit primitive the cleanup
-//! uses, specialised to the power-of-two bucket function `key >> shift`.
-//! Stability matters: the paper's within-batch semantics (rules 4 and 6 of
-//! §III-A) are order-dependent, and every same-key operation routes to the
-//! same shard, so a stable split preserves them exactly.
+//! uses, specialised to the routing function.  Stability matters: the
+//! paper's within-batch semantics (rules 4 and 6 of §III-A) are
+//! order-dependent, and every same-key operation routes to the same shard,
+//! so a stable split preserves them exactly.
 
 use crate::batch::UpdateBatch;
 use crate::error::{LsmError, Result};
 use crate::key::{Key, MAX_KEY};
 
-/// Routes keys, update batches and interval queries to key-range shards.
+/// Which partition shape a [`ShardRouter`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Equal power-of-two ranges; routing is `key >> shift`.
+    Uniform,
+    /// Learned split points; routing is a binary search over the boundaries.
+    Learned,
+}
+
+/// The internal partition representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Partition {
+    /// Right-shift that maps a key to its shard index: `31 - log2(N)`.
+    Uniform { shift: u32 },
+    /// Strictly increasing interior boundaries; shard `s` starts at
+    /// `boundaries[s - 1]` (shard 0 starts at key 0).
+    Learned { boundaries: Vec<Key> },
+}
+
+/// Routes keys, update batches and interval queries to key-range shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRouter {
     num_shards: usize,
-    /// Right-shift that maps a key to its shard index: `31 - log2(N)`.
-    shift: u32,
+    partition: Partition,
 }
 
 /// One clamped sub-interval of a cross-shard query: the target shard, the
@@ -43,16 +71,87 @@ pub struct SubQuery {
 }
 
 impl ShardRouter {
-    /// Create a router over `num_shards` key-range shards.  The shard count
-    /// must be a power of two between 1 and 2³¹ so ranges divide evenly.
+    /// Create a uniform router over `num_shards` key-range shards.  The
+    /// shard count must be a power of two between 1 and 2³¹ so ranges
+    /// divide evenly.
     pub fn new(num_shards: usize) -> Result<Self> {
         if num_shards == 0 || !num_shards.is_power_of_two() || num_shards > 1 << 31 {
             return Err(LsmError::InvalidShardCount { num_shards });
         }
         Ok(ShardRouter {
             num_shards,
-            shift: 31 - num_shards.trailing_zeros(),
+            partition: Partition::Uniform {
+                shift: 31 - num_shards.trailing_zeros(),
+            },
         })
+    }
+
+    /// Create a learned router from `N − 1` interior split points.  Shard
+    /// `s` owns `[boundaries[s-1], boundaries[s] − 1]` (shard 0 starts at
+    /// key 0, the last shard ends at [`MAX_KEY`]).  Boundaries must be
+    /// strictly increasing keys in `1..=MAX_KEY`; an empty vector yields a
+    /// single shard owning the whole domain.  Any shard count — not just
+    /// powers of two — is representable.
+    pub fn learned(boundaries: Vec<Key>) -> Result<Self> {
+        for (i, &b) in boundaries.iter().enumerate() {
+            if b == 0 || b > MAX_KEY {
+                return Err(LsmError::InvalidSplitPoints {
+                    reason: format!("boundary {b} is outside 1..=MAX_KEY"),
+                });
+            }
+            if i > 0 && boundaries[i - 1] >= b {
+                return Err(LsmError::InvalidSplitPoints {
+                    reason: format!(
+                        "boundaries must be strictly increasing, got {} then {b}",
+                        boundaries[i - 1]
+                    ),
+                });
+            }
+        }
+        Ok(ShardRouter {
+            num_shards: boundaries.len() + 1,
+            partition: Partition::Learned { boundaries },
+        })
+    }
+
+    /// Fit a learned router with `num_shards` shards from a key sample:
+    /// boundaries are placed at the sample's quantiles so each shard sees
+    /// roughly the same number of sampled keys.  Duplicate quantiles (heavy
+    /// hitters) are nudged upward to keep boundaries strictly increasing;
+    /// if the sample has too few distinct keys for `num_shards` ranges the
+    /// router degrades to fewer shards rather than failing.
+    pub fn fit(num_shards: usize, sample: &[Key]) -> Result<Self> {
+        if num_shards == 0 {
+            return Err(LsmError::InvalidShardCount { num_shards });
+        }
+        let mut keys: Vec<Key> = sample.iter().map(|&k| k.min(MAX_KEY)).collect();
+        keys.sort_unstable();
+        let mut boundaries = Vec::with_capacity(num_shards.saturating_sub(1));
+        for q in 1..num_shards {
+            if keys.is_empty() {
+                break;
+            }
+            let idx = (q * keys.len()) / num_shards;
+            let candidate = keys[idx.min(keys.len() - 1)].max(1);
+            // Nudge past the previous boundary so ranges stay non-empty.
+            let candidate = match boundaries.last() {
+                Some(&prev) if candidate <= prev => prev + 1,
+                _ => candidate,
+            };
+            if candidate > MAX_KEY {
+                break;
+            }
+            boundaries.push(candidate);
+        }
+        ShardRouter::learned(boundaries)
+    }
+
+    /// Which partition shape this router uses.
+    pub fn kind(&self) -> RouterKind {
+        match self.partition {
+            Partition::Uniform { .. } => RouterKind::Uniform,
+            Partition::Learned { .. } => RouterKind::Learned,
+        }
     }
 
     /// Number of shards this router partitions the key domain into.
@@ -64,24 +163,81 @@ impl ShardRouter {
     #[inline]
     pub fn shard_of(&self, key: Key) -> usize {
         debug_assert!(key <= MAX_KEY);
-        (key >> self.shift) as usize
+        match &self.partition {
+            Partition::Uniform { shift } => (key >> shift) as usize,
+            Partition::Learned { boundaries } => boundaries.partition_point(|&b| b <= key),
+        }
     }
 
     /// The inclusive key range `[lo, hi]` owned by shard `s`.
     pub fn shard_bounds(&self, s: usize) -> (Key, Key) {
         debug_assert!(s < self.num_shards);
-        let lo = (s as u64) << self.shift;
-        let hi = ((s as u64 + 1) << self.shift) - 1;
-        (lo as Key, hi as Key)
+        match &self.partition {
+            Partition::Uniform { shift } => {
+                let lo = (s as u64) << shift;
+                let hi = ((s as u64 + 1) << shift) - 1;
+                (lo as Key, hi as Key)
+            }
+            Partition::Learned { boundaries } => {
+                let lo = if s == 0 { 0 } else { boundaries[s - 1] };
+                let hi = if s + 1 == self.num_shards {
+                    MAX_KEY
+                } else {
+                    boundaries[s] - 1
+                };
+                (lo, hi)
+            }
+        }
     }
 
     /// The `N − 1` interior split points: the smallest key of every shard
     /// except shard 0.  Useful for boundary-straddling tests and for
     /// reporting the partition.
     pub fn split_points(&self) -> Vec<Key> {
-        (1..self.num_shards)
-            .map(|s| self.shard_bounds(s).0)
-            .collect()
+        match &self.partition {
+            Partition::Uniform { .. } => (1..self.num_shards)
+                .map(|s| self.shard_bounds(s).0)
+                .collect(),
+            Partition::Learned { boundaries } => boundaries.clone(),
+        }
+    }
+
+    /// A router identical to this one except that shard `s` is split in two
+    /// at `key`: the left half keeps `[lo, key − 1]`, the right half gets
+    /// `[key, hi]`.  `key` must lie strictly inside shard `s`'s range.
+    /// The result is always a learned router.
+    pub fn with_split(&self, s: usize, key: Key) -> Result<Self> {
+        if s >= self.num_shards {
+            return Err(LsmError::InvalidRebalance {
+                reason: format!("shard {s} out of range for {} shards", self.num_shards),
+            });
+        }
+        let (lo, hi) = self.shard_bounds(s);
+        if key <= lo || key > hi {
+            return Err(LsmError::InvalidRebalance {
+                reason: format!("split key {key} is not strictly inside shard {s} ({lo}..={hi})"),
+            });
+        }
+        let mut boundaries = self.split_points();
+        boundaries.insert(s, key);
+        ShardRouter::learned(boundaries)
+    }
+
+    /// A router identical to this one except that shards `s` and `s + 1`
+    /// are merged into one range.  The result is always a learned router.
+    pub fn with_merge(&self, s: usize) -> Result<Self> {
+        if self.num_shards < 2 || s + 1 >= self.num_shards {
+            return Err(LsmError::InvalidRebalance {
+                reason: format!(
+                    "cannot merge shards {s} and {} of {}",
+                    s + 1,
+                    self.num_shards
+                ),
+            });
+        }
+        let mut boundaries = self.split_points();
+        boundaries.remove(s);
+        ShardRouter::learned(boundaries)
     }
 
     /// Stable multisplit of an update batch into one (possibly empty)
@@ -186,6 +342,7 @@ mod tests {
     #[test]
     fn single_shard_owns_the_whole_domain() {
         let r = ShardRouter::new(1).unwrap();
+        assert_eq!(r.kind(), RouterKind::Uniform);
         assert_eq!(r.shard_bounds(0), (0, MAX_KEY));
         assert_eq!(r.shard_of(0), 0);
         assert_eq!(r.shard_of(MAX_KEY), 0);
@@ -210,6 +367,99 @@ mod tests {
             assert_eq!(r.shard_bounds(n - 1).1, MAX_KEY);
             assert_eq!(r.split_points().len(), n - 1);
         }
+    }
+
+    #[test]
+    fn learned_router_validates_boundaries() {
+        assert!(matches!(
+            ShardRouter::learned(vec![0]).unwrap_err(),
+            LsmError::InvalidSplitPoints { .. }
+        ));
+        assert!(matches!(
+            ShardRouter::learned(vec![MAX_KEY + 1]).unwrap_err(),
+            LsmError::InvalidSplitPoints { .. }
+        ));
+        assert!(matches!(
+            ShardRouter::learned(vec![10, 10]).unwrap_err(),
+            LsmError::InvalidSplitPoints { .. }
+        ));
+        assert!(matches!(
+            ShardRouter::learned(vec![20, 10]).unwrap_err(),
+            LsmError::InvalidSplitPoints { .. }
+        ));
+        let r = ShardRouter::learned(vec![100, 2000, 30000]).unwrap();
+        assert_eq!(r.kind(), RouterKind::Learned);
+        assert_eq!(r.num_shards(), 4);
+        // Non-power-of-two counts are fine for learned routers.
+        assert_eq!(ShardRouter::learned(vec![5, 9]).unwrap().num_shards(), 3);
+    }
+
+    #[test]
+    fn learned_bounds_tile_the_domain_exactly() {
+        let r = ShardRouter::learned(vec![100, 2000, 30000]).unwrap();
+        assert_eq!(r.shard_bounds(0), (0, 99));
+        assert_eq!(r.shard_bounds(1), (100, 1999));
+        assert_eq!(r.shard_bounds(2), (2000, 29999));
+        assert_eq!(r.shard_bounds(3), (30000, MAX_KEY));
+        assert_eq!(r.split_points(), vec![100, 2000, 30000]);
+        let mut expected_lo = 0u32;
+        for s in 0..4 {
+            let (lo, hi) = r.shard_bounds(s);
+            assert_eq!(lo, expected_lo);
+            assert_eq!(r.shard_of(lo), s);
+            assert_eq!(r.shard_of(hi), s);
+            expected_lo = hi.wrapping_add(1);
+        }
+    }
+
+    #[test]
+    fn fit_places_boundaries_at_sample_quantiles() {
+        // A skewed sample: most keys tiny, a few huge.
+        let mut sample: Vec<u32> = (0..900u32).collect();
+        sample.extend((0..100).map(|i| (1 << 30) + i));
+        let r = ShardRouter::fit(4, &sample).unwrap();
+        assert_eq!(r.num_shards(), 4);
+        // All boundaries land inside the dense low region, unlike the
+        // uniform router whose first split point would be 2^29.
+        for b in r.split_points() {
+            assert!(b < 1000, "boundary {b} should be in the dense region");
+        }
+        // Degenerate sample: still a valid router, possibly fewer shards.
+        let r = ShardRouter::fit(8, &[42; 100]).unwrap();
+        assert!(r.num_shards() <= 8);
+        assert!(ShardRouter::fit(4, &[]).unwrap().num_shards() >= 1);
+        // Heavy duplicate sample: boundaries get nudged but stay valid.
+        let r = ShardRouter::fit(4, &[7; 1000]).unwrap();
+        let pts = r.split_points();
+        for w in pts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn split_and_merge_produce_adjacent_ranges() {
+        let r = ShardRouter::new(4).unwrap();
+        let (lo, hi) = r.shard_bounds(2);
+        let mid = lo + (hi - lo) / 2 + 1;
+        let split = r.with_split(2, mid).unwrap();
+        assert_eq!(split.num_shards(), 5);
+        assert_eq!(split.kind(), RouterKind::Learned);
+        assert_eq!(split.shard_bounds(2), (lo, mid - 1));
+        assert_eq!(split.shard_bounds(3), (mid, hi));
+        // Shards outside the split keep their ranges.
+        assert_eq!(split.shard_bounds(0), r.shard_bounds(0));
+        assert_eq!(split.shard_bounds(4), r.shard_bounds(3));
+        // Merging the two halves back restores the original partition.
+        let merged = split.with_merge(2).unwrap();
+        assert_eq!(merged.num_shards(), 4);
+        for s in 0..4 {
+            assert_eq!(merged.shard_bounds(s), r.shard_bounds(s));
+        }
+        // Invalid requests are rejected.
+        assert!(r.with_split(9, 1).is_err());
+        assert!(r.with_split(2, lo).is_err());
+        assert!(r.with_merge(3).is_err());
+        assert!(ShardRouter::new(1).unwrap().with_merge(0).is_err());
     }
 
     #[test]
@@ -238,6 +488,23 @@ mod tests {
         // Total operations conserved.
         let total: usize = parts.iter().map(|p| p.len()).sum();
         assert_eq!(total, batch.len());
+    }
+
+    #[test]
+    fn learned_split_updates_routes_by_boundaries() {
+        let r = ShardRouter::learned(vec![10, 100]).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert(9, 1) // shard 0
+            .insert(10, 2) // shard 1
+            .delete(99) // shard 1
+            .insert(100, 3) // shard 2
+            .insert(0, 4); // shard 0
+        let parts = r.split_updates(&batch);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].ops(), &[Op::Insert(9, 1), Op::Insert(0, 4)]);
+        assert_eq!(parts[1].ops(), &[Op::Insert(10, 2), Op::Delete(99)]);
+        assert_eq!(parts[2].ops(), &[Op::Insert(100, 3)]);
     }
 
     #[test]

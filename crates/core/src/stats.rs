@@ -38,6 +38,39 @@ impl FilterActivity {
     }
 }
 
+/// Lifetime operation counters of one structure, shared across clones of
+/// its handle (lock-free).  These are what the sharded service's hot-shard
+/// detection reads: per-shard update traffic deltas decide which shard to
+/// split and which adjacent pair to merge.
+#[derive(Debug, Default)]
+pub struct OpActivity {
+    update_ops: AtomicU64,
+    lookup_ops: AtomicU64,
+}
+
+impl OpActivity {
+    /// Record `n` update operations applied to this structure.
+    pub(crate) fn record_updates(&self, n: u64) {
+        if n > 0 {
+            self.update_ops.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` point lookups served by this structure.
+    pub(crate) fn record_lookups(&self, n: u64) {
+        if n > 0 {
+            self.lookup_ops.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> (u64, u64) {
+        (
+            self.update_ops.load(Ordering::Relaxed),
+            self.lookup_ops.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Lifetime write-path counters of one structure: how many carry-chain
 /// merge steps ran and, for each, whether the output's fence array and
 /// Bloom filter were maintained *incrementally* (merged / re-hashed from
@@ -150,6 +183,11 @@ pub struct LsmStats {
     /// Lifetime write-path merge counters: carry steps and how their fence
     /// / filter structures were produced (incremental vs. rebuilt).
     pub merges: MergeCounters,
+    /// Lifetime count of update operations applied (inserts + deletes,
+    /// before padding).  Feeds the sharded service's hot-shard detection.
+    pub update_ops: u64,
+    /// Lifetime count of point lookups served.
+    pub lookup_ops: u64,
 }
 
 impl LsmStats {
@@ -181,6 +219,7 @@ impl GpuLsm {
             .map(|(_, l)| l.accel_bytes())
             .fold((0, 0), |(f, s), (df, ds)| (f + df, s + ds));
         let (filter_probes, filter_skips) = self.filter_activity.snapshot();
+        let (update_ops, lookup_ops) = self.op_activity.snapshot();
         LsmStats {
             batch_size: self.batch_size(),
             num_batches: self.num_batches(),
@@ -195,6 +234,8 @@ impl GpuLsm {
             filter_probes,
             filter_skips,
             merges: self.merge_activity.snapshot(),
+            update_ops,
+            lookup_ops,
         }
     }
 
@@ -254,6 +295,23 @@ impl GpuLsm {
             .iter_occupied()
             .map(|(_, l)| l.max_key())
             .max()
+    }
+
+    /// The original keys of every resident level's fence samples, merged
+    /// and sorted — an order-statistics sketch of the resident key
+    /// distribution at zero extra memory (the fences already exist for
+    /// query acceleration).  Placebo padding (max-key) is excluded so the
+    /// sketch reflects real data.  This is what split-point fitting reads.
+    pub fn fence_sample_keys(&self) -> Vec<crate::key::Key> {
+        let mut keys: Vec<crate::key::Key> = self
+            .levels()
+            .iter_occupied()
+            .filter_map(|(_, l)| l.fences())
+            .flat_map(|f| f.sorted_samples().into_iter().map(|(k, _)| k))
+            .filter(|&k| k < crate::key::MAX_KEY)
+            .collect();
+        keys.sort_unstable();
+        keys
     }
 
     /// Per-level element counts, keyed by level index.
@@ -350,6 +408,31 @@ mod tests {
         let empty = GpuLsm::new(device(), 8).unwrap();
         assert_eq!(empty.min_resident_key(), None);
         assert_eq!(empty.max_resident_key(), None);
+    }
+
+    #[test]
+    fn op_counters_track_updates_and_lookups() {
+        let mut lsm = GpuLsm::new(device(), 4).unwrap();
+        lsm.insert(&[(1, 1), (2, 2)]).unwrap();
+        lsm.delete(&[2]).unwrap();
+        let _ = lsm.lookup_individual(&[1, 2, 3]);
+        let stats = lsm.stats();
+        assert_eq!(stats.update_ops, 3);
+        assert_eq!(stats.lookup_ops, 3);
+    }
+
+    #[test]
+    fn fence_samples_sketch_the_resident_keys() {
+        let pairs: Vec<(u32, u32)> = (0..4096).map(|k| (k * 3, k)).collect();
+        let lsm = GpuLsm::bulk_build(device(), 1 << 12, &pairs).unwrap();
+        let sample = lsm.fence_sample_keys();
+        assert!(!sample.is_empty());
+        assert!(sample.windows(2).all(|w| w[0] <= w[1]));
+        assert!(sample.iter().all(|&k| k <= 4095 * 3));
+        assert!(GpuLsm::new(device(), 8)
+            .unwrap()
+            .fence_sample_keys()
+            .is_empty());
     }
 
     #[test]

@@ -20,7 +20,10 @@ use rand::{Rng, SeedableRng};
 pub struct ZipfKeys {
     universe: u32,
     theta: f64,
-    zeta: f64,
+    /// Cumulative (unnormalised) probability mass per rank, for binary
+    /// search at sample time.  Truncated to the hottest 100 000 ranks;
+    /// draws past the truncation fall back to a uniform key.
+    cdf: Vec<f64>,
     rng: StdRng,
 }
 
@@ -29,15 +32,24 @@ impl ZipfKeys {
     pub fn new(universe: u32, theta: f64, seed: u64) -> Self {
         assert!(universe > 0, "universe must be non-empty");
         assert!((0.0..2.0).contains(&theta), "theta must be in [0, 2)");
-        let zeta = (1..=universe.min(100_000))
-            .map(|i| 1.0 / (i as f64).powf(theta))
-            .sum();
+        let mut acc = 0.0;
+        let cdf = (1..=universe.min(100_000))
+            .map(|i| {
+                acc += 1.0 / (i as f64).powf(theta);
+                acc
+            })
+            .collect();
         ZipfKeys {
             universe,
             theta,
-            zeta,
+            cdf,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// The key universe: samples are drawn from `0..universe()`.
+    pub fn universe(&self) -> u32 {
+        self.universe
     }
 
     /// Draw one key; rank 0 (the hottest key) maps to key 0.
@@ -45,17 +57,15 @@ impl ZipfKeys {
         if self.theta == 0.0 {
             return self.rng.gen_range(0..self.universe);
         }
-        // Inverse-CDF walk over the truncated harmonic sum.
-        let u: f64 = self.rng.gen_range(0.0..1.0) * self.zeta;
-        let mut acc = 0.0;
-        let limit = self.universe.min(100_000);
-        for rank in 1..=limit {
-            acc += 1.0 / (rank as f64).powf(self.theta);
-            if acc >= u {
-                return rank - 1;
-            }
+        // Inverse CDF by binary search over the precomputed harmonic sums.
+        let zeta = *self.cdf.last().expect("non-empty universe");
+        let u: f64 = self.rng.gen_range(0.0..1.0) * zeta;
+        let rank = self.cdf.partition_point(|&acc| acc < u);
+        if rank < self.cdf.len() {
+            rank as u32
+        } else {
+            self.rng.gen_range(0..self.universe)
         }
-        self.rng.gen_range(0..self.universe)
     }
 
     /// Draw a batch of `n` keys.

@@ -21,7 +21,7 @@ pub use distributions::{hot_set_batches, sorted_run, ZipfKeys};
 pub use keygen::{random_pairs, unique_random_keys, unique_random_pairs};
 pub use queries::{existing_lookups, missing_lookups, range_queries_with_expected_width};
 pub use service::{
-    generate_query_spans, generate_update_batch, run_mixed_workload, LsmBackend, MixedLatencies,
-    MixedWorkloadConfig, MixedWorkloadReport,
+    generate_query_spans, generate_update_batch, generate_zipf_update_batch, run_mixed_workload,
+    LsmBackend, MixedLatencies, MixedWorkloadConfig, MixedWorkloadReport,
 };
 pub use sweep::{paper_batch_sizes, scaled_batch_sizes, SweepConfig};

@@ -42,6 +42,8 @@ use gpu_lsm::{
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::distributions::ZipfKeys;
+
 /// A thread-safe LSM service a mixed workload can be driven against.
 ///
 /// Both the single-lock wrapper and the sharded service implement this, so
@@ -86,7 +88,12 @@ impl LsmBackend for ConcurrentGpuLsm {
 
 impl LsmBackend for ShardedLsm {
     fn label(&self) -> String {
-        format!("sharded-lsm x{}", self.num_shards())
+        match self.router().kind() {
+            gpu_lsm::RouterKind::Learned => {
+                format!("sharded-lsm x{} learned", self.num_shards())
+            }
+            gpu_lsm::RouterKind::Uniform => format!("sharded-lsm x{}", self.num_shards()),
+        }
     }
     fn apply(&self, batch: &UpdateBatch) -> gpu_lsm::Result<()> {
         self.update(batch)
@@ -179,6 +186,12 @@ pub struct MixedWorkloadConfig {
     pub interval_width: u32,
     /// Keys are drawn from `0..key_domain`.
     pub key_domain: u32,
+    /// Zipf skew exponent for generated keys (`0.0` = uniform).  When
+    /// positive, writer batch keys and reader lookup keys are drawn from a
+    /// [`ZipfKeys`] sampler over the key domain (rank 0 = key 0 is the
+    /// hottest), concentrating traffic on low keys — the workload shape the
+    /// learned shard router and the rebalancer are built for.
+    pub zipf_theta: f64,
     /// Master seed; every thread derives its own stream from it.
     pub seed: u64,
     /// Closed-loop client discipline: think time between requests and a
@@ -206,6 +219,7 @@ impl Default for MixedWorkloadConfig {
             intervals_per_round: 16,
             interval_width: 1 << 12,
             key_domain: 1 << 20,
+            zipf_theta: 0.0,
             seed: 0x5EED_CAFE,
             closed_loop: false,
             think_time_us: env_think_us(),
@@ -319,6 +333,41 @@ pub fn generate_update_batch(
     batch
 }
 
+/// Generate one writer batch whose keys come from a [`ZipfKeys`] sampler
+/// (skewed popularity) while keeping the distinct-keys-per-batch contract
+/// of [`generate_update_batch`].  Because a skewed sampler re-draws hot
+/// keys constantly, the rejection loop falls back to uniform keys over the
+/// sampler's universe once it has discarded `64 × batch_size` duplicates,
+/// so degenerate configurations (tiny hot set, large batch) still
+/// terminate.
+pub fn generate_zipf_update_batch(
+    keys: &mut ZipfKeys,
+    rng: &mut StdRng,
+    batch_size: usize,
+    delete_fraction: f64,
+) -> UpdateBatch {
+    let mut batch = UpdateBatch::with_capacity(batch_size);
+    let mut used = std::collections::HashSet::with_capacity(batch_size * 2);
+    let mut rejects = 0usize;
+    while used.len() < batch_size {
+        let key = if rejects <= 64 * batch_size {
+            keys.sample()
+        } else {
+            rng.gen_range(0..keys.universe())
+        };
+        if !used.insert(key) {
+            rejects += 1;
+            continue;
+        }
+        if rng.gen_bool(delete_fraction) {
+            batch.delete(key);
+        } else {
+            batch.insert(key, rng.gen::<u32>());
+        }
+    }
+    batch
+}
+
 /// Generate one reader round's interval spans.  Upper ends are clamped to
 /// [`MAX_KEY`] **at generation**: the key domain is 31-bit, so
 /// `lo + interval_width` can otherwise exceed it and silently rely on
@@ -368,14 +417,29 @@ pub fn run_mixed_workload<B: LsmBackend>(
             let config = config.clone();
             writer_handles.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(config.seed ^ (0xA110 + w as u64));
+                let mut zipf = (config.zipf_theta > 0.0).then(|| {
+                    ZipfKeys::new(
+                        config.key_domain,
+                        config.zipf_theta,
+                        config.seed ^ (0x21F_0000 + w as u64),
+                    )
+                });
                 let mut recorded = LatencyHistogram::new();
                 for n in 1..=config.batches_per_writer {
-                    let batch = generate_update_batch(
-                        &mut rng,
-                        config.batch_size,
-                        config.key_domain,
-                        config.delete_fraction,
-                    );
+                    let batch = match zipf.as_mut() {
+                        Some(z) => generate_zipf_update_batch(
+                            z,
+                            &mut rng,
+                            config.batch_size,
+                            config.delete_fraction,
+                        ),
+                        None => generate_update_batch(
+                            &mut rng,
+                            config.batch_size,
+                            config.key_domain,
+                            config.delete_fraction,
+                        ),
+                    };
                     let issued = Instant::now();
                     backend.apply(&batch).expect("valid generated batch");
                     recorded.record_duration(issued.elapsed());
@@ -402,6 +466,13 @@ pub fn run_mixed_workload<B: LsmBackend>(
             let writers_done = &writers_done;
             reader_handles.push(scope.spawn(move || -> ReaderTally {
                 let mut rng = StdRng::seed_from_u64(config.seed ^ (0xBEAD + r as u64));
+                let mut zipf = (config.zipf_theta > 0.0).then(|| {
+                    ZipfKeys::new(
+                        config.key_domain,
+                        config.zipf_theta,
+                        config.seed ^ (0x21F_8000 + r as u64),
+                    )
+                });
                 let mut lookups = 0usize;
                 let mut counts = 0usize;
                 let mut ranges = 0usize;
@@ -412,9 +483,12 @@ pub fn run_mixed_workload<B: LsmBackend>(
                 // every reader observes the structure at least once even
                 // when the writers drain before it is scheduled.
                 loop {
-                    let keys: Vec<Key> = (0..config.lookups_per_round)
-                        .map(|_| rng.gen_range(0..config.key_domain))
-                        .collect();
+                    let keys: Vec<Key> = match zipf.as_mut() {
+                        Some(z) => z.sample_batch(config.lookups_per_round),
+                        None => (0..config.lookups_per_round)
+                            .map(|_| rng.gen_range(0..config.key_domain))
+                            .collect(),
+                    };
                     let issued = Instant::now();
                     let answers = backend.lookup(&keys);
                     recorded.lookup.record_duration(issued.elapsed());
@@ -516,6 +590,7 @@ mod tests {
             intervals_per_round: 4,
             interval_width: 1 << 8,
             key_domain: 1 << 12,
+            zipf_theta: 0.0,
             seed: 7,
             closed_loop: false,
             think_time_us: 0,
@@ -710,6 +785,36 @@ mod tests {
         // The writers' periodic barriers showed up as flushes beyond the
         // driver's single final one.
         assert!(backend.admission_stats().flushes > 1);
+        backend.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zipf_batches_are_distinct_keyed_and_skewed() {
+        let mut zipf = ZipfKeys::new(1 << 16, 0.99, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut hot = 0usize;
+        for _ in 0..8 {
+            let batch = generate_zipf_update_batch(&mut zipf, &mut rng, 128, 0.2);
+            assert_eq!(batch.len(), 128);
+            let keys: std::collections::HashSet<Key> =
+                batch.ops().iter().map(|op| op.key()).collect();
+            assert_eq!(keys.len(), 128, "keys must stay distinct per batch");
+            hot += keys.iter().filter(|&&k| k < 1 << 10).count();
+        }
+        // Under theta ≈ 1 the hottest 1/64th of the domain draws far more
+        // than its uniform share (~16 of 1024 keys) — expect ~half.
+        assert!(hot > 8 * 32, "zipf batches should be hot-key heavy: {hot}");
+    }
+
+    #[test]
+    fn zipf_workload_drives_the_sharded_service() {
+        let device = Arc::new(Device::new(DeviceConfig::small()));
+        let backend = ShardedLsm::new(device, 64, 4).unwrap();
+        let mut config = small_config();
+        config.zipf_theta = 0.99;
+        let report = run_mixed_workload(&backend, &config);
+        assert_eq!(report.update_ops, 8 * 64);
+        assert!(report.lookups > 0);
         backend.check_invariants().unwrap();
     }
 

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use gpu_baselines::{CuckooHashTable, SortedArray};
-use gpu_lsm::{GpuLsm, ShardRouter, ShardedLsm, UpdateBatch, MAX_KEY};
+use gpu_lsm::{GpuLsm, LsmConfig, Op, ShardRouter, ShardedLsm, UpdateBatch, MAX_KEY};
 use gpu_sim::{Device, DeviceConfig};
 use lsm_workloads::{
     existing_lookups, missing_lookups, range_queries_with_expected_width, unique_random_pairs,
@@ -283,6 +283,217 @@ proptest! {
         // 8 encodes "no cleanup"; 0..=7 cleans up after that batch.
         let cleanup = (cleanup_at < 8).then_some(cleanup_at);
         check_differential(&batches, cleanup, seed ^ 0x51AB);
+    }
+}
+
+/// Check the sharded service and the plain LSM against the model on the
+/// batch's own keys plus probes/intervals, including full range contents
+/// (which also proves reassembled ranges are globally key-ordered, since
+/// the `BTreeMap` iteration is).
+fn assert_matches_model(
+    sharded: &ShardedLsm,
+    plain: &GpuLsm,
+    model: &BTreeMap<u32, u32>,
+    lookups: &[u32],
+    intervals: &[(u32, u32)],
+    ctx: &str,
+) {
+    let expected_lookups: Vec<Option<u32>> =
+        lookups.iter().map(|k| model.get(k).copied()).collect();
+    assert_eq!(
+        plain.lookup(lookups),
+        expected_lookups,
+        "{ctx}: plain lookup"
+    );
+    assert_eq!(sharded.lookup(lookups), expected_lookups, "{ctx}: lookup");
+    let expected_counts: Vec<u32> = intervals
+        .iter()
+        .map(|&(lo, hi)| {
+            if lo > hi {
+                0
+            } else {
+                model.range(lo..=hi).count() as u32
+            }
+        })
+        .collect();
+    assert_eq!(sharded.count(intervals), expected_counts, "{ctx}: count");
+    let ranges = sharded.range(intervals);
+    for (qi, &(lo, hi)) in intervals.iter().enumerate() {
+        let expected: Vec<(u32, u32)> = if lo > hi {
+            Vec::new()
+        } else {
+            model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
+        };
+        let got: Vec<(u32, u32)> = ranges.iter_query(qi).collect();
+        assert_eq!(got, expected, "{ctx}: range query {qi}");
+    }
+}
+
+#[test]
+fn sharded_differential_with_rebalancing_mid_sequence() {
+    // The rebalancing differential: splits and merges land *between*
+    // batches of a live mixed sequence, and no query answer may move —
+    // the learned boundaries re-tile the domain but every key keeps
+    // exactly one owner holding its visible state.
+    let device = Arc::new(Device::new(DeviceConfig::small()));
+    let probe_router = ShardRouter::new(8).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xBA1A);
+    let batch_size = 128;
+    let mut plain = GpuLsm::new(device.clone(), batch_size).unwrap();
+    let sharded = ShardedLsm::new(device, batch_size, 2).unwrap();
+    let mut model: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut last_epoch = 0;
+
+    for i in 0..30 {
+        let batch = random_batch(&mut rng, &probe_router, batch_size);
+        plain.update(&batch).unwrap();
+        sharded.update(&batch).unwrap();
+        for op in batch.ops() {
+            match *op {
+                Op::Insert(k, v) => {
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    model.remove(&k);
+                }
+            }
+        }
+        if i == 14 {
+            plain.cleanup();
+            sharded.cleanup();
+        }
+
+        // Rebalance mid-sequence: mostly splits (fitted keys), with
+        // periodic merges so both directions run against live data.
+        if i % 3 == 1 {
+            let n = sharded.num_shards();
+            if n >= 12 {
+                sharded.merge_shards(rng.gen_range(0..n - 1)).unwrap();
+            } else {
+                // A shard owning a single key is legitimately unsplittable.
+                let _ = sharded.split_shard(rng.gen_range(0..n));
+            }
+        }
+        if i % 7 == 6 && sharded.num_shards() > 1 {
+            let n = sharded.num_shards();
+            sharded.merge_shards(rng.gen_range(0..n - 1)).unwrap();
+        }
+        assert!(sharded.epoch() >= last_epoch, "epoch must be monotonic");
+        last_epoch = sharded.epoch();
+
+        let mut lookups: Vec<u32> = batch.ops().iter().map(|op| op.key()).collect();
+        lookups.extend((0..32).map(|_| boundary_biased_key(&mut rng, &probe_router)));
+        lookups.extend(sharded.router().split_points());
+        let intervals = boundary_intervals(&mut rng, &probe_router);
+        assert_matches_model(
+            &sharded,
+            &plain,
+            &model,
+            &lookups,
+            &intervals,
+            &format!("batch {i}"),
+        );
+        sharded.check_invariants().unwrap();
+    }
+    let stats = sharded.stats();
+    assert!(stats.rebalance_splits >= 3, "suite must actually split");
+    assert!(stats.rebalance_merges >= 2, "suite must actually merge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Split-point routing with *arbitrary* valid boundaries: the stable
+    /// batch split preserves within-batch op order per shard (so rules 4/6
+    /// stay shard-local decisions), every op lands on the shard owning its
+    /// key, no op is lost or duplicated — and the full service built on
+    /// those boundaries answers exactly like the unsharded structure, with
+    /// reassembled ranges globally key-ordered.
+    #[test]
+    fn learned_router_preserves_order_and_answers(
+        seed in any::<u64>(),
+        raw_bounds in proptest::collection::vec(1u32..=MAX_KEY, 1..6),
+        num_batches in 1usize..5,
+        batch_size in 1usize..40,
+    ) {
+        let mut boundaries = raw_bounds;
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        let router = ShardRouter::learned(boundaries.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batches: Vec<UpdateBatch> = (0..num_batches)
+            .map(|_| random_batch(&mut rng, &router, batch_size))
+            .collect();
+
+        // Routing invariants of the split itself.
+        for batch in &batches {
+            let parts = router.split_updates(batch);
+            prop_assert_eq!(parts.len(), router.num_shards());
+            let mut total = 0;
+            for (s, part) in parts.iter().enumerate() {
+                let expected: Vec<Op> = batch
+                    .ops()
+                    .iter()
+                    .copied()
+                    .filter(|op| router.shard_of(op.key()) == s)
+                    .collect();
+                prop_assert_eq!(part.ops(), expected.as_slice());
+                total += part.len();
+            }
+            prop_assert_eq!(total, batch.len());
+        }
+
+        // Service-level differential against the plain LSM and the model.
+        let device = Arc::new(Device::new(DeviceConfig::small()));
+        let service = ShardedLsm::with_router(
+            device.clone(),
+            batch_size,
+            router.clone(),
+            LsmConfig::default(),
+        )
+        .unwrap();
+        let mut plain = GpuLsm::new(device, batch_size).unwrap();
+        let mut model: BTreeMap<u32, u32> = BTreeMap::new();
+        for batch in &batches {
+            service.update(batch).unwrap();
+            plain.update(batch).unwrap();
+            for op in batch.ops() {
+                match *op {
+                    Op::Insert(k, v) => {
+                        model.insert(k, v);
+                    }
+                    Op::Delete(k) => {
+                        model.remove(&k);
+                    }
+                }
+            }
+        }
+        let mut lookups: Vec<u32> = batches
+            .iter()
+            .flat_map(|b| b.ops().iter().map(|op| op.key()))
+            .collect();
+        lookups.extend(boundaries.iter().copied());
+        let expected_lookups: Vec<Option<u32>> =
+            lookups.iter().map(|k| model.get(k).copied()).collect();
+        prop_assert_eq!(service.lookup(&lookups), expected_lookups.clone());
+        prop_assert_eq!(plain.lookup(&lookups), expected_lookups);
+        let intervals = boundary_intervals(&mut rng, &router);
+        prop_assert_eq!(service.count(&intervals), plain.count(&intervals));
+        let ranges = service.range(&intervals);
+        for (qi, &(lo, hi)) in intervals.iter().enumerate() {
+            let expected: Vec<(u32, u32)> = if lo > hi {
+                Vec::new()
+            } else {
+                model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
+            };
+            let got: Vec<(u32, u32)> = ranges.iter_query(qi).collect();
+            prop_assert!(
+                got.windows(2).all(|w| w[0].0 < w[1].0),
+                "range {} not globally key-ordered", qi
+            );
+            prop_assert_eq!(got, expected, "range query {}", qi);
+        }
+        service.check_invariants().unwrap();
     }
 }
 

@@ -179,6 +179,15 @@ fn classify_block_state(pairs: &[(u32, u32)], base: u32) -> u32 {
 }
 
 fn stress<B: Backend>(backend: B) {
+    stress_with(backend, None::<fn()>);
+}
+
+/// The stress harness, optionally with a **churn** thread that mutates the
+/// shard topology (splits/merges) while the writers, readers and janitor
+/// run — the rebalancing counterpart of the janitor's cleanup churn.  The
+/// churn closure runs one split+merge cycle per call, so topology changes
+/// always come in pairs and the final shard layout equals the initial one.
+fn stress_with<B: Backend, F: Fn() + Send + Sync>(backend: B, churn: Option<F>) {
     let done = AtomicBool::new(false);
     std::thread::scope(|scope| {
         // Writers: one block each, ROUNDS batches, applied in order.
@@ -205,6 +214,17 @@ fn stress<B: Backend>(backend: B) {
                 }
             })
         };
+
+        // Churn: split/merge cycles racing the traffic (when provided).
+        let churn_handle = churn.as_ref().map(|churn| {
+            let done = &done;
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    churn();
+                    std::thread::yield_now();
+                }
+            })
+        });
 
         // Readers: validate every observation against the reachable states
         // and require per-key monotonicity (states never run backwards).
@@ -268,6 +288,9 @@ fn stress<B: Backend>(backend: B) {
         backend.quiesce();
         done.store(true, Ordering::Release);
         janitor.join().expect("janitor thread panicked");
+        if let Some(h) = churn_handle {
+            h.join().expect("churn thread panicked");
+        }
         for h in reader_handles {
             let obs = h.join().expect("reader thread panicked");
             assert!(obs > 0, "reader never got to observe anything");
@@ -334,5 +357,80 @@ fn admitted_read_your_writes_backend_under_concurrent_mixed_fire() {
         },
     );
     stress(lsm.clone());
+    lsm.check_invariants().unwrap();
+}
+
+/// The key the rebalance-churn tests split at: the midpoint of writer 1's
+/// shard, far above its 64-key block, so the block always stays whole
+/// inside the left replacement shard and the round-prefix invariant keeps
+/// holding across rebuilds.
+fn churn_split_key() -> u32 {
+    block_base(1) + (1 << 27)
+}
+
+/// Online split/merge churn against live traffic on the synchronous
+/// sharded service: a churn thread repeatedly splits the shard holding
+/// writer 1's block (at a key above the block) and merges the halves back,
+/// while writers, readers and the cleanup janitor hammer the service.
+/// Readers must keep observing only round-prefix states — the atomic
+/// routing-table swap may never expose a torn domain, and the rebuild must
+/// preserve the visible state exactly.
+#[test]
+fn sharded_rebalance_churn_under_concurrent_mixed_fire() {
+    let lsm = ShardedLsm::new(device(), BLOCK as usize, 8).unwrap();
+    let split_key = churn_split_key();
+    let churn = {
+        let lsm = lsm.clone();
+        move || {
+            // This thread is the only topology mutator, so the
+            // router-derived indices are stable across the two calls.
+            let s = lsm.router().shard_of(split_key);
+            lsm.split_shard_at(s, split_key).expect("churn split");
+            std::thread::yield_now();
+            let s = lsm.router().shard_of(split_key);
+            lsm.merge_shards(s - 1).expect("churn merge");
+        }
+    };
+    stress_with(lsm.clone(), Some(churn));
+    // Splits and merges came in pairs: the topology is back to 8 shards.
+    assert_eq!(lsm.num_shards(), 8);
+    let stats = lsm.stats();
+    assert_eq!(stats.rebalance_splits, stats.rebalance_merges);
+    assert_eq!(stats.epoch, stats.rebalance_splits + stats.rebalance_merges);
+    lsm.check_invariants().unwrap();
+}
+
+/// The same rebalance churn through the admission layer's epoch-based
+/// handoff: every split/merge drains the affected queues behind a targeted
+/// flush barrier before the rebuild, concurrent submitters re-route, and
+/// flush barriers survive queue re-layout.  Queue capacity is pinned small
+/// to keep submitters sleeping on backpressure across handoffs; coalesce
+/// mode follows `LSM_ADMIT_COALESCE` so the CI matrix exercises both the
+/// coalescing and the replay applier.
+#[test]
+fn admitted_rebalance_churn_under_concurrent_mixed_fire() {
+    let lsm = AdmittedLsm::with_config(
+        ShardedLsm::new(device(), BLOCK as usize, 8).unwrap(),
+        AdmissionConfig {
+            queue_capacity: 4,
+            ..AdmissionConfig::default()
+        },
+    );
+    let split_key = churn_split_key();
+    let churn = {
+        let lsm = lsm.clone();
+        move || {
+            let s = lsm.service().router().shard_of(split_key);
+            lsm.trigger_split_at(s, split_key).expect("churn split");
+            std::thread::yield_now();
+            let s = lsm.service().router().shard_of(split_key);
+            lsm.trigger_merge(s - 1).expect("churn merge");
+        }
+    };
+    stress_with(lsm.clone(), Some(churn));
+    assert_eq!(lsm.service().num_shards(), 8);
+    let stats = lsm.admission_stats();
+    assert_eq!(stats.queued_batches, 0, "stress must end drained");
+    assert_eq!(stats.rebalances % 2, 0, "splits and merges come in pairs");
     lsm.check_invariants().unwrap();
 }
