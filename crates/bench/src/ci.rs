@@ -127,7 +127,7 @@ fn admitted_insert_rate(batch_size: usize, num_batches: usize) -> f64 {
         for chunk in pairs.chunks(submit_size) {
             lsm.insert(chunk).expect("submit");
         }
-        lsm.flush();
+        lsm.flush().expect("admission pipeline alive");
     });
     elements_per_sec_m(submit_size * num_batches, elapsed)
 }

@@ -66,21 +66,61 @@
 //! [`AdmittedLsm::flush`] stays correct across handoffs because barriers
 //! wait on (queue id, enqueued count) pairs: a queue id that disappeared
 //! was drained before removal, so its target is vacuously satisfied.
+//!
+//! ## Panic safety
+//!
+//! The applier runs arbitrary merge code; if it panics, the shared mutexes
+//! it held are poisoned and the thread is gone.  Every lock acquisition in
+//! this module recovers from poisoning (the queue state is a set of plain
+//! counters and `VecDeque`s — there is no partially-applied invariant to
+//! protect), the panic payload is captured, and every sleeping submitter /
+//! flusher / rebalance requester is woken to observe the death.  From then
+//! on [`AdmittedLsm::submit`] and [`AdmittedLsm::flush`] return
+//! [`LsmError::ApplierPanicked`] instead of hanging or cascading the
+//! panic, and dropping the last handle never double-panics (the join is
+//! skipped while unwinding and its result is checked, not unwrapped).
+//!
+//! ## Durability
+//!
+//! Built through [`AdmittedLsm::open_durable`], the layer logs every
+//! submitted batch to a write-ahead log *before* enqueueing it (same lock,
+//! so log order equals admission order), writes crash-consistent snapshots
+//! (manifest + immutable run files, see [`crate::wal`]) at quiescent flush
+//! barriers and after rebalance epoch bumps, and on open replays the WAL
+//! tail through this very admission path.  The default (no durability)
+//! leaves the write path byte-identical to the in-memory layer.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 use crate::batch::{Op, UpdateBatch};
 use crate::cleanup::CleanupReport;
+use crate::config::LsmConfig;
 use crate::error::{LsmError, Result};
 use crate::key::{Key, Value, MAX_KEY};
 use crate::latency::{LatencyHistogram, LatencySnapshot};
+use crate::lsm::GpuLsm;
 use crate::range::RangeResult;
 use crate::router::ShardRouter;
 use crate::shard::{RebalanceAction, ShardedLsm, ShardedStats};
 use crate::validate::InvariantViolation;
+use crate::wal::{self, DurabilityStats, RecoveryReport, SnapshotShard, Wal};
+
+/// Lock, recovering from poisoning: an applier panic must not turn every
+/// later `submit`/`flush`/`drop` into a cascading panic.  The guarded
+/// state stays structurally valid across an unwind (plain queues and
+/// counters), and the applier's death itself is surfaced as a typed error
+/// by the callers' liveness checks.
+fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Condvar wait with the same poison recovery as [`lock_ignore_poison`].
+fn wait_ignore_poison<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default bound of each shard's admission queue, in batches.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
@@ -244,6 +284,35 @@ enum RebalanceCmd {
     Plan,
 }
 
+/// Durability plumbing of one admitted service (present only when built
+/// through [`AdmittedLsm::open_durable`]).
+#[derive(Debug)]
+struct DurabilityState {
+    config: wal::DurabilityConfig,
+    /// The active WAL segment.  Locked after `state` (append happens under
+    /// the state lock so log order equals admission order), never before.
+    wal: Mutex<Wal>,
+    /// Records appended to the active segment since the last snapshot —
+    /// the "anything to persist?" signal for flush barriers.
+    records_since_snapshot: AtomicU64,
+    /// Routing epoch captured by the last snapshot; a mismatch forces a
+    /// snapshot even without new records (a split/merge changed the
+    /// persistent layout).
+    snapshot_epoch: AtomicU64,
+    /// Sequence number of the newest durable manifest (0 = none yet).
+    manifest_seq: AtomicU64,
+    /// Snapshots written by this process.
+    snapshots: AtomicU64,
+    /// Lifetime record / fsync counters of retired (rotated-away) segments.
+    retired_records: AtomicU64,
+    retired_syncs: AtomicU64,
+    /// Off while recovery replays the log through `submit` (the replayed
+    /// records are already durable; re-logging would duplicate them) —
+    /// also gates snapshots, so a mid-replay flush cannot rotate away
+    /// records that are still being replayed.
+    logging: AtomicBool,
+}
+
 /// Everything the submitters, the applier and the queries share.
 #[derive(Debug)]
 struct Shared {
@@ -261,6 +330,12 @@ struct Shared {
     drained: Condvar,
     /// Rebalance requesters wait here for their request's result.
     rebalanced: Condvar,
+    /// The applier's panic payload, set exactly once when it dies.
+    applier_panic: Mutex<Option<String>>,
+    /// Test hook: the applier panics at its next scheduling point.
+    panic_injected: AtomicBool,
+    /// WAL + snapshot machinery; `None` for in-memory layers.
+    durability: Option<DurabilityState>,
     submitted_batches: AtomicU64,
     submitted_ops: AtomicU64,
     enqueued_sub_batches: AtomicU64,
@@ -269,6 +344,34 @@ struct Shared {
     coalesced_batches: AtomicU64,
     flushes: AtomicU64,
     rebalances: AtomicU64,
+}
+
+impl Shared {
+    /// The typed error to report if the applier thread has died.
+    fn applier_failure(&self) -> Option<LsmError> {
+        lock_ignore_poison(&self.applier_panic)
+            .as_ref()
+            .map(|payload| LsmError::ApplierPanicked {
+                payload: payload.clone(),
+            })
+    }
+}
+
+/// Record the applier's panic payload and wake **every** waiter class:
+/// blocked submitters, flush barriers and rebalance requesters must
+/// observe the death instead of sleeping forever on a condvar nobody will
+/// signal again.
+fn record_applier_panic(shared: &Shared, payload: &(dyn std::any::Any + Send)) {
+    let message = payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    *lock_ignore_poison(&shared.applier_panic) = Some(message);
+    shared.work.notify_all();
+    shared.space.notify_all();
+    shared.drained.notify_all();
+    shared.rebalanced.notify_all();
 }
 
 #[derive(Debug)]
@@ -314,10 +417,24 @@ struct Lifecycle {
 
 impl Drop for Lifecycle {
     fn drop(&mut self) {
-        self.shared.state.lock().expect("admission lock").shutdown = true;
+        lock_ignore_poison(&self.shared.state).shutdown = true;
         self.shared.work.notify_all();
-        if let Some(handle) = self.handle.lock().expect("lifecycle lock").take() {
-            let _ = handle.join();
+        // Never join while this thread is itself unwinding: any panic out
+        // of a `Drop` during unwind aborts the process, and the join adds
+        // nothing — the applier sees `shutdown`, drains and exits on its
+        // own.
+        if std::thread::panicking() {
+            return;
+        }
+        if let Some(handle) = lock_ignore_poison(&self.handle).take() {
+            if let Err(payload) = handle.join() {
+                // The applier's catch-unwind wrapper normally records the
+                // payload before the thread exits; this is the backstop
+                // for panics outside it.  Check the result instead of
+                // unwrapping — propagate the payload to any caller still
+                // holding the service, never re-panic in teardown.
+                record_applier_panic(&self.shared, payload.as_ref());
+            }
         }
     }
 }
@@ -350,6 +467,16 @@ impl AdmittedLsm {
 
     /// Wrap `service` with an explicit admission configuration.
     pub fn with_config(service: ShardedLsm, config: AdmissionConfig) -> Self {
+        Self::build(service, config, None)
+    }
+
+    /// Shared constructor body: wire up the queue state and spawn the
+    /// applier behind a panic-capturing wrapper.
+    fn build(
+        service: ShardedLsm,
+        config: AdmissionConfig,
+        durability: Option<DurabilityState>,
+    ) -> Self {
         let table = service.table_snapshot();
         let shared = Arc::new(Shared {
             config,
@@ -372,6 +499,9 @@ impl AdmittedLsm {
             space: Condvar::new(),
             drained: Condvar::new(),
             rebalanced: Condvar::new(),
+            applier_panic: Mutex::new(None),
+            panic_injected: AtomicBool::new(false),
+            durability,
             submitted_batches: AtomicU64::new(0),
             submitted_ops: AtomicU64::new(0),
             enqueued_sub_batches: AtomicU64::new(0),
@@ -384,7 +514,16 @@ impl AdmittedLsm {
         let applier_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("lsm-admission".into())
-            .spawn(move || applier_loop(&applier_shared))
+            .spawn(move || {
+                // Contain any applier panic: capture the payload, wake
+                // every waiter, and let the thread exit cleanly so the
+                // joining `Drop` can never double-panic.  The queue state
+                // is poison-tolerant (see `lock_ignore_poison`).
+                let run = std::panic::AssertUnwindSafe(|| applier_loop(&applier_shared));
+                if let Err(payload) = std::panic::catch_unwind(run) {
+                    record_applier_panic(&applier_shared, payload.as_ref());
+                }
+            })
             .expect("spawn admission applier");
         AdmittedLsm {
             _lifecycle: Arc::new(Lifecycle {
@@ -393,6 +532,134 @@ impl AdmittedLsm {
             }),
             shared,
         }
+    }
+
+    /// Open — or crash-recover — a **durable** admitted service.
+    ///
+    /// `config.durability` must be set; its directory is created if
+    /// missing.  An empty directory starts an empty service with
+    /// `num_shards` uniform shards.  Otherwise the newest manifest that
+    /// fully validates is loaded (corrupt newer ones are skipped and
+    /// counted), the shards are rebuilt element-identical from its run
+    /// files, and every WAL record of that generation and later is
+    /// replayed **through the normal admission path** in log order — a
+    /// torn or corrupt tail ends the replay and is physically truncated,
+    /// never applied.  `num_shards` only applies to a fresh directory; a
+    /// recovered service keeps the sharding (and routing epoch) of its
+    /// manifest.
+    ///
+    /// Returns the recovered handle plus a [`RecoveryReport`] describing
+    /// what was found.  On return the service is fully caught up (the
+    /// replay has been flushed) and logging is live.
+    pub fn open_durable(
+        device: Arc<gpu_sim::Device>,
+        batch_size: usize,
+        num_shards: usize,
+        config: LsmConfig,
+    ) -> Result<(AdmittedLsm, RecoveryReport)> {
+        let Some(dcfg) = config.durability.clone() else {
+            return Err(LsmError::Durability {
+                context: "open_durable requires LsmConfig::durability to be set".to_string(),
+            });
+        };
+        std::fs::create_dir_all(&dcfg.dir).map_err(|e| LsmError::Durability {
+            context: format!("create durability dir {}: {e}", dcfg.dir.display()),
+        })?;
+
+        let mut report = RecoveryReport::default();
+        let (service, base_seq, base_epoch) = match wal::load_newest_snapshot(&dcfg.dir)? {
+            Some(snapshot) => {
+                if snapshot.batch_size != batch_size {
+                    return Err(LsmError::Durability {
+                        context: format!(
+                            "manifest {} was written with batch size {}, not {batch_size}",
+                            snapshot.seq, snapshot.batch_size
+                        ),
+                    });
+                }
+                report.manifest_seq = Some(snapshot.seq);
+                report.corrupt_manifests_skipped = snapshot.corrupt_skipped;
+                let router = ShardRouter::learned(snapshot.split_points.clone())?;
+                let shards = snapshot
+                    .shards
+                    .into_iter()
+                    .map(|shard| GpuLsm::from_levels(device.clone(), batch_size, shard.levels))
+                    .collect::<Result<Vec<_>>>()?;
+                let epoch = snapshot.epoch;
+                let service = ShardedLsm::from_parts(
+                    device,
+                    batch_size,
+                    router,
+                    config.clone(),
+                    shards,
+                    epoch,
+                )?;
+                (service, snapshot.seq, epoch)
+            }
+            None => {
+                let service = ShardedLsm::with_config(device, batch_size, num_shards, config)?;
+                let epoch = service.epoch();
+                (service, 0, epoch)
+            }
+        };
+
+        // Gather the WAL tail: every segment of the restored generation
+        // and later, ascending.  (Generations older than the manifest
+        // linger only when a crash interrupted garbage collection —
+        // replaying them over the snapshot is idempotent, because per key
+        // the last record wins and the snapshot already agrees with it.)
+        let mut replay: Vec<UpdateBatch> = Vec::new();
+        let mut active: Option<(u64, u64)> = None;
+        for (seq, path) in wal::list_segments(&dcfg.dir, base_seq)? {
+            let scan = wal::scan_segment(&path)?;
+            report.torn_bytes += scan.torn_bytes;
+            replay.extend(scan.records);
+            active = Some((seq, scan.valid_len));
+        }
+        // Resume appending to the newest segment (discarding its torn tail
+        // for good), or start this generation's first segment.
+        let (wal_writer, active_seq) = match active {
+            Some((seq, valid_len)) => (
+                Wal::open_append(
+                    wal::segment_path(&dcfg.dir, seq),
+                    dcfg.fsync_interval,
+                    valid_len,
+                )?,
+                seq,
+            ),
+            None => (
+                Wal::create(wal::segment_path(&dcfg.dir, base_seq), dcfg.fsync_interval)?,
+                base_seq,
+            ),
+        };
+
+        let admission = service.config().admission();
+        let durability = DurabilityState {
+            config: dcfg,
+            wal: Mutex::new(wal_writer),
+            records_since_snapshot: AtomicU64::new(0),
+            snapshot_epoch: AtomicU64::new(base_epoch),
+            // The next snapshot must outnumber every existing segment, not
+            // just the restored manifest (a corrupt newer manifest leaves
+            // its segment behind).
+            manifest_seq: AtomicU64::new(base_seq.max(active_seq)),
+            snapshots: AtomicU64::new(0),
+            retired_records: AtomicU64::new(0),
+            retired_syncs: AtomicU64::new(0),
+            logging: AtomicBool::new(false),
+        };
+        let lsm = Self::build(service, admission, Some(durability));
+        for batch in &replay {
+            lsm.submit(batch)?;
+            report.replayed_batches += 1;
+        }
+        // Drain the replay before acknowledging recovery.  No snapshot
+        // happens here (logging is still off), so the WAL keeps covering
+        // the replayed records until the first post-recovery barrier.
+        lsm.flush()?;
+        let durability = lsm.shared.durability.as_ref().expect("durable build");
+        durability.logging.store(true, Ordering::Relaxed);
+        Ok((lsm, report))
     }
 
     /// The wrapped sharded service (answers reflect only *applied* state).
@@ -409,14 +676,25 @@ impl AdmittedLsm {
     // Write path
     // ------------------------------------------------------------------
 
-    /// Validate a mixed update batch and enqueue it, blocking only when a
+    /// Validate a mixed update batch and enqueue it, blocking while any
     /// target shard's queue is at capacity.  An invalid batch is rejected
     /// in full before anything is enqueued, exactly like the synchronous
-    /// path.  Routing happens against the mirrored table under the queue
-    /// lock; if a rebalance lands while the submitter sleeps on
-    /// backpressure, the not-yet-enqueued remainder is re-routed against
-    /// the new table (per-key op order is unaffected: all ops on one key
-    /// travel in one sub-batch).
+    /// path.  Admission is all-or-nothing: the batch's sub-batches land in
+    /// their queues in one critical section, so the WAL record written
+    /// just before (when durability is on) has exactly the admission order
+    /// of the whole batch.  Routing happens against the mirrored table
+    /// under the queue lock and is recomputed after every backpressure
+    /// wake, so a rebalance landing while the submitter sleeps re-routes
+    /// the batch against the new table (per-key op order is unaffected:
+    /// all ops on one key travel in one sub-batch).
+    ///
+    /// # Errors
+    ///
+    /// Besides batch validation, fails with
+    /// [`LsmError::ApplierPanicked`] once the background applier has died
+    /// (nothing is enqueued or logged in that case) and with
+    /// [`LsmError::Durability`] when the write-ahead log cannot be
+    /// appended (the batch is then *not* admitted).
     pub fn submit(&self, batch: &UpdateBatch) -> Result<()> {
         if batch.is_empty() {
             return Err(LsmError::EmptyBatch);
@@ -430,47 +708,45 @@ impl AdmittedLsm {
         if let Some(op) = batch.ops().iter().find(|op| op.key() > MAX_KEY) {
             return Err(LsmError::KeyOutOfRange { key: op.key() });
         }
-        let mut enqueued = 0u64;
+        let enqueued;
         {
-            let mut state = self.shared.state.lock().expect("admission lock");
-            let mut parts = route_parts(&state.router, batch);
-            'parts: while let Some((s, part)) = parts.pop_front() {
-                loop {
-                    if state.queues[s].queue.len() < self.shared.config.queue_capacity {
-                        // The admission timestamp is taken *after* any
-                        // backpressure wait: queue-wait measures time spent
-                        // in the queue itself, while a blocked submit is
-                        // visible to the client's own clock.
-                        state.queues[s].queue.push_back(QueuedBatch {
-                            batch: part,
-                            admitted_at: Instant::now(),
-                        });
-                        state.queued += 1;
-                        state.queues[s].enqueued_seq += 1;
-                        enqueued += 1;
-                        continue 'parts;
-                    }
-                    let epoch = state.epoch;
-                    state = self.shared.space.wait(state).expect("admission lock");
-                    if state.epoch != epoch {
-                        // The routing table changed while we slept:
-                        // re-route this part and everything not yet
-                        // enqueued against the new router.
-                        let rest_len =
-                            part.len() + parts.iter().map(|(_, p)| p.len()).sum::<usize>();
-                        let mut rest = UpdateBatch::with_capacity(rest_len);
-                        for op in part.ops() {
-                            rest.push(*op);
-                        }
-                        for (_, p) in &parts {
-                            for op in p.ops() {
-                                rest.push(*op);
-                            }
-                        }
-                        parts = route_parts(&state.router, &rest);
-                        continue 'parts;
+            let mut state = lock_ignore_poison(&self.shared.state);
+            loop {
+                if let Some(err) = self.shared.applier_failure() {
+                    return Err(err);
+                }
+                let parts = route_parts(&state.router, batch);
+                let fits = parts
+                    .iter()
+                    .all(|(s, _)| state.queues[*s].queue.len() < self.shared.config.queue_capacity);
+                if !fits {
+                    state = wait_ignore_poison(&self.shared.space, state);
+                    continue;
+                }
+                // Log ahead of enqueue, under the same lock: WAL record
+                // order is admission order.  A failed append admits
+                // nothing (the writer rolled the file back).
+                if let Some(d) = &self.shared.durability {
+                    if d.logging.load(Ordering::Relaxed) {
+                        lock_ignore_poison(&d.wal).append(batch)?;
+                        d.records_since_snapshot.fetch_add(1, Ordering::Relaxed);
                     }
                 }
+                // The admission timestamp is taken *after* any
+                // backpressure wait: queue-wait measures time spent in
+                // the queue itself, while a blocked submit is visible to
+                // the client's own clock.
+                let admitted_at = Instant::now();
+                enqueued = parts.len() as u64;
+                for (s, part) in parts {
+                    state.queues[s].queue.push_back(QueuedBatch {
+                        batch: part,
+                        admitted_at,
+                    });
+                    state.queued += 1;
+                    state.queues[s].enqueued_seq += 1;
+                }
+                break;
             }
         }
         self.shared
@@ -503,30 +779,56 @@ impl AdmittedLsm {
     /// (each queue is FIFO, so `applied >= snapshot` proves the snapshot
     /// prefix is durable).  A queue id that disappears was drained by a
     /// rebalance handoff before removal, satisfying its target.
-    pub fn flush(&self) {
-        let mut state = self.shared.state.lock().expect("admission lock");
+    ///
+    /// With durability on, a completed barrier over an idle pipeline also
+    /// writes a crash-consistent snapshot and rotates the write-ahead log.
+    ///
+    /// # Errors
+    ///
+    /// [`LsmError::ApplierPanicked`] once the background applier has died
+    /// — even if the snapshotted targets were already met, because the
+    /// barrier can no longer promise anything about applied state — and
+    /// [`LsmError::Durability`] when the snapshot cannot be written (the
+    /// drain itself still happened; the WAL keeps covering the drained
+    /// records).
+    pub fn flush(&self) -> Result<()> {
+        let mut state = lock_ignore_poison(&self.shared.state);
         let targets: Vec<(u64, u64)> = state
             .queues
             .iter()
             .map(|q| (q.id, q.enqueued_seq))
             .collect();
-        while targets.iter().any(|&(id, target)| {
-            state
-                .queues
-                .iter()
-                .find(|q| q.id == id)
-                .is_some_and(|q| q.applied_seq < target)
-        }) {
-            state = self.shared.drained.wait(state).expect("admission lock");
+        loop {
+            if let Some(err) = self.shared.applier_failure() {
+                return Err(err);
+            }
+            let pending = targets.iter().any(|&(id, target)| {
+                state
+                    .queues
+                    .iter()
+                    .find(|q| q.id == id)
+                    .is_some_and(|q| q.applied_seq < target)
+            });
+            if !pending {
+                break;
+            }
+            state = wait_ignore_poison(&self.shared.drained, state);
         }
+        maybe_snapshot(&self.shared, &state)?;
         drop(state);
         self.shared.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Flush, then run the service's cleanup on every shard.
-    pub fn cleanup(&self) -> CleanupReport {
-        self.flush();
-        self.shared.service.cleanup()
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`flush`](Self::flush) failure modes; cleanup runs
+    /// only after a successful drain.
+    pub fn cleanup(&self) -> Result<CleanupReport> {
+        self.flush()?;
+        Ok(self.shared.service.cleanup())
     }
 
     // ------------------------------------------------------------------
@@ -561,7 +863,10 @@ impl AdmittedLsm {
 
     /// Enqueue a rebalance request and block until the applier executed it.
     fn request_rebalance(&self, cmd: RebalanceCmd) -> Result<Option<RebalanceAction>> {
-        let mut state = self.shared.state.lock().expect("admission lock");
+        let mut state = lock_ignore_poison(&self.shared.state);
+        if let Some(err) = self.shared.applier_failure() {
+            return Err(err);
+        }
         let seq = state.next_rebalance_seq;
         state.next_rebalance_seq += 1;
         state.pending_rebalances.push_back((Some(seq), cmd));
@@ -570,7 +875,10 @@ impl AdmittedLsm {
             if let Some(result) = state.rebalance_results.remove(&seq) {
                 return result;
             }
-            state = self.shared.rebalanced.wait(state).expect("admission lock");
+            if let Some(err) = self.shared.applier_failure() {
+                return Err(err);
+            }
+            state = wait_ignore_poison(&self.shared.rebalanced, state);
         }
     }
 
@@ -593,7 +901,7 @@ impl AdmittedLsm {
         // uses the mirrored router so the overlay matches the enqueue
         // layout even across rebalances.
         let overlay: Vec<Option<Option<Value>>> = {
-            let state = self.shared.state.lock().expect("admission lock");
+            let state = lock_ignore_poison(&self.shared.state);
             let mut maps: Vec<Option<HashMap<Key, Option<Value>>>> = vec![None; state.queues.len()];
             queries
                 .iter()
@@ -626,7 +934,9 @@ impl AdmittedLsm {
     /// Bulk count queries (read-your-writes mode drains first).
     pub fn count(&self, queries: &[(Key, Key)]) -> Vec<u32> {
         if self.shared.config.read_your_writes {
-            self.flush();
+            // Best-effort drain: with a dead applier the answer honestly
+            // reflects applied state only, matching non-RYW mode.
+            let _ = self.flush();
         }
         self.shared.service.count(queries)
     }
@@ -634,7 +944,9 @@ impl AdmittedLsm {
     /// Bulk range queries (read-your-writes mode drains first).
     pub fn range(&self, queries: &[(Key, Key)]) -> RangeResult {
         if self.shared.config.read_your_writes {
-            self.flush();
+            // Best-effort drain: with a dead applier the answer honestly
+            // reflects applied state only, matching non-RYW mode.
+            let _ = self.flush();
         }
         self.shared.service.range(queries)
     }
@@ -642,7 +954,9 @@ impl AdmittedLsm {
     /// Bulk successor queries (read-your-writes mode drains first).
     pub fn successor(&self, queries: &[Key]) -> Vec<Option<(Key, Value)>> {
         if self.shared.config.read_your_writes {
-            self.flush();
+            // Best-effort drain: with a dead applier the answer honestly
+            // reflects applied state only, matching non-RYW mode.
+            let _ = self.flush();
         }
         self.shared.service.successor(queries)
     }
@@ -650,7 +964,9 @@ impl AdmittedLsm {
     /// Bulk predecessor queries (read-your-writes mode drains first).
     pub fn predecessor(&self, queries: &[Key]) -> Vec<Option<(Key, Value)>> {
         if self.shared.config.read_your_writes {
-            self.flush();
+            // Best-effort drain: with a dead applier the answer honestly
+            // reflects applied state only, matching non-RYW mode.
+            let _ = self.flush();
         }
         self.shared.service.predecessor(queries)
     }
@@ -662,7 +978,7 @@ impl AdmittedLsm {
     /// Admission-layer counters and queue gauges.
     pub fn admission_stats(&self) -> AdmissionStats {
         let (queued, in_flight) = {
-            let state = self.shared.state.lock().expect("admission lock");
+            let state = lock_ignore_poison(&self.shared.state);
             (state.queued, state.in_flight)
         };
         AdmissionStats {
@@ -682,7 +998,7 @@ impl AdmittedLsm {
     /// Microsecond percentile summaries of the pipeline's queue-wait and
     /// apply-time histograms.
     pub fn latency_stats(&self) -> AdmissionLatencyStats {
-        let latency = self.shared.latency.lock().expect("latency lock");
+        let latency = lock_ignore_poison(&self.shared.latency);
         AdmissionLatencyStats {
             queue_wait: latency.queue_wait.snapshot_us(),
             apply: latency.apply.snapshot_us(),
@@ -692,7 +1008,7 @@ impl AdmittedLsm {
     /// Clones of the full queue-wait and apply-time histograms (nanosecond
     /// samples), for callers that need quantiles beyond the snapshot.
     pub fn latency_histograms(&self) -> (LatencyHistogram, LatencyHistogram) {
-        let latency = self.shared.latency.lock().expect("latency lock");
+        let latency = lock_ignore_poison(&self.shared.latency);
         (latency.queue_wait.clone(), latency.apply.clone())
     }
 
@@ -711,9 +1027,99 @@ impl AdmittedLsm {
 
     /// Flush, then check every shard's invariants.
     pub fn check_invariants(&self) -> std::result::Result<(), InvariantViolation> {
-        self.flush();
+        self.flush()
+            .map_err(|e| InvariantViolation(format!("admission flush failed: {e}")))?;
         self.shared.service.check_invariants()
     }
+
+    /// Durability counters, or `None` for an in-memory service.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        let d = self.shared.durability.as_ref()?;
+        let (records, syncs) = {
+            let wal = lock_ignore_poison(&d.wal);
+            (wal.records, wal.syncs)
+        };
+        Some(DurabilityStats {
+            wal_records: d.retired_records.load(Ordering::Relaxed) + records,
+            wal_syncs: d.retired_syncs.load(Ordering::Relaxed) + syncs,
+            snapshots: d.snapshots.load(Ordering::Relaxed),
+            manifest_seq: d.manifest_seq.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Test hook: make the applier thread panic at its next wakeup.
+    #[doc(hidden)]
+    pub fn inject_applier_panic(&self) {
+        self.shared.panic_injected.store(true, Ordering::Relaxed);
+        self.shared.work.notify_all();
+    }
+}
+
+/// Snapshot-on-barrier: called at the end of a successful flush with the
+/// queue lock held.  A snapshot is taken only when logging is live, the
+/// pipeline is fully idle (nothing queued, in flight, or awaiting a
+/// rebalance), and something actually changed since the last snapshot
+/// (records logged, or the routing epoch moved — a split/merge re-lays
+/// the shards even without new records).  On success the WAL rotates to a
+/// fresh segment keyed to the new manifest and older generations are
+/// garbage-collected best-effort.
+fn maybe_snapshot(shared: &Shared, state: &QueueState) -> Result<()> {
+    let Some(d) = &shared.durability else {
+        return Ok(());
+    };
+    if !d.logging.load(Ordering::Relaxed) {
+        // Recovery replay in progress: the WAL on disk is still the only
+        // durable copy of the replayed records — don't rotate it away.
+        return Ok(());
+    }
+    let idle = state.queued == 0 && state.in_flight == 0 && state.pending_rebalances.is_empty();
+    if !idle {
+        return Ok(());
+    }
+    let dirty = d.records_since_snapshot.load(Ordering::Relaxed) > 0
+        || d.snapshot_epoch.load(Ordering::Relaxed) != state.epoch;
+    if !dirty {
+        return Ok(());
+    }
+    // Everything logged so far must be on disk before the manifest can
+    // supersede it (the manifest ends the previous generation).
+    lock_ignore_poison(&d.wal).sync()?;
+    let seq = d.manifest_seq.load(Ordering::Relaxed) + 1;
+    let table = shared.service.table_snapshot();
+    let shards: Vec<SnapshotShard> = table
+        .shards
+        .iter()
+        .map(|shard| {
+            shard.with_read(|lsm| SnapshotShard {
+                levels: lsm
+                    .levels()
+                    .iter_occupied()
+                    .map(|(i, level)| (i, level.keys().to_vec(), level.values().to_vec()))
+                    .collect(),
+            })
+        })
+        .collect();
+    wal::write_snapshot(
+        &d.config.dir,
+        seq,
+        table.epoch,
+        shared.service.batch_size(),
+        &table.router.split_points(),
+        &shards,
+    )?;
+    let fresh = Wal::create(
+        wal::segment_path(&d.config.dir, seq),
+        d.config.fsync_interval,
+    )?;
+    let old = std::mem::replace(&mut *lock_ignore_poison(&d.wal), fresh);
+    d.retired_records.fetch_add(old.records, Ordering::Relaxed);
+    d.retired_syncs.fetch_add(old.syncs, Ordering::Relaxed);
+    d.records_since_snapshot.store(0, Ordering::Relaxed);
+    d.snapshot_epoch.store(table.epoch, Ordering::Relaxed);
+    d.manifest_seq.store(seq, Ordering::Relaxed);
+    d.snapshots.fetch_add(1, Ordering::Relaxed);
+    wal::collect_garbage(&d.config.dir, seq);
+    Ok(())
 }
 
 /// Split a batch by shard and keep the non-empty parts in shard order.
@@ -760,8 +1166,11 @@ fn applier_loop(shared: &Arc<Shared>) {
         // overlay via `applying` until they are applied; otherwise nothing
         // reads `applying` and the clone is skipped.
         let (shard, window) = {
-            let mut state = shared.state.lock().expect("admission lock");
+            let mut state = lock_ignore_poison(&shared.state);
             loop {
+                if shared.panic_injected.swap(false, Ordering::Relaxed) {
+                    panic!("injected applier panic (test hook)");
+                }
                 if let Some((seq, cmd)) = state.pending_rebalances.pop_front() {
                     let result = execute_rebalance(shared, &mut state, cmd);
                     if let Some(seq) = seq {
@@ -776,7 +1185,7 @@ fn applier_loop(shared: &Arc<Shared>) {
                 if state.shutdown {
                     return; // queues fully drained: drop implies flush
                 }
-                state = shared.work.wait(state).expect("admission lock");
+                state = wait_ignore_poison(&shared.work, state);
             }
             let num_shards = state.queues.len();
             let mut s = state.next_shard % num_shards;
@@ -801,7 +1210,7 @@ fn applier_loop(shared: &Arc<Shared>) {
 
         let taken = apply_window(shared, shard, window);
 
-        let mut state = shared.state.lock().expect("admission lock");
+        let mut state = lock_ignore_poison(&shared.state);
         state.queues[shard].applying.clear();
         state.in_flight -= taken;
         state.queues[shard].applied_seq += taken as u64;
@@ -864,7 +1273,7 @@ fn apply_window(shared: &Shared, shard: usize, window: Vec<QueuedBatch>) -> usiz
     }
     {
         // One short lock per window keeps recording off the hot loop.
-        let mut latency = shared.latency.lock().expect("latency lock");
+        let mut latency = lock_ignore_poison(&shared.latency);
         for ns in waits_ns {
             latency.queue_wait.record(ns);
         }
@@ -940,6 +1349,10 @@ fn execute_rebalance(
     // (drained ids satisfy their targets).
     shared.space.notify_all();
     shared.drained.notify_all();
+    // The routing epoch moved: persist the new shard layout if the
+    // pipeline happens to be idle (otherwise the epoch-dirty check makes
+    // the next flush barrier snapshot it).
+    maybe_snapshot(shared, state)?;
     Ok(Some(action))
 }
 
@@ -1043,7 +1456,7 @@ mod tests {
         let lsm = admitted(8, 2, config(true, false));
         lsm.insert(&[(1, 10), (1 << 30, 20)]).unwrap();
         lsm.delete(&[1 << 30]).unwrap();
-        lsm.flush();
+        lsm.flush().unwrap();
         assert_eq!(lsm.lookup(&[1, 1 << 30]), vec![Some(10), None]);
         let stats = lsm.admission_stats();
         assert_eq!(stats.submitted_batches, 2);
@@ -1069,7 +1482,7 @@ mod tests {
             lsm.submit(&batch).unwrap_err(),
             LsmError::KeyOutOfRange { key: MAX_KEY + 1 }
         );
-        lsm.flush();
+        lsm.flush().unwrap();
         assert_eq!(lsm.admission_stats().submitted_batches, 0);
         assert_eq!(lsm.stats().total_elements, 0);
     }
@@ -1104,7 +1517,7 @@ mod tests {
             mixed.insert(5, 9).delete(3).insert(5, 8).delete(5);
             lsm.submit(&mixed).unwrap();
             lsm.insert(&[(5, 42)]).unwrap();
-            lsm.flush();
+            lsm.flush().unwrap();
         }
         let queries: Vec<u32> = (0..8).collect();
         assert_eq!(a.lookup(&queries), b.lookup(&queries));
@@ -1165,7 +1578,7 @@ mod tests {
         for i in 0..64u32 {
             lsm.insert(&[(i % 16, i)]).unwrap();
         }
-        lsm.flush();
+        lsm.flush().unwrap();
         let got = lsm.lookup(&(0..16u32).collect::<Vec<_>>());
         for (k, v) in got.into_iter().enumerate() {
             // Key k was last written by batch 48 + k.
@@ -1194,7 +1607,7 @@ mod tests {
         let lsm = admitted(4, 1, config(true, false));
         let clone = lsm.clone();
         lsm.insert(&[(1, 1)]).unwrap();
-        clone.flush();
+        clone.flush().unwrap();
         assert_eq!(clone.lookup(&[1]), vec![Some(1)]);
         assert_eq!(clone.admission_stats().submitted_batches, 1);
     }
@@ -1213,7 +1626,7 @@ mod tests {
         assert_eq!(lsm.admission_stats().rebalances, 1);
         // Traffic keeps flowing on both sides of the new boundary.
         lsm.insert(&[(349, 99), (351, 99)]).unwrap();
-        lsm.flush();
+        lsm.flush().unwrap();
         let keys: Vec<u32> = (0..8).map(|i| i * 100).collect();
         assert_eq!(
             lsm.lookup(&keys),
@@ -1225,7 +1638,7 @@ mod tests {
         let action = lsm.trigger_merge(0).unwrap();
         assert_eq!(action, Some(RebalanceAction::Merge(0)));
         assert_eq!(lsm.service().num_shards(), 1);
-        lsm.flush();
+        lsm.flush().unwrap();
         assert_eq!(
             lsm.lookup(&keys),
             (0..8).map(Some).collect::<Vec<Option<u32>>>()
@@ -1253,7 +1666,7 @@ mod tests {
             let pairs: Vec<(u32, u32)> = (0..16u32).map(|i| (round * 16 + i, i)).collect();
             lsm.insert(&pairs).unwrap();
         }
-        lsm.flush();
+        lsm.flush().unwrap();
         assert!(
             lsm.service().num_shards() > 1,
             "hot shard should have been split behind admission, still at {}",

@@ -19,6 +19,8 @@
 //!   (fields left `None` touch nothing).
 
 use crate::admission::AdmissionConfig;
+use crate::error::{LsmError, Result};
+use crate::wal::DurabilityConfig;
 
 /// Thresholds governing online shard split/merge (see
 /// [`crate::ShardedLsm::maybe_rebalance`]).
@@ -96,32 +98,117 @@ pub struct LsmConfig {
     /// Online shard split/merge thresholds.  Per instance; no env
     /// equivalent (rebalancing is opt-in via explicit config).
     pub rebalance: RebalanceConfig,
+    /// Durability: write-ahead logging and crash-consistent snapshots
+    /// (`LSM_WAL_DIR` / `LSM_WAL_FSYNC`).  `None` (the default) keeps the
+    /// structure purely in-memory — behavior and benchmarks are then
+    /// byte-identical to builds without this field.  Honoured by
+    /// [`crate::AdmittedLsm::open_durable`], which also runs recovery; the
+    /// in-memory constructors ignore it.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl LsmConfig {
     /// Read every `LSM_*` knob this config covers from the environment.
-    /// Unset or unparsable variables leave the field `None`.  This is the
-    /// documented fallback layer: prefer explicit configs in new code.
+    /// Unset variables leave the field `None`; a variable that is set but
+    /// does not parse (or parses to a nonsensical setting) is an
+    /// [`LsmError::InvalidEnvValue`] — a typo'd `LSM_ADMIT_QUEUE=4o96`
+    /// must not silently change behavior.  This is the documented fallback
+    /// layer: prefer explicit configs in new code.
     ///
     /// | field | variable |
     /// |---|---|
     /// | `bloom_bits` | `LSM_BLOOM_BITS` |
     /// | `par_cutoff` | `LSM_PAR_CUTOFF` |
-    /// | `bulk_lookup_frac` | `LSM_BULK_LOOKUP_FRAC` |
-    /// | `admit_queue_capacity` | `LSM_ADMIT_QUEUE` |
+    /// | `bulk_lookup_frac` | `LSM_BULK_LOOKUP_FRAC` (must be > 0) |
+    /// | `admit_queue_capacity` | `LSM_ADMIT_QUEUE` (must be ≥ 1) |
     /// | `admit_coalesce` | `LSM_ADMIT_COALESCE` (0 = off) |
-    pub fn from_env() -> Self {
-        fn parse<T: std::str::FromStr>(var: &str) -> Option<T> {
-            std::env::var(var).ok()?.trim().parse().ok()
+    /// | `durability` | `LSM_WAL_DIR` + `LSM_WAL_FSYNC` (records/fsync, ≥ 1) |
+    pub fn from_env() -> Result<Self> {
+        Self::from_env_lookup(|var| match std::env::var(var) {
+            Ok(value) => Ok(Some(value)),
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(std::env::VarError::NotUnicode(raw)) => Err(LsmError::InvalidEnvValue {
+                var: var.to_string(),
+                value: raw.to_string_lossy().into_owned(),
+                reason: "not valid unicode".to_string(),
+            }),
+        })
+    }
+
+    /// [`LsmConfig::from_env`] over an arbitrary variable source, so the
+    /// parsing and rejection rules are testable without mutating the
+    /// process environment.
+    pub(crate) fn from_env_lookup(lookup: impl Fn(&str) -> Result<Option<String>>) -> Result<Self> {
+        fn parse<T: std::str::FromStr>(var: &str, raw: Option<String>) -> Result<Option<T>>
+        where
+            T::Err: std::fmt::Display,
+        {
+            let Some(raw) = raw else { return Ok(None) };
+            let trimmed = raw.trim();
+            trimmed
+                .parse()
+                .map(Some)
+                .map_err(|e: T::Err| LsmError::InvalidEnvValue {
+                    var: var.to_string(),
+                    value: trimmed.to_string(),
+                    reason: e.to_string(),
+                })
         }
-        LsmConfig {
-            bloom_bits: parse("LSM_BLOOM_BITS"),
-            par_cutoff: parse("LSM_PAR_CUTOFF"),
-            bulk_lookup_frac: parse::<f64>("LSM_BULK_LOOKUP_FRAC").filter(|f| *f > 0.0),
-            admit_queue_capacity: parse::<usize>("LSM_ADMIT_QUEUE").map(|c| c.max(1)),
-            admit_coalesce: parse::<u32>("LSM_ADMIT_COALESCE").map(|v| v != 0),
+        fn reject<T>(var: &str, value: T, reason: &str) -> LsmError
+        where
+            T: std::fmt::Display,
+        {
+            LsmError::InvalidEnvValue {
+                var: var.to_string(),
+                value: value.to_string(),
+                reason: reason.to_string(),
+            }
+        }
+
+        let bulk_lookup_frac =
+            parse::<f64>("LSM_BULK_LOOKUP_FRAC", lookup("LSM_BULK_LOOKUP_FRAC")?)?;
+        if let Some(f) = bulk_lookup_frac {
+            if !f.is_finite() || f <= 0.0 {
+                return Err(reject(
+                    "LSM_BULK_LOOKUP_FRAC",
+                    f,
+                    "must be a finite fraction > 0",
+                ));
+            }
+        }
+        let admit_queue_capacity = parse::<usize>("LSM_ADMIT_QUEUE", lookup("LSM_ADMIT_QUEUE")?)?;
+        if admit_queue_capacity == Some(0) {
+            return Err(reject(
+                "LSM_ADMIT_QUEUE",
+                0,
+                "queue capacity must be at least 1",
+            ));
+        }
+        let fsync_interval = parse::<usize>("LSM_WAL_FSYNC", lookup("LSM_WAL_FSYNC")?)?;
+        if fsync_interval == Some(0) {
+            return Err(reject(
+                "LSM_WAL_FSYNC",
+                0,
+                "fsync interval must be at least 1 record",
+            ));
+        }
+        let durability = lookup("LSM_WAL_DIR")?.map(|dir| {
+            let mut d = DurabilityConfig::new(dir.trim());
+            if let Some(records) = fsync_interval {
+                d = d.fsync_interval(records);
+            }
+            d
+        });
+        Ok(LsmConfig {
+            bloom_bits: parse("LSM_BLOOM_BITS", lookup("LSM_BLOOM_BITS")?)?,
+            par_cutoff: parse("LSM_PAR_CUTOFF", lookup("LSM_PAR_CUTOFF")?)?,
+            bulk_lookup_frac,
+            admit_queue_capacity,
+            admit_coalesce: parse::<u32>("LSM_ADMIT_COALESCE", lookup("LSM_ADMIT_COALESCE")?)?
+                .map(|v| v != 0),
             rebalance: RebalanceConfig::default(),
-        }
+            durability,
+        })
     }
 
     /// Set the Bloom filter bits per key (process-wide; 0 disables).
@@ -157,6 +244,13 @@ impl LsmConfig {
     /// Set the rebalance thresholds.
     pub fn rebalance(mut self, rebalance: RebalanceConfig) -> Self {
         self.rebalance = rebalance;
+        self
+    }
+
+    /// Enable durability (WAL + snapshots) under the config's directory.
+    /// Takes effect through [`crate::AdmittedLsm::open_durable`].
+    pub fn durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
         self
     }
 
@@ -228,5 +322,99 @@ mod tests {
         let ac = c.admission();
         assert_eq!(ac.queue_capacity, 1);
         assert!(!ac.coalesce);
+    }
+
+    /// A fake environment for exercising `from_env_lookup` without
+    /// touching the real (process-global, racy) environment.
+    fn env_of<'a>(vars: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Result<Option<String>> + 'a {
+        move |var| {
+            Ok(vars
+                .iter()
+                .find(|(name, _)| *name == var)
+                .map(|(_, value)| value.to_string()))
+        }
+    }
+
+    #[test]
+    fn from_env_parses_set_variables() {
+        let c = LsmConfig::from_env_lookup(env_of(&[
+            ("LSM_BLOOM_BITS", "8"),
+            ("LSM_PAR_CUTOFF", " 64 "),
+            ("LSM_BULK_LOOKUP_FRAC", "0.25"),
+            ("LSM_ADMIT_QUEUE", "32"),
+            ("LSM_ADMIT_COALESCE", "0"),
+            ("LSM_WAL_DIR", "/tmp/lsm-wal"),
+            ("LSM_WAL_FSYNC", "4"),
+        ]))
+        .unwrap();
+        assert_eq!(c.bloom_bits, Some(8));
+        assert_eq!(c.par_cutoff, Some(64));
+        assert_eq!(c.bulk_lookup_frac, Some(0.25));
+        assert_eq!(c.admit_queue_capacity, Some(32));
+        assert_eq!(c.admit_coalesce, Some(false));
+        let d = c.durability.unwrap();
+        assert_eq!(d.dir, std::path::PathBuf::from("/tmp/lsm-wal"));
+        assert_eq!(d.fsync_interval, 4);
+    }
+
+    #[test]
+    fn from_env_with_nothing_set_is_all_fallback() {
+        let c = LsmConfig::from_env_lookup(env_of(&[])).unwrap();
+        assert_eq!(c, LsmConfig::default());
+        // The real from_env only differs in its variable source; with the
+        // knob variables unset in the test environment it behaves the same.
+        // (CI stress jobs do set LSM_* knobs, so only spot-check that the
+        // call succeeds there.)
+        assert!(LsmConfig::from_env().is_ok());
+    }
+
+    #[test]
+    fn from_env_rejects_unparsable_values_with_context() {
+        // The motivating typo: a letter o instead of a zero.
+        let err = LsmConfig::from_env_lookup(env_of(&[("LSM_ADMIT_QUEUE", "4o96")])).unwrap_err();
+        match err {
+            LsmError::InvalidEnvValue { var, value, .. } => {
+                assert_eq!(var, "LSM_ADMIT_QUEUE");
+                assert_eq!(value, "4o96");
+            }
+            other => panic!("expected InvalidEnvValue, got {other:?}"),
+        }
+        for (var, bad) in [
+            ("LSM_BLOOM_BITS", "eight"),
+            ("LSM_PAR_CUTOFF", "-1"),
+            ("LSM_BULK_LOOKUP_FRAC", "zero.five"),
+            ("LSM_ADMIT_COALESCE", "off"),
+            ("LSM_WAL_FSYNC", "1s"),
+        ] {
+            let err = LsmConfig::from_env_lookup(env_of(&[(var, bad)])).unwrap_err();
+            assert!(
+                matches!(&err, LsmError::InvalidEnvValue { var: v, .. } if v == var),
+                "{var}={bad} should be rejected, got {err:?}"
+            );
+            assert!(err.to_string().contains(var));
+        }
+    }
+
+    #[test]
+    fn from_env_rejects_nonsensical_settings() {
+        for (var, bad) in [
+            ("LSM_BULK_LOOKUP_FRAC", "0"),
+            ("LSM_BULK_LOOKUP_FRAC", "-0.5"),
+            ("LSM_BULK_LOOKUP_FRAC", "inf"),
+            ("LSM_ADMIT_QUEUE", "0"),
+            ("LSM_WAL_FSYNC", "0"),
+        ] {
+            assert!(
+                LsmConfig::from_env_lookup(env_of(&[(var, bad)])).is_err(),
+                "{var}={bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn wal_fsync_without_wal_dir_is_validated_but_inert() {
+        let c = LsmConfig::from_env_lookup(env_of(&[("LSM_WAL_FSYNC", "16")])).unwrap();
+        assert_eq!(c.durability, None);
+        assert!(LsmConfig::from_env_lookup(env_of(&[("LSM_WAL_FSYNC", "bogus")])).is_err());
     }
 }

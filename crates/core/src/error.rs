@@ -48,6 +48,34 @@ pub enum LsmError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// The admission applier thread has died from a panic; the queues it
+    /// was draining will never be applied.  Every later `submit` / `flush`
+    /// on the same [`crate::AdmittedLsm`] reports this instead of hanging
+    /// or cascading the panic.
+    ApplierPanicked {
+        /// The applier's panic payload (its message when it was a string).
+        payload: String,
+    },
+    /// An `LSM_*` environment variable was set to a value that does not
+    /// parse (or parses to a nonsensical setting).  Surfaced by
+    /// [`crate::LsmConfig::from_env`] so a typo'd knob cannot silently
+    /// change behavior.
+    InvalidEnvValue {
+        /// The environment variable.
+        var: String,
+        /// The offending value as found in the environment.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A durability operation (WAL append, snapshot, recovery load)
+    /// failed.  Carries a human-readable context string instead of the
+    /// source `io::Error` so the error stays `Clone + Eq` like the rest of
+    /// the API.
+    Durability {
+        /// What failed, including the path and the underlying I/O error.
+        context: String,
+    },
 }
 
 impl fmt::Display for LsmError {
@@ -78,6 +106,15 @@ impl fmt::Display for LsmError {
             }
             LsmError::InvalidRebalance { reason } => {
                 write!(f, "invalid shard rebalance request: {reason}")
+            }
+            LsmError::ApplierPanicked { payload } => {
+                write!(f, "admission applier thread panicked: {payload}")
+            }
+            LsmError::InvalidEnvValue { var, value, reason } => {
+                write!(f, "invalid value {value:?} for environment variable {var}: {reason}")
+            }
+            LsmError::Durability { context } => {
+                write!(f, "durability failure: {context}")
             }
         }
     }
@@ -114,6 +151,23 @@ mod tests {
         }
         .to_string()
         .contains("only one shard"));
+        assert!(LsmError::ApplierPanicked {
+            payload: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        let env = LsmError::InvalidEnvValue {
+            var: "LSM_ADMIT_QUEUE".into(),
+            value: "4o96".into(),
+            reason: "invalid digit found in string".into(),
+        }
+        .to_string();
+        assert!(env.contains("LSM_ADMIT_QUEUE") && env.contains("4o96"));
+        assert!(LsmError::Durability {
+            context: "append wal-0.log: disk full".into()
+        }
+        .to_string()
+        .contains("wal-0.log"));
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod router;
 pub mod shard;
 pub mod stats;
 pub mod validate;
+pub mod wal;
 
 pub use admission::{AdmissionConfig, AdmissionLatencyStats, AdmissionStats, AdmittedLsm};
 pub use batch::{Op, UpdateBatch};
@@ -79,3 +80,4 @@ pub use range::RangeResult;
 pub use router::{RouterKind, ShardRouter, SubQuery};
 pub use shard::{RebalanceAction, ShardedLsm, ShardedStats};
 pub use stats::{LsmStats, MergeCounters};
+pub use wal::{DurabilityConfig, DurabilityStats, RecoveryReport};

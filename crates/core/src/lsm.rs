@@ -277,6 +277,47 @@ impl GpuLsm {
             self.distribute_sorted(keys, values);
         }
     }
+
+    /// Reassemble an LSM from persisted level dumps (crash recovery): each
+    /// `(index, encoded keys, values)` triple becomes level `index`
+    /// verbatim, so the recovered structure is element-identical to the
+    /// snapshotted one.  Acceleration structures (filters, fences) are
+    /// derived data and rebuilt; `num_batches` follows from the occupied
+    /// level indices (level `i` holds `b·2^i` elements, §III-A).
+    pub(crate) fn from_levels(
+        device: Arc<Device>,
+        batch_size: usize,
+        levels: Vec<(usize, Vec<EncodedKey>, Vec<Value>)>,
+    ) -> Result<Self> {
+        let mut lsm = GpuLsm::new(device, batch_size)?;
+        let mut num_batches = 0usize;
+        for (i, keys, values) in levels {
+            let expected = batch_size
+                .checked_shl(i as u32)
+                .filter(|&len| len == keys.len() && len == values.len());
+            if expected.is_none() {
+                return Err(LsmError::Durability {
+                    context: format!(
+                        "level {i} run holds {} keys / {} values, expected {} for b = {batch_size}",
+                        keys.len(),
+                        values.len(),
+                        batch_size << i
+                    ),
+                });
+            }
+            if lsm.levels.get(i).is_some() {
+                return Err(LsmError::Durability {
+                    context: format!("level {i} appears twice in the snapshot"),
+                });
+            }
+            let level = Level::from_sorted(keys, values);
+            lsm.record_accel_build(&level);
+            lsm.levels.place(i, level);
+            num_batches += 1 << i;
+        }
+        lsm.num_batches = num_batches;
+        Ok(lsm)
+    }
 }
 
 #[cfg(test)]

@@ -313,6 +313,58 @@ impl ShardedLsm {
         })
     }
 
+    /// Reassemble a sharded service from recovered per-shard structures
+    /// (crash recovery): router, shard contents and epoch come from a
+    /// persisted manifest, so routing and data match the snapshotted
+    /// service exactly.  The epoch is carried over to stay monotonic
+    /// across restarts; shard ids restart from `0..n` (the admission
+    /// layer is reconstructed after recovery, so no queue identity needs
+    /// to survive).
+    pub(crate) fn from_parts(
+        device: Arc<gpu_sim::Device>,
+        batch_size: usize,
+        router: ShardRouter,
+        config: LsmConfig,
+        shards: Vec<GpuLsm>,
+        epoch: u64,
+    ) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(LsmError::InvalidBatchSize { batch_size });
+        }
+        if shards.len() != router.num_shards() {
+            return Err(LsmError::Durability {
+                context: format!(
+                    "snapshot holds {} shards but its router describes {}",
+                    shards.len(),
+                    router.num_shards()
+                ),
+            });
+        }
+        config.apply_process_overrides();
+        let bulk_frac = config.bulk_lookup_frac;
+        let num_shards = shards.len();
+        let shards: Vec<ConcurrentGpuLsm> = shards
+            .into_iter()
+            .map(|mut lsm| {
+                lsm.bulk_lookup_frac = bulk_frac;
+                ConcurrentGpuLsm::new(lsm)
+            })
+            .collect();
+        Ok(ShardedLsm {
+            device,
+            batch_size,
+            table: Arc::new(RwLock::new(Arc::new(RoutingTable {
+                router,
+                shards,
+                ids: (0..num_shards as u64).collect(),
+                epoch,
+            }))),
+            config,
+            rebalance: Arc::new(Mutex::new(RebalanceState::default())),
+            next_shard_id: Arc::new(AtomicU64::new(num_shards as u64)),
+        })
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------

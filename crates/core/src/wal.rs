@@ -1,0 +1,852 @@
+//! Durability: write-ahead log, crash-consistent snapshots, recovery.
+//!
+//! The paper treats the fixed-size batch as the atomic unit of mutation
+//! (§III-A rule 1), which makes it the natural WAL record: one submitted
+//! [`UpdateBatch`] becomes one length + checksum framed record, appended
+//! to the active segment *before* the batch is enqueued for admission.
+//! Because per-key resolution is last-writer-wins, replaying a suffix of
+//! already-applied records on top of a snapshot is idempotent — recovery
+//! never needs to know exactly where the crash fell inside the suffix.
+//!
+//! Levels are immutable sorted runs, so a crash-consistent snapshot is a
+//! **manifest** (router split points, epoch, batch size, per-shard level
+//! list with run checksums) plus one **run file** per occupied level.  The
+//! admission layer writes a snapshot at quiescent flush barriers and after
+//! shard split/merge epoch bumps, then rotates the WAL to a fresh segment
+//! keyed by the new manifest sequence number and garbage-collects the
+//! superseded generation.  Manifests become visible via an atomic
+//! tmp-write + rename, so a torn manifest write can never shadow a valid
+//! older one.
+//!
+//! Recovery ([`crate::AdmittedLsm::open_durable`]) loads the newest
+//! manifest that validates (checksums of the manifest and of every run
+//! file), rebuilds the shards from the runs byte-for-byte, then replays
+//! every WAL segment of that generation and later **through the normal
+//! admission path** in log order.  A torn or corrupt tail record ends the
+//! replay of its segment: the valid prefix is kept, the tail is truncated,
+//! never applied.
+//!
+//! Fsync batching: [`DurabilityConfig::fsync_interval`] groups `n` record
+//! appends per `fsync`, amortizing the sync the same way coalescing
+//! amortizes apply cost.  A crash may lose at most the un-synced suffix of
+//! records — each of which was never acknowledged as durable.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::batch::UpdateBatch;
+use crate::error::{LsmError, Result};
+use crate::key::{is_tombstone, original_key, EncodedKey, Key, Value};
+
+/// Default number of WAL record appends grouped per `fsync`.
+pub const DEFAULT_FSYNC_INTERVAL: usize = 8;
+
+/// Magic prefix of every WAL record frame (`"WALR"`).
+const RECORD_MAGIC: u32 = 0x5741_4C52;
+/// Magic prefix of a manifest file (`"MANI"`).
+const MANIFEST_MAGIC: u32 = 0x4D41_4E49;
+/// Magic prefix of a run file (`"RUNF"`).
+const RUN_MAGIC: u32 = 0x5255_4E46;
+/// Manifest format version.
+const MANIFEST_VERSION: u32 = 1;
+/// Upper bound on one record's payload, so a corrupt length field cannot
+/// drive a gigantic allocation before the checksum gets a chance to fail.
+const MAX_RECORD_PAYLOAD: usize = 1 << 26;
+
+/// Durability knobs carried by [`crate::LsmConfig`]; `None` there (the
+/// default) keeps the structure purely in-memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurabilityConfig {
+    /// Directory holding the WAL segments, manifests and run files.
+    /// Created on open if missing.  One directory per service.
+    pub dir: PathBuf,
+    /// Record appends grouped per `fsync` (minimum 1 = sync every record).
+    /// A crash loses at most the un-synced suffix.
+    pub fsync_interval: usize,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default fsync batching.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync_interval: DEFAULT_FSYNC_INTERVAL,
+        }
+    }
+
+    /// Set the fsync batching interval (clamped to a minimum of 1).
+    pub fn fsync_interval(mut self, records: usize) -> Self {
+        self.fsync_interval = records.max(1);
+        self
+    }
+}
+
+/// Lifetime durability counters (see [`crate::AdmittedLsm::durability_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// WAL records appended (one per submitted batch).
+    pub wal_records: u64,
+    /// `fsync` calls issued on WAL segments.
+    pub wal_syncs: u64,
+    /// Snapshots (manifest + runs) written.
+    pub snapshots: u64,
+    /// Sequence number of the newest durable manifest (0 = none yet).
+    pub manifest_seq: u64,
+}
+
+/// What [`crate::AdmittedLsm::open_durable`] found and replayed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the manifest restored from (`None` = fresh dir).
+    pub manifest_seq: Option<u64>,
+    /// WAL records replayed through the admission path.
+    pub replayed_batches: u64,
+    /// Bytes of torn / corrupt WAL tail truncated (never replayed).
+    pub torn_bytes: u64,
+    /// Newer manifests skipped because they failed validation.
+    pub corrupt_manifests_skipped: u64,
+}
+
+// ----------------------------------------------------------------------
+// Checksums and little-endian framing helpers
+// ----------------------------------------------------------------------
+
+/// FNV-1a 64-bit — cheap, dependency-free, and plenty for torn-write
+/// detection (this is not an adversarial setting).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> LsmError {
+    LsmError::Durability {
+        context: format!("{context} {}: {e}", path.display()),
+    }
+}
+
+fn corrupt(context: &str, path: &Path) -> LsmError {
+    LsmError::Durability {
+        context: format!("{context} {}", path.display()),
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A little-endian cursor over a byte slice; `None` means truncated input.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+}
+
+// ----------------------------------------------------------------------
+// File naming
+// ----------------------------------------------------------------------
+
+/// `wal-<seq>.log`: the segment receiving records while manifest `seq` is
+/// the newest durable snapshot.
+pub(crate) fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq}.log"))
+}
+
+fn manifest_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("MANIFEST-{seq}"))
+}
+
+fn run_path(dir: &Path, seq: u64, shard: usize, level: usize) -> PathBuf {
+    dir.join(format!("run-{seq}-{shard}-{level}.bin"))
+}
+
+/// Parse `prefix<seq>suffix` file names back to their sequence number.
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Durability of the rename/create itself: sync the directory entry.
+fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("sync directory", dir, e))
+}
+
+// ----------------------------------------------------------------------
+// WAL records
+// ----------------------------------------------------------------------
+
+/// Frame one batch: `magic | payload_len | fnv64(payload) | payload`,
+/// payload = the ops as `(encoded_key, value)` pairs.  The encoded key
+/// carries the tombstone bit, so the op kind round-trips exactly.
+fn encode_record(batch: &UpdateBatch) -> Vec<u8> {
+    let payload_len = batch.len() * 8;
+    let mut payload = Vec::with_capacity(payload_len);
+    for op in batch.ops() {
+        let (k, v) = op.encode();
+        put_u32(&mut payload, k);
+        put_u32(&mut payload, v);
+    }
+    let mut out = Vec::with_capacity(16 + payload_len);
+    put_u32(&mut out, RECORD_MAGIC);
+    put_u32(&mut out, payload_len as u32);
+    put_u64(&mut out, fnv1a(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> UpdateBatch {
+    let mut batch = UpdateBatch::with_capacity(payload.len() / 8);
+    let mut cur = Cursor::new(payload);
+    while let (Some(k), Some(v)) = (cur.u32(), cur.u32()) {
+        if is_tombstone(k) {
+            batch.delete(original_key(k));
+        } else {
+            batch.insert(original_key(k), v);
+        }
+    }
+    batch
+}
+
+/// Outcome of scanning one WAL segment front to back.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// The decoded records of the valid prefix, in append order.
+    pub records: Vec<UpdateBatch>,
+    /// Byte offset just past each valid record (parallel to `records`) —
+    /// the legal truncation points of this segment.
+    pub record_ends: Vec<u64>,
+    /// Length of the valid prefix; equals the file length iff the tail is
+    /// clean.
+    pub valid_len: u64,
+    /// Bytes past the valid prefix (torn or corrupt tail).
+    pub torn_bytes: u64,
+}
+
+/// Scan a segment, stopping at the first frame that is short, has a bad
+/// magic, an oversized or misaligned length, a checksum mismatch, or an
+/// empty payload.  Everything after that point is tail, not data.
+pub fn scan_segment(path: &Path) -> Result<SegmentScan> {
+    let mut bytes = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("read segment", path, e))?;
+    let mut cur = Cursor::new(&bytes);
+    let mut scan = SegmentScan {
+        records: Vec::new(),
+        record_ends: Vec::new(),
+        valid_len: 0,
+        torn_bytes: 0,
+    };
+    loop {
+        let header = (cur.u32(), cur.u32(), cur.u64());
+        let (Some(magic), Some(len), Some(checksum)) = header else {
+            break;
+        };
+        let len = len as usize;
+        if magic != RECORD_MAGIC || len == 0 || !len.is_multiple_of(8) || len > MAX_RECORD_PAYLOAD {
+            break;
+        }
+        let Some(payload) = cur.take(len) else {
+            break;
+        };
+        if fnv1a(payload) != checksum {
+            break;
+        }
+        scan.records.push(decode_payload(payload));
+        scan.record_ends.push(cur.pos as u64);
+        scan.valid_len = cur.pos as u64;
+    }
+    scan.torn_bytes = bytes.len() as u64 - scan.valid_len;
+    Ok(scan)
+}
+
+/// The active WAL segment: an append-only record writer with grouped
+/// `fsync` and write-failure containment (a failed append truncates the
+/// file back to the last good record boundary so later records stay
+/// readable).
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Bytes known to hold whole, well-formed records.
+    valid_len: u64,
+    fsync_interval: usize,
+    /// Records appended since the last `fsync`.
+    unsynced: usize,
+    /// Lifetime records appended through this writer.
+    pub(crate) records: u64,
+    /// Lifetime `fsync` calls issued by this writer.
+    pub(crate) syncs: u64,
+    /// Set when a failed append could not be rolled back; all later
+    /// appends are refused (the segment's tail state is unknown).
+    broken: bool,
+}
+
+impl Wal {
+    /// Create (truncate) a fresh segment at `path`.
+    pub fn create(path: PathBuf, fsync_interval: usize) -> Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("create segment", &path, e))?;
+        Ok(Wal {
+            file,
+            path,
+            valid_len: 0,
+            fsync_interval: fsync_interval.max(1),
+            unsynced: 0,
+            records: 0,
+            syncs: 0,
+            broken: false,
+        })
+    }
+
+    /// Re-open an existing segment for appending, physically truncating it
+    /// to `valid_len` first (recovery discards the torn tail for good).
+    pub fn open_append(path: PathBuf, fsync_interval: usize, valid_len: u64) -> Result<Self> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open segment", &path, e))?;
+        file.set_len(valid_len)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| io_err("truncate segment", &path, e))?;
+        let mut wal = Wal {
+            file,
+            path,
+            valid_len,
+            fsync_interval: fsync_interval.max(1),
+            unsynced: 0,
+            records: 0,
+            syncs: 0,
+            broken: false,
+        };
+        wal.file
+            .seek(SeekFrom::Start(valid_len))
+            .map_err(|e| io_err("seek segment", &wal.path, e))?;
+        Ok(wal)
+    }
+
+    /// Append one batch as a framed record, syncing every
+    /// `fsync_interval`-th append.
+    pub fn append(&mut self, batch: &UpdateBatch) -> Result<()> {
+        if self.broken {
+            return Err(corrupt(
+                "segment writer disabled after failed append",
+                &self.path,
+            ));
+        }
+        let record = encode_record(batch);
+        if let Err(e) = self.file.write_all(&record) {
+            // Roll the file back to the last good boundary so a partial
+            // frame cannot sit in front of future records.
+            if self.file.set_len(self.valid_len).is_err()
+                || self.file.seek(SeekFrom::Start(self.valid_len)).is_err()
+            {
+                self.broken = true;
+            }
+            return Err(io_err("append record to", &self.path, e));
+        }
+        self.valid_len += record.len() as u64;
+        self.records += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.fsync_interval {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force the segment to stable storage now.
+    pub fn sync(&mut self) -> Result<()> {
+        if self.unsynced == 0 {
+            return Ok(());
+        }
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("sync segment", &self.path, e))?;
+        self.unsynced = 0;
+        self.syncs += 1;
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Snapshots: manifest + run files
+// ----------------------------------------------------------------------
+
+/// One shard's contribution to a snapshot: its occupied levels as raw
+/// `(level index, encoded keys, values)` dumps.
+#[derive(Debug)]
+pub(crate) struct SnapshotShard {
+    /// Occupied levels, smallest index first.
+    pub levels: Vec<(usize, Vec<EncodedKey>, Vec<Value>)>,
+}
+
+/// A validated snapshot loaded back from disk.
+#[derive(Debug)]
+pub(crate) struct LoadedSnapshot {
+    pub seq: u64,
+    pub epoch: u64,
+    pub batch_size: usize,
+    pub split_points: Vec<Key>,
+    pub shards: Vec<SnapshotShard>,
+    /// Newer manifests skipped because they failed validation.
+    pub corrupt_skipped: u64,
+}
+
+fn encode_run(keys: &[EncodedKey], values: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + keys.len() * 8);
+    put_u32(&mut out, RUN_MAGIC);
+    put_u32(&mut out, 0); // reserved
+    put_u64(&mut out, keys.len() as u64);
+    for &k in keys {
+        put_u32(&mut out, k);
+    }
+    for &v in values {
+        put_u32(&mut out, v);
+    }
+    out
+}
+
+fn decode_run(bytes: &[u8], path: &Path) -> Result<(Vec<EncodedKey>, Vec<Value>)> {
+    let mut cur = Cursor::new(bytes);
+    let header = (cur.u32(), cur.u32(), cur.u64());
+    let (Some(RUN_MAGIC), Some(_), Some(len)) = header else {
+        return Err(corrupt("bad run header in", path));
+    };
+    let len = usize::try_from(len).map_err(|_| corrupt("oversized run in", path))?;
+    let mut keys = Vec::with_capacity(len);
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        keys.push(
+            cur.u32()
+                .ok_or_else(|| corrupt("truncated run keys in", path))?,
+        );
+    }
+    for _ in 0..len {
+        values.push(
+            cur.u32()
+                .ok_or_else(|| corrupt("truncated run values in", path))?,
+        );
+    }
+    if cur.pos != bytes.len() {
+        return Err(corrupt("trailing bytes in run", path));
+    }
+    Ok((keys, values))
+}
+
+/// Write a full snapshot as generation `seq`: every run file (synced),
+/// then the manifest via tmp-write + fsync + atomic rename + dir sync.
+/// Only the rename makes the generation visible, so a crash anywhere in
+/// here leaves the previous generation authoritative.
+pub(crate) fn write_snapshot(
+    dir: &Path,
+    seq: u64,
+    epoch: u64,
+    batch_size: usize,
+    split_points: &[Key],
+    shards: &[SnapshotShard],
+) -> Result<()> {
+    let mut manifest = Vec::new();
+    put_u32(&mut manifest, MANIFEST_MAGIC);
+    put_u32(&mut manifest, MANIFEST_VERSION);
+    put_u64(&mut manifest, seq);
+    put_u64(&mut manifest, epoch);
+    put_u64(&mut manifest, batch_size as u64);
+    put_u32(&mut manifest, split_points.len() as u32);
+    for &p in split_points {
+        put_u32(&mut manifest, p);
+    }
+    put_u32(&mut manifest, shards.len() as u32);
+    for (s, shard) in shards.iter().enumerate() {
+        put_u32(&mut manifest, shard.levels.len() as u32);
+        for (i, keys, values) in &shard.levels {
+            let run = encode_run(keys, values);
+            let path = run_path(dir, seq, s, *i);
+            fs::write(&path, &run).map_err(|e| io_err("write run", &path, e))?;
+            File::open(&path)
+                .and_then(|f| f.sync_all())
+                .map_err(|e| io_err("sync run", &path, e))?;
+            put_u32(&mut manifest, *i as u32);
+            put_u64(&mut manifest, keys.len() as u64);
+            put_u64(&mut manifest, fnv1a(&run));
+        }
+    }
+    let trailer = fnv1a(&manifest);
+    put_u64(&mut manifest, trailer);
+
+    let tmp = dir.join(format!("MANIFEST-{seq}.tmp"));
+    let path = manifest_path(dir, seq);
+    fs::write(&tmp, &manifest).map_err(|e| io_err("write manifest", &tmp, e))?;
+    File::open(&tmp)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| io_err("sync manifest", &tmp, e))?;
+    fs::rename(&tmp, &path).map_err(|e| io_err("publish manifest", &path, e))?;
+    sync_dir(dir)
+}
+
+/// Parse and fully validate one manifest generation, loading its runs.
+fn load_manifest(dir: &Path, seq: u64) -> Result<LoadedSnapshot> {
+    let path = manifest_path(dir, seq);
+    let bytes = fs::read(&path).map_err(|e| io_err("read manifest", &path, e))?;
+    if bytes.len() < 8 {
+        return Err(corrupt("short manifest", &path));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    if fnv1a(body) != u64::from_le_bytes(trailer.try_into().unwrap()) {
+        return Err(corrupt("manifest checksum mismatch in", &path));
+    }
+    let mut cur = Cursor::new(body);
+    let header = (cur.u32(), cur.u32(), cur.u64(), cur.u64(), cur.u64());
+    let (Some(MANIFEST_MAGIC), Some(MANIFEST_VERSION), Some(file_seq), Some(epoch), Some(bs)) =
+        header
+    else {
+        return Err(corrupt("bad manifest header in", &path));
+    };
+    if file_seq != seq {
+        return Err(corrupt("manifest sequence mismatch in", &path));
+    }
+    let nsplit = cur
+        .u32()
+        .ok_or_else(|| corrupt("truncated manifest", &path))?;
+    let mut split_points = Vec::with_capacity(nsplit as usize);
+    for _ in 0..nsplit {
+        split_points.push(
+            cur.u32()
+                .ok_or_else(|| corrupt("truncated manifest", &path))?,
+        );
+    }
+    let nshards = cur
+        .u32()
+        .ok_or_else(|| corrupt("truncated manifest", &path))?;
+    let mut shards = Vec::with_capacity(nshards as usize);
+    for s in 0..nshards as usize {
+        let nlevels = cur
+            .u32()
+            .ok_or_else(|| corrupt("truncated manifest", &path))?;
+        let mut levels = Vec::with_capacity(nlevels as usize);
+        for _ in 0..nlevels {
+            let entry = (cur.u32(), cur.u64(), cur.u64());
+            let (Some(i), Some(len), Some(checksum)) = entry else {
+                return Err(corrupt("truncated manifest", &path));
+            };
+            let rpath = run_path(dir, seq, s, i as usize);
+            let run = fs::read(&rpath).map_err(|e| io_err("read run", &rpath, e))?;
+            if fnv1a(&run) != checksum {
+                return Err(corrupt("run checksum mismatch in", &rpath));
+            }
+            let (keys, values) = decode_run(&run, &rpath)?;
+            if keys.len() as u64 != len {
+                return Err(corrupt("run length mismatch in", &rpath));
+            }
+            levels.push((i as usize, keys, values));
+        }
+        shards.push(SnapshotShard { levels });
+    }
+    if cur.pos != body.len() {
+        return Err(corrupt("trailing bytes in manifest", &path));
+    }
+    Ok(LoadedSnapshot {
+        seq,
+        epoch,
+        batch_size: bs as usize,
+        split_points,
+        shards,
+        corrupt_skipped: 0,
+    })
+}
+
+/// All manifest sequence numbers present in `dir`, descending.
+fn manifest_seqs(dir: &Path) -> Result<Vec<u64>> {
+    let mut seqs: Vec<u64> = fs::read_dir(dir)
+        .map_err(|e| io_err("list durability dir", dir, e))?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name();
+            parse_seq(name.to_str()?, "MANIFEST-", "")
+        })
+        .collect();
+    seqs.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(seqs)
+}
+
+/// Load the newest manifest that fully validates, skipping (and counting)
+/// corrupt newer ones.  `Ok(None)` means no usable snapshot exists.
+pub(crate) fn load_newest_snapshot(dir: &Path) -> Result<Option<LoadedSnapshot>> {
+    let mut skipped = 0u64;
+    for seq in manifest_seqs(dir)? {
+        match load_manifest(dir, seq) {
+            Ok(mut snapshot) => {
+                snapshot.corrupt_skipped = skipped;
+                return Ok(Some(snapshot));
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok(None)
+}
+
+/// WAL segments with sequence number `>= min_seq`, ascending — the replay
+/// order (older generations first, records within a segment in append
+/// order).
+pub(crate) fn list_segments(dir: &Path, min_seq: u64) -> Result<Vec<(u64, PathBuf)>> {
+    let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+        .map_err(|e| io_err("list durability dir", dir, e))?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name();
+            let seq = parse_seq(name.to_str()?, "wal-", ".log")?;
+            (seq >= min_seq).then(|| (seq, segment_path(dir, seq)))
+        })
+        .collect();
+    segments.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(segments)
+}
+
+/// Best-effort removal of everything belonging to generations older than
+/// `keep_seq` (plus stray `.tmp` manifests).  Failures are ignored: stale
+/// files are re-collected by the next snapshot and never confuse recovery
+/// (older manifests are shadowed, older segments replay idempotently).
+pub(crate) fn collect_garbage(dir: &Path, keep_seq: u64) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = name.ends_with(".tmp")
+            || parse_seq(name, "MANIFEST-", "").is_some_and(|s| s < keep_seq)
+            || parse_seq(name, "wal-", ".log").is_some_and(|s| s < keep_seq)
+            || name
+                .strip_prefix("run-")
+                .and_then(|rest| rest.split('-').next())
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|s| s < keep_seq);
+        if stale {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("gpu-lsm-wal-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn batch(ops: &[(u32, Option<u32>)]) -> UpdateBatch {
+        let mut b = UpdateBatch::new();
+        for &(k, v) in ops {
+            match v {
+                Some(v) => b.insert(k, v),
+                None => b.delete(k),
+            };
+        }
+        b
+    }
+
+    #[test]
+    fn records_round_trip_including_tombstones() {
+        let dir = temp_dir("roundtrip");
+        let path = segment_path(&dir, 0);
+        let b1 = batch(&[(1, Some(10)), (2, None), (3, Some(30))]);
+        let b2 = batch(&[(2, Some(20))]);
+        let mut wal = Wal::create(path.clone(), 1).unwrap();
+        wal.append(&b1).unwrap();
+        wal.append(&b2).unwrap();
+        assert_eq!(wal.records, 2);
+        assert_eq!(wal.syncs, 2); // interval 1 syncs every record
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records, vec![b1, b2]);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(scan.record_ends.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_batching_groups_appends() {
+        let dir = temp_dir("fsync");
+        let mut wal = Wal::create(segment_path(&dir, 0), 4).unwrap();
+        for i in 0..10u32 {
+            wal.append(&batch(&[(i, Some(i))])).unwrap();
+        }
+        assert_eq!(wal.syncs, 2); // after records 4 and 8
+        wal.sync().unwrap();
+        assert_eq!(wal.syncs, 3);
+        wal.sync().unwrap(); // nothing new: no extra fsync
+        assert_eq!(wal.syncs, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_skipped() {
+        let dir = temp_dir("torn");
+        let path = segment_path(&dir, 0);
+        let mut wal = Wal::create(path.clone(), 1).unwrap();
+        wal.append(&batch(&[(1, Some(1))])).unwrap();
+        wal.append(&batch(&[(2, Some(2))])).unwrap();
+        drop(wal);
+        let clean = scan_segment(&path).unwrap();
+        // Cut mid-way through the second record: only the first survives.
+        let cut = (clean.record_ends[0] + clean.record_ends[1]) / 2;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, clean.record_ends[0]);
+        assert_eq!(scan.torn_bytes, cut - clean.record_ends[0]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_checksum_truncates_from_that_record() {
+        let dir = temp_dir("corrupt");
+        let path = segment_path(&dir, 0);
+        let mut wal = Wal::create(path.clone(), 1).unwrap();
+        for i in 0..3u32 {
+            wal.append(&batch(&[(i, Some(i))])).unwrap();
+        }
+        drop(wal);
+        let clean = scan_segment(&path).unwrap();
+        // Flip one payload byte inside the second record.
+        let mut bytes = fs::read(&path).unwrap();
+        let offset = clean.record_ends[0] as usize + 17;
+        bytes[offset] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn_bytes > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_newest_valid_wins() {
+        let dir = temp_dir("snapshot");
+        let shard = SnapshotShard {
+            levels: vec![(0, vec![2, 5, 9, 12], vec![1, 2, 3, 4])],
+        };
+        write_snapshot(&dir, 1, 0, 4, &[], &[shard]).unwrap();
+        let shard2 = SnapshotShard {
+            levels: vec![(1, vec![2, 5, 9, 12, 14, 17, 21, 25], vec![0; 8])],
+        };
+        write_snapshot(
+            &dir,
+            2,
+            3,
+            4,
+            &[1000],
+            &[shard2, SnapshotShard { levels: vec![] }],
+        )
+        .unwrap();
+        let loaded = load_newest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(loaded.seq, 2);
+        assert_eq!(loaded.epoch, 3);
+        assert_eq!(loaded.batch_size, 4);
+        assert_eq!(loaded.split_points, vec![1000]);
+        assert_eq!(loaded.shards.len(), 2);
+        assert_eq!(loaded.shards[0].levels[0].0, 1);
+        assert_eq!(loaded.shards[0].levels[0].1.len(), 8);
+        assert_eq!(loaded.corrupt_skipped, 0);
+
+        // Corrupt the newest manifest: recovery falls back to seq 1.
+        let mut bytes = fs::read(manifest_path(&dir, 2)).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(manifest_path(&dir, 2), &bytes).unwrap();
+        let loaded = load_newest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(loaded.seq, 1);
+        assert_eq!(loaded.corrupt_skipped, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_collection_keeps_current_generation() {
+        let dir = temp_dir("gc");
+        let empty = || SnapshotShard {
+            levels: vec![(0, vec![3], vec![7])],
+        };
+        write_snapshot(&dir, 1, 0, 1, &[], &[empty()]).unwrap();
+        write_snapshot(&dir, 2, 0, 1, &[], &[empty()]).unwrap();
+        drop(Wal::create(segment_path(&dir, 1), 1).unwrap());
+        drop(Wal::create(segment_path(&dir, 2), 1).unwrap());
+        collect_garbage(&dir, 2);
+        assert!(!manifest_path(&dir, 1).exists());
+        assert!(!segment_path(&dir, 1).exists());
+        assert!(!run_path(&dir, 1, 0, 0).exists());
+        assert!(manifest_path(&dir, 2).exists());
+        assert!(segment_path(&dir, 2).exists());
+        assert!(run_path(&dir, 2, 0, 0).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_append_truncates_the_torn_tail_physically() {
+        let dir = temp_dir("reopen");
+        let path = segment_path(&dir, 0);
+        let mut wal = Wal::create(path.clone(), 1).unwrap();
+        wal.append(&batch(&[(1, Some(1))])).unwrap();
+        let keep = wal.valid_len;
+        drop(wal);
+        // Simulate a torn write after the good record.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+        drop(f);
+        let mut wal = Wal::open_append(path.clone(), 1, keep).unwrap();
+        wal.append(&batch(&[(2, Some(2))])).unwrap();
+        drop(wal);
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

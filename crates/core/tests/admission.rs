@@ -83,7 +83,7 @@ fn run_differential(batch_seqs: &[Vec<Op>], shards: usize, coalesce: bool) {
         sync.update(&batch).unwrap();
         admitted.submit(&batch).unwrap();
     }
-    admitted.flush();
+    admitted.flush().unwrap();
     assert_identical_answers(&admitted, &sync);
     admitted.check_invariants().unwrap();
     if !coalesce {
@@ -188,7 +188,7 @@ fn concurrent_submitters_drain_to_a_consistent_state() {
             });
         }
     });
-    admitted.flush();
+    admitted.flush().unwrap();
     // Replay the same deterministic per-writer streams synchronously (any
     // interleaving of disjoint-stripe writers commutes).
     for w in 0..4u32 {

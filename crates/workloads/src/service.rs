@@ -134,7 +134,7 @@ impl LsmBackend for AdmittedLsm {
         AdmittedLsm::range(self, intervals)
     }
     fn flush(&self) {
-        AdmittedLsm::flush(self);
+        AdmittedLsm::flush(self).expect("admission pipeline failed during flush");
     }
 }
 

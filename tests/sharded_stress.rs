@@ -87,10 +87,10 @@ impl Backend for AdmittedLsm {
             .collect()
     }
     fn cleanup(&self) {
-        AdmittedLsm::cleanup(self);
+        AdmittedLsm::cleanup(self).expect("admission pipeline alive");
     }
     fn quiesce(&self) {
-        self.flush();
+        self.flush().expect("admission pipeline alive");
     }
 }
 
