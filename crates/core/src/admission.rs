@@ -93,7 +93,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::batch::{Op, UpdateBatch};
 use crate::cleanup::CleanupReport;
@@ -106,7 +106,10 @@ use crate::range::RangeResult;
 use crate::router::ShardRouter;
 use crate::shard::{RebalanceAction, ShardedLsm, ShardedStats};
 use crate::validate::InvariantViolation;
-use crate::wal::{self, DurabilityStats, RecoveryReport, SnapshotShard, Wal};
+use crate::vfs::Vfs;
+use crate::wal::{
+    self, DegradeMode, DurabilityStats, RecoveryReport, RunMap, SnapshotMeta, SnapshotShard, Wal,
+};
 
 /// Lock, recovering from poisoning: an applier panic must not turn every
 /// later `submit`/`flush`/`drop` into a cascading panic.  The guarded
@@ -120,6 +123,20 @@ fn lock_ignore_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Condvar wait with the same poison recovery as [`lock_ignore_poison`].
 fn wait_ignore_poison<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bounded condvar wait with the same poison recovery; the caller rechecks
+/// both its predicate and its own deadline after every wake, so the
+/// timeout flag itself is not needed.
+fn wait_timeout_ignore_poison<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> MutexGuard<'a, T> {
+    condvar
+        .wait_timeout(guard, timeout)
+        .unwrap_or_else(PoisonError::into_inner)
+        .0
 }
 
 /// Default bound of each shard's admission queue, in batches.
@@ -154,6 +171,34 @@ fn env_coalesce() -> bool {
     })
 }
 
+/// The `LSM_SUBMIT_TIMEOUT_MS` environment knob: how long `submit` may
+/// block on backpressure before returning [`LsmError::SubmitTimedOut`]
+/// (unset or 0 = wait forever, today's behavior).
+fn env_submit_timeout() -> Option<Duration> {
+    static T: OnceLock<Option<Duration>> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("LSM_SUBMIT_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+    })
+}
+
+/// The `LSM_FLUSH_TIMEOUT_MS` environment knob: how long `flush` may wait
+/// for the drain barrier before returning [`LsmError::FlushTimedOut`]
+/// (unset or 0 = wait forever).
+fn env_flush_timeout() -> Option<Duration> {
+    static T: OnceLock<Option<Duration>> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("LSM_FLUSH_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis)
+    })
+}
+
 /// Tuning of one admission layer (see the `LSM_ADMIT_*` environment knobs
 /// for the process-wide defaults, and [`crate::LsmConfig`] for the
 /// explicit per-instance route).
@@ -167,6 +212,15 @@ pub struct AdmissionConfig {
     /// Whether queries observe queued (not yet applied) state: lookups
     /// overlay the queues, interval/order queries drain first.
     pub read_your_writes: bool,
+    /// Upper bound on a `submit`'s backpressure wait; past it the call
+    /// returns [`LsmError::SubmitTimedOut`] with nothing admitted or
+    /// logged, so an overloaded service sheds load instead of wedging its
+    /// writers.  `None` (default) waits forever.
+    pub submit_deadline: Option<Duration>,
+    /// Upper bound on a `flush` drain-barrier wait; past it the call
+    /// returns [`LsmError::FlushTimedOut`] (already-admitted batches still
+    /// apply eventually).  `None` (default) waits forever.
+    pub flush_deadline: Option<Duration>,
 }
 
 impl Default for AdmissionConfig {
@@ -175,6 +229,8 @@ impl Default for AdmissionConfig {
             queue_capacity: env_queue_capacity(),
             coalesce: env_coalesce(),
             read_your_writes: false,
+            submit_deadline: env_submit_timeout(),
+            flush_deadline: env_flush_timeout(),
         }
     }
 }
@@ -289,6 +345,8 @@ enum RebalanceCmd {
 #[derive(Debug)]
 struct DurabilityState {
     config: wal::DurabilityConfig,
+    /// The effective filesystem (the [`crate::vfs::Vfs`] seam).
+    vfs: Arc<dyn Vfs>,
     /// The active WAL segment.  Locked after `state` (append happens under
     /// the state lock so log order equals admission order), never before.
     wal: Mutex<Wal>,
@@ -303,9 +361,22 @@ struct DurabilityState {
     manifest_seq: AtomicU64,
     /// Snapshots written by this process.
     snapshots: AtomicU64,
-    /// Lifetime record / fsync counters of retired (rotated-away) segments.
+    /// Lifetime record / fsync / retry counters of retired (rotated-away)
+    /// segments.
     retired_records: AtomicU64,
     retired_syncs: AtomicU64,
+    retired_retries: AtomicU64,
+    /// Run files referenced by the newest manifest — the next snapshot's
+    /// digest-reuse baseline.  Locked after `state`, like `wal`.
+    prev_runs: Mutex<RunMap>,
+    /// Runs carried over unchanged instead of rewritten.
+    runs_reused: AtomicU64,
+    /// Garbage-collection removals that failed (surfaced, not swallowed).
+    gc_failures: AtomicU64,
+    /// Sticky health flag ([`DegradeMode::DegradeToVolatile`]): a
+    /// persistent IO failure sealed the WAL; the pipeline keeps admitting
+    /// in-memory and skips all further logging and snapshots.
+    degraded: AtomicBool,
     /// Off while recovery replays the log through `submit` (the replayed
     /// records are already durable; re-logging would duplicate them) —
     /// also gates snapshots, so a mid-replay flush cannot rotate away
@@ -334,6 +405,10 @@ struct Shared {
     applier_panic: Mutex<Option<String>>,
     /// Test hook: the applier panics at its next scheduling point.
     panic_injected: AtomicBool,
+    /// Test hook: the applier sleeps this many milliseconds (lock
+    /// released) at its next scheduling point, consuming the value —
+    /// deterministic backpressure for the deadline tests.
+    stall_injected: AtomicU64,
     /// WAL + snapshot machinery; `None` for in-memory layers.
     durability: Option<DurabilityState>,
     submitted_batches: AtomicU64,
@@ -501,6 +576,7 @@ impl AdmittedLsm {
             rebalanced: Condvar::new(),
             applier_panic: Mutex::new(None),
             panic_injected: AtomicBool::new(false),
+            stall_injected: AtomicU64::new(0),
             durability,
             submitted_batches: AtomicU64::new(0),
             submitted_ops: AtomicU64::new(0),
@@ -562,46 +638,62 @@ impl AdmittedLsm {
                 context: "open_durable requires LsmConfig::durability to be set".to_string(),
             });
         };
-        std::fs::create_dir_all(&dcfg.dir).map_err(|e| LsmError::Durability {
-            context: format!("create durability dir {}: {e}", dcfg.dir.display()),
-        })?;
+        let vfs = dcfg.vfs_impl();
+        vfs.create_dir_all(&dcfg.dir)
+            .map_err(|e| LsmError::Durability {
+                context: format!("create durability dir {}: {e}", dcfg.dir.display()),
+            })?;
 
-        let mut report = RecoveryReport::default();
-        let (service, base_seq, base_epoch) = match wal::load_newest_snapshot(&dcfg.dir)? {
-            Some(snapshot) => {
-                if snapshot.batch_size != batch_size {
-                    return Err(LsmError::Durability {
-                        context: format!(
-                            "manifest {} was written with batch size {}, not {batch_size}",
-                            snapshot.seq, snapshot.batch_size
-                        ),
-                    });
-                }
-                report.manifest_seq = Some(snapshot.seq);
-                report.corrupt_manifests_skipped = snapshot.corrupt_skipped;
-                let router = ShardRouter::learned(snapshot.split_points.clone())?;
-                let shards = snapshot
-                    .shards
-                    .into_iter()
-                    .map(|shard| GpuLsm::from_levels(device.clone(), batch_size, shard.levels))
-                    .collect::<Result<Vec<_>>>()?;
-                let epoch = snapshot.epoch;
-                let service = ShardedLsm::from_parts(
-                    device,
-                    batch_size,
-                    router,
-                    config.clone(),
-                    shards,
-                    epoch,
-                )?;
-                (service, snapshot.seq, epoch)
-            }
-            None => {
-                let service = ShardedLsm::with_config(device, batch_size, num_shards, config)?;
-                let epoch = service.epoch();
-                (service, 0, epoch)
-            }
+        // A previous incarnation that degraded to volatile left a sticky
+        // marker: report it, then clear it once this recovery succeeds.
+        let prior_degraded = vfs
+            .read_dir_names(&dcfg.dir)
+            .map_err(|e| LsmError::Durability {
+                context: format!("list durability dir {}: {e}", dcfg.dir.display()),
+            })?
+            .iter()
+            .any(|name| name == wal::DEGRADED_MARKER);
+        let mut report = RecoveryReport {
+            prior_degraded,
+            ..RecoveryReport::default()
         };
+        let (service, base_seq, base_epoch, base_runs) =
+            match wal::load_newest_snapshot(&vfs, &dcfg.dir)? {
+                Some(snapshot) => {
+                    if snapshot.batch_size != batch_size {
+                        return Err(LsmError::Durability {
+                            context: format!(
+                                "manifest {} was written with batch size {}, not {batch_size}",
+                                snapshot.seq, snapshot.batch_size
+                            ),
+                        });
+                    }
+                    report.manifest_seq = Some(snapshot.seq);
+                    report.corrupt_manifests_skipped = snapshot.corrupt_skipped;
+                    let router = ShardRouter::learned(snapshot.split_points.clone())?;
+                    let run_refs = snapshot.run_refs;
+                    let shards = snapshot
+                        .shards
+                        .into_iter()
+                        .map(|shard| GpuLsm::from_levels(device.clone(), batch_size, shard.levels))
+                        .collect::<Result<Vec<_>>>()?;
+                    let epoch = snapshot.epoch;
+                    let service = ShardedLsm::from_parts(
+                        device,
+                        batch_size,
+                        router,
+                        config.clone(),
+                        shards,
+                        epoch,
+                    )?;
+                    (service, snapshot.seq, epoch, run_refs)
+                }
+                None => {
+                    let service = ShardedLsm::with_config(device, batch_size, num_shards, config)?;
+                    let epoch = service.epoch();
+                    (service, 0, epoch, RunMap::new())
+                }
+            };
 
         // Gather the WAL tail: every segment of the restored generation
         // and later, ascending.  (Generations older than the manifest
@@ -610,8 +702,8 @@ impl AdmittedLsm {
         // the last record wins and the snapshot already agrees with it.)
         let mut replay: Vec<UpdateBatch> = Vec::new();
         let mut active: Option<(u64, u64)> = None;
-        for (seq, path) in wal::list_segments(&dcfg.dir, base_seq)? {
-            let scan = wal::scan_segment(&path)?;
+        for (seq, path) in wal::list_segments(&vfs, &dcfg.dir, base_seq)? {
+            let scan = wal::scan_segment(&vfs, &path)?;
             report.torn_bytes += scan.torn_bytes;
             replay.extend(scan.records);
             active = Some((seq, scan.valid_len));
@@ -621,20 +713,28 @@ impl AdmittedLsm {
         let (wal_writer, active_seq) = match active {
             Some((seq, valid_len)) => (
                 Wal::open_append(
+                    &vfs,
                     wal::segment_path(&dcfg.dir, seq),
                     dcfg.fsync_interval,
                     valid_len,
+                    dcfg.retry,
                 )?,
                 seq,
             ),
             None => (
-                Wal::create(wal::segment_path(&dcfg.dir, base_seq), dcfg.fsync_interval)?,
+                Wal::create(
+                    &vfs,
+                    wal::segment_path(&dcfg.dir, base_seq),
+                    dcfg.fsync_interval,
+                    dcfg.retry,
+                )?,
                 base_seq,
             ),
         };
 
         let admission = service.config().admission();
         let durability = DurabilityState {
+            vfs: Arc::clone(&vfs),
             config: dcfg,
             wal: Mutex::new(wal_writer),
             records_since_snapshot: AtomicU64::new(0),
@@ -646,18 +746,37 @@ impl AdmittedLsm {
             snapshots: AtomicU64::new(0),
             retired_records: AtomicU64::new(0),
             retired_syncs: AtomicU64::new(0),
+            retired_retries: AtomicU64::new(0),
+            prev_runs: Mutex::new(base_runs),
+            runs_reused: AtomicU64::new(0),
+            gc_failures: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
             logging: AtomicBool::new(false),
         };
         let lsm = Self::build(service, admission, Some(durability));
         for batch in &replay {
-            lsm.submit(batch)?;
+            // Replay ignores the configured deadlines: recovery must not
+            // shed its own log.
+            lsm.submit_with_deadline(batch, None)?;
             report.replayed_batches += 1;
         }
         // Drain the replay before acknowledging recovery.  No snapshot
         // happens here (logging is still off), so the WAL keeps covering
         // the replayed records until the first post-recovery barrier.
-        lsm.flush()?;
+        lsm.flush_with_deadline(None)?;
         let durability = lsm.shared.durability.as_ref().expect("durable build");
+        if report.prior_degraded {
+            // Recovery succeeded from the degraded generation's durable
+            // prefix: this incarnation is healthy again.  A failed removal
+            // keeps the marker (and the report flag) sticky.
+            if durability
+                .vfs
+                .remove_file(&wal::degraded_marker_path(&durability.config.dir))
+                .is_err()
+            {
+                durability.gc_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         durability.logging.store(true, Ordering::Relaxed);
         Ok((lsm, report))
     }
@@ -692,10 +811,23 @@ impl AdmittedLsm {
     ///
     /// Besides batch validation, fails with
     /// [`LsmError::ApplierPanicked`] once the background applier has died
-    /// (nothing is enqueued or logged in that case) and with
-    /// [`LsmError::Durability`] when the write-ahead log cannot be
-    /// appended (the batch is then *not* admitted).
+    /// (nothing is enqueued or logged in that case), with
+    /// [`LsmError::SubmitTimedOut`] when a configured
+    /// [`AdmissionConfig::submit_deadline`] expires on backpressure
+    /// (nothing admitted or logged — a load-shedding caller can drop or
+    /// retry), and with [`LsmError::Durability`] when the write-ahead log
+    /// cannot be appended under [`DegradeMode::FailStop`] (the batch is
+    /// then *not* admitted; under
+    /// [`DegradeMode::DegradeToVolatile`] the pipeline instead seals the
+    /// WAL, raises the sticky `durability_degraded` flag, and admits the
+    /// batch in-memory).
     pub fn submit(&self, batch: &UpdateBatch) -> Result<()> {
+        self.submit_with_deadline(batch, self.shared.config.submit_deadline)
+    }
+
+    /// [`submit`](Self::submit) with an explicit deadline override
+    /// (`None` = wait forever; recovery replay uses that).
+    fn submit_with_deadline(&self, batch: &UpdateBatch, deadline: Option<Duration>) -> Result<()> {
         if batch.is_empty() {
             return Err(LsmError::EmptyBatch);
         }
@@ -708,6 +840,7 @@ impl AdmittedLsm {
         if let Some(op) = batch.ops().iter().find(|op| op.key() > MAX_KEY) {
             return Err(LsmError::KeyOutOfRange { key: op.key() });
         }
+        let started = Instant::now();
         let enqueued;
         {
             let mut state = lock_ignore_poison(&self.shared.state);
@@ -720,16 +853,40 @@ impl AdmittedLsm {
                     .iter()
                     .all(|(s, _)| state.queues[*s].queue.len() < self.shared.config.queue_capacity);
                 if !fits {
-                    state = wait_ignore_poison(&self.shared.space, state);
+                    state = match deadline {
+                        None => wait_ignore_poison(&self.shared.space, state),
+                        Some(limit) => {
+                            let waited = started.elapsed();
+                            if waited >= limit {
+                                return Err(LsmError::SubmitTimedOut {
+                                    waited_ms: waited.as_millis() as u64,
+                                });
+                            }
+                            wait_timeout_ignore_poison(&self.shared.space, state, limit - waited)
+                        }
+                    };
                     continue;
                 }
                 // Log ahead of enqueue, under the same lock: WAL record
                 // order is admission order.  A failed append admits
-                // nothing (the writer rolled the file back).
+                // nothing under fail-stop (the writer rolled the file
+                // back); under degrade-to-volatile the WAL is sealed at
+                // the last durable boundary and admission continues
+                // in-memory.
                 if let Some(d) = &self.shared.durability {
-                    if d.logging.load(Ordering::Relaxed) {
-                        lock_ignore_poison(&d.wal).append(batch)?;
-                        d.records_since_snapshot.fetch_add(1, Ordering::Relaxed);
+                    if d.logging.load(Ordering::Relaxed) && !d.degraded.load(Ordering::Relaxed) {
+                        // Bind the result so the WAL guard drops before the
+                        // degrade path re-locks it.
+                        let appended = lock_ignore_poison(&d.wal).append(batch);
+                        match appended {
+                            Ok(()) => {
+                                d.records_since_snapshot.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => match d.config.degrade {
+                                DegradeMode::FailStop => return Err(e),
+                                DegradeMode::DegradeToVolatile => degrade_to_volatile(d),
+                            },
+                        }
                     }
                 }
                 // The admission timestamp is taken *after* any
@@ -787,11 +944,21 @@ impl AdmittedLsm {
     ///
     /// [`LsmError::ApplierPanicked`] once the background applier has died
     /// — even if the snapshotted targets were already met, because the
-    /// barrier can no longer promise anything about applied state — and
-    /// [`LsmError::Durability`] when the snapshot cannot be written (the
-    /// drain itself still happened; the WAL keeps covering the drained
-    /// records).
+    /// barrier can no longer promise anything about applied state;
+    /// [`LsmError::FlushTimedOut`] when a configured
+    /// [`AdmissionConfig::flush_deadline`] expires before the drain
+    /// (admitted batches still apply eventually); and
+    /// [`LsmError::Durability`] when the snapshot cannot be written under
+    /// [`DegradeMode::FailStop`] (the drain itself still happened; the WAL
+    /// keeps covering the drained records).
     pub fn flush(&self) -> Result<()> {
+        self.flush_with_deadline(self.shared.config.flush_deadline)
+    }
+
+    /// [`flush`](Self::flush) with an explicit deadline override
+    /// (`None` = wait forever; recovery replay uses that).
+    fn flush_with_deadline(&self, deadline: Option<Duration>) -> Result<()> {
+        let started = Instant::now();
         let mut state = lock_ignore_poison(&self.shared.state);
         let targets: Vec<(u64, u64)> = state
             .queues
@@ -812,7 +979,18 @@ impl AdmittedLsm {
             if !pending {
                 break;
             }
-            state = wait_ignore_poison(&self.shared.drained, state);
+            state = match deadline {
+                None => wait_ignore_poison(&self.shared.drained, state),
+                Some(limit) => {
+                    let waited = started.elapsed();
+                    if waited >= limit {
+                        return Err(LsmError::FlushTimedOut {
+                            waited_ms: waited.as_millis() as u64,
+                        });
+                    }
+                    wait_timeout_ignore_poison(&self.shared.drained, state, limit - waited)
+                }
+            };
         }
         maybe_snapshot(&self.shared, &state)?;
         drop(state);
@@ -1022,6 +1200,10 @@ impl AdmittedLsm {
         let latency = self.latency_stats();
         stats.admission_queue_wait = latency.queue_wait;
         stats.admission_apply = latency.apply;
+        if let Some(d) = self.durability_stats() {
+            stats.durability_degraded = d.degraded;
+            stats.durability_gc_failures = d.gc_failures;
+        }
         stats
     }
 
@@ -1035,15 +1217,19 @@ impl AdmittedLsm {
     /// Durability counters, or `None` for an in-memory service.
     pub fn durability_stats(&self) -> Option<DurabilityStats> {
         let d = self.shared.durability.as_ref()?;
-        let (records, syncs) = {
+        let (records, syncs, retries) = {
             let wal = lock_ignore_poison(&d.wal);
-            (wal.records, wal.syncs)
+            (wal.records, wal.syncs, wal.retries)
         };
         Some(DurabilityStats {
             wal_records: d.retired_records.load(Ordering::Relaxed) + records,
             wal_syncs: d.retired_syncs.load(Ordering::Relaxed) + syncs,
+            wal_retries: d.retired_retries.load(Ordering::Relaxed) + retries,
             snapshots: d.snapshots.load(Ordering::Relaxed),
+            runs_reused: d.runs_reused.load(Ordering::Relaxed),
+            gc_failures: d.gc_failures.load(Ordering::Relaxed),
             manifest_seq: d.manifest_seq.load(Ordering::Relaxed),
+            degraded: d.degraded.load(Ordering::Relaxed),
         })
     }
 
@@ -1052,6 +1238,34 @@ impl AdmittedLsm {
     pub fn inject_applier_panic(&self) {
         self.shared.panic_injected.store(true, Ordering::Relaxed);
         self.shared.work.notify_all();
+    }
+
+    /// Test hook: make the applier sleep `ms` milliseconds (locks
+    /// released) at its next wakeup, before draining anything — a
+    /// deterministic backpressure window for the deadline tests.
+    #[doc(hidden)]
+    pub fn inject_applier_stall(&self, ms: u64) {
+        self.shared.stall_injected.store(ms, Ordering::Relaxed);
+        self.shared.work.notify_all();
+    }
+}
+
+/// Seal the WAL at the last durable record boundary, raise the sticky
+/// degraded flag, and drop a best-effort on-disk marker for the next
+/// recovery to report ([`DegradeMode::DegradeToVolatile`]).  Called with
+/// the queue state lock held (the WAL lock nests inside it).
+fn degrade_to_volatile(d: &DurabilityState) {
+    {
+        let mut wal = lock_ignore_poison(&d.wal);
+        if !wal.is_sealed() {
+            wal.seal();
+        }
+    }
+    if !d.degraded.swap(true, Ordering::Relaxed) {
+        let _ = d.vfs.write(
+            &wal::degraded_marker_path(&d.config.dir),
+            b"durability degraded: WAL sealed at last durable record\n",
+        );
     }
 }
 
@@ -1076,11 +1290,33 @@ fn maybe_snapshot(shared: &Shared, state: &QueueState) -> Result<()> {
     if !idle {
         return Ok(());
     }
+    if d.degraded.load(Ordering::Relaxed) {
+        // Degraded mode: the state being snapshotted includes batches that
+        // were never logged, so a manifest would falsely claim durability
+        // for them.  Keep serving from memory instead.
+        return Ok(());
+    }
     let dirty = d.records_since_snapshot.load(Ordering::Relaxed) > 0
         || d.snapshot_epoch.load(Ordering::Relaxed) != state.epoch;
     if !dirty {
         return Ok(());
     }
+    match snapshot_now(shared, d) {
+        Ok(()) => Ok(()),
+        Err(e) => match d.config.degrade {
+            DegradeMode::FailStop => Err(e),
+            DegradeMode::DegradeToVolatile => {
+                degrade_to_volatile(d);
+                Ok(())
+            }
+        },
+    }
+}
+
+/// The snapshot body proper: sync the WAL, write the next manifest
+/// generation (reusing unchanged run files), rotate to a fresh segment,
+/// and garbage-collect superseded generations.
+fn snapshot_now(shared: &Shared, d: &DurabilityState) -> Result<()> {
     // Everything logged so far must be on disk before the manifest can
     // supersede it (the manifest ends the previous generation).
     lock_ignore_poison(&d.wal).sync()?;
@@ -1099,26 +1335,37 @@ fn maybe_snapshot(shared: &Shared, state: &QueueState) -> Result<()> {
             })
         })
         .collect();
-    wal::write_snapshot(
+    let prev = lock_ignore_poison(&d.prev_runs).clone();
+    let (runs, reused) = wal::write_snapshot(
+        &d.vfs,
         &d.config.dir,
-        seq,
-        table.epoch,
-        shared.service.batch_size(),
+        SnapshotMeta {
+            seq,
+            epoch: table.epoch,
+            batch_size: shared.service.batch_size(),
+        },
         &table.router.split_points(),
         &shards,
+        &prev,
     )?;
     let fresh = Wal::create(
+        &d.vfs,
         wal::segment_path(&d.config.dir, seq),
         d.config.fsync_interval,
+        d.config.retry,
     )?;
     let old = std::mem::replace(&mut *lock_ignore_poison(&d.wal), fresh);
     d.retired_records.fetch_add(old.records, Ordering::Relaxed);
     d.retired_syncs.fetch_add(old.syncs, Ordering::Relaxed);
+    d.retired_retries.fetch_add(old.retries, Ordering::Relaxed);
     d.records_since_snapshot.store(0, Ordering::Relaxed);
     d.snapshot_epoch.store(table.epoch, Ordering::Relaxed);
     d.manifest_seq.store(seq, Ordering::Relaxed);
     d.snapshots.fetch_add(1, Ordering::Relaxed);
-    wal::collect_garbage(&d.config.dir, seq);
+    d.runs_reused.fetch_add(reused, Ordering::Relaxed);
+    let failures = wal::collect_garbage(&d.vfs, &d.config.dir, seq, &runs);
+    d.gc_failures.fetch_add(failures, Ordering::Relaxed);
+    *lock_ignore_poison(&d.prev_runs) = runs;
     Ok(())
 }
 
@@ -1170,6 +1417,15 @@ fn applier_loop(shared: &Arc<Shared>) {
             loop {
                 if shared.panic_injected.swap(false, Ordering::Relaxed) {
                     panic!("injected applier panic (test hook)");
+                }
+                let stall = shared.stall_injected.swap(0, Ordering::Relaxed);
+                if stall > 0 {
+                    // Test hook: sleep with the lock released so submits
+                    // can queue up against a provably idle applier.
+                    drop(state);
+                    std::thread::sleep(Duration::from_millis(stall));
+                    state = lock_ignore_poison(&shared.state);
+                    continue;
                 }
                 if let Some((seq, cmd)) = state.pending_rebalances.pop_front() {
                     let result = execute_rebalance(shared, &mut state, cmd);
@@ -1448,6 +1704,8 @@ mod tests {
             queue_capacity: 8,
             coalesce,
             read_your_writes: ryw,
+            submit_deadline: None,
+            flush_deadline: None,
         }
     }
 
@@ -1571,6 +1829,8 @@ mod tests {
                 queue_capacity: 2,
                 coalesce: true,
                 read_your_writes: false,
+                submit_deadline: None,
+                flush_deadline: None,
             },
         );
         // Many more batches than the queue holds: submitters must block on
@@ -1584,6 +1844,38 @@ mod tests {
             // Key k was last written by batch 48 + k.
             assert_eq!(v, Some(48 + k as u32), "key {k}");
         }
+    }
+
+    #[test]
+    fn submit_and_flush_deadlines_time_out_then_recover() {
+        let lsm = admitted(
+            4,
+            1,
+            AdmissionConfig {
+                queue_capacity: 1,
+                coalesce: true,
+                read_your_writes: false,
+                submit_deadline: Some(Duration::from_millis(40)),
+                flush_deadline: Some(Duration::from_millis(40)),
+            },
+        );
+        // Park the applier (lock released) so the queue provably backs up.
+        lsm.inject_applier_stall(500);
+        std::thread::sleep(Duration::from_millis(30));
+        lsm.insert(&[(1, 1)]).unwrap(); // fills the capacity-1 queue
+        assert!(matches!(
+            lsm.insert(&[(2, 2)]).unwrap_err(),
+            LsmError::SubmitTimedOut { .. }
+        ));
+        assert!(matches!(
+            lsm.flush().unwrap_err(),
+            LsmError::FlushTimedOut { .. }
+        ));
+        // Once the stall expires the admitted batch still applies; the
+        // timed-out one was never admitted.
+        std::thread::sleep(Duration::from_millis(550));
+        lsm.flush().unwrap();
+        assert_eq!(lsm.lookup(&[1, 2]), vec![Some(1), None]);
     }
 
     #[test]

@@ -18,9 +18,11 @@
 //!   with these fields set installs the corresponding global override
 //!   (fields left `None` touch nothing).
 
+use std::time::Duration;
+
 use crate::admission::AdmissionConfig;
 use crate::error::{LsmError, Result};
-use crate::wal::DurabilityConfig;
+use crate::wal::{DegradeMode, DurabilityConfig, RetryPolicy};
 
 /// Thresholds governing online shard split/merge (see
 /// [`crate::ShardedLsm::maybe_rebalance`]).
@@ -95,6 +97,15 @@ pub struct LsmConfig {
     /// Whether the admission applier coalesces queued batches
     /// (`LSM_ADMIT_COALESCE`; 0 disables).
     pub admit_coalesce: Option<bool>,
+    /// Bounded backpressure: how long `submit` may block waiting for
+    /// admission queue space before failing with
+    /// [`LsmError::SubmitTimedOut`] (`LSM_SUBMIT_TIMEOUT_MS`).  `None`
+    /// falls back to the env knob and then to waiting forever.
+    pub submit_timeout: Option<Duration>,
+    /// How long `flush` may block waiting for the queues to drain before
+    /// failing with [`LsmError::FlushTimedOut`] (`LSM_FLUSH_TIMEOUT_MS`).
+    /// `None` falls back to the env knob and then to waiting forever.
+    pub flush_timeout: Option<Duration>,
     /// Online shard split/merge thresholds.  Per instance; no env
     /// equivalent (rebalancing is opt-in via explicit config).
     pub rebalance: RebalanceConfig,
@@ -122,7 +133,11 @@ impl LsmConfig {
     /// | `bulk_lookup_frac` | `LSM_BULK_LOOKUP_FRAC` (must be > 0) |
     /// | `admit_queue_capacity` | `LSM_ADMIT_QUEUE` (must be ≥ 1) |
     /// | `admit_coalesce` | `LSM_ADMIT_COALESCE` (0 = off) |
+    /// | `submit_timeout` | `LSM_SUBMIT_TIMEOUT_MS` (ms, ≥ 1) |
+    /// | `flush_timeout` | `LSM_FLUSH_TIMEOUT_MS` (ms, ≥ 1) |
     /// | `durability` | `LSM_WAL_DIR` + `LSM_WAL_FSYNC` (records/fsync, ≥ 1) |
+    /// | `durability.retry` | `LSM_WAL_RETRIES` (`N` or `N:B`, attempts ≥ 1, backoff µs) |
+    /// | `durability.degrade` | `LSM_WAL_DEGRADE` (`failstop` \| `volatile`) |
     pub fn from_env() -> Result<Self> {
         Self::from_env_lookup(|var| match std::env::var(var) {
             Ok(value) => Ok(Some(value)),
@@ -184,6 +199,23 @@ impl LsmConfig {
                 "queue capacity must be at least 1",
             ));
         }
+        let submit_timeout =
+            parse::<u64>("LSM_SUBMIT_TIMEOUT_MS", lookup("LSM_SUBMIT_TIMEOUT_MS")?)?;
+        if submit_timeout == Some(0) {
+            return Err(reject(
+                "LSM_SUBMIT_TIMEOUT_MS",
+                0,
+                "submit timeout must be at least 1 ms (unset the variable to wait forever)",
+            ));
+        }
+        let flush_timeout = parse::<u64>("LSM_FLUSH_TIMEOUT_MS", lookup("LSM_FLUSH_TIMEOUT_MS")?)?;
+        if flush_timeout == Some(0) {
+            return Err(reject(
+                "LSM_FLUSH_TIMEOUT_MS",
+                0,
+                "flush timeout must be at least 1 ms (unset the variable to wait forever)",
+            ));
+        }
         let fsync_interval = parse::<usize>("LSM_WAL_FSYNC", lookup("LSM_WAL_FSYNC")?)?;
         if fsync_interval == Some(0) {
             return Err(reject(
@@ -192,10 +224,66 @@ impl LsmConfig {
                 "fsync interval must be at least 1 record",
             ));
         }
+        // `N` (attempts, default backoff) or `N:B` (attempts : backoff µs).
+        let retry = match lookup("LSM_WAL_RETRIES")? {
+            None => None,
+            Some(raw) => {
+                let trimmed = raw.trim();
+                let (attempts_str, backoff_str) = match trimmed.split_once(':') {
+                    Some((a, b)) => (a.trim(), Some(b.trim())),
+                    None => (trimmed, None),
+                };
+                let attempts = attempts_str.parse::<u32>().map_err(|e| {
+                    reject(
+                        "LSM_WAL_RETRIES",
+                        trimmed,
+                        &format!("attempts: {e} (expected `N` or `N:backoff_us`)"),
+                    )
+                })?;
+                if attempts == 0 {
+                    return Err(reject(
+                        "LSM_WAL_RETRIES",
+                        trimmed,
+                        "must allow at least 1 attempt",
+                    ));
+                }
+                let backoff = match backoff_str {
+                    Some(b) => Duration::from_micros(b.parse::<u64>().map_err(|e| {
+                        reject(
+                            "LSM_WAL_RETRIES",
+                            trimmed,
+                            &format!("backoff: {e} (expected `N` or `N:backoff_us`)"),
+                        )
+                    })?),
+                    None => RetryPolicy::default().backoff,
+                };
+                Some(RetryPolicy::new(attempts, backoff))
+            }
+        };
+        let degrade = match lookup("LSM_WAL_DEGRADE")? {
+            None => None,
+            Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+                "failstop" => Some(DegradeMode::FailStop),
+                "volatile" => Some(DegradeMode::DegradeToVolatile),
+                other => {
+                    return Err(reject(
+                        "LSM_WAL_DEGRADE",
+                        other,
+                        "expected \"failstop\" or \"volatile\"",
+                    ))
+                }
+            },
+        };
         let durability = lookup("LSM_WAL_DIR")?.map(|dir| {
             let mut d = DurabilityConfig::new(dir.trim());
             if let Some(records) = fsync_interval {
                 d = d.fsync_interval(records);
+            }
+            if let Some(retry) = retry {
+                d = d.retry(retry);
+            }
+            if let Some(degrade) = degrade {
+                d = d.degrade(degrade);
             }
             d
         });
@@ -206,6 +294,8 @@ impl LsmConfig {
             admit_queue_capacity,
             admit_coalesce: parse::<u32>("LSM_ADMIT_COALESCE", lookup("LSM_ADMIT_COALESCE")?)?
                 .map(|v| v != 0),
+            submit_timeout: submit_timeout.map(Duration::from_millis),
+            flush_timeout: flush_timeout.map(Duration::from_millis),
             rebalance: RebalanceConfig::default(),
             durability,
         })
@@ -238,6 +328,20 @@ impl LsmConfig {
     /// Enable or disable admission coalescing.
     pub fn admit_coalesce(mut self, coalesce: bool) -> Self {
         self.admit_coalesce = Some(coalesce);
+        self
+    }
+
+    /// Bound `submit` backpressure waits: fail with
+    /// [`LsmError::SubmitTimedOut`] instead of blocking longer than this.
+    pub fn submit_timeout(mut self, timeout: Duration) -> Self {
+        self.submit_timeout = Some(timeout);
+        self
+    }
+
+    /// Bound `flush` drain waits: fail with [`LsmError::FlushTimedOut`]
+    /// instead of blocking longer than this.
+    pub fn flush_timeout(mut self, timeout: Duration) -> Self {
+        self.flush_timeout = Some(timeout);
         self
     }
 
@@ -276,6 +380,12 @@ impl LsmConfig {
         }
         if let Some(coalesce) = self.admit_coalesce {
             ac.coalesce = coalesce;
+        }
+        if let Some(timeout) = self.submit_timeout {
+            ac.submit_deadline = Some(timeout);
+        }
+        if let Some(timeout) = self.flush_timeout {
+            ac.flush_deadline = Some(timeout);
         }
         ac
     }
@@ -343,8 +453,12 @@ mod tests {
             ("LSM_BULK_LOOKUP_FRAC", "0.25"),
             ("LSM_ADMIT_QUEUE", "32"),
             ("LSM_ADMIT_COALESCE", "0"),
+            ("LSM_SUBMIT_TIMEOUT_MS", "250"),
+            ("LSM_FLUSH_TIMEOUT_MS", " 5000 "),
             ("LSM_WAL_DIR", "/tmp/lsm-wal"),
             ("LSM_WAL_FSYNC", "4"),
+            ("LSM_WAL_RETRIES", "5:200"),
+            ("LSM_WAL_DEGRADE", "Volatile"),
         ]))
         .unwrap();
         assert_eq!(c.bloom_bits, Some(8));
@@ -352,9 +466,25 @@ mod tests {
         assert_eq!(c.bulk_lookup_frac, Some(0.25));
         assert_eq!(c.admit_queue_capacity, Some(32));
         assert_eq!(c.admit_coalesce, Some(false));
+        assert_eq!(c.submit_timeout, Some(Duration::from_millis(250)));
+        assert_eq!(c.flush_timeout, Some(Duration::from_millis(5000)));
         let d = c.durability.unwrap();
         assert_eq!(d.dir, std::path::PathBuf::from("/tmp/lsm-wal"));
         assert_eq!(d.fsync_interval, 4);
+        assert_eq!(d.retry, RetryPolicy::new(5, Duration::from_micros(200)));
+        assert_eq!(d.degrade, DegradeMode::DegradeToVolatile);
+    }
+
+    #[test]
+    fn wal_retries_accepts_attempts_only_form() {
+        let c = LsmConfig::from_env_lookup(env_of(&[
+            ("LSM_WAL_DIR", "/tmp/lsm-wal"),
+            ("LSM_WAL_RETRIES", "7"),
+        ]))
+        .unwrap();
+        let d = c.durability.unwrap();
+        assert_eq!(d.retry.attempts, 7);
+        assert_eq!(d.retry.backoff, RetryPolicy::default().backoff);
     }
 
     #[test]
@@ -384,7 +514,13 @@ mod tests {
             ("LSM_PAR_CUTOFF", "-1"),
             ("LSM_BULK_LOOKUP_FRAC", "zero.five"),
             ("LSM_ADMIT_COALESCE", "off"),
+            ("LSM_SUBMIT_TIMEOUT_MS", "fast"),
+            ("LSM_FLUSH_TIMEOUT_MS", "1.5"),
             ("LSM_WAL_FSYNC", "1s"),
+            ("LSM_WAL_RETRIES", "three"),
+            ("LSM_WAL_RETRIES", "3:soon"),
+            ("LSM_WAL_RETRIES", "3:100:extra"),
+            ("LSM_WAL_DEGRADE", "maybe"),
         ] {
             let err = LsmConfig::from_env_lookup(env_of(&[(var, bad)])).unwrap_err();
             assert!(
@@ -402,7 +538,10 @@ mod tests {
             ("LSM_BULK_LOOKUP_FRAC", "-0.5"),
             ("LSM_BULK_LOOKUP_FRAC", "inf"),
             ("LSM_ADMIT_QUEUE", "0"),
+            ("LSM_SUBMIT_TIMEOUT_MS", "0"),
+            ("LSM_FLUSH_TIMEOUT_MS", "0"),
             ("LSM_WAL_FSYNC", "0"),
+            ("LSM_WAL_RETRIES", "0"),
         ] {
             assert!(
                 LsmConfig::from_env_lookup(env_of(&[(var, bad)])).is_err(),
@@ -416,5 +555,27 @@ mod tests {
         let c = LsmConfig::from_env_lookup(env_of(&[("LSM_WAL_FSYNC", "16")])).unwrap();
         assert_eq!(c.durability, None);
         assert!(LsmConfig::from_env_lookup(env_of(&[("LSM_WAL_FSYNC", "bogus")])).is_err());
+    }
+
+    #[test]
+    fn wal_retries_and_degrade_without_wal_dir_are_validated_but_inert() {
+        let c = LsmConfig::from_env_lookup(env_of(&[
+            ("LSM_WAL_RETRIES", "4:50"),
+            ("LSM_WAL_DEGRADE", "volatile"),
+        ]))
+        .unwrap();
+        assert_eq!(c.durability, None);
+        assert!(LsmConfig::from_env_lookup(env_of(&[("LSM_WAL_RETRIES", "nope")])).is_err());
+        assert!(LsmConfig::from_env_lookup(env_of(&[("LSM_WAL_DEGRADE", "nope")])).is_err());
+    }
+
+    #[test]
+    fn timeouts_flow_into_the_admission_config() {
+        let c = LsmConfig::default()
+            .submit_timeout(Duration::from_millis(10))
+            .flush_timeout(Duration::from_millis(20));
+        let ac = c.admission();
+        assert_eq!(ac.submit_deadline, Some(Duration::from_millis(10)));
+        assert_eq!(ac.flush_deadline, Some(Duration::from_millis(20)));
     }
 }

@@ -76,6 +76,21 @@ pub enum LsmError {
         /// What failed, including the path and the underlying I/O error.
         context: String,
     },
+    /// `submit` waited longer than the configured
+    /// [`crate::AdmissionConfig::submit_deadline`] for queue space.  The
+    /// batch was **not** admitted (and not logged); a load-shedding caller
+    /// can drop it or retry later.
+    SubmitTimedOut {
+        /// How long the submit waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
+    /// `flush` waited longer than the configured
+    /// [`crate::AdmissionConfig::flush_deadline`] for the queues to drain.
+    /// Already-admitted batches remain queued and will still apply.
+    FlushTimedOut {
+        /// How long the flush waited before giving up, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for LsmError {
@@ -115,6 +130,18 @@ impl fmt::Display for LsmError {
             }
             LsmError::Durability { context } => {
                 write!(f, "durability failure: {context}")
+            }
+            LsmError::SubmitTimedOut { waited_ms } => {
+                write!(
+                    f,
+                    "submit timed out after {waited_ms} ms waiting for admission queue space"
+                )
+            }
+            LsmError::FlushTimedOut { waited_ms } => {
+                write!(
+                    f,
+                    "flush timed out after {waited_ms} ms waiting for admission queues to drain"
+                )
             }
         }
     }
@@ -168,6 +195,12 @@ mod tests {
         }
         .to_string()
         .contains("wal-0.log"));
+        assert!(LsmError::SubmitTimedOut { waited_ms: 250 }
+            .to_string()
+            .contains("250 ms"));
+        assert!(LsmError::FlushTimedOut { waited_ms: 1000 }
+            .to_string()
+            .contains("drain"));
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod router;
 pub mod shard;
 pub mod stats;
 pub mod validate;
+pub mod vfs;
 pub mod wal;
 
 pub use admission::{AdmissionConfig, AdmissionLatencyStats, AdmissionStats, AdmittedLsm};
@@ -80,4 +81,5 @@ pub use range::RangeResult;
 pub use router::{RouterKind, ShardRouter, SubQuery};
 pub use shard::{RebalanceAction, ShardedLsm, ShardedStats};
 pub use stats::{LsmStats, MergeCounters};
-pub use wal::{DurabilityConfig, DurabilityStats, RecoveryReport};
+pub use vfs::{Fault, FaultKind, FaultOp, FaultVfs, RealVfs, Vfs, VfsFile};
+pub use wal::{DegradeMode, DurabilityConfig, DurabilityStats, RecoveryReport, RetryPolicy};

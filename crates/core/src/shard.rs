@@ -197,6 +197,15 @@ pub struct ShardedStats {
     /// Shard-apply-time percentiles of the admission layer, µs (zeroed
     /// without one).
     pub admission_apply: crate::latency::LatencySnapshot,
+    /// `true` once durability has degraded to volatile operation (WAL
+    /// sealed after unrecoverable I/O errors under
+    /// [`crate::DegradeMode::DegradeToVolatile`]).  Sticky for the life of
+    /// the handle; `false` without an admission layer.
+    pub durability_degraded: bool,
+    /// Lifetime durability garbage-collection failures (snapshot
+    /// generations whose obsolete files could not be removed; they are
+    /// retried on the next snapshot).  0 without an admission layer.
+    pub durability_gc_failures: u64,
 }
 
 impl ShardedStats {
@@ -1014,6 +1023,8 @@ impl ShardedLsm {
             admission_applied_batches: 0,
             admission_queue_wait: crate::latency::LatencySnapshot::default(),
             admission_apply: crate::latency::LatencySnapshot::default(),
+            durability_degraded: false,
+            durability_gc_failures: 0,
             per_shard: Vec::new(),
         };
         for s in &per_shard {

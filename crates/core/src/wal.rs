@@ -10,13 +10,22 @@
 //!
 //! Levels are immutable sorted runs, so a crash-consistent snapshot is a
 //! **manifest** (router split points, epoch, batch size, per-shard level
-//! list with run checksums) plus one **run file** per occupied level.  The
-//! admission layer writes a snapshot at quiescent flush barriers and after
-//! shard split/merge epoch bumps, then rotates the WAL to a fresh segment
-//! keyed by the new manifest sequence number and garbage-collects the
-//! superseded generation.  Manifests become visible via an atomic
-//! tmp-write + rename, so a torn manifest write can never shadow a valid
-//! older one.
+//! list with run checksums) plus one **run file** per occupied level.
+//! Snapshots are *incremental*: a level whose run digest matches the
+//! previous generation keeps referencing the already-written file instead
+//! of rewriting it, so a flush-barrier snapshot only pays for changed
+//! runs.  The admission layer writes a snapshot at quiescent flush
+//! barriers and after shard split/merge epoch bumps, then rotates the WAL
+//! to a fresh segment keyed by the new manifest sequence number and
+//! garbage-collects the superseded generation (sparing carried-over
+//! runs).  Manifests become visible via an atomic tmp-write + rename, so
+//! a torn manifest write can never shadow a valid older one.
+//!
+//! Every filesystem operation goes through the [`crate::vfs::Vfs`] seam.
+//! Transient IO errors on append/fsync are retried per [`RetryPolicy`];
+//! persistent failure is governed by [`DegradeMode`] — fail stop, or seal
+//! the WAL at the last durable boundary and keep serving in memory with a
+//! sticky `durability_degraded` health flag.
 //!
 //! Recovery ([`crate::AdmittedLsm::open_durable`]) loads the newest
 //! manifest that validates (checksums of the manifest and of every run
@@ -31,13 +40,15 @@
 //! amortizes apply cost.  A crash may lose at most the un-synced suffix of
 //! records — each of which was never acknowledged as durable.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use crate::batch::UpdateBatch;
 use crate::error::{LsmError, Result};
 use crate::key::{is_tombstone, original_key, EncodedKey, Key, Value};
+use crate::vfs::{RealVfs, Vfs, VfsFile};
 
 /// Default number of WAL record appends grouped per `fsync`.
 pub const DEFAULT_FSYNC_INTERVAL: usize = 8;
@@ -48,15 +59,83 @@ const RECORD_MAGIC: u32 = 0x5741_4C52;
 const MANIFEST_MAGIC: u32 = 0x4D41_4E49;
 /// Magic prefix of a run file (`"RUNF"`).
 const RUN_MAGIC: u32 = 0x5255_4E46;
-/// Manifest format version.
-const MANIFEST_VERSION: u32 = 1;
+/// Manifest format version (v2 added per-run file sequence numbers for
+/// incremental snapshots).
+const MANIFEST_VERSION: u32 = 2;
 /// Upper bound on one record's payload, so a corrupt length field cannot
 /// drive a gigantic allocation before the checksum gets a chance to fail.
 const MAX_RECORD_PAYLOAD: usize = 1 << 26;
 
+/// Name of the sticky marker file written (best-effort) when the pipeline
+/// degrades to volatile; reported and cleared by the next successful
+/// recovery so operators can tell a degraded generation from a clean one.
+pub(crate) const DEGRADED_MARKER: &str = "DEGRADED";
+
+/// Bounded retry-with-backoff for transient durability IO errors
+/// (`ENOSPC` racing a cleaner, `EINTR`, a hiccuping fsync).  The sleep
+/// doubles per retry and is capped, so a permanent failure surfaces
+/// quickly instead of hanging the admission lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per IO operation (minimum 1 = no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles each further retry (capped
+    /// at 64x).  `Duration::ZERO` retries immediately.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_micros(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Build a policy from raw attempts + backoff.
+    pub fn new(attempts: u32, backoff: Duration) -> Self {
+        RetryPolicy {
+            attempts: attempts.max(1),
+            backoff,
+        }
+    }
+
+    /// No retries: every IO error is immediately fatal to its operation.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Sleep before retry number `retry_index` (0-based).
+    fn pause(&self, retry_index: u32) {
+        if !self.backoff.is_zero() {
+            std::thread::sleep(self.backoff * (1u32 << retry_index.min(6)));
+        }
+    }
+}
+
+/// What the durability pipeline does when an append/fsync error persists
+/// past the retry budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DegradeMode {
+    /// Surface a typed `LsmError::Durability` from `submit` — the
+    /// pipeline refuses to acknowledge writes it cannot log.
+    #[default]
+    FailStop,
+    /// Seal the WAL at the last durable record boundary, set the sticky
+    /// `durability_degraded` health flag, and keep admitting in-memory so
+    /// reads and writes continue while operators alarm on the flag.  The
+    /// durable prefix remains exactly recoverable.
+    DegradeToVolatile,
+}
+
 /// Durability knobs carried by [`crate::LsmConfig`]; `None` there (the
 /// default) keeps the structure purely in-memory.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DurabilityConfig {
     /// Directory holding the WAL segments, manifests and run files.
     /// Created on open if missing.  One directory per service.
@@ -64,6 +143,28 @@ pub struct DurabilityConfig {
     /// Record appends grouped per `fsync` (minimum 1 = sync every record).
     /// A crash loses at most the un-synced suffix.
     pub fsync_interval: usize,
+    /// Retry budget for transient append/fsync errors.
+    pub retry: RetryPolicy,
+    /// Behavior once the retry budget is exhausted.
+    pub degrade: DegradeMode,
+    /// Filesystem implementation; `None` uses [`RealVfs`].  Tests inject
+    /// [`crate::vfs::FaultVfs`] here.
+    pub vfs: Option<Arc<dyn Vfs>>,
+}
+
+impl PartialEq for DurabilityConfig {
+    fn eq(&self, other: &Self) -> bool {
+        let same_vfs = match (&self.vfs, &other.vfs) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.dir == other.dir
+            && self.fsync_interval == other.fsync_interval
+            && self.retry == other.retry
+            && self.degrade == other.degrade
+            && same_vfs
+    }
 }
 
 impl DurabilityConfig {
@@ -72,6 +173,9 @@ impl DurabilityConfig {
         DurabilityConfig {
             dir: dir.into(),
             fsync_interval: DEFAULT_FSYNC_INTERVAL,
+            retry: RetryPolicy::default(),
+            degrade: DegradeMode::default(),
+            vfs: None,
         }
     }
 
@@ -79,6 +183,29 @@ impl DurabilityConfig {
     pub fn fsync_interval(mut self, records: usize) -> Self {
         self.fsync_interval = records.max(1);
         self
+    }
+
+    /// Set the transient-IO retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Set the persistent-failure behavior.
+    pub fn degrade(mut self, degrade: DegradeMode) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// Route all filesystem operations through `vfs` (a test seam).
+    pub fn vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = Some(vfs);
+        self
+    }
+
+    /// The effective filesystem implementation.
+    pub(crate) fn vfs_impl(&self) -> Arc<dyn Vfs> {
+        self.vfs.clone().unwrap_or_else(|| Arc::new(RealVfs))
     }
 }
 
@@ -89,10 +216,20 @@ pub struct DurabilityStats {
     pub wal_records: u64,
     /// `fsync` calls issued on WAL segments.
     pub wal_syncs: u64,
+    /// Transient IO errors absorbed by retry (appends + syncs).
+    pub wal_retries: u64,
     /// Snapshots (manifest + runs) written.
     pub snapshots: u64,
+    /// Run files carried over unchanged from the previous generation
+    /// instead of being rewritten (incremental snapshots).
+    pub runs_reused: u64,
+    /// Garbage-collection removals (or whole sweeps) that failed.
+    pub gc_failures: u64,
     /// Sequence number of the newest durable manifest (0 = none yet).
     pub manifest_seq: u64,
+    /// Sticky health flag: the pipeline hit a persistent IO failure under
+    /// [`DegradeMode::DegradeToVolatile`] and is no longer logging.
+    pub degraded: bool,
 }
 
 /// What [`crate::AdmittedLsm::open_durable`] found and replayed.
@@ -106,6 +243,9 @@ pub struct RecoveryReport {
     pub torn_bytes: u64,
     /// Newer manifests skipped because they failed validation.
     pub corrupt_manifests_skipped: u64,
+    /// A previous incarnation degraded to volatile before this recovery
+    /// (its `DEGRADED` marker was found, reported, and cleared).
+    pub prior_degraded: bool,
 }
 
 // ----------------------------------------------------------------------
@@ -189,8 +329,17 @@ fn manifest_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("MANIFEST-{seq}"))
 }
 
+fn run_file_name(seq: u64, shard: usize, level: usize) -> String {
+    format!("run-{seq}-{shard}-{level}.bin")
+}
+
 fn run_path(dir: &Path, seq: u64, shard: usize, level: usize) -> PathBuf {
-    dir.join(format!("run-{seq}-{shard}-{level}.bin"))
+    dir.join(run_file_name(seq, shard, level))
+}
+
+/// Path of the sticky degradation marker.
+pub(crate) fn degraded_marker_path(dir: &Path) -> PathBuf {
+    dir.join(DEGRADED_MARKER)
 }
 
 /// Parse `prefix<seq>suffix` file names back to their sequence number.
@@ -202,9 +351,8 @@ fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
 }
 
 /// Durability of the rename/create itself: sync the directory entry.
-fn sync_dir(dir: &Path) -> Result<()> {
-    File::open(dir)
-        .and_then(|d| d.sync_all())
+fn sync_dir(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<()> {
+    vfs.sync_dir(dir)
         .map_err(|e| io_err("sync directory", dir, e))
 }
 
@@ -262,10 +410,9 @@ pub struct SegmentScan {
 /// Scan a segment, stopping at the first frame that is short, has a bad
 /// magic, an oversized or misaligned length, a checksum mismatch, or an
 /// empty payload.  Everything after that point is tail, not data.
-pub fn scan_segment(path: &Path) -> Result<SegmentScan> {
-    let mut bytes = Vec::new();
-    File::open(path)
-        .and_then(|mut f| f.read_to_end(&mut bytes))
+pub fn scan_segment(vfs: &Arc<dyn Vfs>, path: &Path) -> Result<SegmentScan> {
+    let bytes = vfs
+        .read(path)
         .map_err(|e| io_err("read segment", path, e))?;
     let mut cur = Cursor::new(&bytes);
     let mut scan = SegmentScan {
@@ -298,78 +445,99 @@ pub fn scan_segment(path: &Path) -> Result<SegmentScan> {
 }
 
 /// The active WAL segment: an append-only record writer with grouped
-/// `fsync` and write-failure containment (a failed append truncates the
-/// file back to the last good record boundary so later records stay
-/// readable).
+/// `fsync`, bounded retry on transient IO errors, and write-failure
+/// containment (a failed append truncates the file back to the last good
+/// record boundary so later records stay readable).
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     /// Bytes known to hold whole, well-formed records.
     valid_len: u64,
+    /// Bytes known to be on stable storage (`<= valid_len`).
+    synced_len: u64,
     fsync_interval: usize,
     /// Records appended since the last `fsync`.
     unsynced: usize,
+    retry: RetryPolicy,
     /// Lifetime records appended through this writer.
     pub(crate) records: u64,
     /// Lifetime `fsync` calls issued by this writer.
     pub(crate) syncs: u64,
+    /// Lifetime transient-error retries (appends + syncs).
+    pub(crate) retries: u64,
     /// Set when a failed append could not be rolled back; all later
     /// appends are refused (the segment's tail state is unknown).
     broken: bool,
+    /// Set by [`Wal::seal`]: the pipeline degraded to volatile and this
+    /// segment refuses further appends.
+    sealed: bool,
 }
 
 impl Wal {
     /// Create (truncate) a fresh segment at `path`.
-    pub fn create(path: PathBuf, fsync_interval: usize) -> Result<Self> {
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)
+    pub fn create(
+        vfs: &Arc<dyn Vfs>,
+        path: PathBuf,
+        fsync_interval: usize,
+        retry: RetryPolicy,
+    ) -> Result<Self> {
+        let file = vfs
+            .open_write(&path, true)
             .map_err(|e| io_err("create segment", &path, e))?;
         Ok(Wal {
             file,
             path,
             valid_len: 0,
+            synced_len: 0,
             fsync_interval: fsync_interval.max(1),
             unsynced: 0,
+            retry,
             records: 0,
             syncs: 0,
+            retries: 0,
             broken: false,
+            sealed: false,
         })
     }
 
     /// Re-open an existing segment for appending, physically truncating it
     /// to `valid_len` first (recovery discards the torn tail for good).
-    pub fn open_append(path: PathBuf, fsync_interval: usize, valid_len: u64) -> Result<Self> {
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)
+    pub fn open_append(
+        vfs: &Arc<dyn Vfs>,
+        path: PathBuf,
+        fsync_interval: usize,
+        valid_len: u64,
+        retry: RetryPolicy,
+    ) -> Result<Self> {
+        let mut file = vfs
+            .open_write(&path, false)
             .map_err(|e| io_err("open segment", &path, e))?;
         file.set_len(valid_len)
             .and_then(|()| file.sync_all())
             .map_err(|e| io_err("truncate segment", &path, e))?;
-        let mut wal = Wal {
+        file.seek_start(valid_len)
+            .map_err(|e| io_err("seek segment", &path, e))?;
+        Ok(Wal {
             file,
             path,
             valid_len,
+            synced_len: valid_len,
             fsync_interval: fsync_interval.max(1),
             unsynced: 0,
+            retry,
             records: 0,
             syncs: 0,
+            retries: 0,
             broken: false,
-        };
-        wal.file
-            .seek(SeekFrom::Start(valid_len))
-            .map_err(|e| io_err("seek segment", &wal.path, e))?;
-        Ok(wal)
+            sealed: false,
+        })
     }
 
     /// Append one batch as a framed record, syncing every
-    /// `fsync_interval`-th append.
+    /// `fsync_interval`-th append.  Transient write errors are rolled back
+    /// and retried per the [`RetryPolicy`]; an error return means the
+    /// record is *not* in the log (a rejected submit can never replay).
     pub fn append(&mut self, batch: &UpdateBatch) -> Result<()> {
         if self.broken {
             return Err(corrupt(
@@ -377,37 +545,101 @@ impl Wal {
                 &self.path,
             ));
         }
+        if self.sealed {
+            return Err(corrupt("segment sealed after degradation", &self.path));
+        }
         let record = encode_record(batch);
-        if let Err(e) = self.file.write_all(&record) {
-            // Roll the file back to the last good boundary so a partial
-            // frame cannot sit in front of future records.
-            if self.file.set_len(self.valid_len).is_err()
-                || self.file.seek(SeekFrom::Start(self.valid_len)).is_err()
-            {
-                self.broken = true;
+        let mut attempt = 0u32;
+        loop {
+            match self.file.write_all(&record) {
+                Ok(()) => break,
+                Err(e) => {
+                    // Roll the file back to the last good boundary so a
+                    // partial frame cannot sit in front of a retried or
+                    // future record.
+                    if self.file.set_len(self.valid_len).is_err()
+                        || self.file.seek_start(self.valid_len).is_err()
+                    {
+                        self.broken = true;
+                        return Err(io_err("append record to", &self.path, e));
+                    }
+                    attempt += 1;
+                    if attempt >= self.retry.attempts.max(1) {
+                        return Err(io_err("append record to", &self.path, e));
+                    }
+                    self.retries += 1;
+                    self.retry.pause(attempt - 1);
+                }
             }
-            return Err(io_err("append record to", &self.path, e));
         }
         self.valid_len += record.len() as u64;
         self.records += 1;
         self.unsynced += 1;
         if self.unsynced >= self.fsync_interval {
-            self.sync()?;
+            if let Err(e) = self.sync() {
+                // The sync failure fails this append, so the caller will
+                // reject the submit — roll the record back out of the log
+                // so it can never replay.
+                let rollback = self.valid_len - record.len() as u64;
+                if self.file.set_len(rollback).is_err() || self.file.seek_start(rollback).is_err() {
+                    self.broken = true;
+                } else {
+                    self.valid_len = rollback;
+                    self.records -= 1;
+                    self.unsynced -= 1;
+                }
+                return Err(e);
+            }
         }
         Ok(())
     }
 
-    /// Force the segment to stable storage now.
+    /// Force the segment to stable storage now, retrying transient errors.
     pub fn sync(&mut self) -> Result<()> {
         if self.unsynced == 0 {
             return Ok(());
         }
-        self.file
-            .sync_data()
-            .map_err(|e| io_err("sync segment", &self.path, e))?;
+        let mut attempt = 0u32;
+        loop {
+            match self.file.sync_data() {
+                Ok(()) => break,
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.retry.attempts.max(1) {
+                        return Err(io_err("sync segment", &self.path, e));
+                    }
+                    self.retries += 1;
+                    self.retry.pause(attempt - 1);
+                }
+            }
+        }
         self.unsynced = 0;
         self.syncs += 1;
+        self.synced_len = self.valid_len;
         Ok(())
+    }
+
+    /// Seal the segment at the last durable record boundary
+    /// ([`DegradeMode::DegradeToVolatile`]): truncate the un-synced suffix
+    /// — records that were never acknowledged as durable — and refuse all
+    /// later appends.  Best-effort: the storage is already failing, so IO
+    /// errors here are swallowed (recovery's scan tolerates whatever tail
+    /// remains).  Returns the durable boundary.
+    pub(crate) fn seal(&mut self) -> u64 {
+        if !self.sealed {
+            self.sealed = true;
+            if self.file.set_len(self.synced_len).is_ok() {
+                let _ = self.file.sync_all();
+                self.valid_len = self.synced_len;
+                self.unsynced = 0;
+            }
+        }
+        self.synced_len
+    }
+
+    /// Whether [`Wal::seal`] has been called.
+    pub(crate) fn is_sealed(&self) -> bool {
+        self.sealed
     }
 }
 
@@ -423,6 +655,28 @@ pub(crate) struct SnapshotShard {
     pub levels: Vec<(usize, Vec<EncodedKey>, Vec<Value>)>,
 }
 
+/// A run file referenced by a manifest: which generation physically wrote
+/// it (`file_seq` — older than the manifest's own seq when the run was
+/// carried over unchanged), plus the length and digest that let the next
+/// snapshot skip rewriting an identical level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RunRef {
+    pub file_seq: u64,
+    pub len: u64,
+    pub digest: u64,
+}
+
+/// Live run files keyed by `(shard, level)`.
+pub(crate) type RunMap = HashMap<(usize, usize), RunRef>;
+
+/// Identity of a snapshot generation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SnapshotMeta {
+    pub seq: u64,
+    pub epoch: u64,
+    pub batch_size: usize,
+}
+
 /// A validated snapshot loaded back from disk.
 #[derive(Debug)]
 pub(crate) struct LoadedSnapshot {
@@ -431,6 +685,9 @@ pub(crate) struct LoadedSnapshot {
     pub batch_size: usize,
     pub split_points: Vec<Key>,
     pub shards: Vec<SnapshotShard>,
+    /// The run files this manifest references (seeds the next snapshot's
+    /// reuse check).
+    pub run_refs: RunMap,
     /// Newer manifests skipped because they failed validation.
     pub corrupt_skipped: u64,
 }
@@ -476,24 +733,29 @@ fn decode_run(bytes: &[u8], path: &Path) -> Result<(Vec<EncodedKey>, Vec<Value>)
     Ok((keys, values))
 }
 
-/// Write a full snapshot as generation `seq`: every run file (synced),
+/// Write snapshot generation `meta.seq`: every *changed* run file (synced),
 /// then the manifest via tmp-write + fsync + atomic rename + dir sync.
-/// Only the rename makes the generation visible, so a crash anywhere in
-/// here leaves the previous generation authoritative.
+/// A level whose encoded run matches `prev` by length and digest reuses
+/// the already-durable file from the earlier generation instead of
+/// rewriting it.  Only the rename makes the generation visible, so a
+/// crash anywhere in here leaves the previous generation authoritative.
+/// Returns the new generation's run map and how many runs were reused.
 pub(crate) fn write_snapshot(
+    vfs: &Arc<dyn Vfs>,
     dir: &Path,
-    seq: u64,
-    epoch: u64,
-    batch_size: usize,
+    meta: SnapshotMeta,
     split_points: &[Key],
     shards: &[SnapshotShard],
-) -> Result<()> {
+    prev: &RunMap,
+) -> Result<(RunMap, u64)> {
+    let mut runs = RunMap::new();
+    let mut reused = 0u64;
     let mut manifest = Vec::new();
     put_u32(&mut manifest, MANIFEST_MAGIC);
     put_u32(&mut manifest, MANIFEST_VERSION);
-    put_u64(&mut manifest, seq);
-    put_u64(&mut manifest, epoch);
-    put_u64(&mut manifest, batch_size as u64);
+    put_u64(&mut manifest, meta.seq);
+    put_u64(&mut manifest, meta.epoch);
+    put_u64(&mut manifest, meta.batch_size as u64);
     put_u32(&mut manifest, split_points.len() as u32);
     for &p in split_points {
         put_u32(&mut manifest, p);
@@ -503,33 +765,58 @@ pub(crate) fn write_snapshot(
         put_u32(&mut manifest, shard.levels.len() as u32);
         for (i, keys, values) in &shard.levels {
             let run = encode_run(keys, values);
-            let path = run_path(dir, seq, s, *i);
-            fs::write(&path, &run).map_err(|e| io_err("write run", &path, e))?;
-            File::open(&path)
-                .and_then(|f| f.sync_all())
-                .map_err(|e| io_err("sync run", &path, e))?;
+            let digest = fnv1a(&run);
+            let len = keys.len() as u64;
+            let carried = prev
+                .get(&(s, *i))
+                .copied()
+                .filter(|r| r.digest == digest && r.len == len);
+            let run_ref = match carried {
+                Some(r) => {
+                    reused += 1;
+                    r
+                }
+                None => {
+                    let path = run_path(dir, meta.seq, s, *i);
+                    vfs.write(&path, &run)
+                        .map_err(|e| io_err("write run", &path, e))?;
+                    vfs.sync_file(&path)
+                        .map_err(|e| io_err("sync run", &path, e))?;
+                    RunRef {
+                        file_seq: meta.seq,
+                        len,
+                        digest,
+                    }
+                }
+            };
+            runs.insert((s, *i), run_ref);
             put_u32(&mut manifest, *i as u32);
-            put_u64(&mut manifest, keys.len() as u64);
-            put_u64(&mut manifest, fnv1a(&run));
+            put_u64(&mut manifest, run_ref.file_seq);
+            put_u64(&mut manifest, run_ref.len);
+            put_u64(&mut manifest, run_ref.digest);
         }
     }
     let trailer = fnv1a(&manifest);
     put_u64(&mut manifest, trailer);
 
-    let tmp = dir.join(format!("MANIFEST-{seq}.tmp"));
-    let path = manifest_path(dir, seq);
-    fs::write(&tmp, &manifest).map_err(|e| io_err("write manifest", &tmp, e))?;
-    File::open(&tmp)
-        .and_then(|f| f.sync_all())
+    let tmp = dir.join(format!("MANIFEST-{}.tmp", meta.seq));
+    let path = manifest_path(dir, meta.seq);
+    vfs.write(&tmp, &manifest)
+        .map_err(|e| io_err("write manifest", &tmp, e))?;
+    vfs.sync_file(&tmp)
         .map_err(|e| io_err("sync manifest", &tmp, e))?;
-    fs::rename(&tmp, &path).map_err(|e| io_err("publish manifest", &path, e))?;
-    sync_dir(dir)
+    vfs.rename(&tmp, &path)
+        .map_err(|e| io_err("publish manifest", &path, e))?;
+    sync_dir(vfs, dir)?;
+    Ok((runs, reused))
 }
 
 /// Parse and fully validate one manifest generation, loading its runs.
-fn load_manifest(dir: &Path, seq: u64) -> Result<LoadedSnapshot> {
+fn load_manifest(vfs: &Arc<dyn Vfs>, dir: &Path, seq: u64) -> Result<LoadedSnapshot> {
     let path = manifest_path(dir, seq);
-    let bytes = fs::read(&path).map_err(|e| io_err("read manifest", &path, e))?;
+    let bytes = vfs
+        .read(&path)
+        .map_err(|e| io_err("read manifest", &path, e))?;
     if bytes.len() < 8 {
         return Err(corrupt("short manifest", &path));
     }
@@ -561,25 +848,36 @@ fn load_manifest(dir: &Path, seq: u64) -> Result<LoadedSnapshot> {
         .u32()
         .ok_or_else(|| corrupt("truncated manifest", &path))?;
     let mut shards = Vec::with_capacity(nshards as usize);
+    let mut run_refs = RunMap::new();
     for s in 0..nshards as usize {
         let nlevels = cur
             .u32()
             .ok_or_else(|| corrupt("truncated manifest", &path))?;
         let mut levels = Vec::with_capacity(nlevels as usize);
         for _ in 0..nlevels {
-            let entry = (cur.u32(), cur.u64(), cur.u64());
-            let (Some(i), Some(len), Some(checksum)) = entry else {
+            let entry = (cur.u32(), cur.u64(), cur.u64(), cur.u64());
+            let (Some(i), Some(run_seq), Some(len), Some(digest)) = entry else {
                 return Err(corrupt("truncated manifest", &path));
             };
-            let rpath = run_path(dir, seq, s, i as usize);
-            let run = fs::read(&rpath).map_err(|e| io_err("read run", &rpath, e))?;
-            if fnv1a(&run) != checksum {
+            let rpath = run_path(dir, run_seq, s, i as usize);
+            let run = vfs
+                .read(&rpath)
+                .map_err(|e| io_err("read run", &rpath, e))?;
+            if fnv1a(&run) != digest {
                 return Err(corrupt("run checksum mismatch in", &rpath));
             }
             let (keys, values) = decode_run(&run, &rpath)?;
             if keys.len() as u64 != len {
                 return Err(corrupt("run length mismatch in", &rpath));
             }
+            run_refs.insert(
+                (s, i as usize),
+                RunRef {
+                    file_seq: run_seq,
+                    len,
+                    digest,
+                },
+            );
             levels.push((i as usize, keys, values));
         }
         shards.push(SnapshotShard { levels });
@@ -593,18 +891,18 @@ fn load_manifest(dir: &Path, seq: u64) -> Result<LoadedSnapshot> {
         batch_size: bs as usize,
         split_points,
         shards,
+        run_refs,
         corrupt_skipped: 0,
     })
 }
 
 /// All manifest sequence numbers present in `dir`, descending.
-fn manifest_seqs(dir: &Path) -> Result<Vec<u64>> {
-    let mut seqs: Vec<u64> = fs::read_dir(dir)
+fn manifest_seqs(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<Vec<u64>> {
+    let mut seqs: Vec<u64> = vfs
+        .read_dir_names(dir)
         .map_err(|e| io_err("list durability dir", dir, e))?
-        .filter_map(|entry| {
-            let name = entry.ok()?.file_name();
-            parse_seq(name.to_str()?, "MANIFEST-", "")
-        })
+        .iter()
+        .filter_map(|name| parse_seq(name, "MANIFEST-", ""))
         .collect();
     seqs.sort_unstable_by(|a, b| b.cmp(a));
     Ok(seqs)
@@ -612,10 +910,13 @@ fn manifest_seqs(dir: &Path) -> Result<Vec<u64>> {
 
 /// Load the newest manifest that fully validates, skipping (and counting)
 /// corrupt newer ones.  `Ok(None)` means no usable snapshot exists.
-pub(crate) fn load_newest_snapshot(dir: &Path) -> Result<Option<LoadedSnapshot>> {
+pub(crate) fn load_newest_snapshot(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+) -> Result<Option<LoadedSnapshot>> {
     let mut skipped = 0u64;
-    for seq in manifest_seqs(dir)? {
-        match load_manifest(dir, seq) {
+    for seq in manifest_seqs(vfs, dir)? {
+        match load_manifest(vfs, dir, seq) {
             Ok(mut snapshot) => {
                 snapshot.corrupt_skipped = skipped;
                 return Ok(Some(snapshot));
@@ -629,12 +930,17 @@ pub(crate) fn load_newest_snapshot(dir: &Path) -> Result<Option<LoadedSnapshot>>
 /// WAL segments with sequence number `>= min_seq`, ascending — the replay
 /// order (older generations first, records within a segment in append
 /// order).
-pub(crate) fn list_segments(dir: &Path, min_seq: u64) -> Result<Vec<(u64, PathBuf)>> {
-    let mut segments: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+pub(crate) fn list_segments(
+    vfs: &Arc<dyn Vfs>,
+    dir: &Path,
+    min_seq: u64,
+) -> Result<Vec<(u64, PathBuf)>> {
+    let mut segments: Vec<(u64, PathBuf)> = vfs
+        .read_dir_names(dir)
         .map_err(|e| io_err("list durability dir", dir, e))?
-        .filter_map(|entry| {
-            let name = entry.ok()?.file_name();
-            let seq = parse_seq(name.to_str()?, "wal-", ".log")?;
+        .iter()
+        .filter_map(|name| {
+            let seq = parse_seq(name, "wal-", ".log")?;
             (seq >= min_seq).then(|| (seq, segment_path(dir, seq)))
         })
         .collect();
@@ -642,34 +948,46 @@ pub(crate) fn list_segments(dir: &Path, min_seq: u64) -> Result<Vec<(u64, PathBu
     Ok(segments)
 }
 
-/// Best-effort removal of everything belonging to generations older than
-/// `keep_seq` (plus stray `.tmp` manifests).  Failures are ignored: stale
-/// files are re-collected by the next snapshot and never confuse recovery
-/// (older manifests are shadowed, older segments replay idempotently).
-pub(crate) fn collect_garbage(dir: &Path, keep_seq: u64) {
-    let Ok(entries) = fs::read_dir(dir) else {
-        return;
+/// Remove everything belonging to generations older than `keep_seq` (plus
+/// stray `.tmp` manifests), *except* run files the live manifest still
+/// references — incremental snapshots carry runs across generations.
+/// Failures no longer vanish: the returned count feeds
+/// [`DurabilityStats::gc_failures`] so operators can alarm on a disk that
+/// refuses deletes.  The stale files themselves stay harmless (older
+/// manifests are shadowed, older segments replay idempotently) and are
+/// retried by the next snapshot's sweep.
+pub(crate) fn collect_garbage(vfs: &Arc<dyn Vfs>, dir: &Path, keep_seq: u64, live: &RunMap) -> u64 {
+    let live_names: HashSet<String> = live
+        .iter()
+        .map(|(&(s, i), r)| run_file_name(r.file_seq, s, i))
+        .collect();
+    let names = match vfs.read_dir_names(dir) {
+        Ok(names) => names,
+        Err(_) => return 1, // the whole sweep failed
     };
-    for entry in entries.flatten() {
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    let mut failures = 0u64;
+    for name in names {
         let stale = name.ends_with(".tmp")
-            || parse_seq(name, "MANIFEST-", "").is_some_and(|s| s < keep_seq)
-            || parse_seq(name, "wal-", ".log").is_some_and(|s| s < keep_seq)
-            || name
-                .strip_prefix("run-")
-                .and_then(|rest| rest.split('-').next())
-                .and_then(|s| s.parse::<u64>().ok())
-                .is_some_and(|s| s < keep_seq);
-        if stale {
-            let _ = fs::remove_file(entry.path());
+            || parse_seq(&name, "MANIFEST-", "").is_some_and(|s| s < keep_seq)
+            || parse_seq(&name, "wal-", ".log").is_some_and(|s| s < keep_seq)
+            || (!live_names.contains(&name)
+                && name
+                    .strip_prefix("run-")
+                    .and_then(|rest| rest.split('-').next())
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .is_some_and(|s| s < keep_seq));
+        if stale && vfs.remove_file(&dir.join(&name)).is_err() {
+            failures += 1;
         }
     }
+    failures
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{Fault, FaultOp, FaultVfs};
+    use std::fs;
 
     fn temp_dir(tag: &str) -> PathBuf {
         static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -678,6 +996,10 @@ mod tests {
             std::env::temp_dir().join(format!("gpu-lsm-wal-{tag}-{}-{n}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    fn real() -> Arc<dyn Vfs> {
+        Arc::new(RealVfs)
     }
 
     fn batch(ops: &[(u32, Option<u32>)]) -> UpdateBatch {
@@ -691,18 +1013,27 @@ mod tests {
         b
     }
 
+    fn meta(seq: u64, epoch: u64, batch_size: usize) -> SnapshotMeta {
+        SnapshotMeta {
+            seq,
+            epoch,
+            batch_size,
+        }
+    }
+
     #[test]
     fn records_round_trip_including_tombstones() {
         let dir = temp_dir("roundtrip");
+        let vfs = real();
         let path = segment_path(&dir, 0);
         let b1 = batch(&[(1, Some(10)), (2, None), (3, Some(30))]);
         let b2 = batch(&[(2, Some(20))]);
-        let mut wal = Wal::create(path.clone(), 1).unwrap();
+        let mut wal = Wal::create(&vfs, path.clone(), 1, RetryPolicy::none()).unwrap();
         wal.append(&b1).unwrap();
         wal.append(&b2).unwrap();
         assert_eq!(wal.records, 2);
         assert_eq!(wal.syncs, 2); // interval 1 syncs every record
-        let scan = scan_segment(&path).unwrap();
+        let scan = scan_segment(&vfs, &path).unwrap();
         assert_eq!(scan.records, vec![b1, b2]);
         assert_eq!(scan.torn_bytes, 0);
         assert_eq!(scan.record_ends.len(), 2);
@@ -712,7 +1043,8 @@ mod tests {
     #[test]
     fn fsync_batching_groups_appends() {
         let dir = temp_dir("fsync");
-        let mut wal = Wal::create(segment_path(&dir, 0), 4).unwrap();
+        let vfs = real();
+        let mut wal = Wal::create(&vfs, segment_path(&dir, 0), 4, RetryPolicy::none()).unwrap();
         for i in 0..10u32 {
             wal.append(&batch(&[(i, Some(i))])).unwrap();
         }
@@ -727,21 +1059,22 @@ mod tests {
     #[test]
     fn torn_tail_is_detected_and_skipped() {
         let dir = temp_dir("torn");
+        let vfs = real();
         let path = segment_path(&dir, 0);
-        let mut wal = Wal::create(path.clone(), 1).unwrap();
+        let mut wal = Wal::create(&vfs, path.clone(), 1, RetryPolicy::none()).unwrap();
         wal.append(&batch(&[(1, Some(1))])).unwrap();
         wal.append(&batch(&[(2, Some(2))])).unwrap();
         drop(wal);
-        let clean = scan_segment(&path).unwrap();
+        let clean = scan_segment(&vfs, &path).unwrap();
         // Cut mid-way through the second record: only the first survives.
         let cut = (clean.record_ends[0] + clean.record_ends[1]) / 2;
-        OpenOptions::new()
+        fs::OpenOptions::new()
             .write(true)
             .open(&path)
             .unwrap()
             .set_len(cut)
             .unwrap();
-        let scan = scan_segment(&path).unwrap();
+        let scan = scan_segment(&vfs, &path).unwrap();
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.valid_len, clean.record_ends[0]);
         assert_eq!(scan.torn_bytes, cut - clean.record_ends[0]);
@@ -751,44 +1084,121 @@ mod tests {
     #[test]
     fn corrupted_checksum_truncates_from_that_record() {
         let dir = temp_dir("corrupt");
+        let vfs = real();
         let path = segment_path(&dir, 0);
-        let mut wal = Wal::create(path.clone(), 1).unwrap();
+        let mut wal = Wal::create(&vfs, path.clone(), 1, RetryPolicy::none()).unwrap();
         for i in 0..3u32 {
             wal.append(&batch(&[(i, Some(i))])).unwrap();
         }
         drop(wal);
-        let clean = scan_segment(&path).unwrap();
+        let clean = scan_segment(&vfs, &path).unwrap();
         // Flip one payload byte inside the second record.
         let mut bytes = fs::read(&path).unwrap();
         let offset = clean.record_ends[0] as usize + 17;
         bytes[offset] ^= 0xff;
         fs::write(&path, &bytes).unwrap();
-        let scan = scan_segment(&path).unwrap();
+        let scan = scan_segment(&vfs, &path).unwrap();
         assert_eq!(scan.records.len(), 1);
         assert!(scan.torn_bytes > 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
+    fn transient_append_and_sync_faults_are_retried_invisibly() {
+        let dir = temp_dir("retry");
+        let path = segment_path(&dir, 0);
+        let fault = FaultVfs::scripted(vec![
+            Fault::transient(FaultOp::Append, 1, std::io::ErrorKind::StorageFull),
+            Fault::transient(FaultOp::Sync, 1, std::io::ErrorKind::Other),
+            Fault::short_write(FaultOp::Append, 3, 5),
+        ]);
+        let vfs: Arc<dyn Vfs> = Arc::new(fault.clone());
+        let retry = RetryPolicy::new(3, Duration::ZERO);
+        let mut wal = Wal::create(&vfs, path.clone(), 1, retry).unwrap();
+        for i in 0..4u32 {
+            wal.append(&batch(&[(i, Some(i))])).unwrap();
+        }
+        assert!(
+            wal.retries >= 3,
+            "all three faults absorbed: {}",
+            wal.retries
+        );
+        assert_eq!(wal.records, 4);
+        // The log is byte-clean despite the torn intermediate write.
+        let scan = scan_segment(&real(), &path).unwrap();
+        assert_eq!(scan.records.len(), 4);
+        assert_eq!(scan.torn_bytes, 0);
+        assert!(fault.injected_faults() >= 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_retry_fails_the_append_and_rolls_back() {
+        let dir = temp_dir("exhaust");
+        let path = segment_path(&dir, 0);
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::scripted(vec![Fault::transient(
+            FaultOp::Append,
+            1,
+            std::io::ErrorKind::StorageFull,
+        )]));
+        let mut wal = Wal::create(&vfs, path.clone(), 1, RetryPolicy::none()).unwrap();
+        wal.append(&batch(&[(1, Some(1))])).unwrap();
+        let err = wal.append(&batch(&[(2, Some(2))])).unwrap_err();
+        assert!(matches!(err, LsmError::Durability { .. }));
+        // The writer survives the failure and the log stays clean.
+        wal.append(&batch(&[(3, Some(3))])).unwrap();
+        let scan = scan_segment(&real(), &path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_interval_sync_rolls_back_the_record_and_seal_truncates() {
+        let dir = temp_dir("sealsync");
+        let path = segment_path(&dir, 0);
+        let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::scripted(vec![Fault::permanent(
+            FaultOp::Sync,
+            0,
+            std::io::ErrorKind::Other,
+        )]));
+        let mut wal = Wal::create(&vfs, path.clone(), 2, RetryPolicy::none()).unwrap();
+        wal.append(&batch(&[(1, Some(1))])).unwrap(); // below interval: no sync yet
+        let err = wal.append(&batch(&[(2, Some(2))])).unwrap_err();
+        assert!(matches!(err, LsmError::Durability { .. }));
+        // The rejected record was rolled back; the acked one remains.
+        let scan = scan_segment(&real(), &path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        // Sealing truncates to the durable boundary: nothing was synced.
+        assert_eq!(wal.seal(), 0);
+        assert!(wal.is_sealed());
+        assert!(wal.append(&batch(&[(3, Some(3))])).is_err());
+        let scan = scan_segment(&real(), &path).unwrap();
+        assert_eq!(scan.records.len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn snapshot_round_trips_and_newest_valid_wins() {
         let dir = temp_dir("snapshot");
+        let vfs = real();
         let shard = SnapshotShard {
             levels: vec![(0, vec![2, 5, 9, 12], vec![1, 2, 3, 4])],
         };
-        write_snapshot(&dir, 1, 0, 4, &[], &[shard]).unwrap();
+        write_snapshot(&vfs, &dir, meta(1, 0, 4), &[], &[shard], &RunMap::new()).unwrap();
         let shard2 = SnapshotShard {
             levels: vec![(1, vec![2, 5, 9, 12, 14, 17, 21, 25], vec![0; 8])],
         };
         write_snapshot(
+            &vfs,
             &dir,
-            2,
-            3,
-            4,
+            meta(2, 3, 4),
             &[1000],
             &[shard2, SnapshotShard { levels: vec![] }],
+            &RunMap::new(),
         )
         .unwrap();
-        let loaded = load_newest_snapshot(&dir).unwrap().unwrap();
+        let loaded = load_newest_snapshot(&vfs, &dir).unwrap().unwrap();
         assert_eq!(loaded.seq, 2);
         assert_eq!(loaded.epoch, 3);
         assert_eq!(loaded.batch_size, 4);
@@ -797,29 +1207,67 @@ mod tests {
         assert_eq!(loaded.shards[0].levels[0].0, 1);
         assert_eq!(loaded.shards[0].levels[0].1.len(), 8);
         assert_eq!(loaded.corrupt_skipped, 0);
+        assert_eq!(loaded.run_refs[&(0, 1)].file_seq, 2);
 
         // Corrupt the newest manifest: recovery falls back to seq 1.
         let mut bytes = fs::read(manifest_path(&dir, 2)).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         fs::write(manifest_path(&dir, 2), &bytes).unwrap();
-        let loaded = load_newest_snapshot(&dir).unwrap().unwrap();
+        let loaded = load_newest_snapshot(&vfs, &dir).unwrap().unwrap();
         assert_eq!(loaded.seq, 1);
         assert_eq!(loaded.corrupt_skipped, 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
+    fn unchanged_runs_are_reused_across_generations() {
+        let dir = temp_dir("incremental");
+        let vfs = real();
+        let stable = (0usize, vec![2u32, 5, 9, 12], vec![1u32, 2, 3, 4]);
+        let shards1 = [SnapshotShard {
+            levels: vec![stable.clone(), (1, vec![14, 17], vec![7, 8])],
+        }];
+        let (runs1, reused1) =
+            write_snapshot(&vfs, &dir, meta(1, 0, 2), &[], &shards1, &RunMap::new()).unwrap();
+        assert_eq!(reused1, 0);
+        // Generation 2: level 0 unchanged, level 1 changed.
+        let shards2 = [SnapshotShard {
+            levels: vec![stable.clone(), (1, vec![14, 17, 21, 25], vec![7, 8, 9, 10])],
+        }];
+        let (runs2, reused2) =
+            write_snapshot(&vfs, &dir, meta(2, 0, 2), &[], &shards2, &runs1).unwrap();
+        assert_eq!(reused2, 1);
+        assert_eq!(runs2[&(0, 0)].file_seq, 1, "level 0 carried over");
+        assert_eq!(runs2[&(0, 1)].file_seq, 2, "level 1 rewritten");
+        assert!(!run_path(&dir, 2, 0, 0).exists());
+        // GC of generation 1 must spare the carried-over run.
+        assert_eq!(collect_garbage(&vfs, &dir, 2, &runs2), 0);
+        assert!(run_path(&dir, 1, 0, 0).exists());
+        assert!(!run_path(&dir, 1, 0, 1).exists());
+        assert!(!manifest_path(&dir, 1).exists());
+        // And the surviving generation still loads in full.
+        let loaded = load_newest_snapshot(&vfs, &dir).unwrap().unwrap();
+        assert_eq!(loaded.seq, 2);
+        assert_eq!(loaded.shards[0].levels[0].1, stable.1);
+        assert_eq!(loaded.run_refs[&(0, 0)].file_seq, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn garbage_collection_keeps_current_generation() {
         let dir = temp_dir("gc");
+        let vfs = real();
         let empty = || SnapshotShard {
             levels: vec![(0, vec![3], vec![7])],
         };
-        write_snapshot(&dir, 1, 0, 1, &[], &[empty()]).unwrap();
-        write_snapshot(&dir, 2, 0, 1, &[], &[empty()]).unwrap();
-        drop(Wal::create(segment_path(&dir, 1), 1).unwrap());
-        drop(Wal::create(segment_path(&dir, 2), 1).unwrap());
-        collect_garbage(&dir, 2);
+        let (_, _) =
+            write_snapshot(&vfs, &dir, meta(1, 0, 1), &[], &[empty()], &RunMap::new()).unwrap();
+        let (runs2, _) =
+            write_snapshot(&vfs, &dir, meta(2, 0, 1), &[], &[empty()], &RunMap::new()).unwrap();
+        drop(Wal::create(&vfs, segment_path(&dir, 1), 1, RetryPolicy::none()).unwrap());
+        drop(Wal::create(&vfs, segment_path(&dir, 2), 1, RetryPolicy::none()).unwrap());
+        assert_eq!(collect_garbage(&vfs, &dir, 2, &runs2), 0);
         assert!(!manifest_path(&dir, 1).exists());
         assert!(!segment_path(&dir, 1).exists());
         assert!(!run_path(&dir, 1, 0, 0).exists());
@@ -830,21 +1278,50 @@ mod tests {
     }
 
     #[test]
+    fn gc_failures_are_counted_not_swallowed() {
+        let dir = temp_dir("gcfail");
+        let vfs = real();
+        let shard = || SnapshotShard {
+            levels: vec![(0, vec![3], vec![7])],
+        };
+        write_snapshot(&vfs, &dir, meta(1, 0, 1), &[], &[shard()], &RunMap::new()).unwrap();
+        let (runs2, _) =
+            write_snapshot(&vfs, &dir, meta(2, 0, 1), &[], &[shard()], &RunMap::new()).unwrap();
+        let faulty: Arc<dyn Vfs> = Arc::new(FaultVfs::scripted(vec![Fault::permanent(
+            FaultOp::Remove,
+            0,
+            std::io::ErrorKind::PermissionDenied,
+        )]));
+        let failures = collect_garbage(&faulty, &dir, 2, &runs2);
+        assert!(
+            failures >= 2,
+            "manifest-1 and run-1 both failed: {failures}"
+        );
+        assert!(manifest_path(&dir, 1).exists(), "nothing actually removed");
+        // A healthy sweep afterwards drains the backlog.
+        assert_eq!(collect_garbage(&vfs, &dir, 2, &runs2), 0);
+        assert!(!manifest_path(&dir, 1).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn open_append_truncates_the_torn_tail_physically() {
         let dir = temp_dir("reopen");
+        let vfs = real();
         let path = segment_path(&dir, 0);
-        let mut wal = Wal::create(path.clone(), 1).unwrap();
+        let mut wal = Wal::create(&vfs, path.clone(), 1, RetryPolicy::none()).unwrap();
         wal.append(&batch(&[(1, Some(1))])).unwrap();
         let keep = wal.valid_len;
         drop(wal);
         // Simulate a torn write after the good record.
-        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        use std::io::Write as _;
+        let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
         drop(f);
-        let mut wal = Wal::open_append(path.clone(), 1, keep).unwrap();
+        let mut wal = Wal::open_append(&vfs, path.clone(), 1, keep, RetryPolicy::none()).unwrap();
         wal.append(&batch(&[(2, Some(2))])).unwrap();
         drop(wal);
-        let scan = scan_segment(&path).unwrap();
+        let scan = scan_segment(&vfs, &path).unwrap();
         assert_eq!(scan.records.len(), 2);
         assert_eq!(scan.torn_bytes, 0);
         fs::remove_dir_all(&dir).unwrap();

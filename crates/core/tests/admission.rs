@@ -24,6 +24,8 @@ fn config(coalesce: bool, read_your_writes: bool) -> AdmissionConfig {
         queue_capacity: 4, // small on purpose: exercises backpressure
         coalesce,
         read_your_writes,
+        submit_deadline: None,
+        flush_deadline: None,
     }
 }
 

@@ -17,7 +17,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gpu_lsm::{
-    AdmittedLsm, DurabilityConfig, LsmConfig, LsmError, Op, ShardedLsm, UpdateBatch, MAX_KEY,
+    AdmittedLsm, DegradeMode, DurabilityConfig, Fault, FaultOp, FaultVfs, LsmConfig, LsmError, Op,
+    RetryPolicy, ShardedLsm, UpdateBatch, MAX_KEY,
 };
 use gpu_sim::{Device, DeviceConfig};
 
@@ -324,6 +325,107 @@ fn shard_layout_survives_restart() {
     assert_eq!(lsm.service().epoch(), epoch);
     let keys: Vec<u32> = pairs.iter().map(|&(k, _)| k).collect();
     let want: Vec<Option<u32>> = pairs.iter().map(|&(_, v)| Some(v)).collect();
+    assert_eq!(lsm.lookup(&keys), want);
+    lsm.check_invariants().unwrap();
+    drop(lsm);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The crash the manual truncations above can only approximate: the
+/// storage dies *between* an acknowledged append and its batched fsync.
+/// Under `DegradeToVolatile` the WAL seals at the last *synced* boundary —
+/// acked-but-unsynced records were never promised durable (that is the
+/// documented fsync-batching contract) — so recovery must replay exactly
+/// the multiple-of-interval prefix, not the acked count.
+#[test]
+fn fault_cut_between_append_and_batched_fsync_replays_synced_prefix() {
+    const INTERVAL: usize = 4;
+    let dir = temp_dir("fsync-cut");
+    // Sync occurrence 0 (records 1..=4) succeeds; occurrence 1 (triggered
+    // by record 8) and everything after fails forever.
+    let fault = FaultVfs::scripted(vec![Fault::permanent(
+        FaultOp::Sync,
+        1,
+        std::io::ErrorKind::Other,
+    )]);
+    let cfg = LsmConfig::default().durability(
+        DurabilityConfig::new(&dir)
+            .fsync_interval(INTERVAL)
+            .retry(RetryPolicy::none())
+            .degrade(DegradeMode::DegradeToVolatile)
+            .vfs(Arc::new(fault.clone())),
+    );
+    let (lsm, _) = AdmittedLsm::open_durable(device(), BATCH_SIZE, 2, cfg).unwrap();
+
+    let mut rng = Rng::new(0xC0FFEE);
+    let mut history = Vec::new();
+    for _ in 0..10 {
+        let batch = random_batch(&mut rng, BATCH_SIZE);
+        lsm.submit(&batch).unwrap(); // batch 8 degrades; all still admitted
+        history.push(batch);
+    }
+    lsm.flush().unwrap();
+    let stats = lsm.durability_stats().unwrap();
+    assert!(stats.degraded);
+    // Records 1..=7 were acked (record 8 rolled back with its failed
+    // sync); of those only the synced 1..=4 are durable — the seal
+    // discards the acked-but-unsynced 5..=7, as replay below proves.
+    assert_eq!(stats.wal_records, 7);
+    let mut full = BTreeMap::new();
+    for batch in &history {
+        apply_to_model(&mut full, batch);
+    }
+    assert_matches_model(&lsm, &full, &mut rng);
+    drop(lsm);
+
+    let mut prefix = BTreeMap::new();
+    for batch in &history[..INTERVAL] {
+        apply_to_model(&mut prefix, batch);
+    }
+    let (lsm, report) = AdmittedLsm::open_durable(device(), BATCH_SIZE, 2, config(&dir)).unwrap();
+    assert!(report.prior_degraded);
+    assert_eq!(report.replayed_batches, INTERVAL as u64, "synced boundary");
+    assert_eq!(report.torn_bytes, 0, "the seal left no torn tail");
+    assert_matches_model(&lsm, &prefix, &mut rng);
+    lsm.check_invariants().unwrap();
+    drop(lsm);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Incremental snapshots: a generation whose level data did not change
+/// must carry the run file over by reference instead of rewriting it.
+#[test]
+fn unchanged_runs_are_reused_across_snapshot_generations() {
+    let dir = temp_dir("incremental");
+    let (lsm, _) = AdmittedLsm::open_durable(device(), BATCH_SIZE, 2, config(&dir)).unwrap();
+
+    // Fill shard 0 (low keys) and snapshot it.
+    let low: Vec<(u32, u32)> = (0..BATCH_SIZE as u32).map(|i| (i, i + 1)).collect();
+    lsm.insert(&low).unwrap();
+    lsm.flush().unwrap();
+    assert_eq!(lsm.durability_stats().unwrap().manifest_seq, 1);
+
+    // Touch only shard 1 (high keys): generation 2 must reuse shard 0's
+    // run untouched.
+    let high: Vec<(u32, u32)> = (0..BATCH_SIZE as u32)
+        .map(|i| ((1 << 30) + i, i + 1))
+        .collect();
+    lsm.insert(&high).unwrap();
+    lsm.flush().unwrap();
+    let stats = lsm.durability_stats().unwrap();
+    assert_eq!(stats.manifest_seq, 2);
+    assert!(stats.runs_reused >= 1, "reused: {}", stats.runs_reused);
+
+    // The reused run physically belongs to generation 1 and must have
+    // survived generation 2's garbage collection.
+    assert!(dir.join("run-1-0-0.bin").exists(), "carried-over run kept");
+    drop(lsm);
+
+    let (lsm, report) = AdmittedLsm::open_durable(device(), BATCH_SIZE, 2, config(&dir)).unwrap();
+    assert_eq!(report.manifest_seq, Some(2));
+    assert_eq!(report.replayed_batches, 0);
+    let keys: Vec<u32> = low.iter().chain(&high).map(|&(k, _)| k).collect();
+    let want: Vec<Option<u32>> = low.iter().chain(&high).map(|&(_, v)| Some(v)).collect();
     assert_eq!(lsm.lookup(&keys), want);
     lsm.check_invariants().unwrap();
     drop(lsm);

@@ -335,6 +335,8 @@ fn admitted_backend_under_concurrent_mixed_fire() {
             queue_capacity: 4,
             coalesce: true,
             read_your_writes: false,
+            submit_deadline: None,
+            flush_deadline: None,
         },
     );
     stress(lsm.clone());
@@ -354,6 +356,8 @@ fn admitted_read_your_writes_backend_under_concurrent_mixed_fire() {
             queue_capacity: 4,
             coalesce: false,
             read_your_writes: true,
+            submit_deadline: None,
+            flush_deadline: None,
         },
     );
     stress(lsm.clone());
