@@ -1,0 +1,33 @@
+//! The "PCIe tax" experiment: single-get latency vs. bulk-get throughput
+//! and the break-even batch size against the sorted-array and cuckoo-hash
+//! baselines.
+//!
+//! Usage: `cargo run --release -p lsm-bench --bin bulk_get -- [--scale N] [--csv PATH]`
+
+use lsm_bench::experiments::bulk_get;
+use lsm_bench::{report, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    // Paper-shaped sizes: n = 2^24 resident elements, 100k-query bulk
+    // batches; `--scale` shrinks n for small hosts.
+    let n = 1usize << 24u32.saturating_sub(opts.scale).max(12);
+    let max_batch = 100_000.min(n);
+    eprintln!("bulk_get sweep: n = {n} elements, bulk batches up to {max_batch} queries");
+    let result = bulk_get::run(n, max_batch, opts.seed);
+    let table = bulk_get::render(&result);
+    println!("{}", table.render());
+    for (name, hit) in [
+        ("sorted array", result.break_even_vs_sa),
+        ("cuckoo hash", result.break_even_vs_cuckoo),
+    ] {
+        match hit {
+            Some(b) => println!("break-even vs {name}: batch >= {b} queries"),
+            None => println!("break-even vs {name}: not reached by {max_batch} queries"),
+        }
+    }
+    if let Some(path) = &opts.csv {
+        report::write_csv(&table, path).expect("write CSV");
+        eprintln!("wrote {}", path.display());
+    }
+}

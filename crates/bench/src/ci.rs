@@ -221,6 +221,26 @@ fn lookup_miss_rate(n: usize) -> f64 {
     elements_per_sec_m(n, elapsed)
 }
 
+/// Rate of `num_queries` warp-style bulk lookups ([`GpuLsm::bulk_get`])
+/// against a multi-level LSM of 11 · 8Ki elements, queries drawn from the
+/// resident keys.  The bulk path sorts the queries, marches them through
+/// each level in fixed-size groups sharing one fence descent, and sweeps
+/// the level in coalesced blocks — this metric gates that amortization
+/// (group descent + block dedup) against the per-query baseline paths.
+fn bulk_get_rate(num_queries: usize) -> f64 {
+    let device = ci_device();
+    let pairs = unique_random_pairs(11 << 13, CI_SEED ^ 0xB6);
+    let lsm = GpuLsm::bulk_build(device, 1 << 13, &pairs).expect("bulk build");
+    let queries: Vec<u32> = pairs
+        .iter()
+        .cycle()
+        .take(num_queries)
+        .map(|&(k, _)| k)
+        .collect();
+    let (_, elapsed) = time_once(|| lsm.bulk_get(&queries));
+    elements_per_sec_m(num_queries, elapsed)
+}
+
 /// Rate of `num_queries` count queries (expected width L = 8, the paper's
 /// Table IV small-interval case) against a multi-level LSM of 11 · 4Ki
 /// elements.  Rates are in M queries/s.
@@ -264,6 +284,9 @@ fn measure_once() -> Vec<Metric> {
         // lookups (the filter/fence showcase) and small-interval
         // count/range queries (fence-clamped candidate gathering).
         m("lookup_miss_4k", lookup_miss_rate(1 << 12)),
+        // Warp-style bulk execution: 100k sorted queries in shared-descent
+        // groups (the paper's "PCIe tax" amortization argument).
+        m("bulk_get_100k", bulk_get_rate(100_000)),
         m("count_1k", count_rate(1 << 10)),
         m("range_1k", range_rate(1 << 10)),
         // Sharded-service insert path: shards=1 tracks the routing layer's
@@ -525,7 +548,7 @@ mod tests {
     fn suite_runs_and_produces_positive_rates() {
         // One repeat keeps this test cheap; it exercises every metric once.
         let metrics = run_suite(1);
-        assert_eq!(metrics.len(), 14);
+        assert_eq!(metrics.len(), 15);
         for m in &metrics {
             assert!(m.rate > 0.0, "metric {} must be positive", m.name);
         }

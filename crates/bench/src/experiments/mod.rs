@@ -8,11 +8,13 @@
 //! | [`table4`] | Table IV — count and range query rates (L = 8, 1024) |
 //! | [`fig4`] | Fig. 4a — batch insertion time; Fig. 4b — effective rate |
 //! | [`bulk_build`] | §V-B — bulk build rates (LSM / SA / cuckoo) |
+//! | [`bulk_get`] | "PCIe tax" — single-get latency vs. bulk-get amortization |
 //! | [`cleanup`] | §V-D — cleanup rate and post-cleanup query speed-up |
 //! | [`sharded`] | beyond the paper — shard scaling under mixed traffic |
 //! | [`imbalance`] | beyond the paper — routing policies under zipfian skew |
 
 pub mod bulk_build;
+pub mod bulk_get;
 pub mod cleanup;
 pub mod fig4;
 pub mod imbalance;

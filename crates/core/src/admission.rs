@@ -1068,8 +1068,26 @@ impl AdmittedLsm {
     /// overlaid in front of the applied state (newest pending batch wins);
     /// otherwise only applied state is visible.
     pub fn lookup(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        self.lookup_with(queries, ShardedLsm::lookup)
+    }
+
+    /// Warp-style bulk lookups — [`ShardedLsm::bulk_get`] behind the same
+    /// read-your-writes overlay as [`AdmittedLsm::lookup`]; results are
+    /// identical to it.
+    pub fn bulk_get(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        self.lookup_with(queries, ShardedLsm::bulk_get)
+    }
+
+    /// Shared read path: overlay the pending queues (in read-your-writes
+    /// mode), resolve the fall-through keys against the applied state with
+    /// `resolve`.
+    fn lookup_with(
+        &self,
+        queries: &[Key],
+        resolve: impl Fn(&ShardedLsm, &[Key]) -> Vec<Option<Value>>,
+    ) -> Vec<Option<Value>> {
         if !self.shared.config.read_your_writes {
-            return self.shared.service.lookup(queries);
+            return resolve(&self.shared.service, queries);
         }
         // Decide what the pending (queued + in-flight) ops say about each
         // query under one short lock; undecided keys fall through to the
@@ -1098,7 +1116,7 @@ impl AdmittedLsm {
             .filter(|(_, o)| o.is_none())
             .map(|(&q, _)| q)
             .collect();
-        let applied = self.shared.service.lookup(&undecided);
+        let applied = resolve(&self.shared.service, &undecided);
         let mut applied_iter = applied.into_iter();
         overlay
             .into_iter()

@@ -1,0 +1,64 @@
+//! Thread-local marker for the carry-chain merge inner loop, so an external
+//! counting allocator (the `alloc_free_merge` integration test) can assert
+//! the steady-state merge path performs **zero heap allocations**: region
+//! reservation recycles free-list spans and the merge writes straight into
+//! them, so once every size class is warm nothing in the scope allocates.
+//!
+//! The flag is const-initialized (no lazy allocation on first access — the
+//! observing allocator reads it on every allocation) and only meaningful on
+//! the thread running the merge; the allocation-freedom claim is asserted
+//! under a forced-sequential cutoff where the whole merge runs on one
+//! thread.
+
+use std::cell::Cell;
+
+thread_local! {
+    static MERGE_SCOPE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is inside the carry-chain merge inner loop.
+/// Read by external counting allocators; never alter behavior based on it.
+pub fn merge_scope_active() -> bool {
+    MERGE_SCOPE.with(Cell::get)
+}
+
+/// RAII guard marking the merge inner loop (reservation + merge-into).
+/// Nested guards restore the outer state on drop.
+pub(crate) struct MergeScopeGuard {
+    prev: bool,
+}
+
+impl MergeScopeGuard {
+    pub(crate) fn enter() -> Self {
+        MergeScopeGuard {
+            prev: MERGE_SCOPE.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for MergeScopeGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        MERGE_SCOPE.with(|c| c.set(prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_sets_and_restores_the_flag() {
+        assert!(!merge_scope_active());
+        {
+            let _outer = MergeScopeGuard::enter();
+            assert!(merge_scope_active());
+            {
+                let _inner = MergeScopeGuard::enter();
+                assert!(merge_scope_active());
+            }
+            assert!(merge_scope_active(), "nested drop keeps the outer scope");
+        }
+        assert!(!merge_scope_active());
+    }
+}

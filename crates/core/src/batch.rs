@@ -116,6 +116,25 @@ impl UpdateBatch {
     /// then encode it into `(encoded_keys, values)` arrays of exactly
     /// `batch_size` elements, padding with duplicates of the last operation.
     pub fn encode_padded(&self, batch_size: usize) -> Result<(Vec<EncodedKey>, Vec<Value>)> {
+        let mut keys = Vec::new();
+        let mut values = Vec::new();
+        self.encode_padded_into(batch_size, &mut keys, &mut values)?;
+        Ok((keys, values))
+    }
+
+    /// [`UpdateBatch::encode_padded`] into caller-provided buffers: the
+    /// vectors are cleared and refilled, so a submit loop that threads the
+    /// same pair of scratch vectors through every batch encodes with zero
+    /// steady-state heap allocations.  On error the buffers are left
+    /// cleared.
+    pub fn encode_padded_into(
+        &self,
+        batch_size: usize,
+        keys: &mut Vec<EncodedKey>,
+        values: &mut Vec<Value>,
+    ) -> Result<()> {
+        keys.clear();
+        values.clear();
         if self.ops.is_empty() {
             return Err(LsmError::EmptyBatch);
         }
@@ -129,8 +148,8 @@ impl UpdateBatch {
             return Err(LsmError::KeyOutOfRange { key: op.key() });
         }
 
-        let mut keys = Vec::with_capacity(batch_size);
-        let mut values = Vec::with_capacity(batch_size);
+        keys.reserve(batch_size);
+        values.reserve(batch_size);
         for op in &self.ops {
             let (k, v) = op.encode();
             keys.push(k);
@@ -143,7 +162,7 @@ impl UpdateBatch {
         let (last_k, last_v) = (*keys.last().unwrap(), *values.last().unwrap());
         keys.resize(batch_size, last_k);
         values.resize(batch_size, last_v);
-        Ok((keys, values))
+        Ok(())
     }
 
     /// Insert-only fast path: validate and encode key–value pairs straight

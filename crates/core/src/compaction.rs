@@ -34,10 +34,12 @@
 
 use gpu_primitives::fence::{FenceArray, DEFAULT_FENCE_INTERVAL};
 use gpu_primitives::filter::{config_bits_per_key, BloomFilter};
-use gpu_primitives::merge::merge_pairs_by;
+use gpu_primitives::merge::{merge_pairs_by, merge_pairs_by_into};
 use gpu_primitives::search::upper_bound_by;
 use gpu_sim::AccessPattern;
 
+use crate::alloc_scope::MergeScopeGuard;
+use crate::arena::Storage;
 use crate::key::{key_less, original_key, EncodedKey, Value};
 use crate::level::{carry_filter_min_len, Level, LevelSet, FILTER_MIN_LEN};
 use crate::lsm::GpuLsm;
@@ -128,11 +130,19 @@ impl GpuLsm {
     /// Run a planned cascade: merge the sorted buffer with each
     /// participating level in order, maintaining fences across every step
     /// and the filter across the final one, then assemble the output level.
+    ///
+    /// With the slab arena enabled, every step merges **into a pre-reserved
+    /// arena region** instead of a fresh vector: the consumed level's
+    /// region and the previous intermediate's region return to the arena
+    /// free list as the chain climbs, so after one warm-up cascade per
+    /// level the merge inner loop performs no heap allocation at all (the
+    /// double-buffering of §III-A; asserted by the counting-allocator
+    /// test via [`crate::alloc_scope`]).
     fn execute_plan(
         &mut self,
         plan: &CompactionPlan,
-        mut keys: Vec<EncodedKey>,
-        mut values: Vec<Value>,
+        keys: Vec<EncodedKey>,
+        values: Vec<Value>,
     ) -> Level {
         // The buffer's fences: one cheap sampling pass over the sorted
         // batch, merged (not rebuilt) at every subsequent step.
@@ -140,6 +150,8 @@ impl GpuLsm {
             original_key(keys[i])
         });
         let mut filter: Option<BloomFilter> = None;
+        let mut keys: Storage = keys.into();
+        let mut values: Storage = values.into();
 
         let steps = plan.merge_steps();
         for (step, &i) in plan.participating.iter().enumerate() {
@@ -156,22 +168,59 @@ impl GpuLsm {
                 filter = self.merge_filters(&level, &keys);
             }
 
-            let (level_keys, level_values) = level.into_parts();
             // Merge comparing original keys only (status bit ignored), with
             // the more recent buffer as the first argument so it wins ties
             // and the §III-D ordering invariants hold.
-            let (merged_keys, merged_values) = self.device().timer().time("insert::merge", || {
-                merge_pairs_by(
-                    self.device(),
-                    &keys,
-                    &values,
-                    &level_keys,
-                    &level_values,
-                    key_less,
-                )
-            });
-            keys = merged_keys;
-            values = merged_values;
+            match &self.arena {
+                Some(arena) => {
+                    let out_len = keys.len() + level.len();
+                    let (out_keys, out_values) =
+                        self.device().timer().time("insert::merge", || {
+                            let _scope = MergeScopeGuard::enter();
+                            let mut out_keys = arena.reserve(out_len);
+                            let mut out_values = arena.reserve(out_len);
+                            merge_pairs_by_into(
+                                self.device(),
+                                &keys,
+                                &values,
+                                level.keys(),
+                                level.values(),
+                                out_keys.as_mut_slice(),
+                                out_values.as_mut_slice(),
+                                key_less,
+                            );
+                            (out_keys, out_values)
+                        });
+                    // Recycle the consumed level's region before the old
+                    // intermediate's: the replaced `keys`/`values` drop
+                    // right after.
+                    drop(level);
+                    let old_keys = std::mem::replace(&mut keys, out_keys.into());
+                    let old_values = std::mem::replace(&mut values, out_values.into());
+                    if step == 0 {
+                        self.reclaim_encode_scratch(old_keys, old_values);
+                    }
+                }
+                None => {
+                    let (level_keys, level_values) = level.into_parts();
+                    let (merged_keys, merged_values) =
+                        self.device().timer().time("insert::merge", || {
+                            merge_pairs_by(
+                                self.device(),
+                                &keys,
+                                &values,
+                                &level_keys,
+                                &level_values,
+                                key_less,
+                            )
+                        });
+                    let old_keys = std::mem::replace(&mut keys, merged_keys.into());
+                    let old_values = std::mem::replace(&mut values, merged_values.into());
+                    if step == 0 {
+                        self.reclaim_encode_scratch(old_keys, old_values);
+                    }
+                }
+            }
 
             // Accept the merged fences unless repeated merging widened the
             // worst-case window past tolerance; the rebuild resamples the
@@ -205,6 +254,15 @@ impl GpuLsm {
         }
 
         Level::from_sorted_with_aux(keys, values, filter, fences)
+    }
+
+    /// Hand the batch-encode buffers the first merge step just consumed
+    /// back to [`GpuLsm::update`]'s scratch, so the next encode reuses the
+    /// allocation (arena-backed intermediates fall through untouched).
+    fn reclaim_encode_scratch(&mut self, keys: Storage, values: Storage) {
+        if let (Storage::Owned(k), Storage::Owned(v)) = (keys, values) {
+            self.encode_scratch = (k, v);
+        }
     }
 
     /// Merge the buffer's fences with a consumed level's, translating both

@@ -68,6 +68,11 @@ impl ConcurrentGpuLsm {
         self.inner.read().lookup(queries)
     }
 
+    /// Warp-style bulk lookups (shared phase) — see [`GpuLsm::bulk_get`].
+    pub fn bulk_get(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        self.inner.read().bulk_get(queries)
+    }
+
     /// Bulk count queries (shared phase).
     pub fn count(&self, queries: &[(Key, Key)]) -> Vec<u32> {
         self.inner.read().count(queries)

@@ -43,6 +43,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use gpu_primitives::fence::FenceArray;
 use gpu_primitives::filter::{config_bits_per_key, BloomFilter};
 
+use crate::arena::{RegionSpan, Storage};
 use crate::key::{key_less, original_key, EncodedKey, Key, Value};
 
 /// Minimum level length for a Bloom filter on long-lived (bulk-rebuilt)
@@ -94,10 +95,16 @@ pub struct LevelProbe {
 }
 
 /// One occupied level of the LSM.
+///
+/// Key and value arrays live in `Storage` (see `crate::arena`): a plain vector
+/// for long-lived bulk-built levels (and arena-off operation), or a
+/// reserved slab-arena region for carry-chain outputs.  Cloning a level
+/// deep-copies arena-backed storage to owned vectors, so clones never alias
+/// the arena.
 #[derive(Debug, Clone, Default)]
 pub struct Level {
-    keys: Vec<EncodedKey>,
-    values: Vec<Value>,
+    keys: Storage,
+    values: Storage,
     filter: Option<BloomFilter>,
     fences: Option<FenceArray>,
 }
@@ -107,7 +114,8 @@ pub struct Level {
 /// filters-on and filters-off structures holding the same data compare equal.
 impl PartialEq for Level {
     fn eq(&self, other: &Self) -> bool {
-        self.keys == other.keys && self.values == other.values
+        self.keys.as_slice() == other.keys.as_slice()
+            && self.values.as_slice() == other.values.as_slice()
     }
 }
 
@@ -130,11 +138,13 @@ impl Level {
     /// keys: the fences' min/max and window invariants and the filter's
     /// no-false-negative property are what queries rely on.
     pub(crate) fn from_sorted_with_aux(
-        keys: Vec<EncodedKey>,
-        values: Vec<Value>,
+        keys: impl Into<Storage>,
+        values: impl Into<Storage>,
         filter: Option<BloomFilter>,
         fences: Option<FenceArray>,
     ) -> Self {
+        let keys = keys.into();
+        let values = values.into();
         debug_assert_eq!(keys.len(), values.len());
         debug_assert!(
             keys.windows(2).all(|w| !key_less(&w[1], &w[0])),
@@ -173,8 +183,8 @@ impl Level {
             |i| original_key(keys[i]),
         );
         Level {
-            keys,
-            values,
+            keys: keys.into(),
+            values: values.into(),
             filter,
             fences,
         }
@@ -308,17 +318,28 @@ impl Level {
 
     /// The encoded keys, sorted by original key.
     pub fn keys(&self) -> &[EncodedKey] {
-        &self.keys
+        self.keys.as_slice()
     }
 
     /// The values, parallel to [`Level::keys`].
     pub fn values(&self) -> &[Value] {
-        &self.values
+        self.values.as_slice()
     }
 
-    /// Consume the level, returning its key and value arrays.
+    /// Consume the level, returning its key and value arrays (copies when
+    /// arena-backed; only cold paths — cleanup, snapshots — consume levels
+    /// this way, the carry chain borrows and merges into arena regions).
     pub fn into_parts(self) -> (Vec<EncodedKey>, Vec<Value>) {
-        (self.keys, self.values)
+        (self.keys.into_vec(), self.values.into_vec())
+    }
+
+    /// The arena spans backing this level's arrays (empty when Vec-backed)
+    /// — the `validate` overlap/aliasing invariant reads these.
+    pub(crate) fn arena_spans(&self) -> impl Iterator<Item = RegionSpan> + '_ {
+        self.keys
+            .arena_span()
+            .into_iter()
+            .chain(self.values.arena_span())
     }
 
     /// Memory footprint of the level in bytes (keys + values).
@@ -532,7 +553,7 @@ mod tests {
         );
         let filterless = Level::from_sorted_with_aux(
             encoded,
-            keys.iter().map(|&k| k * 10).collect(),
+            keys.iter().map(|&k| k * 10).collect::<Vec<u32>>(),
             None,
             fences,
         );

@@ -46,6 +46,8 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod alloc_scope;
+pub mod arena;
 pub mod batch;
 pub mod cleanup;
 pub mod compaction;
@@ -68,6 +70,7 @@ pub mod vfs;
 pub mod wal;
 
 pub use admission::{AdmissionConfig, AdmissionLatencyStats, AdmissionStats, AdmittedLsm};
+pub use arena::{Arena, ArenaRegion, ArenaStats, RegionSpan};
 pub use batch::{Op, UpdateBatch};
 pub use cleanup::CleanupReport;
 pub use compaction::CompactionPlan;

@@ -41,6 +41,25 @@ use crate::lsm::GpuLsm;
 /// back, whatever the structure size.
 const MIN_BULK_QUERIES: usize = 256;
 
+/// Default warp-group width for [`GpuLsm::bulk_get`]: sorted queries march
+/// through the levels in groups of this many, sharing one fence descent
+/// and one coalesced block sweep per group — the CPU analogue of a GPU
+/// warp resolving 64 neighbouring needles with shared loads.
+const DEFAULT_BULK_GROUP: usize = 64;
+
+/// The lenient `LSM_BULK_GROUP` fallback (strict parsing lives in
+/// [`crate::config::LsmConfig::from_env`]): unparsable or zero values are
+/// ignored here so ad-hoc shells cannot poison the default.
+fn bulk_group_from_env() -> Option<usize> {
+    static GROUP: OnceLock<Option<usize>> = OnceLock::new();
+    *GROUP.get_or_init(|| {
+        std::env::var("LSM_BULK_GROUP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&g| g >= 1)
+    })
+}
+
 /// Per-query cost trace of one individual lookup, accumulated into the
 /// device's traffic metrics and the structure's filter counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -260,29 +279,72 @@ impl GpuLsm {
     }
 
     /// The paper's *bulk* lookup alternative (§IV-B): sort all queries once,
-    /// then resolve them against every occupied level with a streaming
-    /// sorted search instead of per-query binary searches.
+    /// then resolve them against every occupied level with warp-style
+    /// grouped sweeps instead of per-query binary searches.
     ///
     /// Returns results in the original query order, identical to
     /// [`GpuLsm::lookup`].  The trade-off it exists to expose: the query
-    /// sort is an extra bulk pass, but each level is then scanned with
+    /// sort is an extra bulk pass, but each level is then swept with
     /// coalesced accesses rather than probed randomly — profitable when
     /// there are many queries relative to the structure size, which is
     /// exactly when [`GpuLsm::lookup`] dispatches here.
     ///
-    /// Levels carrying a Bloom filter get a **filter-aware pre-pass**: the
-    /// still-undecided needles are tested against the filter first (one
-    /// coalesced block read each) and only the survivors enter the
-    /// streaming search, so a mostly-missing batch skips whole levels
-    /// instead of streaming them.
+    /// This is [`GpuLsm::bulk_get`] under its historical name and kernel
+    /// label; both run the same grouped execution.
     pub fn lookup_bulk_sorted(&self, queries: &[Key]) -> Vec<Option<Value>> {
-        let kernel = "lsm_lookup_bulk";
+        self.bulk_get_with_kernel(queries, "lsm_lookup_bulk", "lookup_bulk")
+    }
+
+    /// Warp-style bulk lookup — the paper's answer to the "PCIe tax" of
+    /// issuing GPU queries one at a time: amortise the launch over a large
+    /// batch and resolve it with *shared* work per warp-sized group.
+    ///
+    /// The batch is sorted once; fixed-size groups of
+    /// [`GpuLsm::bulk_group_size`] neighbouring queries then march through
+    /// each occupied level **together**:
+    ///
+    /// 1. **Shared fence descent** — two Eytzinger descents per group (its
+    ///    smallest and largest undecided key) bracket every member's lower
+    ///    bound in one combined window, instead of one descent per query.
+    /// 2. **Coalesced block sweep** — the group resolves its members with a
+    ///    monotone cursor over that window, so the level's key blocks are
+    ///    touched once each, in order, and are charged as coalesced block
+    ///    reads (deduplicated across overlapping groups) rather than
+    ///    scattered probes.
+    ///
+    /// Levels carrying a Bloom filter keep the **filter-aware pre-pass**:
+    /// still-undecided needles are tested first (one coalesced block read
+    /// each) and only survivors join the sweep, so a mostly-missing batch
+    /// skips whole levels.  Results are bit-identical to
+    /// [`GpuLsm::lookup`], in the original query order.
+    pub fn bulk_get(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        self.bulk_get_with_kernel(queries, "lsm_bulk_get", "bulk_get")
+    }
+
+    /// The warp-group width [`GpuLsm::bulk_get`] marches with: the
+    /// per-instance config override when set, else `LSM_BULK_GROUP`, else
+    /// the built-in default of 64.
+    pub fn bulk_group_size(&self) -> usize {
+        self.bulk_group
+            .or_else(bulk_group_from_env)
+            .unwrap_or(DEFAULT_BULK_GROUP)
+            .max(1)
+    }
+
+    /// Shared body of [`GpuLsm::bulk_get`] / [`GpuLsm::lookup_bulk_sorted`]:
+    /// sort, resolve with warp-style groups, scatter back.
+    fn bulk_get_with_kernel(
+        &self,
+        queries: &[Key],
+        kernel: &'static str,
+        timer_label: &'static str,
+    ) -> Vec<Option<Value>> {
         self.op_activity.record_lookups(queries.len() as u64);
         self.device().metrics().record_launch(kernel);
         if queries.is_empty() {
             return Vec::new();
         }
-        self.device().timer().time("lookup_bulk", || {
+        self.device().timer().time(timer_label, || {
             // Sort the queries, remembering their original positions.
             let mut sorted_queries: Vec<Key> = queries.to_vec();
             let mut positions: Vec<u32> = (0..queries.len() as u32).collect();
@@ -291,104 +353,7 @@ impl GpuLsm {
                 &mut sorted_queries,
                 &mut positions,
             );
-            // Encode the probes like stored keys (key << 1) so the key-only
-            // comparator applies uniformly to needles and haystack.
-            let probes: Vec<u32> = sorted_queries.iter().map(|&q| q << 1).collect();
-
-            // Resolve levels newest-first, tracking results and decisions in
-            // *sorted query order* so the per-level reconciliation is a
-            // perfectly aligned zip — embarrassingly parallel over the
-            // vendored pool — rather than a serial scatter.  A query decided
-            // by a newer level is never overwritten (newest-level-wins).
-            let mut sorted_results: Vec<Option<Value>> = vec![None; queries.len()];
-            let mut decided: Vec<bool> = vec![false; queries.len()];
-            let (lo_q, hi_q) = (sorted_queries[0], sorted_queries[queries.len() - 1]);
-            let mut filter_blocks = 0u64;
-            let mut filter_skips = 0u64;
-            for (_, level) in self.levels().iter_occupied() {
-                // Fence min/max pruning: a level whose key range is disjoint
-                // from the whole (sorted) query range cannot decide anything.
-                if level.max_key() < lo_q || level.min_key() > hi_q {
-                    continue;
-                }
-                let keys = level.keys();
-                if let Some(filter) = level.filter() {
-                    // Filter-aware pre-pass: test every still-undecided
-                    // needle against the level's Bloom filter (one coalesced
-                    // block read each) and stream only the survivors.  The
-                    // filter is conservative, so dropped needles provably
-                    // have no match in this level.
-                    let passes: Vec<bool> = sorted_queries
-                        .par_iter()
-                        .zip(decided.par_iter())
-                        .map(|(&q, &done)| !done && filter.contains(q))
-                        .collect();
-                    let mut survivor_queries: Vec<usize> = Vec::new();
-                    let mut survivor_probes: Vec<u32> = Vec::new();
-                    for (qi, &pass) in passes.iter().enumerate() {
-                        if decided[qi] {
-                            continue;
-                        }
-                        filter_blocks += 1;
-                        if pass {
-                            survivor_queries.push(qi);
-                            survivor_probes.push(probes[qi]);
-                        } else {
-                            filter_skips += 1;
-                        }
-                    }
-                    if survivor_queries.is_empty() {
-                        continue; // the whole level is proven irrelevant
-                    }
-                    let lower_bounds = gpu_primitives::sorted_search::sorted_lower_bound(
-                        self.device(),
-                        keys,
-                        &survivor_probes,
-                        |a, b| (a >> 1) < (b >> 1),
-                    );
-                    for (&qi, &idx) in survivor_queries.iter().zip(lower_bounds.iter()) {
-                        if idx < keys.len() && original_key(keys[idx]) == sorted_queries[qi] {
-                            decided[qi] = true;
-                            sorted_results[qi] = if is_regular(keys[idx]) {
-                                Some(level.values()[idx])
-                            } else {
-                                None
-                            };
-                        }
-                    }
-                    continue;
-                }
-                let lower_bounds = gpu_primitives::sorted_search::sorted_lower_bound(
-                    self.device(),
-                    keys,
-                    &probes,
-                    |a, b| (a >> 1) < (b >> 1),
-                );
-                sorted_results
-                    .par_iter_mut()
-                    .zip(decided.par_iter_mut())
-                    .zip(lower_bounds.par_iter())
-                    .zip(sorted_queries.par_iter())
-                    .for_each(|(((result, decided), &idx), &query)| {
-                        if *decided {
-                            return;
-                        }
-                        if idx < keys.len() && original_key(keys[idx]) == query {
-                            *decided = true;
-                            *result = if is_regular(keys[idx]) {
-                                Some(level.values()[idx])
-                            } else {
-                                None
-                            };
-                        }
-                    });
-            }
-            // Each filter consultation is one coalesced cache-line block
-            // read; the skips it earned never reached the streaming pass.
-            self.device()
-                .metrics()
-                .record_block_reads(kernel, filter_blocks, BLOCK_BYTES as u64);
-            self.record_filter_activity(filter_blocks, filter_skips);
+            let sorted_results = self.resolve_sorted_warp(kernel, &sorted_queries);
             // Scatter back to the callers' query order.
             let mut results: Vec<Option<Value>> = vec![None; queries.len()];
             for (sorted_idx, &original) in positions.iter().enumerate() {
@@ -396,6 +361,136 @@ impl GpuLsm {
             }
             results
         })
+    }
+
+    /// Resolve an already-sorted query batch against every occupied level
+    /// with warp-style groups, returning results in *sorted* order.
+    ///
+    /// Results and decisions are tracked in sorted query order so every
+    /// per-level pass is a perfectly aligned zip over fixed group chunks —
+    /// embarrassingly parallel over the vendored pool.  A query decided by
+    /// a newer level is never overwritten (newest-level-wins).
+    fn resolve_sorted_warp(
+        &self,
+        kernel: &'static str,
+        sorted_queries: &[Key],
+    ) -> Vec<Option<Value>> {
+        let n = sorted_queries.len();
+        let group = self.bulk_group_size();
+        let word = std::mem::size_of::<Key>() as u64;
+        let mut sorted_results: Vec<Option<Value>> = vec![None; n];
+        let mut decided: Vec<bool> = vec![false; n];
+        let (lo_q, hi_q) = (sorted_queries[0], sorted_queries[n - 1]);
+        let mut filter_blocks = 0u64;
+        let mut filter_skips = 0u64;
+        let mut swept_blocks = 0u64;
+        let mut fence_descents = 0u64;
+        for (_, level) in self.levels().iter_occupied() {
+            // Fence min/max pruning: a level whose key range is disjoint
+            // from the whole (sorted) query range cannot decide anything.
+            if level.max_key() < lo_q || level.min_key() > hi_q {
+                continue;
+            }
+            let keys = level.keys();
+            let values = level.values();
+            // Filter-aware pre-pass: test every still-undecided needle
+            // against the level's Bloom filter (one coalesced block read
+            // each); only survivors join the sweep.  The filter is
+            // conservative, so dropped needles provably have no match here.
+            let has_filter = level.filter().is_some();
+            let pass: Vec<bool> = match level.filter() {
+                Some(filter) => sorted_queries
+                    .par_iter()
+                    .zip(decided.par_iter())
+                    .map(|(&q, &done)| !done && filter.contains(q))
+                    .collect(),
+                None => decided.iter().map(|&done| !done).collect(),
+            };
+            if has_filter {
+                for (qi, &p) in pass.iter().enumerate() {
+                    if decided[qi] {
+                        continue;
+                    }
+                    filter_blocks += 1;
+                    if !p {
+                        filter_skips += 1;
+                    }
+                }
+            }
+            // Warp-style march: each fixed group of neighbouring sorted
+            // queries shares two fence descents (group min/max) and sweeps
+            // the combined window with one monotone cursor.  Groups cover
+            // disjoint query ranges, so they resolve in parallel; each
+            // returns the half-open block range its sweep touched.
+            let touched: Vec<Option<(u64, u64)>> = sorted_results
+                .par_chunks_mut(group)
+                .zip(decided.par_chunks_mut(group))
+                .zip(sorted_queries.par_chunks(group))
+                .zip(pass.par_chunks(group))
+                .map(|(((results, decided), queries), pass)| {
+                    let first = pass.iter().position(|&p| p)?;
+                    let last = pass.iter().rposition(|&p| p).unwrap_or(first);
+                    // Shared descent: the two group extremes bracket every
+                    // member's lower bound (bounds are monotone in the key).
+                    let (win_lo, win_hi) = match level.fences() {
+                        Some(f) => (
+                            f.lower_bound_window(queries[first]).0,
+                            f.lower_bound_window(queries[last]).1,
+                        ),
+                        None => (0, keys.len()),
+                    };
+                    // Coalesced sweep: the cursor only moves forward, so the
+                    // group touches each key block of its window once.
+                    let mut cursor = win_lo;
+                    let mut touched_hi = win_lo;
+                    for i in first..=last {
+                        if !pass[i] {
+                            continue;
+                        }
+                        let q = queries[i];
+                        cursor += keys[cursor..win_hi].partition_point(|&k| (k >> 1) < q);
+                        touched_hi = touched_hi.max((cursor + 1).min(keys.len()));
+                        if cursor < keys.len() && original_key(keys[cursor]) == q {
+                            decided[i] = true;
+                            results[i] = if is_regular(keys[cursor]) {
+                                Some(values[cursor])
+                            } else {
+                                None
+                            };
+                        }
+                    }
+                    let b_lo = win_lo as u64 * word / BLOCK_BYTES as u64;
+                    let b_hi = (touched_hi.max(win_lo + 1) as u64 * word - 1) / BLOCK_BYTES as u64;
+                    Some((b_lo, b_hi))
+                })
+                .collect();
+            // Charge the sweeps as deduplicated coalesced block reads:
+            // group windows ascend with the sorted queries, so a running
+            // high-water mark removes the overlap between neighbours
+            // exactly.
+            let mut charged_through: Option<u64> = None;
+            for (b_lo, b_hi) in touched.into_iter().flatten() {
+                fence_descents += 2;
+                let from = charged_through.map_or(b_lo, |c| b_lo.max(c + 1));
+                if b_hi >= from {
+                    swept_blocks += b_hi - from + 1;
+                }
+                charged_through = Some(charged_through.map_or(b_hi, |c| c.max(b_hi)));
+            }
+        }
+        // Each filter consultation and each swept key block is one
+        // coalesced cache-line read; only the per-group fence descents are
+        // scattered.
+        self.device().metrics().record_block_reads(
+            kernel,
+            filter_blocks + swept_blocks,
+            BLOCK_BYTES as u64,
+        );
+        self.device()
+            .metrics()
+            .record_scattered_probes(kernel, fence_descents, word);
+        self.record_filter_activity(filter_blocks, filter_skips);
+        sorted_results
     }
 }
 
@@ -558,6 +653,67 @@ mod tests {
         // Present keys still resolve through the pre-pass.
         let hits: Vec<u32> = (0..512u32).map(|k| k * 8).collect();
         assert_eq!(lsm.lookup_bulk_sorted(&hits), lsm.lookup_individual(&hits));
+    }
+
+    #[test]
+    fn bulk_get_matches_individual_across_group_sizes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        // Group sizes straddling every boundary case: degenerate singles,
+        // non-dividing odd widths, the default, and one group per batch.
+        for group in [1usize, 3, 64, 1 << 20] {
+            let config = crate::config::LsmConfig::default().bulk_group(group);
+            let mut lsm = GpuLsm::with_config(device(), 32, &config).unwrap();
+            assert_eq!(lsm.bulk_group_size(), group);
+            for round in 0..9u32 {
+                let mut batch = UpdateBatch::new();
+                let mut used = std::collections::HashSet::new();
+                while used.len() < 32 {
+                    let key = rng.gen_range(0..1200u32);
+                    if !used.insert(key) {
+                        continue;
+                    }
+                    if rng.gen_bool(0.25) {
+                        batch.delete(key);
+                    } else {
+                        batch.insert(key, round * 10_000 + key);
+                    }
+                }
+                lsm.update(&batch).unwrap();
+            }
+            // Hits, misses, duplicates and out-of-range probes together.
+            let mut queries: Vec<u32> = (0..1500).map(|i| (i * 13) % 1400).collect();
+            queries.extend([0, 0, 7, 7, 7, 5000]);
+            assert_eq!(lsm.bulk_get(&queries), lsm.lookup_individual(&queries));
+            assert_eq!(
+                lsm.lookup_bulk_sorted(&queries),
+                lsm.lookup_individual(&queries)
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_get_charges_coalesced_sweeps() {
+        // A single large level with fences: the grouped sweep must charge
+        // block reads on its kernel and still answer exactly.
+        let pairs: Vec<(u32, u32)> = (0..8192u32).map(|k| (k * 3, k)).collect();
+        let lsm = GpuLsm::bulk_build(device(), 1 << 13, &pairs).unwrap();
+        let queries: Vec<u32> = (0..4096u32).map(|i| i * 6).collect(); // half hit
+        let results = lsm.bulk_get(&queries);
+        assert_eq!(results, lsm.lookup_individual(&queries));
+        let snapshot = lsm.device().metrics().snapshot();
+        let traffic = snapshot
+            .get("lsm_bulk_get")
+            .expect("bulk_get kernel traffic");
+        assert!(
+            traffic.coalesced_read_bytes > 0,
+            "grouped sweep must charge coalesced block reads"
+        );
+        // Empty batches and empty structures short-circuit.
+        assert!(lsm.bulk_get(&[]).is_empty());
+        let empty = GpuLsm::new(device(), 8).unwrap();
+        assert_eq!(empty.bulk_get(&[1, 2]), vec![None, None]);
     }
 
     #[test]

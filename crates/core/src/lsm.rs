@@ -22,10 +22,31 @@ use std::sync::Arc;
 use gpu_primitives::radix_sort::sort_pairs;
 use gpu_sim::Device;
 
+use crate::arena::Arena;
 use crate::batch::UpdateBatch;
 use crate::error::{LsmError, Result};
 use crate::key::{encode_regular, placebo, EncodedKey, Key, Value, MAX_KEY};
 use crate::level::{Level, LevelSet};
+
+/// Lenient env fallback for the arena master switch (`LSM_ARENA`; default
+/// on).  The strict, erroring parse of the same knob lives in
+/// [`crate::LsmConfig::from_env`]; this per-module fallback follows the
+/// repo convention of ignoring unparsable values.
+fn arena_enabled_from_env() -> bool {
+    match std::env::var("LSM_ARENA") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off"),
+        Err(_) => true,
+    }
+}
+
+/// Lenient env fallback for the arena chunk size in words
+/// (`LSM_ARENA_CHUNK`; 0 = the built-in default).
+fn arena_chunk_words_from_env() -> usize {
+    std::env::var("LSM_ARENA_CHUNK")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
 
 /// The GPU LSM: a dynamic dictionary with batched updates and parallel
 /// queries.
@@ -47,6 +68,18 @@ pub struct GpuLsm {
     /// Per-instance override of the bulk-lookup dispatch fraction; `None`
     /// falls back to `LSM_BULK_LOOKUP_FRAC` and then the cost model.
     pub(crate) bulk_lookup_frac: Option<f64>,
+    /// Per-instance override of the warp-style bulk-get group size; `None`
+    /// falls back to `LSM_BULK_GROUP` and then the built-in default.
+    pub(crate) bulk_group: Option<usize>,
+    /// The slab arena backing carry-chain level storage (`None` = arena
+    /// disabled, levels own plain vectors).  Shared across clones of the
+    /// handle; cloned levels deep-copy out of the arena.
+    pub(crate) arena: Option<Arc<Arena>>,
+    /// Reusable batch-encode buffers: [`GpuLsm::update`] encodes into these
+    /// and the carry chain hands the consumed buffer back after its first
+    /// merge step, so steady-state submits re-encode into the same
+    /// allocation instead of a fresh pair of vectors per batch.
+    pub(crate) encode_scratch: (Vec<EncodedKey>, Vec<Value>),
 }
 
 impl GpuLsm {
@@ -68,6 +101,9 @@ impl GpuLsm {
             merge_activity: Arc::default(),
             op_activity: Arc::default(),
             bulk_lookup_frac: None,
+            bulk_group: None,
+            arena: arena_enabled_from_env().then(|| Arena::new(arena_chunk_words_from_env())),
+            encode_scratch: (Vec::new(), Vec::new()),
         })
     }
 
@@ -83,8 +119,31 @@ impl GpuLsm {
     ) -> Result<Self> {
         config.apply_process_overrides();
         let mut lsm = GpuLsm::new(device, batch_size)?;
-        lsm.bulk_lookup_frac = config.bulk_lookup_frac;
+        lsm.apply_instance_config(config);
         Ok(lsm)
+    }
+
+    /// Apply a config's per-instance knobs to this structure, overriding
+    /// the env-derived defaults `GpuLsm::new` installed.  Also used when a
+    /// sharded LSM rebuilds a shard (split/merge/rebalance), so replacement
+    /// shards keep the parent table's configuration instead of silently
+    /// reverting to the env knobs.
+    pub(crate) fn apply_instance_config(&mut self, config: &crate::config::LsmConfig) {
+        self.bulk_lookup_frac = config.bulk_lookup_frac;
+        self.bulk_group = config.bulk_group;
+        match (config.arena, config.arena_chunk_words) {
+            // Explicitly disabled: drop the env-derived arena.
+            (Some(false), _) => self.arena = None,
+            // Explicitly enabled and/or explicitly sized: build fresh so
+            // the configured chunk size wins over the env fallback.
+            (Some(true), chunk) => self.arena = Some(Arena::new(chunk.unwrap_or(0))),
+            (None, Some(chunk)) => {
+                if self.arena.is_some() {
+                    self.arena = Some(Arena::new(chunk));
+                }
+            }
+            (None, None) => {}
+        }
     }
 
     /// Bulk-build an LSM from an arbitrary set of key–value pairs
@@ -175,7 +234,11 @@ impl GpuLsm {
     /// Apply a mixed batch of insertions and deletions (at most `b`
     /// operations; shorter batches are padded, see [`UpdateBatch`]).
     pub fn update(&mut self, batch: &UpdateBatch) -> Result<()> {
-        let (keys, values) = batch.encode_padded(self.batch_size)?;
+        // Encode into the reusable scratch pair; the carry chain returns
+        // the buffer after its first merge step consumes it, so repeated
+        // updates stop allocating here once warm.
+        let (mut keys, mut values) = std::mem::take(&mut self.encode_scratch);
+        batch.encode_padded_into(self.batch_size, &mut keys, &mut values)?;
         self.op_activity.record_updates(batch.len() as u64);
         self.sort_and_push(keys, values, None);
         Ok(())

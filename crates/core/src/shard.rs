@@ -171,6 +171,9 @@ pub struct ShardedStats {
     /// Sum of write-path merge counters over all shards (carry steps,
     /// incremental vs. rebuilt fence/filter maintenance).
     pub merges: crate::stats::MergeCounters,
+    /// Sum of slab-arena counters over all shards (all-zero when the arena
+    /// is disabled everywhere).
+    pub arena: crate::arena::ArenaStats,
     /// Sum of lifetime update operations over all shards.  Note that a
     /// rebalance rebuilds the affected shards with fresh counters, so this
     /// can decrease across a split/merge.
@@ -296,12 +299,11 @@ impl ShardedLsm {
                 per_shard[router.shard_of(k)].push((k, v));
             }
         }
-        let bulk_frac = config.bulk_lookup_frac;
         let shards: Vec<Result<ConcurrentGpuLsm>> = per_shard
             .par_iter()
             .map(|shard_pairs| {
                 let mut lsm = GpuLsm::bulk_build(device.clone(), batch_size, shard_pairs)?;
-                lsm.bulk_lookup_frac = bulk_frac;
+                lsm.apply_instance_config(&config);
                 Ok(ConcurrentGpuLsm::new(lsm))
             })
             .collect();
@@ -350,12 +352,11 @@ impl ShardedLsm {
             });
         }
         config.apply_process_overrides();
-        let bulk_frac = config.bulk_lookup_frac;
         let num_shards = shards.len();
         let shards: Vec<ConcurrentGpuLsm> = shards
             .into_iter()
             .map(|mut lsm| {
-                lsm.bulk_lookup_frac = bulk_frac;
+                lsm.apply_instance_config(&config);
                 ConcurrentGpuLsm::new(lsm)
             })
             .collect();
@@ -663,7 +664,7 @@ impl ShardedLsm {
     /// the service's per-instance config.
     fn build_shard(&self, pairs: &[(Key, Value)]) -> Result<ConcurrentGpuLsm> {
         let mut lsm = GpuLsm::bulk_build(self.device.clone(), self.batch_size, pairs)?;
-        lsm.bulk_lookup_frac = self.config.bulk_lookup_frac;
+        lsm.apply_instance_config(&self.config);
         Ok(ConcurrentGpuLsm::new(lsm))
     }
 
@@ -822,6 +823,31 @@ impl ShardedLsm {
         let shard_answers: Vec<(&[usize], Vec<Option<Value>>)> = work
             .par_iter()
             .map(|(s, (keys, positions))| (positions.as_slice(), table.shards[*s].lookup(keys)))
+            .collect();
+        let mut out = vec![None; queries.len()];
+        for (positions, answers) in shard_answers {
+            for (&pos, ans) in positions.iter().zip(answers) {
+                out[pos] = ans;
+            }
+        }
+        out
+    }
+
+    /// Warp-style bulk lookups: routed to the owning shards, executed per
+    /// shard in parallel through [`GpuLsm::bulk_get`] (each shard sorts its
+    /// sub-batch and marches it in warp-sized groups), reassembled in input
+    /// order.  Results are identical to [`ShardedLsm::lookup`].
+    pub fn bulk_get(&self, queries: &[Key]) -> Vec<Option<Value>> {
+        let table = self.table_snapshot();
+        let parts = table.router.split_lookups(queries);
+        let work: Vec<(usize, &RoutedLookups)> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, (keys, _))| !keys.is_empty())
+            .collect();
+        let shard_answers: Vec<(&[usize], Vec<Option<Value>>)> = work
+            .par_iter()
+            .map(|(s, (keys, positions))| (positions.as_slice(), table.shards[*s].bulk_get(keys)))
             .collect();
         let mut out = vec![None; queries.len()];
         for (positions, answers) in shard_answers {
@@ -1013,6 +1039,7 @@ impl ShardedLsm {
             filter_probes: 0,
             filter_skips: 0,
             merges: crate::stats::MergeCounters::default(),
+            arena: crate::arena::ArenaStats::default(),
             update_ops: 0,
             lookup_ops: 0,
             epoch: table.epoch,
@@ -1038,6 +1065,7 @@ impl ShardedLsm {
             agg.filter_probes += s.filter_probes;
             agg.filter_skips += s.filter_skips;
             agg.merges.add(&s.merges);
+            agg.arena.add(&s.arena);
             agg.update_ops += s.update_ops;
             agg.lookup_ops += s.lookup_ops;
         }

@@ -363,20 +363,25 @@ fn sync_dir(vfs: &Arc<dyn Vfs>, dir: &Path) -> Result<()> {
 /// Frame one batch: `magic | payload_len | fnv64(payload) | payload`,
 /// payload = the ops as `(encoded_key, value)` pairs.  The encoded key
 /// carries the tombstone bit, so the op kind round-trips exactly.
-fn encode_record(batch: &UpdateBatch) -> Vec<u8> {
+///
+/// Frames into a caller-provided scratch buffer (cleared first) with the
+/// checksum patched in after the payload is in place, so the writer's
+/// steady state allocates nothing per record — no intermediate payload
+/// vector, no fresh frame vector.
+fn encode_record_into(batch: &UpdateBatch, out: &mut Vec<u8>) {
     let payload_len = batch.len() * 8;
-    let mut payload = Vec::with_capacity(payload_len);
+    out.clear();
+    out.reserve(16 + payload_len);
+    put_u32(out, RECORD_MAGIC);
+    put_u32(out, payload_len as u32);
+    put_u64(out, 0); // checksum placeholder, patched below
     for op in batch.ops() {
         let (k, v) = op.encode();
-        put_u32(&mut payload, k);
-        put_u32(&mut payload, v);
+        put_u32(out, k);
+        put_u32(out, v);
     }
-    let mut out = Vec::with_capacity(16 + payload_len);
-    put_u32(&mut out, RECORD_MAGIC);
-    put_u32(&mut out, payload_len as u32);
-    put_u64(&mut out, fnv1a(&payload));
-    out.extend_from_slice(&payload);
-    out
+    let checksum = fnv1a(&out[16..]);
+    out[8..16].copy_from_slice(&checksum.to_le_bytes());
 }
 
 fn decode_payload(payload: &[u8]) -> UpdateBatch {
@@ -472,6 +477,9 @@ pub struct Wal {
     /// Set by [`Wal::seal`]: the pipeline degraded to volatile and this
     /// segment refuses further appends.
     sealed: bool,
+    /// Reusable frame buffer for [`Wal::append`]: every record is encoded
+    /// into this scratch, so steady-state appends allocate nothing.
+    scratch: Vec<u8>,
 }
 
 impl Wal {
@@ -498,6 +506,7 @@ impl Wal {
             retries: 0,
             broken: false,
             sealed: false,
+            scratch: Vec::new(),
         })
     }
 
@@ -531,6 +540,7 @@ impl Wal {
             retries: 0,
             broken: false,
             sealed: false,
+            scratch: Vec::new(),
         })
     }
 
@@ -548,10 +558,22 @@ impl Wal {
         if self.sealed {
             return Err(corrupt("segment sealed after degradation", &self.path));
         }
-        let record = encode_record(batch);
+        // Frame into the writer's scratch: no per-record allocation.  The
+        // buffer is taken out and handed back around the IO so error paths
+        // cannot leak it.
+        let mut record = std::mem::take(&mut self.scratch);
+        encode_record_into(batch, &mut record);
+        let result = self.append_record(&record);
+        self.scratch = record;
+        result
+    }
+
+    /// Write one already-framed record, retrying transient errors and
+    /// rolling the file back to the last good boundary on failure.
+    fn append_record(&mut self, record: &[u8]) -> Result<()> {
         let mut attempt = 0u32;
         loop {
-            match self.file.write_all(&record) {
+            match self.file.write_all(record) {
                 Ok(()) => break,
                 Err(e) => {
                     // Roll the file back to the last good boundary so a

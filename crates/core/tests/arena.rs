@@ -1,0 +1,222 @@
+//! Differential suite for slab-arena level storage: an LSM whose levels
+//! live in arena-reserved regions must be indistinguishable, query for
+//! query and byte for byte, from one whose levels own plain `Vec`s —
+//! across every query surface (`lookup`, `bulk_get`, `count`, `range`,
+//! `successor`, `predecessor`) and across mixed insert/delete sequences,
+//! cleanup, bulk builds, and sharded splits.  The arena aliasing
+//! invariants (no live-region overlap, no live region on a free list)
+//! are re-checked after every batch via `check_invariants`.
+
+use std::sync::Arc;
+
+use gpu_lsm::{GpuLsm, LsmConfig, Op, ShardedLsm, UpdateBatch, MAX_KEY};
+use gpu_sim::{Device, DeviceConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KEY_DOMAIN: u32 = 20_000;
+
+fn device() -> Arc<Device> {
+    Arc::new(Device::new(DeviceConfig::small()))
+}
+
+/// An arena-backed and a `Vec`-backed LSM built with the same batch size,
+/// fed the same operations; explicit configs so the `LSM_ARENA` env knob
+/// cannot flip either side.
+fn pair(batch_size: usize) -> (GpuLsm, GpuLsm) {
+    let arena = GpuLsm::with_config(device(), batch_size, &LsmConfig::default().arena(true))
+        .expect("arena-backed LSM");
+    let plain = GpuLsm::with_config(device(), batch_size, &LsmConfig::default().arena(false))
+        .expect("vec-backed LSM");
+    (arena, plain)
+}
+
+/// Compare every query surface of the two structures, byte for byte.
+fn assert_identical_answers(arena: &GpuLsm, plain: &GpuLsm) {
+    let queries: Vec<u32> = (0..KEY_DOMAIN)
+        .step_by(7)
+        .chain([0, 1, KEY_DOMAIN, KEY_DOMAIN + 1])
+        .collect();
+    assert_eq!(arena.lookup(&queries), plain.lookup(&queries));
+    assert_eq!(arena.bulk_get(&queries), plain.bulk_get(&queries));
+    let intervals: Vec<(u32, u32)> = vec![
+        (0, KEY_DOMAIN / 4),
+        (KEY_DOMAIN / 4, KEY_DOMAIN / 2),
+        (KEY_DOMAIN / 2, KEY_DOMAIN),
+        (0, MAX_KEY),
+        (KEY_DOMAIN, 5), // inverted
+        (17, 17),
+    ];
+    assert_eq!(arena.count(&intervals), plain.count(&intervals));
+    assert_eq!(arena.range(&intervals), plain.range(&intervals));
+    let points: Vec<u32> = (0..KEY_DOMAIN).step_by(311).chain([0, MAX_KEY]).collect();
+    assert_eq!(arena.successor(&points), plain.successor(&points));
+    assert_eq!(arena.predecessor(&points), plain.predecessor(&points));
+}
+
+fn check_both(arena: &GpuLsm, plain: &GpuLsm) {
+    arena.check_invariants().expect("arena-backed invariants");
+    plain.check_invariants().expect("vec-backed invariants");
+}
+
+fn random_batch(rng: &mut StdRng, b: usize, delete_frac: f64) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for _ in 0..b {
+        let key = rng.gen_range(0..KEY_DOMAIN);
+        if rng.gen_bool(delete_frac) {
+            batch.delete(key);
+        } else {
+            batch.insert(key, rng.gen());
+        }
+    }
+    batch
+}
+
+#[test]
+fn arena_levels_match_vec_levels_across_batches() {
+    let b = 64usize;
+    let (mut arena, mut plain) = pair(b);
+    let mut rng = StdRng::seed_from_u64(41);
+    // 33 batches drive r through several carry chains (including the
+    // 31→32 full-cascade), so regions are reserved, consumed, and
+    // recycled many times over.
+    for round in 0..33 {
+        let batch = random_batch(&mut rng, b, 0.2);
+        arena.update(&batch).unwrap();
+        plain.update(&batch).unwrap();
+        check_both(&arena, &plain);
+        if round % 4 == 0 {
+            assert_identical_answers(&arena, &plain);
+        }
+    }
+    assert_identical_answers(&arena, &plain);
+    // The arena side must actually be exercising the arena: regions were
+    // handed out, and the steady-state carry chain recycled some of them.
+    let stats = arena.stats().arena;
+    assert!(stats.reserved_regions > 0, "arena never reserved a region");
+    assert!(stats.recycled_regions > 0, "carry chain never recycled");
+    assert!(stats.resident_bytes > 0);
+    // The vec side must not have touched an arena at all.
+    assert_eq!(plain.stats().arena, gpu_lsm::ArenaStats::default());
+}
+
+#[test]
+fn arena_levels_match_after_cleanup() {
+    let b = 32usize;
+    let (mut arena, mut plain) = pair(b);
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..11 {
+        let batch = random_batch(&mut rng, b, 0.35);
+        arena.update(&batch).unwrap();
+        plain.update(&batch).unwrap();
+    }
+    check_both(&arena, &plain);
+    // Cleanup rebuilds every level from scratch: the arena side must
+    // recycle the old regions and reserve fresh ones without aliasing.
+    arena.cleanup();
+    plain.cleanup();
+    check_both(&arena, &plain);
+    assert_identical_answers(&arena, &plain);
+    // And the structure keeps working after the rebuild.
+    for _ in 0..9 {
+        let batch = random_batch(&mut rng, b, 0.2);
+        arena.update(&batch).unwrap();
+        plain.update(&batch).unwrap();
+        check_both(&arena, &plain);
+    }
+    assert_identical_answers(&arena, &plain);
+}
+
+#[test]
+fn arena_bulk_build_matches_vec_bulk_build() {
+    let pairs: Vec<(u32, u32)> = (0..3000u32).map(|k| (k * 13 % KEY_DOMAIN, k)).collect();
+    // bulk_build reads the env knob; route through update-free construction
+    // by building plain and then comparing against an arena LSM fed the
+    // same pairs as insert batches — plus a direct bulk_build on the
+    // default config for coverage of the bulk path itself.
+    let (mut arena, mut plain) = pair(128);
+    for chunk in pairs.chunks(128) {
+        arena.insert(chunk).unwrap();
+        plain.insert(chunk).unwrap();
+    }
+    check_both(&arena, &plain);
+    assert_identical_answers(&arena, &plain);
+
+    let bulk = GpuLsm::bulk_build(device(), 128, &pairs).unwrap();
+    bulk.check_invariants().unwrap();
+    let queries: Vec<u32> = (0..KEY_DOMAIN).step_by(7).collect();
+    assert_eq!(bulk.lookup(&queries), plain.lookup(&queries));
+    assert_eq!(bulk.bulk_get(&queries), plain.bulk_get(&queries));
+}
+
+#[test]
+fn arena_sharded_split_matches_vec_sharded() {
+    let b = 32usize;
+    let arena = ShardedLsm::with_config(device(), b, 2, LsmConfig::default().arena(true)).unwrap();
+    let plain = ShardedLsm::with_config(device(), b, 2, LsmConfig::default().arena(false)).unwrap();
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..10 {
+        let batch = random_batch(&mut rng, b, 0.2);
+        arena.update(&batch).unwrap();
+        plain.update(&batch).unwrap();
+    }
+    // Splitting a shard rebuilds two structures from one: regions move
+    // between arenas, the retired shard's storage must not leak into the
+    // new ones.
+    let at = arena.split_shard(0).expect("split arena shard");
+    plain.split_shard_at(0, at).expect("split plain shard");
+    for _ in 0..10 {
+        let batch = random_batch(&mut rng, b, 0.2);
+        arena.update(&batch).unwrap();
+        plain.update(&batch).unwrap();
+    }
+    let queries: Vec<u32> = (0..KEY_DOMAIN).step_by(7).collect();
+    assert_eq!(arena.lookup(&queries), plain.lookup(&queries));
+    assert_eq!(arena.bulk_get(&queries), plain.bulk_get(&queries));
+    let intervals: Vec<(u32, u32)> = vec![(0, KEY_DOMAIN / 2), (KEY_DOMAIN / 2, MAX_KEY)];
+    assert_eq!(arena.count(&intervals), plain.count(&intervals));
+    assert_eq!(arena.range(&intervals), plain.range(&intervals));
+    let points: Vec<u32> = (0..KEY_DOMAIN).step_by(311).collect();
+    assert_eq!(arena.successor(&points), plain.successor(&points));
+    assert_eq!(arena.predecessor(&points), plain.predecessor(&points));
+    // Shard-level arena stats aggregate across shards (3 after the split).
+    let stats = arena.stats().arena;
+    assert!(stats.reserved_regions > 0);
+    assert_eq!(plain.stats().arena, gpu_lsm::ArenaStats::default());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary op sequences with arbitrary per-batch sizes: arena-backed
+    /// and vec-backed answers stay identical on every surface, and the
+    /// aliasing invariants hold after every batch.
+    #[test]
+    fn arena_differential_random_ops(
+        seed in 0u64..1_000,
+        rounds in 4usize..16,
+        delete_pct in 0u32..60,
+    ) {
+        let b = 16usize;
+        let (mut arena, mut plain) = pair(b);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..rounds {
+            let n = rng.gen_range(1..=b);
+            let mut batch = UpdateBatch::new();
+            for _ in 0..n {
+                let key = rng.gen_range(0..KEY_DOMAIN);
+                let op = if rng.gen_range(0..100) < delete_pct {
+                    Op::Delete(key)
+                } else {
+                    Op::Insert(key, rng.gen())
+                };
+                batch.push(op);
+            }
+            arena.update(&batch).unwrap();
+            plain.update(&batch).unwrap();
+            check_both(&arena, &plain);
+        }
+        assert_identical_answers(&arena, &plain);
+    }
+}

@@ -83,12 +83,57 @@ where
     out[o..].copy_from_slice(&b[j..]);
 }
 
-/// Sequential key/value merge, ties favouring `a`, for unequal-length
-/// inputs.  The inner loop is the hot kernel treatment: output written into
-/// uninitialized capacity (a `vec![0; n]` zero-fill would be a pure extra
-/// memory sweep per merge), branchless take-a/take-b selection (on random
-/// keys the branch is a coin flip and mispredictions would dominate), and
+/// Raw core of the sequential key/value merge, ties favouring `a`, for
+/// unequal-length inputs: branchless take-a/take-b selection (on random
+/// keys the branch is a coin flip and mispredictions would dominate) and
 /// unchecked indexing (the loop conditions already bound `i` and `j`).
+///
+/// # Safety
+/// `out_keys`/`out_vals` must each point at `a_keys.len() + b_keys.len()`
+/// writable `u32` slots (initialized or not) that do not overlap any input.
+/// `o = i + j` takes each value in `0..n` exactly once across the main loop
+/// and the two tail copies (i ≤ a.len(), j ≤ b.len(), n = a.len() +
+/// b.len()), so every output slot is written exactly once; all source reads
+/// are bounded by the loop conditions / tail lengths.
+unsafe fn seq_merge_pairs_raw<F>(
+    a_keys: &[u32],
+    a_vals: &[u32],
+    b_keys: &[u32],
+    b_vals: &[u32],
+    out_keys: *mut u32,
+    out_vals: *mut u32,
+    less: &F,
+) where
+    F: Fn(&u32, &u32) -> bool,
+{
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+    while i < a_keys.len() && j < b_keys.len() {
+        // Take from b only if strictly smaller: ties go to a.
+        let take_b = less(b_keys.get_unchecked(j), a_keys.get_unchecked(i));
+        *out_keys.add(o) = if take_b {
+            *b_keys.get_unchecked(j)
+        } else {
+            *a_keys.get_unchecked(i)
+        };
+        *out_vals.add(o) = if take_b {
+            *b_vals.get_unchecked(j)
+        } else {
+            *a_vals.get_unchecked(i)
+        };
+        i += usize::from(!take_b);
+        j += usize::from(take_b);
+        o += 1;
+    }
+    std::ptr::copy_nonoverlapping(a_keys.as_ptr().add(i), out_keys.add(o), a_keys.len() - i);
+    std::ptr::copy_nonoverlapping(a_vals.as_ptr().add(i), out_vals.add(o), a_vals.len() - i);
+    let o = o + (a_keys.len() - i);
+    std::ptr::copy_nonoverlapping(b_keys.as_ptr().add(j), out_keys.add(o), b_keys.len() - j);
+    std::ptr::copy_nonoverlapping(b_vals.as_ptr().add(j), out_vals.add(o), b_vals.len() - j);
+}
+
+/// Sequential key/value merge into fresh vectors: output written into
+/// uninitialized capacity (a `vec![0; n]` zero-fill would be a pure extra
+/// memory sweep per merge).
 fn seq_merge_pairs<F>(
     a_keys: &[u32],
     a_vals: &[u32],
@@ -102,37 +147,18 @@ where
     let n = a_keys.len() + b_keys.len();
     let mut keys: Vec<u32> = Vec::with_capacity(n);
     let mut vals: Vec<u32> = Vec::with_capacity(n);
-    // SAFETY: `o = i + j` takes each value in `0..n` exactly once across
-    // the main loop and the two tail copies (i ≤ a.len(), j ≤ b.len(),
-    // n = a.len() + b.len()), so every output slot is written exactly once
-    // before `set_len(n)`; all source reads are bounded by the loop
-    // conditions / tail lengths.
+    // SAFETY: the freshly reserved capacity holds exactly `n` slots and the
+    // raw core writes every one of them before `set_len(n)`.
     unsafe {
-        let out_keys = keys.as_mut_ptr();
-        let out_vals = vals.as_mut_ptr();
-        let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
-        while i < a_keys.len() && j < b_keys.len() {
-            // Take from b only if strictly smaller: ties go to a.
-            let take_b = less(b_keys.get_unchecked(j), a_keys.get_unchecked(i));
-            *out_keys.add(o) = if take_b {
-                *b_keys.get_unchecked(j)
-            } else {
-                *a_keys.get_unchecked(i)
-            };
-            *out_vals.add(o) = if take_b {
-                *b_vals.get_unchecked(j)
-            } else {
-                *a_vals.get_unchecked(i)
-            };
-            i += usize::from(!take_b);
-            j += usize::from(take_b);
-            o += 1;
-        }
-        std::ptr::copy_nonoverlapping(a_keys.as_ptr().add(i), out_keys.add(o), a_keys.len() - i);
-        std::ptr::copy_nonoverlapping(a_vals.as_ptr().add(i), out_vals.add(o), a_vals.len() - i);
-        let o = o + (a_keys.len() - i);
-        std::ptr::copy_nonoverlapping(b_keys.as_ptr().add(j), out_keys.add(o), b_keys.len() - j);
-        std::ptr::copy_nonoverlapping(b_vals.as_ptr().add(j), out_vals.add(o), b_vals.len() - j);
+        seq_merge_pairs_raw(
+            a_keys,
+            a_vals,
+            b_keys,
+            b_vals,
+            keys.as_mut_ptr(),
+            vals.as_mut_ptr(),
+            less,
+        );
         keys.set_len(n);
         vals.set_len(n);
     }
@@ -152,6 +178,68 @@ where
 /// takes the larger tail element, and on ties takes from `b`, which is
 /// exactly the reverse of "ties favour `a`".  Both chains therefore emit
 /// disjoint halves of the same merged sequence.
+/// # Safety
+/// `out_keys`/`out_vals` must each point at `2 * a_keys.len()` writable
+/// `u32` slots (initialized or not) that do not overlap any input.  At
+/// iteration t the forward chain has consumed i + j = t < h items, so
+/// i < h and j < h bound its reads, and it writes o = t; the backward
+/// chain has consumed (h - ib) + (h - jb) = t < h items, so ib ≥ 1 and
+/// jb ≥ 1 bound its reads, and it writes n - 1 - t.  Over h iterations
+/// the two chains write exactly 0..h and h..n, so every slot is written
+/// exactly once.
+unsafe fn parity_merge_pairs_raw<F>(
+    a_keys: &[u32],
+    a_vals: &[u32],
+    b_keys: &[u32],
+    b_vals: &[u32],
+    out_keys: *mut u32,
+    out_vals: *mut u32,
+    less: &F,
+) where
+    F: Fn(&u32, &u32) -> bool,
+{
+    let h = a_keys.len();
+    debug_assert_eq!(h, b_keys.len());
+    let n = 2 * h;
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+    let (mut ib, mut jb, mut ob) = (h, h, n);
+    for _ in 0..h {
+        // Forward: take from b only if strictly smaller (ties go to a).
+        let take_b = less(b_keys.get_unchecked(j), a_keys.get_unchecked(i));
+        *out_keys.add(o) = if take_b {
+            *b_keys.get_unchecked(j)
+        } else {
+            *a_keys.get_unchecked(i)
+        };
+        *out_vals.add(o) = if take_b {
+            *b_vals.get_unchecked(j)
+        } else {
+            *a_vals.get_unchecked(i)
+        };
+        i += usize::from(!take_b);
+        j += usize::from(take_b);
+        o += 1;
+        // Backward: take the larger tail element; ties go to b, the
+        // mirror of the forward rule.
+        let back_a = less(b_keys.get_unchecked(jb - 1), a_keys.get_unchecked(ib - 1));
+        ob -= 1;
+        *out_keys.add(ob) = if back_a {
+            *a_keys.get_unchecked(ib - 1)
+        } else {
+            *b_keys.get_unchecked(jb - 1)
+        };
+        *out_vals.add(ob) = if back_a {
+            *a_vals.get_unchecked(ib - 1)
+        } else {
+            *b_vals.get_unchecked(jb - 1)
+        };
+        ib -= usize::from(back_a);
+        jb -= usize::from(!back_a);
+    }
+}
+
+/// Parity merge into fresh vectors (uninitialized-capacity output, as in
+/// [`seq_merge_pairs`]).
 fn parity_merge_pairs<F>(
     a_keys: &[u32],
     a_vals: &[u32],
@@ -162,55 +250,21 @@ fn parity_merge_pairs<F>(
 where
     F: Fn(&u32, &u32) -> bool,
 {
-    let h = a_keys.len();
-    debug_assert_eq!(h, b_keys.len());
-    let n = 2 * h;
+    let n = 2 * a_keys.len();
     let mut keys: Vec<u32> = Vec::with_capacity(n);
     let mut vals: Vec<u32> = Vec::with_capacity(n);
-    // SAFETY: at iteration t the forward chain has consumed i + j = t < h
-    // items, so i < h and j < h bound its reads, and it writes o = t; the
-    // backward chain has consumed (h - ib) + (h - jb) = t < h items, so
-    // ib ≥ 1 and jb ≥ 1 bound its reads, and it writes n - 1 - t.  Over
-    // h iterations the two chains write exactly 0..h and h..n, so every
-    // slot is initialized before `set_len(n)`.
+    // SAFETY: the freshly reserved capacity holds exactly `n` slots and the
+    // raw core writes every one of them before `set_len(n)`.
     unsafe {
-        let out_keys = keys.as_mut_ptr();
-        let out_vals = vals.as_mut_ptr();
-        let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
-        let (mut ib, mut jb, mut ob) = (h, h, n);
-        for _ in 0..h {
-            // Forward: take from b only if strictly smaller (ties go to a).
-            let take_b = less(b_keys.get_unchecked(j), a_keys.get_unchecked(i));
-            *out_keys.add(o) = if take_b {
-                *b_keys.get_unchecked(j)
-            } else {
-                *a_keys.get_unchecked(i)
-            };
-            *out_vals.add(o) = if take_b {
-                *b_vals.get_unchecked(j)
-            } else {
-                *a_vals.get_unchecked(i)
-            };
-            i += usize::from(!take_b);
-            j += usize::from(take_b);
-            o += 1;
-            // Backward: take the larger tail element; ties go to b, the
-            // mirror of the forward rule.
-            let back_a = less(b_keys.get_unchecked(jb - 1), a_keys.get_unchecked(ib - 1));
-            ob -= 1;
-            *out_keys.add(ob) = if back_a {
-                *a_keys.get_unchecked(ib - 1)
-            } else {
-                *b_keys.get_unchecked(jb - 1)
-            };
-            *out_vals.add(ob) = if back_a {
-                *a_vals.get_unchecked(ib - 1)
-            } else {
-                *b_vals.get_unchecked(jb - 1)
-            };
-            ib -= usize::from(back_a);
-            jb -= usize::from(!back_a);
-        }
+        parity_merge_pairs_raw(
+            a_keys,
+            a_vals,
+            b_keys,
+            b_vals,
+            keys.as_mut_ptr(),
+            vals.as_mut_ptr(),
+            less,
+        );
         keys.set_len(n);
         vals.set_len(n);
     }
@@ -268,6 +322,87 @@ where
     out
 }
 
+/// A raw output pointer that may cross thread boundaries; the tiled merge
+/// guarantees disjoint write ranges per tile.
+struct SendPtr(*mut u32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Pointer to slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be within the allocation the wrapped pointer addresses.
+    unsafe fn at(&self, i: usize) -> *mut u32 {
+        self.0.add(i)
+    }
+}
+
+/// Tiled merge-path key/value merge writing into caller-provided output
+/// pointers (the above-cutoff arm shared by [`merge_pairs_by`] and
+/// [`merge_pairs_by_into`]).
+///
+/// # Safety
+/// `out_keys`/`out_vals` must each point at `a_keys.len() + b_keys.len()`
+/// writable `u32` slots that overlap no input; every slot is written
+/// exactly once (tiles cover disjoint output ranges).
+#[allow(clippy::too_many_arguments)]
+unsafe fn par_merge_pairs_raw<F>(
+    device: &Device,
+    a_keys: &[u32],
+    a_vals: &[u32],
+    b_keys: &[u32],
+    b_vals: &[u32],
+    out_keys: *mut u32,
+    out_vals: *mut u32,
+    less: &F,
+) where
+    F: Fn(&u32, &u32) -> bool + Sync,
+{
+    let n = a_keys.len() + b_keys.len();
+    let tile = device
+        .preferred_tile(2 * std::mem::size_of::<u32>())
+        .max(1024);
+    let num_tiles = n.div_ceil(tile);
+
+    // Precompute merge-path splits at every tile boundary (scattered binary
+    // searches — a handful per tile).  The comparator only ever sees keys,
+    // so the split runs on the key arrays alone and the values ride along
+    // per tile — no (key, value) tuple round trip.
+    let splits: Vec<usize> = (0..=num_tiles)
+        .into_par_iter()
+        .map(|t| merge_path(a_keys, b_keys, (t * tile).min(n), less))
+        .collect();
+    device.metrics().record_scattered_probes(
+        "merge",
+        (num_tiles as u64 + 1) * 32,
+        std::mem::size_of::<u32>() as u64,
+    );
+
+    let shared_keys = SendPtr(out_keys);
+    let shared_vals = SendPtr(out_vals);
+    (0..num_tiles).into_par_iter().for_each(|t| {
+        let out_start = t * tile;
+        let out_end = ((t + 1) * tile).min(n);
+        let a_start = splits[t];
+        let a_end = splits[t + 1];
+        let b_start = out_start - a_start;
+        let b_end = out_end - a_end;
+        // SAFETY: tiles cover disjoint output ranges [out_start, out_end).
+        unsafe {
+            seq_merge_pairs_raw(
+                &a_keys[a_start..a_end],
+                &a_vals[a_start..a_end],
+                &b_keys[b_start..b_end],
+                &b_vals[b_start..b_end],
+                shared_keys.at(out_start),
+                shared_vals.at(out_start),
+                less,
+            );
+        }
+    });
+}
+
 /// Merge two sorted key–value sequences by key, ties favouring `a`.
 /// Returns the merged keys and values.
 pub fn merge_pairs_by<F>(
@@ -284,10 +419,10 @@ where
     assert_eq!(a_keys.len(), a_vals.len());
     assert_eq!(b_keys.len(), b_vals.len());
     let n = a_keys.len() + b_keys.len();
+    record_merge_traffic(device, n, 2 * std::mem::size_of::<u32>());
     // Small merges (the bottom of the LSM carry chain) go straight to a
-    // sequential key/value merge: no tuple zip, no unzip, no tile splits.
+    // sequential key/value merge: no tile splits, no zero-fill.
     if n <= sequential_merge_cutoff() {
-        record_merge_traffic(device, n, 2 * std::mem::size_of::<u32>());
         if a_keys.len() == b_keys.len() {
             // The LSM carry chain always merges a buffer of b·2^i elements
             // with a level of the same size, so the equal-length parity
@@ -296,18 +431,94 @@ where
         }
         return seq_merge_pairs(a_keys, a_vals, b_keys, b_vals, &less);
     }
-    // Merge (key, value) tuples so values travel with their keys; the
-    // comparator only ever sees keys.
-    let a: Vec<(u32, u32)> = a_keys.iter().copied().zip(a_vals.iter().copied()).collect();
-    let b: Vec<(u32, u32)> = b_keys.iter().copied().zip(b_vals.iter().copied()).collect();
-    let merged = merge_by(device, &a, &b, |x, y| less(&x.0, &y.0));
-    let mut keys = Vec::with_capacity(merged.len());
-    let mut vals = Vec::with_capacity(merged.len());
-    for (k, v) in merged {
-        keys.push(k);
-        vals.push(v);
+    let mut keys: Vec<u32> = Vec::with_capacity(n);
+    let mut vals: Vec<u32> = Vec::with_capacity(n);
+    // SAFETY: the freshly reserved capacity holds exactly `n` slots and the
+    // tiled core writes every one of them before `set_len(n)`.
+    unsafe {
+        par_merge_pairs_raw(
+            device,
+            a_keys,
+            a_vals,
+            b_keys,
+            b_vals,
+            keys.as_mut_ptr(),
+            vals.as_mut_ptr(),
+            &less,
+        );
+        keys.set_len(n);
+        vals.set_len(n);
     }
     (keys, vals)
+}
+
+/// Merge two sorted key–value sequences by key, ties favouring `a`, writing
+/// into caller-provided output slices (`out_keys.len()` must equal
+/// `a_keys.len() + b_keys.len()`).
+///
+/// This is the allocation-free twin of [`merge_pairs_by`]: the LSM's
+/// carry chain merges into pre-reserved arena regions through it, so the
+/// steady-state merge inner loop never touches the heap.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_pairs_by_into<F>(
+    device: &Device,
+    a_keys: &[u32],
+    a_vals: &[u32],
+    b_keys: &[u32],
+    b_vals: &[u32],
+    out_keys: &mut [u32],
+    out_vals: &mut [u32],
+    less: F,
+) where
+    F: Fn(&u32, &u32) -> bool + Sync,
+{
+    assert_eq!(a_keys.len(), a_vals.len());
+    assert_eq!(b_keys.len(), b_vals.len());
+    let n = a_keys.len() + b_keys.len();
+    assert_eq!(out_keys.len(), n, "output slice length mismatch");
+    assert_eq!(out_vals.len(), n, "output slice length mismatch");
+    record_merge_traffic(device, n, 2 * std::mem::size_of::<u32>());
+    if n == 0 {
+        return;
+    }
+    // SAFETY: the output slices hold exactly `n` writable slots, borrowed
+    // mutably so they overlap no input.
+    unsafe {
+        if n <= sequential_merge_cutoff() {
+            if a_keys.len() == b_keys.len() {
+                parity_merge_pairs_raw(
+                    a_keys,
+                    a_vals,
+                    b_keys,
+                    b_vals,
+                    out_keys.as_mut_ptr(),
+                    out_vals.as_mut_ptr(),
+                    &less,
+                );
+            } else {
+                seq_merge_pairs_raw(
+                    a_keys,
+                    a_vals,
+                    b_keys,
+                    b_vals,
+                    out_keys.as_mut_ptr(),
+                    out_vals.as_mut_ptr(),
+                    &less,
+                );
+            }
+            return;
+        }
+        par_merge_pairs_raw(
+            device,
+            a_keys,
+            a_vals,
+            b_keys,
+            b_vals,
+            out_keys.as_mut_ptr(),
+            out_vals.as_mut_ptr(),
+            &less,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -391,6 +602,62 @@ mod tests {
         });
         assert_eq!(k, vec![10, 20, 30, 30]);
         assert_eq!(v, vec![1, 2, 3, 9]); // a's 30 precedes b's 30
+    }
+
+    #[test]
+    fn merge_pairs_into_matches_alloc_version() {
+        let device = device();
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(23);
+        // Cover the sequential unequal, sequential parity and tiled-parallel
+        // arms of the into-variant against the allocating reference.
+        for (a_len, b_len) in [
+            (100usize, 37usize),
+            (512, 512),
+            (70_000, 70_000),
+            (80_000, 33),
+        ] {
+            let mut a_keys: Vec<u32> = (0..a_len).map(|_| rng.gen::<u32>() % 10_000).collect();
+            let mut b_keys: Vec<u32> = (0..b_len).map(|_| rng.gen::<u32>() % 10_000).collect();
+            a_keys.sort_unstable();
+            b_keys.sort_unstable();
+            let a_vals: Vec<u32> = (0..a_len as u32).collect();
+            let b_vals: Vec<u32> = (0..b_len as u32).map(|i| 1 << 20 | i).collect();
+            let (exp_keys, exp_vals) =
+                merge_pairs_by(&device, &a_keys, &a_vals, &b_keys, &b_vals, lt);
+            let mut out_keys = vec![0u32; a_len + b_len];
+            let mut out_vals = vec![0u32; a_len + b_len];
+            merge_pairs_by_into(
+                &device,
+                &a_keys,
+                &a_vals,
+                &b_keys,
+                &b_vals,
+                &mut out_keys,
+                &mut out_vals,
+                lt,
+            );
+            assert_eq!(out_keys, exp_keys, "a_len={a_len} b_len={b_len}");
+            assert_eq!(out_vals, exp_vals, "a_len={a_len} b_len={b_len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice length mismatch")]
+    fn merge_pairs_into_rejects_short_output() {
+        let device = device();
+        let mut out_keys = vec![0u32; 1];
+        let mut out_vals = vec![0u32; 1];
+        merge_pairs_by_into(
+            &device,
+            &[1, 2],
+            &[0, 0],
+            &[3],
+            &[0],
+            &mut out_keys,
+            &mut out_vals,
+            lt,
+        );
     }
 
     #[test]
